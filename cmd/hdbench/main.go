@@ -1,0 +1,70 @@
+// Command hdbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	hdbench -exp fig8 -scale 1 -queries 50
+//	hdbench -exp all
+//	hdbench -list
+//
+// Each experiment prints the same rows/series the corresponding table or
+// figure of the paper reports (see EXPERIMENTS.md for the mapping and
+// the recorded full-scale outputs).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/hd-index/hdindex/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		list    = flag.Bool("list", false, "list available experiments")
+		scale   = flag.Float64("scale", 1.0, "dataset scale multiplier")
+		queries = flag.Int("queries", 50, "queries per dataset")
+		k       = flag.Int("k", 100, "neighbours for MAP@k experiments")
+		workdir = flag.String("workdir", "", "scratch directory for on-disk indexes")
+		seed    = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	if *list {
+		reg := bench.Registry()
+		fmt.Println("available experiments:")
+		for _, id := range bench.IDs() {
+			fmt.Printf("  %-18s %s\n", id, reg[id].Description)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "hdbench: -exp required (or -list)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := bench.Config{
+		Scale:   *scale,
+		Queries: *queries,
+		K:       *k,
+		WorkDir: *workdir,
+		Seed:    *seed,
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = bench.IDs()
+	}
+	for _, id := range ids {
+		fmt.Printf("\n================ %s ================\n", id)
+		t0 := time.Now()
+		if err := bench.Run(id, os.Stdout, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "hdbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n", id, time.Since(t0).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,152 @@
+// Command hdtool builds, inspects and queries HD-Index structures on
+// disk.
+//
+// Usage:
+//
+//	hdtool build -data vectors.fvecs -index ./my.index [-tau 8 -omega 16 -m 10]
+//	hdtool query -index ./my.index -queries q.fvecs -k 10 [-out results.ivecs]
+//	hdtool info  -index ./my.index
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	hdindex "github.com/hd-index/hdindex"
+	"github.com/hd-index/hdindex/internal/data"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "build":
+		err = runBuild(os.Args[2:])
+	case "query":
+		err = runQuery(os.Args[2:])
+	case "info":
+		err = runInfo(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hdtool: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  hdtool build -data vectors.fvecs -index DIR [-tau N -omega N -m N -alpha N -gamma N -ptolemaic]
+  hdtool query -index DIR -queries q.fvecs -k K [-out results.ivecs] [-parallel]
+  hdtool info  -index DIR`)
+}
+
+func runBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	dataPath := fs.String("data", "", "fvecs file with the dataset")
+	indexDir := fs.String("index", "", "output index directory")
+	tau := fs.Int("tau", 0, "number of RDB-trees (0 = paper default)")
+	omega := fs.Int("omega", 0, "Hilbert order (0 = default)")
+	m := fs.Int("m", 0, "reference objects (0 = default 10)")
+	alpha := fs.Int("alpha", 0, "candidates per tree (0 = default)")
+	gamma := fs.Int("gamma", 0, "filter survivors per tree (0 = alpha/4)")
+	pto := fs.Bool("ptolemaic", false, "enable the Ptolemaic filter")
+	seed := fs.Int64("seed", 42, "random seed")
+	fs.Parse(args)
+	if *dataPath == "" || *indexDir == "" {
+		return fmt.Errorf("build: -data and -index are required")
+	}
+	vectors, err := data.ReadFvecs(*dataPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("read %d vectors of %d dims\n", len(vectors), len(vectors[0]))
+	t0 := time.Now()
+	ix, err := hdindex.Build(*indexDir, vectors, hdindex.Options{
+		Tau: *tau, Omega: *omega, M: *m,
+		Alpha: *alpha, Gamma: *gamma, UsePtolemaic: *pto, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+	fmt.Printf("built index in %v, %d bytes on disk\n", time.Since(t0).Round(time.Millisecond), ix.SizeOnDisk())
+	return nil
+}
+
+func runQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	indexDir := fs.String("index", "", "index directory")
+	queriesPath := fs.String("queries", "", "fvecs file with queries")
+	k := fs.Int("k", 10, "neighbours to return")
+	out := fs.String("out", "", "optional ivecs output of result ids")
+	parallel := fs.Bool("parallel", false, "search trees in parallel")
+	fs.Parse(args)
+	if *indexDir == "" || *queriesPath == "" {
+		return fmt.Errorf("query: -index and -queries are required")
+	}
+	ix, err := hdindex.Open(*indexDir, hdindex.Options{Parallel: *parallel})
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+	queries, err := data.ReadFvecs(*queriesPath)
+	if err != nil {
+		return err
+	}
+	results := make([][]uint64, len(queries))
+	t0 := time.Now()
+	for qi, q := range queries {
+		res, err := ix.Search(q, *k)
+		if err != nil {
+			return err
+		}
+		ids := make([]uint64, len(res))
+		for i, r := range res {
+			ids[i] = r.ID
+		}
+		results[qi] = ids
+	}
+	elapsed := time.Since(t0)
+	fmt.Printf("%d queries, k=%d: %.3f ms/query\n",
+		len(queries), *k, float64(elapsed.Microseconds())/1000/float64(len(queries)))
+	for qi, ids := range results {
+		if qi >= 5 {
+			fmt.Printf("... (%d more)\n", len(results)-5)
+			break
+		}
+		fmt.Printf("query %d: %v\n", qi, ids)
+	}
+	if *out != "" {
+		if err := data.WriteIvecs(*out, results); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	return nil
+}
+
+func runInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	indexDir := fs.String("index", "", "index directory")
+	fs.Parse(args)
+	if *indexDir == "" {
+		return fmt.Errorf("info: -index is required")
+	}
+	ix, err := hdindex.Open(*indexDir, hdindex.Options{})
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+	fmt.Printf("vectors:       %d\n", ix.Count())
+	fmt.Printf("dimensions:    %d\n", ix.Dim())
+	fmt.Printf("size on disk:  %d bytes (%.1f MB)\n", ix.SizeOnDisk(), float64(ix.SizeOnDisk())/(1<<20))
+	return nil
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/hd-index/hdindex/internal/data"
+)
+
+func TestBuildQueryInfoPipeline(t *testing.T) {
+	tmp := t.TempDir()
+	ds := data.SIFTLike(600, 1)
+	queries := ds.PerturbedQueries(4, 0.01, 2)
+
+	dataPath := filepath.Join(tmp, "d.fvecs")
+	if err := data.WriteFvecs(dataPath, ds.Vectors); err != nil {
+		t.Fatal(err)
+	}
+	qPath := filepath.Join(tmp, "q.fvecs")
+	if err := data.WriteFvecs(qPath, queries); err != nil {
+		t.Fatal(err)
+	}
+	indexDir := filepath.Join(tmp, "ix")
+
+	if err := runBuild([]string{
+		"-data", dataPath, "-index", indexDir,
+		"-tau", "8", "-omega", "8", "-m", "5", "-alpha", "256", "-gamma", "64",
+	}); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if err := runInfo([]string{"-index", indexDir}); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	outPath := filepath.Join(tmp, "r.ivecs")
+	if err := runQuery([]string{
+		"-index", indexDir, "-queries", qPath, "-k", "5", "-out", outPath,
+	}); err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	rows, err := data.ReadIvecs(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 || len(rows[0]) != 5 {
+		t.Fatalf("results shape = %dx%d", len(rows), len(rows[0]))
+	}
+}
+
+func TestArgValidation(t *testing.T) {
+	if err := runBuild([]string{}); err == nil {
+		t.Error("build without args must fail")
+	}
+	if err := runQuery([]string{}); err == nil {
+		t.Error("query without args must fail")
+	}
+	if err := runInfo([]string{}); err == nil {
+		t.Error("info without args must fail")
+	}
+	if err := runBuild([]string{"-data", "/nonexistent.fvecs", "-index", t.TempDir()}); err == nil {
+		t.Error("missing data file must fail")
+	}
+	if err := runInfo([]string{"-index", filepath.Join(t.TempDir(), "missing")}); err == nil {
+		t.Error("missing index must fail")
+	}
+}

@@ -1,0 +1,74 @@
+package hdindex_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	hdindex "github.com/hd-index/hdindex"
+	"github.com/hd-index/hdindex/internal/data"
+)
+
+// Example demonstrates the core workflow: build an index over a dataset,
+// search it, and reopen it from disk.
+func Example() {
+	ds := data.SIFTLike(2000, 1) // 2000 synthetic 128-d SIFT-like vectors
+	dir := filepath.Join(os.TempDir(), "hdindex-example")
+	defer os.RemoveAll(dir)
+
+	idx, err := hdindex.Build(dir, ds.Vectors, hdindex.Options{
+		Omega: 8, Alpha: 512, Gamma: 128, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer idx.Close()
+
+	query := ds.Vectors[42] // search for a known vector
+	results, err := idx.Search(query, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d vectors of %d dims\n", idx.Count(), idx.Dim())
+	fmt.Printf("got %d neighbours; nearest is id %d at distance %.0f\n",
+		len(results), results[0].ID, results[0].Dist)
+	// Output:
+	// indexed 2000 vectors of 128 dims
+	// got 3 neighbours; nearest is id 42 at distance 0
+}
+
+// Example_updates demonstrates §3.6: inserting and deleting objects in a
+// built index.
+func Example_updates() {
+	ds := data.SIFTLike(1000, 2)
+	dir := filepath.Join(os.TempDir(), "hdindex-example-updates")
+	defer os.RemoveAll(dir)
+
+	idx, err := hdindex.Build(dir, ds.Vectors, hdindex.Options{
+		Omega: 8, Alpha: 256, Gamma: 64, Seed: 8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer idx.Close()
+
+	id, err := idx.Insert(ds.Vectors[0]) // duplicate of object 0
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inserted as id %d\n", id)
+
+	if err := idx.Delete(0); err != nil { // hide the original
+		log.Fatal(err)
+	}
+	results, err := idx.Search(ds.Vectors[0], 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("nearest after delete: id %d at distance %.0f\n",
+		results[0].ID, results[0].Dist)
+	// Output:
+	// inserted as id 1000
+	// nearest after delete: id 1000 at distance 0
+}

@@ -1,0 +1,76 @@
+// Comparison: HD-Index against every baseline of the paper's §5 on one
+// clustered dataset — a miniature of Figure 8 runnable in seconds.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/hd-index/hdindex/internal/baselines"
+	"github.com/hd-index/hdindex/internal/bench"
+	"github.com/hd-index/hdindex/internal/metrics"
+)
+
+func main() {
+	spec, ok := bench.SpecByName("SIFT10K")
+	if !ok {
+		log.Fatal("spec missing")
+	}
+	cfg := bench.Config{Scale: 0.5, Queries: 20, K: 10, Seed: 21,
+		WorkDir: filepath.Join(os.TempDir(), "hdindex-comparison")}
+	defer os.RemoveAll(cfg.WorkDir)
+
+	w := bench.MakeWorkload(spec, cfg)
+	fmt.Printf("dataset: %d x %d (SIFT-like), %d queries, k=10\n\n",
+		len(w.Data.Vectors), w.Data.Dim, len(w.Queries))
+	fmt.Printf("%-12s %8s %10s %10s %9s\n", "method", "MAP@10", "ratio", "ms/query", "index MB")
+
+	run := func(name string, ix baselines.Index) {
+		defer ix.Close()
+		got := make([][]uint64, len(w.Queries))
+		gotD := make([][]float64, len(w.Queries))
+		t0 := time.Now()
+		for qi, q := range w.Queries {
+			res, err := ix.Search(q, 10)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ids := make([]uint64, len(res))
+			ds := make([]float64, len(res))
+			for i, r := range res {
+				ids[i], ds[i] = r.ID, r.Dist
+			}
+			got[qi], gotD[qi] = ids, ds
+		}
+		ms := float64(time.Since(t0).Microseconds()) / 1000 / float64(len(w.Queries))
+		var rsum float64
+		for qi := range got {
+			tk := w.TruthDs[qi]
+			if len(tk) > 10 {
+				tk = tk[:10]
+			}
+			rsum += metrics.Ratio(gotD[qi], tk)
+		}
+		fmt.Printf("%-12s %8.3f %10.3f %10.3f %9.1f\n",
+			name, metrics.MAP(got, w.TruthIDs, 10), rsum/float64(len(got)),
+			ms, float64(ix.SizeBytes())/(1<<20))
+	}
+
+	for _, b := range bench.Methods(cfg.Seed) {
+		ix, err := b.Build(filepath.Join(cfg.WorkDir, b.Name), w)
+		if err != nil {
+			fmt.Printf("%-12s %8s\n", b.Name, "NP")
+			continue
+		}
+		run(b.Name, ix)
+	}
+	lin := bench.LinearBuilder()
+	ix, err := lin.Build("", w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("Linear", ix)
+}

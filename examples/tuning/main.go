@@ -1,0 +1,88 @@
+// Tuning: walk the paper's §5.2 parameter studies on a small dataset —
+// the m, τ, α and γ knobs and the filter choice — and print how MAP and
+// query time respond, mirroring Figures 4-6.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	hdindex "github.com/hd-index/hdindex"
+	"github.com/hd-index/hdindex/internal/data"
+	"github.com/hd-index/hdindex/internal/metrics"
+)
+
+func main() {
+	ds := data.SIFTLike(8000, 3)
+	queries := ds.PerturbedQueries(15, 0.01, 4)
+	truthIDs, _ := data.GroundTruth(ds.Vectors, queries, 10)
+
+	evalIndex := func(o hdindex.Options) (float64, float64) {
+		dir := filepath.Join(os.TempDir(), fmt.Sprintf("hdindex-tuning-%d", time.Now().UnixNano()))
+		defer os.RemoveAll(dir)
+		idx, err := hdindex.Build(dir, ds.Vectors, o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer idx.Close()
+		got := make([][]uint64, len(queries))
+		t0 := time.Now()
+		for qi, q := range queries {
+			res, err := idx.Search(q, 10)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ids := make([]uint64, len(res))
+			for i, r := range res {
+				ids[i] = r.ID
+			}
+			got[qi] = ids
+		}
+		ms := float64(time.Since(t0).Microseconds()) / 1000 / float64(len(queries))
+		return metrics.MAP(got, truthIDs, 10), ms
+	}
+
+	base := hdindex.Options{Omega: 8, Alpha: 1024, Gamma: 256, Seed: 9}
+
+	fmt.Println("— reference objects m (paper: saturates at 10, Fig. 4a-d) —")
+	for _, m := range []int{2, 5, 10, 15} {
+		o := base
+		o.M = m
+		mapv, ms := evalIndex(o)
+		fmt.Printf("  m=%-3d MAP@10=%.3f  %.2f ms/query\n", m, mapv, ms)
+	}
+
+	fmt.Println("— trees tau (paper: saturates at 8, Fig. 4e-h) —")
+	for _, tau := range []int{2, 4, 8, 16} {
+		o := base
+		o.Tau = tau
+		mapv, ms := evalIndex(o)
+		fmt.Printf("  tau=%-3d MAP@10=%.3f  %.2f ms/query\n", tau, mapv, ms)
+	}
+
+	fmt.Println("— candidates alpha at alpha/gamma=4 (paper: saturates at 4096, Fig. 6) —")
+	for _, alpha := range []int{256, 1024, 4096} {
+		o := base
+		o.Alpha, o.Gamma = alpha, alpha/4
+		mapv, ms := evalIndex(o)
+		fmt.Printf("  alpha=%-5d MAP@10=%.3f  %.2f ms/query\n", alpha, mapv, ms)
+	}
+
+	fmt.Println("— filters (paper §5.2.5: Ptolemaic buys MAP, costs CPU) —")
+	for _, pto := range []bool{false, true} {
+		o := base
+		o.UsePtolemaic = pto
+		if pto {
+			o.Beta = o.Alpha
+		}
+		mapv, ms := evalIndex(o)
+		name := "triangular     "
+		if pto {
+			name = "tri + ptolemaic"
+		}
+		fmt.Printf("  %s MAP@10=%.3f  %.2f ms/query\n", name, mapv, ms)
+	}
+}

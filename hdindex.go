@@ -1,0 +1,149 @@
+// Package hdindex is a from-scratch Go implementation of HD-Index
+// (Arora, Sinha, Kumar, Bhattacharya — "HD-Index: Pushing the
+// Scalability-Accuracy Boundary for Approximate kNN Search in
+// High-Dimensional Spaces", PVLDB 11(8), 2018).
+//
+// HD-Index answers approximate k-nearest-neighbour queries over large,
+// disk-resident, high-dimensional datasets. It splits the ν dimensions
+// into τ contiguous partitions, orders each partition along a Hilbert
+// space-filling curve, and indexes every partition's keys in an RDB-tree
+// — a B+-tree whose leaves store each object's distances to m reference
+// objects instead of descriptors or bare pointers. Queries walk the α
+// nearest leaf entries per tree, prune them with triangular (and
+// optionally Ptolemaic) lower bounds computed from the leaf-resident
+// reference distances at zero extra I/O, and refine only the κ ≤ τ·γ
+// survivors against the raw vectors.
+//
+// Quickstart:
+//
+//	idx, err := hdindex.Build("my.index", vectors, hdindex.Options{})
+//	...
+//	results, err := idx.Search(query, 10)
+//
+// The package is a thin facade over internal/core; see DESIGN.md for the
+// full system inventory and EXPERIMENTS.md for the reproduction of the
+// paper's evaluation.
+package hdindex
+
+import (
+	"github.com/hd-index/hdindex/internal/core"
+)
+
+// Options configures Build. The zero value uses the paper's recommended
+// parameters (§5.2): m = 10 reference objects chosen by SSS, τ = 8 trees
+// (16 at ν ≥ 500), α = 4096 candidates per tree narrowed to γ = α/4 by
+// the triangular filter, 4 KB pages.
+type Options struct {
+	// Tau is the number of dimension partitions (and RDB-trees). It must
+	// divide the dataset dimensionality; 0 picks the paper's default.
+	Tau int
+	// Omega is the Hilbert curve order: bits of resolution per dimension.
+	Omega int
+	// M is the number of reference objects.
+	M int
+	// Alpha, Beta, Gamma are the filter cascade sizes (per tree).
+	Alpha, Beta, Gamma int
+	// UsePtolemaic enables the Ptolemaic filter (§5.2.5): better MAP for
+	// the same I/O, roughly doubled CPU time.
+	UsePtolemaic bool
+	// Parallel searches the τ trees concurrently.
+	Parallel bool
+	// DisableCache turns the buffer pool off (the paper's cold-cache
+	// measurement protocol).
+	DisableCache bool
+	// PageSize is the disk page size in bytes (default 4096).
+	PageSize int
+	// Seed makes reference selection and construction deterministic.
+	Seed int64
+}
+
+// Result is one returned neighbour, nearest first.
+type Result = core.Result
+
+// Stats reports per-query work: candidates refined, leaf entries
+// fetched, and physical page reads.
+type Stats = core.QueryStats
+
+// Index is a built HD-Index. It is safe for concurrent searches.
+type Index struct {
+	ix *core.Index
+}
+
+// Build constructs an HD-Index over vectors in the directory dir.
+// All vectors must share the same dimensionality.
+func Build(dir string, vectors [][]float32, o Options) (*Index, error) {
+	p := core.Params{
+		Tau:          o.Tau,
+		Omega:        o.Omega,
+		M:            o.M,
+		Alpha:        o.Alpha,
+		Beta:         o.Beta,
+		Gamma:        o.Gamma,
+		UsePtolemaic: o.UsePtolemaic,
+		Parallel:     o.Parallel,
+		DisableCache: o.DisableCache,
+		PageSize:     o.PageSize,
+		Seed:         o.Seed,
+	}
+	ix, err := core.Build(dir, vectors, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{ix: ix}, nil
+}
+
+// Open loads an index previously written by Build.
+func Open(dir string, o Options) (*Index, error) {
+	ix, err := core.Open(dir, core.OpenOptions{
+		DisableCache: o.DisableCache,
+		Parallel:     o.Parallel,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Index{ix: ix}, nil
+}
+
+// Search returns the approximate k nearest neighbours of q.
+func (i *Index) Search(q []float32, k int) ([]Result, error) {
+	return i.ix.Search(q, k)
+}
+
+// SearchWithStats is Search plus work counters.
+func (i *Index) SearchWithStats(q []float32, k int) ([]Result, *Stats, error) {
+	return i.ix.SearchWithStats(q, k)
+}
+
+// SearchBatch answers many queries concurrently, preserving input order
+// — the natural shape for multi-descriptor workloads like §5.5's image
+// search.
+func (i *Index) SearchBatch(queries [][]float32, k int) ([][]Result, error) {
+	return i.ix.SearchBatch(queries, k)
+}
+
+// Insert adds a vector to the index (§3.6) and returns its id.
+func (i *Index) Insert(vec []float32) (uint64, error) {
+	return i.ix.Insert(vec)
+}
+
+// Delete marks an object as deleted (§3.6); it will no longer be
+// returned by Search. The mark persists with the index.
+func (i *Index) Delete(id uint64) error { return i.ix.Delete(id) }
+
+// Undelete removes a deletion mark.
+func (i *Index) Undelete(id uint64) error { return i.ix.Undelete(id) }
+
+// Count returns the number of indexed vectors.
+func (i *Index) Count() uint64 { return i.ix.Count() }
+
+// Dim returns the indexed dimensionality.
+func (i *Index) Dim() int { return i.ix.Dim() }
+
+// SizeOnDisk returns the total size of the index files in bytes.
+func (i *Index) SizeOnDisk() int64 { return i.ix.SizeOnDisk() }
+
+// Flush persists all state.
+func (i *Index) Flush() error { return i.ix.Flush() }
+
+// Close releases all file handles.
+func (i *Index) Close() error { return i.ix.Close() }

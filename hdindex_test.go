@@ -1,0 +1,97 @@
+package hdindex
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/hd-index/hdindex/internal/data"
+	"github.com/hd-index/hdindex/internal/metrics"
+)
+
+// The facade must behave identically to the core: build, search, insert,
+// persist, reopen.
+func TestFacadeEndToEnd(t *testing.T) {
+	ds := data.Generate(data.Config{N: 2000, Dim: 32, Clusters: 6, Lo: 0, Hi: 1, Seed: 1})
+	queries := ds.PerturbedQueries(10, 0.01, 2)
+	dir := filepath.Join(t.TempDir(), "ix")
+
+	idx, err := Build(dir, ds.Vectors, Options{Tau: 4, Omega: 8, Alpha: 512, Gamma: 128, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Count() != 2000 || idx.Dim() != 32 {
+		t.Fatalf("count=%d dim=%d", idx.Count(), idx.Dim())
+	}
+	if idx.SizeOnDisk() <= 0 {
+		t.Fatal("SizeOnDisk must be positive")
+	}
+
+	truthIDs, _ := data.GroundTruth(ds.Vectors, queries, 10)
+	var got [][]uint64
+	for _, q := range queries {
+		res, stats, err := idx.SearchWithStats(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Candidates < 1 {
+			t.Fatal("stats not populated")
+		}
+		ids := make([]uint64, len(res))
+		for i, r := range res {
+			ids[i] = r.ID
+		}
+		got = append(got, ids)
+	}
+	if m := metrics.MAP(got, truthIDs, 10); m < 0.6 {
+		t.Errorf("facade MAP@10 = %v", m)
+	}
+
+	// Insert + immediate retrieval.
+	novel := make([]float32, 32)
+	for d := range novel {
+		novel[d] = 0.99
+	}
+	id, err := idx.Insert(novel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := idx.Search(novel, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].ID != id {
+		t.Fatalf("inserted vector not found: %+v", res[0])
+	}
+	if err := idx.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen.
+	re, err := Open(dir, Options{Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Count() != 2001 {
+		t.Fatalf("reopened count = %d, want 2001", re.Count())
+	}
+	res, err = re.Search(novel, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].ID != id {
+		t.Fatal("reopened index lost the inserted vector")
+	}
+}
+
+func TestFacadeErrors(t *testing.T) {
+	if _, err := Build(filepath.Join(t.TempDir(), "x"), nil, Options{}); err == nil {
+		t.Error("empty dataset must fail")
+	}
+	if _, err := Open(filepath.Join(t.TempDir(), "missing"), Options{}); err == nil {
+		t.Error("opening a missing index must fail")
+	}
+}

@@ -1,0 +1,25 @@
+// Package baselines defines the common contract for the seven comparison
+// methods of §5 (iDistance, Multicurves, C2LSH, QALSH, SRS, OPQ, HNSW and
+// the linear scan). Each lives in its own subpackage; the benchmark
+// harness drives them through this interface.
+package baselines
+
+// Result is one returned neighbour.
+type Result struct {
+	ID   uint64
+	Dist float64
+}
+
+// Index is a built kANN index that can answer queries.
+type Index interface {
+	// Name returns the method's display name as used in the paper.
+	Name() string
+	// Search returns the (approximate) k nearest neighbours of q,
+	// nearest first.
+	Search(q []float32, k int) ([]Result, error)
+	// SizeBytes reports the index footprint: file bytes for disk-based
+	// methods, estimated heap bytes for memory-based ones.
+	SizeBytes() int64
+	// Close releases resources.
+	Close() error
+}

@@ -1,0 +1,97 @@
+package c2lsh
+
+import (
+	"testing"
+
+	"github.com/hd-index/hdindex/internal/data"
+	"github.com/hd-index/hdindex/internal/metrics"
+)
+
+func TestRatioWithinTarget(t *testing.T) {
+	ds := data.Generate(data.Config{N: 4000, Dim: 32, Clusters: 8, Lo: 0, Hi: 1, Seed: 1})
+	queries := ds.PerturbedQueries(15, 0.01, 2)
+	ix, err := Build(ds.Vectors, Params{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if ix.NumHashFunctions() < 10 {
+		t.Errorf("m = %d, suspiciously small", ix.NumHashFunctions())
+	}
+	if ix.CollisionThreshold() < 1 || ix.CollisionThreshold() > ix.NumHashFunctions() {
+		t.Errorf("l = %d outside [1, m]", ix.CollisionThreshold())
+	}
+	_, truthDists := data.GroundTruth(ds.Vectors, queries, 10)
+	var ratioSum float64
+	for qi, q := range queries {
+		res, err := ix.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) == 0 {
+			t.Fatal("no results")
+		}
+		dists := make([]float64, len(res))
+		for i, r := range res {
+			dists[i] = r.Dist
+		}
+		ratioSum += metrics.Ratio(dists, truthDists[qi])
+	}
+	if ratio := ratioSum / float64(len(queries)); ratio > 2.0 {
+		t.Errorf("C2LSH mean ratio = %v, beyond its c=2 target", ratio)
+	}
+}
+
+func TestSelfQueryFindsSelf(t *testing.T) {
+	ds := data.Generate(data.Config{N: 1000, Dim: 16, Clusters: 4, Lo: 0, Hi: 1, Seed: 4})
+	ix, err := Build(ds.Vectors, Params{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for i := 0; i < 20; i++ {
+		res, err := ix.Search(ds.Vectors[i*37], 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) > 0 && res[0].ID == uint64(i*37) {
+			hits++
+		}
+	}
+	// A point colliding with itself in every hash function must be found
+	// nearly always.
+	if hits < 16 {
+		t.Errorf("self-query hit %d/20, expected >= 16", hits)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Build(nil, Params{}); err == nil {
+		t.Error("empty dataset must fail")
+	}
+	ds := data.Uniform(200, 8, 0, 1, 6)
+	ix, err := Build(ds.Vectors, Params{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Search(ds.Vectors[0][:2], 1); err == nil {
+		t.Error("wrong dims must fail")
+	}
+	if _, err := ix.Search(ds.Vectors[0], 0); err == nil {
+		t.Error("k=0 must fail")
+	}
+	if ix.Name() != "C2LSH" || ix.SizeBytes() <= 0 {
+		t.Error("interface misbehaviour")
+	}
+}
+
+func TestFloorDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{7, 2, 3}, {-7, 2, -4}, {6, 3, 2}, {-6, 3, -2}, {0, 5, 0},
+	}
+	for _, c := range cases {
+		if got := floorDiv(c.a, c.b); got != c.want {
+			t.Errorf("floorDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

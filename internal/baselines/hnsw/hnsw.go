@@ -1,0 +1,307 @@
+// Package hnsw implements Hierarchical Navigable Small World graphs [48]
+// (Malkov & Yashunin), the in-memory graph baseline of §5. The paper runs
+// it with M = 10 neighbours and tunes efSearch so its MAP matches
+// HD-Index; its weakness in the comparison is main-memory footprint
+// (1.43 GB for SIFT1M), which is what the Fig. 8 RAM columns show.
+package hnsw
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"github.com/hd-index/hdindex/internal/baselines"
+	"github.com/hd-index/hdindex/internal/topk"
+	"github.com/hd-index/hdindex/internal/vecmath"
+)
+
+// Params configures graph construction and search.
+type Params struct {
+	M              int // neighbours per node above layer 0 (paper: 10)
+	EfConstruction int // beam width during construction (default 100)
+	EfSearch       int // beam width during search (default 64)
+	Seed           int64
+}
+
+// Index is a built HNSW graph over an in-memory dataset.
+type Index struct {
+	params  Params
+	vectors [][]float32
+	dim     int
+	levelML float64
+
+	mu     sync.RWMutex
+	layers [][][]uint32 // layers[l][node] = neighbour ids; nodes absent from layer l have nil
+	levels []int        // top layer of each node
+	entry  uint32
+	maxL   int
+	rng    *rand.Rand
+}
+
+// Build constructs the graph by sequential insertion.
+func Build(vectors [][]float32, p Params) (*Index, error) {
+	if len(vectors) == 0 {
+		return nil, fmt.Errorf("hnsw: empty dataset")
+	}
+	if p.M <= 1 {
+		p.M = 10
+	}
+	if p.EfConstruction <= 0 {
+		p.EfConstruction = 100
+	}
+	if p.EfSearch <= 0 {
+		p.EfSearch = 64
+	}
+	ix := &Index{
+		params:  p,
+		vectors: vectors,
+		dim:     len(vectors[0]),
+		levelML: 1.0 / math.Log(float64(p.M)),
+		levels:  make([]int, len(vectors)),
+		rng:     rand.New(rand.NewSource(p.Seed)),
+	}
+	for id := range vectors {
+		ix.insert(uint32(id))
+	}
+	return ix, nil
+}
+
+func (ix *Index) dist(a, b uint32) float64 {
+	return vecmath.DistSq(ix.vectors[a], ix.vectors[b])
+}
+
+func (ix *Index) distQ(q []float32, id uint32) float64 {
+	return vecmath.DistSq(q, ix.vectors[id])
+}
+
+func (ix *Index) randomLevel() int {
+	return int(-math.Log(ix.rng.Float64()+1e-18) * ix.levelML)
+}
+
+func (ix *Index) neighbors(l int, id uint32) []uint32 {
+	if l >= len(ix.layers) {
+		return nil
+	}
+	return ix.layers[l][id]
+}
+
+func (ix *Index) maxNeighbors(l int) int {
+	if l == 0 {
+		return 2 * ix.params.M
+	}
+	return ix.params.M
+}
+
+func (ix *Index) insert(id uint32) {
+	level := ix.randomLevel()
+	ix.levels[id] = level
+	for len(ix.layers) <= level {
+		ix.layers = append(ix.layers, make([][]uint32, len(ix.vectors)))
+	}
+	if id == 0 {
+		ix.entry = 0
+		ix.maxL = level
+		return
+	}
+
+	q := ix.vectors[id]
+	ep := ix.entry
+	// Greedy descent through layers above the insertion level.
+	for l := ix.maxL; l > level; l-- {
+		ep = ix.greedyStep(q, ep, l)
+	}
+	// Beam search + connect at each layer from min(level, maxL) down.
+	topIn := level
+	if topIn > ix.maxL {
+		topIn = ix.maxL
+	}
+	for l := topIn; l >= 0; l-- {
+		cands := ix.searchLayer(q, ep, ix.params.EfConstruction, l)
+		selected := ix.selectHeuristic(q, cands, ix.params.M)
+		ix.layers[l][id] = selected
+		for _, nb := range selected {
+			ix.layers[l][nb] = append(ix.layers[l][nb], id)
+			if maxN := ix.maxNeighbors(l); len(ix.layers[l][nb]) > maxN {
+				ix.shrink(l, nb, maxN)
+			}
+		}
+		if len(cands) > 0 {
+			ep = cands[0].id
+		}
+	}
+	if level > ix.maxL {
+		ix.maxL = level
+		ix.entry = id
+	}
+}
+
+// shrink prunes node nb's neighbour list at layer l to maxN using the
+// same diversity heuristic as construction.
+func (ix *Index) shrink(l int, nb uint32, maxN int) {
+	ns := ix.layers[l][nb]
+	cands := make([]cand, len(ns))
+	for i, x := range ns {
+		cands[i] = cand{id: x, d: ix.dist(nb, x)}
+	}
+	sortCands(cands)
+	ix.layers[l][nb] = ix.selectHeuristic(ix.vectors[nb], cands, maxN)
+}
+
+type cand struct {
+	id uint32
+	d  float64
+}
+
+func sortCands(cs []cand) {
+	// insertion sort: candidate lists are short (<= ef)
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && cs[j].d < cs[j-1].d; j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}
+
+// greedyStep walks from ep to the locally nearest node to q at layer l.
+func (ix *Index) greedyStep(q []float32, ep uint32, l int) uint32 {
+	cur := ep
+	curD := ix.distQ(q, cur)
+	for {
+		improved := false
+		for _, nb := range ix.neighbors(l, cur) {
+			if d := ix.distQ(q, nb); d < curD {
+				cur, curD = nb, d
+				improved = true
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// searchLayer is Algorithm 2 of the HNSW paper: beam search with beam
+// width ef at layer l, returning candidates sorted by distance.
+func (ix *Index) searchLayer(q []float32, ep uint32, ef, l int) []cand {
+	visited := map[uint32]struct{}{ep: {}}
+	epD := ix.distQ(q, ep)
+	// candidates: min-heap by d (slice with manual sift; sizes are small)
+	candidates := []cand{{ep, epD}}
+	// results: max-heap semantics via topk
+	results := topk.New(ef)
+	results.Push(uint64(ep), epD)
+
+	for len(candidates) > 0 {
+		// pop nearest candidate
+		bi := 0
+		for i := 1; i < len(candidates); i++ {
+			if candidates[i].d < candidates[bi].d {
+				bi = i
+			}
+		}
+		c := candidates[bi]
+		candidates[bi] = candidates[len(candidates)-1]
+		candidates = candidates[:len(candidates)-1]
+
+		if bound, ok := results.Bound(); ok && c.d > bound {
+			break
+		}
+		for _, nb := range ix.neighbors(l, c.id) {
+			if _, seen := visited[nb]; seen {
+				continue
+			}
+			visited[nb] = struct{}{}
+			d := ix.distQ(q, nb)
+			if bound, ok := results.Bound(); !ok || d < bound {
+				candidates = append(candidates, cand{nb, d})
+				results.Push(uint64(nb), d)
+			}
+		}
+	}
+	items := results.Items()
+	out := make([]cand, len(items))
+	for i, it := range items {
+		out[i] = cand{uint32(it.ID), it.Dist}
+	}
+	return out
+}
+
+// selectHeuristic is Algorithm 4 of the HNSW paper: prefer diverse
+// neighbours — candidate e joins only if it is closer to q than to every
+// already-selected neighbour.
+func (ix *Index) selectHeuristic(q []float32, cands []cand, m int) []uint32 {
+	selected := make([]uint32, 0, m)
+	var discarded []cand
+	for _, c := range cands {
+		if len(selected) >= m {
+			break
+		}
+		ok := true
+		for _, s := range selected {
+			if ix.dist(c.id, s) < c.d {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			selected = append(selected, c.id)
+		} else {
+			discarded = append(discarded, c)
+		}
+	}
+	for _, c := range discarded {
+		if len(selected) >= m {
+			break
+		}
+		selected = append(selected, c.id)
+	}
+	return selected
+}
+
+// Name implements baselines.Index.
+func (ix *Index) Name() string { return "HNSW" }
+
+// Search implements baselines.Index.
+func (ix *Index) Search(q []float32, k int) ([]baselines.Result, error) {
+	if len(q) != ix.dim {
+		return nil, fmt.Errorf("hnsw: query has %d dims, index has %d", len(q), ix.dim)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("hnsw: k must be >= 1")
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	ep := ix.entry
+	for l := ix.maxL; l > 0; l-- {
+		ep = ix.greedyStep(q, ep, l)
+	}
+	ef := ix.params.EfSearch
+	if ef < k {
+		ef = k
+	}
+	cands := ix.searchLayer(q, ep, ef, 0)
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]baselines.Result, len(cands))
+	for i, c := range cands {
+		out[i] = baselines.Result{ID: uint64(c.id), Dist: math.Sqrt(c.d)}
+	}
+	return out, nil
+}
+
+// SizeBytes implements baselines.Index: the in-memory graph plus the
+// vectors it must keep resident — HNSW's scalability cost in Fig. 8.
+func (ix *Index) SizeBytes() int64 {
+	var links int64
+	for _, layer := range ix.layers {
+		for _, ns := range layer {
+			links += int64(len(ns))
+		}
+	}
+	vecBytes := int64(len(ix.vectors)) * int64(ix.dim) * 4
+	return vecBytes + links*4 + int64(len(ix.levels))*8
+}
+
+// Close implements baselines.Index.
+func (ix *Index) Close() error { return nil }

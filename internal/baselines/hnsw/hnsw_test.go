@@ -1,0 +1,113 @@
+package hnsw
+
+import (
+	"testing"
+
+	"github.com/hd-index/hdindex/internal/data"
+	"github.com/hd-index/hdindex/internal/metrics"
+)
+
+func TestRecallOnClusteredData(t *testing.T) {
+	ds := data.Generate(data.Config{N: 3000, Dim: 32, Clusters: 8, Lo: 0, Hi: 1, Seed: 1})
+	queries := ds.PerturbedQueries(20, 0.01, 2)
+	ix, err := Build(ds.Vectors, Params{M: 10, EfConstruction: 100, EfSearch: 80, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	truthIDs, _ := data.GroundTruth(ds.Vectors, queries, 10)
+	var got [][]uint64
+	for _, q := range queries {
+		res, err := ix.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 10 {
+			t.Fatalf("returned %d", len(res))
+		}
+		ids := make([]uint64, len(res))
+		for i, r := range res {
+			ids[i] = r.ID
+		}
+		got = append(got, ids)
+		// Sorted by distance.
+		for i := 1; i < len(res); i++ {
+			if res[i].Dist < res[i-1].Dist {
+				t.Fatal("results not sorted")
+			}
+		}
+	}
+	if m := metrics.MAP(got, truthIDs, 10); m < 0.85 {
+		t.Errorf("HNSW MAP@10 = %v, expected >= 0.85 at ef=80", m)
+	}
+}
+
+func TestHigherEfImprovesOrMaintainsQuality(t *testing.T) {
+	ds := data.Generate(data.Config{N: 2000, Dim: 24, Clusters: 6, Lo: 0, Hi: 1, Seed: 4})
+	queries := ds.PerturbedQueries(15, 0.02, 5)
+	truthIDs, _ := data.GroundTruth(ds.Vectors, queries, 10)
+	mapAt := func(ef int) float64 {
+		ix, err := Build(ds.Vectors, Params{M: 8, EfConstruction: 80, EfSearch: ef, Seed: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ix.Close()
+		var got [][]uint64
+		for _, q := range queries {
+			res, _ := ix.Search(q, 10)
+			ids := make([]uint64, len(res))
+			for i, r := range res {
+				ids[i] = r.ID
+			}
+			got = append(got, ids)
+		}
+		return metrics.MAP(got, truthIDs, 10)
+	}
+	low := mapAt(10)
+	high := mapAt(120)
+	if high+0.02 < low {
+		t.Errorf("ef=120 MAP %v should not be below ef=10 MAP %v", high, low)
+	}
+}
+
+func TestValidationAndInterface(t *testing.T) {
+	if _, err := Build(nil, Params{}); err == nil {
+		t.Error("empty dataset must fail")
+	}
+	ds := data.Uniform(50, 8, 0, 1, 7)
+	ix, err := Build(ds.Vectors, Params{M: 4, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Search(ds.Vectors[0][:2], 1); err == nil {
+		t.Error("wrong dims must fail")
+	}
+	if _, err := ix.Search(ds.Vectors[0], 0); err == nil {
+		t.Error("k=0 must fail")
+	}
+	if ix.Name() != "HNSW" || ix.SizeBytes() <= 0 {
+		t.Error("interface misbehaviour")
+	}
+	// Exact self-query: the point itself must rank first.
+	res, err := ix.Search(ds.Vectors[17], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].ID != 17 || res[0].Dist != 0 {
+		t.Errorf("self query = %+v", res[0])
+	}
+}
+
+func TestSingleElement(t *testing.T) {
+	ix, err := Build([][]float32{{1, 2}}, Params{M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ix.Search([]float32{1, 2}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].ID != 0 {
+		t.Fatalf("res = %v", res)
+	}
+}

@@ -1,0 +1,86 @@
+package hnsw
+
+import (
+	"testing"
+
+	"github.com/hd-index/hdindex/internal/data"
+)
+
+// The layer assignment must follow the exponential distribution: layer
+// populations shrink geometrically (roughly by factor M) and the top
+// layers hold a handful of nodes — the "hierarchy" in HNSW.
+func TestLayerDistribution(t *testing.T) {
+	ds := data.Uniform(4000, 8, 0, 1, 31)
+	ix, err := Build(ds.Vectors, Params{M: 8, EfConstruction: 40, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, ix.maxL+1)
+	for _, lvl := range ix.levels {
+		for l := 0; l <= lvl; l++ {
+			counts[l]++
+		}
+	}
+	if counts[0] != 4000 {
+		t.Fatalf("layer 0 holds %d nodes, want all 4000", counts[0])
+	}
+	if ix.maxL < 1 {
+		t.Fatal("expected a multi-layer graph at n=4000")
+	}
+	// Each layer must be markedly smaller than the one below.
+	for l := 1; l <= ix.maxL; l++ {
+		if counts[l] >= counts[l-1] {
+			t.Fatalf("layer %d (%d) not smaller than layer %d (%d)",
+				l, counts[l], l-1, counts[l-1])
+		}
+	}
+	// Expected layer-1 population ≈ n/M; allow generous slack.
+	if counts[1] > 4000/2 || counts[1] < 4000/64 {
+		t.Errorf("layer 1 population %d far from n/M = %d", counts[1], 4000/8)
+	}
+}
+
+// Degree bounds: no node may exceed 2M neighbours at layer 0 or M above.
+func TestDegreeBounds(t *testing.T) {
+	ds := data.Uniform(2000, 8, 0, 1, 33)
+	p := Params{M: 6, EfConstruction: 40, Seed: 34}
+	ix, err := Build(ds.Vectors, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l, layer := range ix.layers {
+		maxN := p.M
+		if l == 0 {
+			maxN = 2 * p.M
+		}
+		for id, ns := range layer {
+			if len(ns) > maxN {
+				t.Fatalf("node %d layer %d degree %d > %d", id, l, len(ns), maxN)
+			}
+		}
+	}
+}
+
+// The graph must be connected enough that every node is reachable as its
+// own nearest neighbour (self-recall = 1 is the standard HNSW sanity
+// check at moderate ef).
+func TestSelfRecall(t *testing.T) {
+	ds := data.Uniform(1000, 8, 0, 1, 35)
+	ix, err := Build(ds.Vectors, Params{M: 8, EfConstruction: 60, EfSearch: 40, Seed: 36})
+	if err != nil {
+		t.Fatal(err)
+	}
+	misses := 0
+	for i := 0; i < 200; i++ {
+		res, err := ix.Search(ds.Vectors[i*5], 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) == 0 || res[0].ID != uint64(i*5) {
+			misses++
+		}
+	}
+	if misses > 4 { // 98% self-recall
+		t.Errorf("self-recall misses = %d/200", misses)
+	}
+}

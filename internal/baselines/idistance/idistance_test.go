@@ -1,0 +1,75 @@
+package idistance
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/hd-index/hdindex/internal/data"
+)
+
+// iDistance is an exact method: its results must equal the ground truth.
+func TestExactness(t *testing.T) {
+	ds := data.Generate(data.Config{N: 2000, Dim: 16, Clusters: 6, Lo: 0, Hi: 1, Seed: 1})
+	queries := ds.PerturbedQueries(15, 0.02, 2)
+	ix, err := Build(filepath.Join(t.TempDir(), "idist"), ds.Vectors, Params{Clusters: 16, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	truthIDs, truthDists := data.GroundTruth(ds.Vectors, queries, 10)
+	for qi, q := range queries {
+		res, err := ix.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 10 {
+			t.Fatalf("query %d returned %d results", qi, len(res))
+		}
+		for i, r := range res {
+			if r.ID != truthIDs[qi][i] {
+				t.Fatalf("query %d rank %d: got id %d (d=%v), want %d (d=%v)",
+					qi, i, r.ID, r.Dist, truthIDs[qi][i], truthDists[qi][i])
+			}
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Build(filepath.Join(t.TempDir(), "x"), nil, Params{}); err == nil {
+		t.Error("empty dataset must fail")
+	}
+	ds := data.Uniform(100, 8, 0, 1, 4)
+	ix, err := Build(filepath.Join(t.TempDir(), "y"), ds.Vectors, Params{Clusters: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if _, err := ix.Search(ds.Vectors[0][:3], 5); err == nil {
+		t.Error("wrong dims must fail")
+	}
+	if _, err := ix.Search(ds.Vectors[0], 0); err == nil {
+		t.Error("k=0 must fail")
+	}
+	if ix.Name() != "iDistance" {
+		t.Error("name mismatch")
+	}
+	if ix.SizeBytes() <= 0 {
+		t.Error("SizeBytes must be positive")
+	}
+}
+
+func TestKLargerThanN(t *testing.T) {
+	ds := data.Uniform(20, 4, 0, 1, 5)
+	ix, err := Build(filepath.Join(t.TempDir(), "z"), ds.Vectors, Params{Clusters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	res, err := ix.Search(ds.Vectors[0], 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 20 {
+		t.Fatalf("k>n should return n results, got %d", len(res))
+	}
+}

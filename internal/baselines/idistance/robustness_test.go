@@ -1,0 +1,73 @@
+package idistance
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/hd-index/hdindex/internal/data"
+)
+
+// Exactness must hold regardless of the partition count — the radius
+// expansion's stopping rule is what guarantees it, not the clustering.
+func TestExactnessAcrossClusterCounts(t *testing.T) {
+	ds := data.Generate(data.Config{N: 800, Dim: 12, Clusters: 3, Lo: 0, Hi: 1, Seed: 51})
+	queries := ds.PerturbedQueries(8, 0.02, 52)
+	truthIDs, _ := data.GroundTruth(ds.Vectors, queries, 5)
+	for _, clusters := range []int{1, 4, 64} {
+		ix, err := Build(filepath.Join(t.TempDir(), "id"), ds.Vectors,
+			Params{Clusters: clusters, Seed: 53})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi, q := range queries {
+			res, err := ix.Search(q, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, r := range res {
+				if r.ID != truthIDs[qi][i] {
+					t.Fatalf("clusters=%d query %d rank %d: %d vs %d",
+						clusters, qi, i, r.ID, truthIDs[qi][i])
+				}
+			}
+		}
+		ix.Close()
+	}
+}
+
+// A larger initial radius must not change the answers, only the number
+// of rounds.
+func TestRadiusScheduleIndependence(t *testing.T) {
+	ds := data.Uniform(500, 8, 0, 1, 54)
+	queries := ds.PerturbedQueries(5, 0.02, 55)
+	run := func(r0, dr float64) [][]uint64 {
+		ix, err := Build(filepath.Join(t.TempDir(), "id"), ds.Vectors,
+			Params{Clusters: 8, R0: r0, DeltaR: dr, Seed: 56})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ix.Close()
+		var out [][]uint64
+		for _, q := range queries {
+			res, err := ix.Search(q, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids := make([]uint64, len(res))
+			for i, r := range res {
+				ids[i] = r.ID
+			}
+			out = append(out, ids)
+		}
+		return out
+	}
+	a := run(0.01, 0.01)
+	b := run(0.2, 0.1)
+	for qi := range a {
+		for i := range a[qi] {
+			if a[qi][i] != b[qi][i] {
+				t.Fatalf("radius schedule changed exact results at query %d", qi)
+			}
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Package linearscan is the exact brute-force baseline ("Linear" in
+// Table 6): it reads every vector and keeps the k nearest. With the
+// curse of dimensionality this is what all exact hierarchical indexes
+// degrade to [71], which is why the paper treats its running time as the
+// practical upper bound.
+package linearscan
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hd-index/hdindex/internal/baselines"
+	"github.com/hd-index/hdindex/internal/topk"
+	"github.com/hd-index/hdindex/internal/vecmath"
+)
+
+// Scan is an exact scanner over an in-memory dataset.
+type Scan struct {
+	vectors [][]float32
+	dim     int
+}
+
+// New returns a scanner over vectors.
+func New(vectors [][]float32) (*Scan, error) {
+	if len(vectors) == 0 {
+		return nil, fmt.Errorf("linearscan: empty dataset")
+	}
+	return &Scan{vectors: vectors, dim: len(vectors[0])}, nil
+}
+
+// Name implements baselines.Index.
+func (s *Scan) Name() string { return "Linear" }
+
+// Search implements baselines.Index; results are exact.
+func (s *Scan) Search(q []float32, k int) ([]baselines.Result, error) {
+	if len(q) != s.dim {
+		return nil, fmt.Errorf("linearscan: query has %d dims, data has %d", len(q), s.dim)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("linearscan: k must be >= 1")
+	}
+	best := topk.New(k)
+	for id, v := range s.vectors {
+		best.Push(uint64(id), vecmath.DistSq(q, v))
+	}
+	items := best.Items()
+	out := make([]baselines.Result, len(items))
+	for i, it := range items {
+		out[i] = baselines.Result{ID: it.ID, Dist: math.Sqrt(it.Dist)}
+	}
+	return out, nil
+}
+
+// SizeBytes implements baselines.Index: the raw data footprint.
+func (s *Scan) SizeBytes() int64 {
+	return int64(len(s.vectors)) * int64(s.dim) * 4
+}
+
+// Close implements baselines.Index.
+func (s *Scan) Close() error { return nil }

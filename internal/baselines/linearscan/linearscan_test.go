@@ -1,0 +1,51 @@
+package linearscan
+
+import (
+	"testing"
+
+	"github.com/hd-index/hdindex/internal/data"
+)
+
+func TestExactAgainstGroundTruth(t *testing.T) {
+	ds := data.Uniform(500, 16, 0, 1, 1)
+	queries := ds.PerturbedQueries(10, 0.02, 2)
+	s, err := New(ds.Vectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	truthIDs, truthDists := data.GroundTruth(ds.Vectors, queries, 10)
+	for qi, q := range queries {
+		res, err := s.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range res {
+			if r.ID != truthIDs[qi][i] {
+				t.Fatalf("query %d rank %d: %d vs %d", qi, i, r.ID, truthIDs[qi][i])
+			}
+			if diff := r.Dist - truthDists[qi][i]; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("distance mismatch at rank %d", i)
+			}
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("empty dataset must fail")
+	}
+	s, err := New([][]float32{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Search([]float32{1}, 1); err == nil {
+		t.Error("wrong dims must fail")
+	}
+	if _, err := s.Search([]float32{1, 2}, 0); err == nil {
+		t.Error("k=0 must fail")
+	}
+	if s.Name() != "Linear" || s.SizeBytes() != 8 {
+		t.Errorf("interface: name=%s size=%d", s.Name(), s.SizeBytes())
+	}
+}

@@ -1,0 +1,96 @@
+// Package lshmath holds the probability machinery shared by the two LSH
+// baselines: collision probabilities of 2-stable hash functions and the
+// derivation of the number of hash functions m and the collision-count
+// threshold l from the target error bounds (β false positives, δ error
+// probability) — the formulas C2LSH [26] and QALSH [33] both instantiate.
+package lshmath
+
+import "math"
+
+// NormalCDF is Φ(x) for the standard normal distribution.
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// PE2LSH returns the collision probability of the E2LSH hash
+// h(o) = ⌊(a·o+b)/w⌋ for two points at Euclidean distance s:
+// p(s) = 1 - 2Φ(-w/s) - (2s/(√(2π)·w))·(1 - e^{-w²/(2s²)}).
+func PE2LSH(w, s float64) float64 {
+	if s <= 0 {
+		return 1
+	}
+	t := w / s
+	return 1 - 2*NormalCDF(-t) - (2/(math.Sqrt(2*math.Pi)*t))*(1-math.Exp(-t*t/2))
+}
+
+// PQueryAware returns the collision probability of QALSH's query-aware
+// scheme — |a·o - a·q| ≤ w/2 — for points at distance s:
+// p(s) = 2Φ(w/(2s)) - 1.
+func PQueryAware(w, s float64) float64 {
+	if s <= 0 {
+		return 1
+	}
+	return 2*NormalCDF(w/(2*s)) - 1
+}
+
+// HashCountAndThreshold derives (m, l): the number of hash functions and
+// the collision-count threshold that make false negatives ≤ δ and false
+// positives ≤ β·n, given per-hash collision probabilities p1 (near
+// points) and p2 (far points):
+//
+//	m = ⌈ (√ln(2/β) + √ln(1/δ))² / (2(p1-p2)²) ⌉
+//	α = (√ln(2/β)·p1 + √ln(1/δ)·p2) / (√ln(2/β) + √ln(1/δ))
+//	l = ⌈α·m⌉
+func HashCountAndThreshold(beta, delta, p1, p2 float64) (m, l int) {
+	a := math.Sqrt(math.Log(2 / beta))
+	b := math.Sqrt(math.Log(1 / delta))
+	diff := p1 - p2
+	mf := (a + b) * (a + b) / (2 * diff * diff)
+	m = int(math.Ceil(mf))
+	if m < 1 {
+		m = 1
+	}
+	alpha := (a*p1 + b*p2) / (a + b)
+	l = int(math.Ceil(alpha * float64(m)))
+	if l < 1 {
+		l = 1
+	}
+	if l > m {
+		l = m
+	}
+	return m, l
+}
+
+// ScaleToUnitNN estimates a multiplicative scale that maps typical
+// nearest-neighbour distances to ≈1, by sampling pair distances and
+// taking a low quantile. The virtual-rehashing radius schedule R = 1, c,
+// c², … of both LSH methods assumes distances start around 1 (the
+// original implementations ask users to pre-scale floating-point data;
+// §5.1 of the HD-Index paper does exactly that).
+func ScaleToUnitNN(sample []float64) float64 {
+	if len(sample) == 0 {
+		return 1
+	}
+	// nth_element-ish: simple insertion into a small window of the
+	// smallest values; sample sizes are tiny (hundreds).
+	cp := append([]float64(nil), sample...)
+	// take the 5th percentile as the "near" distance
+	k := len(cp) / 20
+	if k < 1 {
+		k = 1
+	}
+	for i := 0; i < k; i++ {
+		min := i
+		for j := i + 1; j < len(cp); j++ {
+			if cp[j] < cp[min] {
+				min = j
+			}
+		}
+		cp[i], cp[min] = cp[min], cp[i]
+	}
+	near := cp[k-1]
+	if near <= 0 {
+		return 1
+	}
+	return 1 / near
+}

@@ -1,0 +1,123 @@
+package lshmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalCDF(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1.96, 0.975},
+		{-1.96, 0.025},
+		{3, 0.99865},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.x); math.Abs(got-c.want) > 1e-3 {
+			t.Errorf("Phi(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+// Collision probabilities must decrease with distance and live in [0,1].
+func TestPE2LSHMonotone(t *testing.T) {
+	w := 1.0
+	prev := 1.0
+	for s := 0.1; s < 20; s += 0.1 {
+		p := PE2LSH(w, s)
+		if p < 0 || p > 1 {
+			t.Fatalf("p(%v) = %v out of range", s, p)
+		}
+		if p > prev+1e-12 {
+			t.Fatalf("p not monotone at %v", s)
+		}
+		prev = p
+	}
+	if PE2LSH(w, 0) != 1 {
+		t.Error("p(0) must be 1")
+	}
+}
+
+func TestPE2LSHKnownValues(t *testing.T) {
+	// p(1) with w=1 ≈ 0.3685, p(2) ≈ 0.1954 (E2LSH literature values).
+	if got := PE2LSH(1, 1); math.Abs(got-0.3685) > 5e-3 {
+		t.Errorf("p1 = %v, want ≈0.3685", got)
+	}
+	if got := PE2LSH(1, 2); math.Abs(got-0.1954) > 5e-3 {
+		t.Errorf("p2 = %v, want ≈0.1954", got)
+	}
+}
+
+func TestPQueryAwareMonotone(t *testing.T) {
+	w := 2.719
+	prev := 1.0
+	for s := 0.1; s < 20; s += 0.1 {
+		p := PQueryAware(w, s)
+		if p < 0 || p > 1 || p > prev+1e-12 {
+			t.Fatalf("query-aware p broken at %v: %v", s, p)
+		}
+		prev = p
+	}
+	// 2Φ(w/2)-1 at s=1.
+	want := 2*NormalCDF(2.719/2) - 1
+	if got := PQueryAware(2.719, 1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("p1 = %v, want %v", got, want)
+	}
+}
+
+func TestHashCountAndThreshold(t *testing.T) {
+	// C2LSH-style parameters at n=10000.
+	p1 := PE2LSH(1, 1)
+	p2 := PE2LSH(1, 2)
+	m, l := HashCountAndThreshold(0.01, 1/math.E, p1, p2)
+	if m < 100 || m > 300 {
+		t.Errorf("C2LSH m = %d, outside the literature range", m)
+	}
+	if l < 1 || l > m {
+		t.Errorf("l = %d outside [1, m=%d]", l, m)
+	}
+	// The threshold must sit between the two collision rates: l/m in (p2, p1).
+	frac := float64(l) / float64(m)
+	if frac <= p2 || frac >= p1 {
+		t.Errorf("l/m = %v outside (p2=%v, p1=%v)", frac, p2, p1)
+	}
+	// QALSH needs fewer hash functions than C2LSH (its key advantage).
+	q1 := PQueryAware(2.719, 1)
+	q2 := PQueryAware(2.719, 2)
+	mq, _ := HashCountAndThreshold(0.01, 1/math.E, q1, q2)
+	if mq >= m {
+		t.Errorf("QALSH m = %d should be below C2LSH m = %d", mq, m)
+	}
+}
+
+// Property: more separation between p1 and p2 means fewer hash functions.
+func TestQuickFewerHashesWithMoreSeparation(t *testing.T) {
+	f := func(seed int64) bool {
+		p2 := 0.2
+		mA, _ := HashCountAndThreshold(0.01, 0.37, 0.5, p2)
+		mB, _ := HashCountAndThreshold(0.01, 0.37, 0.7, p2)
+		return mB <= mA
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaleToUnitNN(t *testing.T) {
+	// Distances clustered around 10: scale should be ≈ 1/near-quantile.
+	sample := make([]float64, 100)
+	for i := range sample {
+		sample[i] = 10 + float64(i%7)
+	}
+	s := ScaleToUnitNN(sample)
+	if s <= 0 || s > 1 {
+		t.Errorf("scale = %v", s)
+	}
+	if got := ScaleToUnitNN(nil); got != 1 {
+		t.Errorf("empty sample scale = %v, want 1", got)
+	}
+	if got := ScaleToUnitNN([]float64{0, 0}); got != 1 {
+		t.Errorf("degenerate sample scale = %v, want 1", got)
+	}
+}

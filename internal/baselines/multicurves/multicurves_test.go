@@ -1,0 +1,126 @@
+package multicurves
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/hd-index/hdindex/internal/data"
+	"github.com/hd-index/hdindex/internal/metrics"
+)
+
+func TestQualityOnClusteredData(t *testing.T) {
+	ds := data.Generate(data.Config{N: 2000, Dim: 32, Clusters: 6, Lo: 0, Hi: 1, Seed: 1})
+	queries := ds.PerturbedQueries(10, 0.01, 2)
+	ix, err := Build(filepath.Join(t.TempDir(), "mc"), ds.Vectors,
+		Params{Tau: 4, Omega: 8, Alpha: 512, PageSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	truthIDs, _ := data.GroundTruth(ds.Vectors, queries, 10)
+	var got [][]uint64
+	for _, q := range queries {
+		res, err := ix.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := make([]uint64, len(res))
+		for i, r := range res {
+			ids[i] = r.ID
+		}
+		got = append(got, ids)
+	}
+	if m := metrics.MAP(got, truthIDs, 10); m < 0.6 {
+		t.Errorf("MAP@10 = %v, expected >= 0.6 with alpha=512 on n=2000", m)
+	}
+}
+
+// With alpha >= n and one curve the scan is exhaustive, hence exact.
+func TestExhaustiveAlphaIsExact(t *testing.T) {
+	ds := data.Generate(data.Config{N: 300, Dim: 8, Lo: 0, Hi: 1, Seed: 3})
+	queries := ds.PerturbedQueries(5, 0.02, 4)
+	ix, err := Build(filepath.Join(t.TempDir(), "mc"), ds.Vectors,
+		Params{Tau: 1, Omega: 8, Alpha: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	truthIDs, _ := data.GroundTruth(ds.Vectors, queries, 5)
+	for qi, q := range queries {
+		res, err := ix.Search(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range res {
+			if r.ID != truthIDs[qi][i] {
+				t.Fatalf("query %d rank %d mismatch", qi, i)
+			}
+		}
+	}
+}
+
+// SUN-like dimensionality must be rejected ("NP" in Table 5): a 512-dim
+// descriptor cannot fit a 4 KB leaf.
+func TestHighDimNotPossible(t *testing.T) {
+	ds := data.Generate(data.Config{N: 50, Dim: 512, Clusters: 2, Lo: 0, Hi: 1, Seed: 5})
+	_, err := Build(filepath.Join(t.TempDir(), "mc"), ds.Vectors,
+		Params{Tau: 16, Omega: 32, PageSize: 4096})
+	if err == nil {
+		t.Fatal("512-dim descriptors must be rejected at 4 KB pages")
+	}
+}
+
+func TestIndexSizeGrowsWithTau(t *testing.T) {
+	ds := data.Generate(data.Config{N: 500, Dim: 32, Lo: 0, Hi: 1, Seed: 6})
+	ix2, err := Build(filepath.Join(t.TempDir(), "a"), ds.Vectors, Params{Tau: 2, Omega: 8, Alpha: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix2.Close()
+	ix4, err := Build(filepath.Join(t.TempDir(), "b"), ds.Vectors, Params{Tau: 4, Omega: 8, Alpha: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix4.Close()
+	if ix4.SizeBytes() <= ix2.SizeBytes() {
+		t.Errorf("tau=4 size %d should exceed tau=2 size %d (full descriptors per curve)",
+			ix4.SizeBytes(), ix2.SizeBytes())
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	ds := data.Generate(data.Config{N: 800, Dim: 16, Lo: 0, Hi: 1, Seed: 7})
+	queries := ds.PerturbedQueries(5, 0.02, 8)
+	ix, err := Build(filepath.Join(t.TempDir(), "mc"), ds.Vectors, Params{Tau: 4, Omega: 8, Alpha: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	for _, q := range queries {
+		ix.params.Parallel = false
+		seq, err := ix.Search(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix.params.Parallel = true
+		par, err := ix.Search(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range seq {
+			if seq[i] != par[i] {
+				t.Fatal("parallel differs from sequential")
+			}
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	ds := data.Uniform(50, 9, 0, 1, 9)
+	if _, err := Build(filepath.Join(t.TempDir(), "v"), ds.Vectors, Params{Tau: 4}); err == nil {
+		t.Error("tau not dividing dim must fail")
+	}
+	if _, err := Build(filepath.Join(t.TempDir(), "v2"), nil, Params{}); err == nil {
+		t.Error("empty dataset must fail")
+	}
+}

@@ -1,0 +1,72 @@
+package multicurves
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/hd-index/hdindex/internal/data"
+	"github.com/hd-index/hdindex/internal/metrics"
+)
+
+// More curve-scan budget must never hurt quality: alpha is a strict
+// superset relation on the candidate sets.
+func TestAlphaMonotonicity(t *testing.T) {
+	ds := data.Generate(data.Config{N: 1500, Dim: 16, Clusters: 5, Lo: 0, Hi: 1, Seed: 41})
+	queries := ds.PerturbedQueries(10, 0.02, 42)
+	truthIDs, _ := data.GroundTruth(ds.Vectors, queries, 10)
+	mapAt := func(alpha int) float64 {
+		ix, err := Build(filepath.Join(t.TempDir(), "mc"), ds.Vectors,
+			Params{Tau: 2, Omega: 8, Alpha: alpha})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ix.Close()
+		var got [][]uint64
+		for _, q := range queries {
+			res, err := ix.Search(q, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids := make([]uint64, len(res))
+			for i, r := range res {
+				ids[i] = r.ID
+			}
+			got = append(got, ids)
+		}
+		return metrics.MAP(got, truthIDs, 10)
+	}
+	small := mapAt(32)
+	large := mapAt(512)
+	if large < small {
+		t.Errorf("alpha=512 MAP %v below alpha=32 MAP %v", large, small)
+	}
+	if large < 0.8 {
+		t.Errorf("alpha=512 MAP %v too low on n=1500", large)
+	}
+}
+
+// Duplicate vectors must not confuse the leaf-resident descriptors:
+// every duplicate is retrievable as a distinct id.
+func TestDuplicateVectors(t *testing.T) {
+	base := data.Uniform(50, 8, 0, 1, 43)
+	vecs := append([][]float32{}, base.Vectors...)
+	vecs = append(vecs, base.Vectors[7], base.Vectors[7]) // ids 50, 51
+	ix, err := Build(filepath.Join(t.TempDir(), "mc"), vecs, Params{Tau: 2, Omega: 8, Alpha: 52})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	res, err := ix.Search(base.Vectors[7], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroDist := 0
+	for _, r := range res {
+		if r.Dist == 0 {
+			zeroDist++
+		}
+	}
+	if zeroDist != 3 {
+		t.Errorf("expected 3 zero-distance results for a triplicated point, got %d", zeroDist)
+	}
+}

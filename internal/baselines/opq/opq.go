@@ -1,0 +1,320 @@
+// Package opq implements Product Quantization [35] and Optimized Product
+// Quantization [27], the quantisation baselines of §5: the feature space
+// is split into M subspaces (the paper runs M = 8), each quantised by its
+// own 256-centroid codebook; queries are answered by Asymmetric Distance
+// Computation (ADC) — one lookup table per subspace, then a linear scan
+// over the short codes. OPQ additionally learns an orthogonal rotation R
+// that redistributes variance across subspaces (the non-parametric
+// alternation of Ge et al.), trading build time for lower quantisation
+// error. Both are memory-resident, which is exactly the scalability cost
+// Fig. 8's RAM columns capture.
+package opq
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/hd-index/hdindex/internal/baselines"
+	"github.com/hd-index/hdindex/internal/kmeans"
+	"github.com/hd-index/hdindex/internal/linalg"
+	"github.com/hd-index/hdindex/internal/topk"
+)
+
+// Params configures PQ/OPQ.
+type Params struct {
+	M             int // subspaces (paper: 8); must divide the dimensionality
+	K             int // centroids per subspace (default 256, the classic 8-bit code)
+	OPQIterations int // rotation-optimisation rounds; 0 = plain PQ
+	RerankK       int // if > 0, re-rank the best RerankK candidates with exact distances
+	TrainSamples  int // vectors used for codebook training (default min(n, 20000))
+	KMeansIters   int // Lloyd iterations per codebook (default 10)
+	Seed          int64
+}
+
+// Index is a built PQ/OPQ index.
+type Index struct {
+	params    Params
+	dim       int
+	subDim    int
+	rotated   bool
+	rotation  *linalg.Mat   // R, applied to vectors before quantisation
+	codebooks [][][]float32 // [M][K][subDim]
+	codes     [][]uint16    // [n][M]
+	vectors   [][]float32   // retained only if RerankK > 0
+	name      string
+}
+
+// Build trains codebooks (and the OPQ rotation when OPQIterations > 0)
+// and encodes all vectors.
+func Build(vectors [][]float32, p Params) (*Index, error) {
+	if len(vectors) == 0 {
+		return nil, fmt.Errorf("opq: empty dataset")
+	}
+	dim := len(vectors[0])
+	if p.M <= 0 {
+		p.M = 8
+	}
+	if dim%p.M != 0 {
+		return nil, fmt.Errorf("opq: M = %d does not divide dimensionality %d", p.M, dim)
+	}
+	if p.K <= 0 {
+		p.K = 256
+	}
+	if p.K > 65536 {
+		return nil, fmt.Errorf("opq: K = %d exceeds code width", p.K)
+	}
+	if p.TrainSamples <= 0 {
+		p.TrainSamples = 20000
+	}
+	if p.KMeansIters <= 0 {
+		p.KMeansIters = 10
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	ix := &Index{
+		params: p,
+		dim:    dim,
+		subDim: dim / p.M,
+		name:   "PQ",
+	}
+	if p.OPQIterations > 0 {
+		ix.name = "OPQ"
+		ix.rotated = true
+		ix.rotation = linalg.Identity(dim)
+	}
+	if p.RerankK > 0 {
+		ix.vectors = vectors
+	}
+
+	// Training sample.
+	train := vectors
+	if len(vectors) > p.TrainSamples {
+		idx := rng.Perm(len(vectors))[:p.TrainSamples]
+		train = make([][]float32, len(idx))
+		for i, id := range idx {
+			train[i] = vectors[id]
+		}
+	}
+
+	work := rotateAll(ix.rotation, train)
+	if err := ix.trainCodebooks(work, rng); err != nil {
+		return nil, err
+	}
+
+	for iter := 0; iter < p.OPQIterations; iter++ {
+		// Non-parametric OPQ alternation: encode, reconstruct, then solve
+		// the Procrustes problem R = argmax tr(Rᵀ Σ ŷᵢxᵢᵀ).
+		m := linalg.NewMat(dim, dim)
+		recon := make([]float64, dim)
+		for _, x := range train {
+			rx := rotateOne(ix.rotation, x)
+			code := ix.encodeRotated(rx)
+			for s := 0; s < p.M; s++ {
+				c := ix.codebooks[s][code[s]]
+				for d, v := range c {
+					recon[s*ix.subDim+d] = float64(v)
+				}
+			}
+			for r := 0; r < dim; r++ {
+				row := m.Data[r*dim : (r+1)*dim]
+				yr := recon[r]
+				if yr == 0 {
+					continue
+				}
+				for cIdx, xv := range x {
+					row[cIdx] += yr * float64(xv)
+				}
+			}
+		}
+		ix.rotation = linalg.Procrustes(m)
+		work = rotateAll(ix.rotation, train)
+		if err := ix.trainCodebooks(work, rng); err != nil {
+			return nil, err
+		}
+	}
+
+	// Encode the full dataset.
+	ix.codes = make([][]uint16, len(vectors))
+	for i, v := range vectors {
+		ix.codes[i] = ix.encodeRotated(rotateOne(ix.rotation, v))
+	}
+	return ix, nil
+}
+
+func (ix *Index) trainCodebooks(train [][]float32, rng *rand.Rand) error {
+	p := ix.params
+	ix.codebooks = make([][][]float32, p.M)
+	sub := make([][]float32, len(train))
+	for s := 0; s < p.M; s++ {
+		lo := s * ix.subDim
+		for i, v := range train {
+			sub[i] = v[lo : lo+ix.subDim]
+		}
+		km, err := kmeans.Run(sub, p.K, p.KMeansIters, rng)
+		if err != nil {
+			return err
+		}
+		ix.codebooks[s] = km.Centroids
+	}
+	return nil
+}
+
+// rotateOne applies R to v; identity and nil rotations short-circuit.
+func rotateOne(r *linalg.Mat, v []float32) []float32 {
+	if r == nil {
+		return v
+	}
+	out := make([]float32, len(v))
+	for i := 0; i < r.Rows; i++ {
+		row := r.Data[i*r.Cols : (i+1)*r.Cols]
+		var s float64
+		for j, x := range row {
+			s += x * float64(v[j])
+		}
+		out[i] = float32(s)
+	}
+	return out
+}
+
+func rotateAll(r *linalg.Mat, vs [][]float32) [][]float32 {
+	if r == nil {
+		return vs
+	}
+	out := make([][]float32, len(vs))
+	for i, v := range vs {
+		out[i] = rotateOne(r, v)
+	}
+	return out
+}
+
+// encodeRotated quantises an already-rotated vector.
+func (ix *Index) encodeRotated(v []float32) []uint16 {
+	code := make([]uint16, ix.params.M)
+	for s := 0; s < ix.params.M; s++ {
+		lo := s * ix.subDim
+		sub := v[lo : lo+ix.subDim]
+		best, bestD := 0, math.Inf(1)
+		for c, ctr := range ix.codebooks[s] {
+			var d float64
+			for i, x := range sub {
+				dx := float64(x) - float64(ctr[i])
+				d += dx * dx
+			}
+			if d < bestD {
+				best, bestD = c, d
+			}
+		}
+		code[s] = uint16(best)
+	}
+	return code
+}
+
+// Name implements baselines.Index.
+func (ix *Index) Name() string { return ix.name }
+
+// Search implements baselines.Index via ADC: per-subspace lookup tables,
+// then a scan over all codes.
+func (ix *Index) Search(q []float32, k int) ([]baselines.Result, error) {
+	if len(q) != ix.dim {
+		return nil, fmt.Errorf("opq: query has %d dims, index has %d", len(q), ix.dim)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("opq: k must be >= 1")
+	}
+	rq := rotateOne(ix.rotation, q)
+
+	// Distance tables: table[s][c] = ||q_s - codebook[s][c]||².
+	p := ix.params
+	tables := make([][]float64, p.M)
+	for s := 0; s < p.M; s++ {
+		lo := s * ix.subDim
+		sub := rq[lo : lo+ix.subDim]
+		tbl := make([]float64, len(ix.codebooks[s]))
+		for c, ctr := range ix.codebooks[s] {
+			var d float64
+			for i, x := range sub {
+				dx := float64(x) - float64(ctr[i])
+				d += dx * dx
+			}
+			tbl[c] = d
+		}
+		tables[s] = tbl
+	}
+
+	scanK := k
+	if p.RerankK > k {
+		scanK = p.RerankK
+	}
+	best := topk.New(scanK)
+	for id, code := range ix.codes {
+		var d float64
+		for s, c := range code {
+			d += tables[s][c]
+		}
+		best.Push(uint64(id), d)
+	}
+	items := best.Items()
+
+	if p.RerankK > 0 {
+		// Exact re-ranking of the short-list.
+		rer := topk.New(k)
+		for _, it := range items {
+			v := ix.vectors[it.ID]
+			var d float64
+			for i, x := range v {
+				dx := float64(q[i]) - float64(x)
+				d += dx * dx
+			}
+			rer.Push(it.ID, d)
+		}
+		items = rer.Items()
+	} else if len(items) > k {
+		items = items[:k]
+	}
+
+	out := make([]baselines.Result, len(items))
+	for i, it := range items {
+		out[i] = baselines.Result{ID: it.ID, Dist: math.Sqrt(it.Dist)}
+	}
+	return out, nil
+}
+
+// SizeBytes implements baselines.Index: codes + codebooks (+ rotation),
+// all memory-resident.
+func (ix *Index) SizeBytes() int64 {
+	var sz int64
+	sz += int64(len(ix.codes)) * int64(ix.params.M) * 2
+	for _, cb := range ix.codebooks {
+		sz += int64(len(cb)) * int64(ix.subDim) * 4
+	}
+	if ix.rotation != nil {
+		sz += int64(len(ix.rotation.Data)) * 8
+	}
+	if ix.vectors != nil {
+		sz += int64(len(ix.vectors)) * int64(ix.dim) * 4
+	}
+	return sz
+}
+
+// QuantizationError returns the mean squared reconstruction error over a
+// sample — the quantity OPQ's rotation is meant to reduce versus PQ.
+func (ix *Index) QuantizationError(vectors [][]float32) float64 {
+	var sum float64
+	for _, v := range vectors {
+		rv := rotateOne(ix.rotation, v)
+		code := ix.encodeRotated(rv)
+		for s := 0; s < ix.params.M; s++ {
+			ctr := ix.codebooks[s][code[s]]
+			lo := s * ix.subDim
+			for d, x := range ctr {
+				dx := float64(rv[lo+d]) - float64(x)
+				sum += dx * dx
+			}
+		}
+	}
+	return sum / float64(len(vectors))
+}
+
+// Close implements baselines.Index.
+func (ix *Index) Close() error { return nil }

@@ -1,0 +1,119 @@
+package opq
+
+import (
+	"testing"
+
+	"github.com/hd-index/hdindex/internal/data"
+	"github.com/hd-index/hdindex/internal/metrics"
+)
+
+func TestPQQuality(t *testing.T) {
+	ds := data.Generate(data.Config{N: 3000, Dim: 32, Clusters: 8, Lo: 0, Hi: 1, Seed: 1})
+	queries := ds.PerturbedQueries(15, 0.01, 2)
+	ix, err := Build(ds.Vectors, Params{M: 8, K: 64, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if ix.Name() != "PQ" {
+		t.Errorf("name = %s", ix.Name())
+	}
+	truthIDs, _ := data.GroundTruth(ds.Vectors, queries, 10)
+	var got [][]uint64
+	for _, q := range queries {
+		res, err := ix.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := make([]uint64, len(res))
+		for i, r := range res {
+			ids[i] = r.ID
+		}
+		got = append(got, ids)
+	}
+	if m := metrics.MAP(got, truthIDs, 10); m < 0.25 {
+		t.Errorf("PQ MAP@10 = %v, too low for 8x64 codes on clustered data", m)
+	}
+}
+
+func TestRerankImprovesQuality(t *testing.T) {
+	ds := data.Generate(data.Config{N: 2000, Dim: 32, Clusters: 6, Lo: 0, Hi: 1, Seed: 4})
+	queries := ds.PerturbedQueries(15, 0.01, 5)
+	truthIDs, _ := data.GroundTruth(ds.Vectors, queries, 10)
+	mapOf := func(rerank int) float64 {
+		ix, err := Build(ds.Vectors, Params{M: 8, K: 32, RerankK: rerank, Seed: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got [][]uint64
+		for _, q := range queries {
+			res, _ := ix.Search(q, 10)
+			ids := make([]uint64, len(res))
+			for i, r := range res {
+				ids[i] = r.ID
+			}
+			got = append(got, ids)
+		}
+		return metrics.MAP(got, truthIDs, 10)
+	}
+	plain := mapOf(0)
+	reranked := mapOf(100)
+	if reranked < plain {
+		t.Errorf("rerank MAP %v must be >= ADC-only MAP %v", reranked, plain)
+	}
+	if reranked < 0.5 {
+		t.Errorf("reranked MAP = %v, too low", reranked)
+	}
+}
+
+// OPQ's learned rotation must not increase quantisation error versus PQ
+// (it minimises the same objective with an extra free parameter).
+func TestOPQReducesQuantizationError(t *testing.T) {
+	// Anisotropic data: one dominant direction, where rotation helps.
+	ds := data.Generate(data.Config{N: 1500, Dim: 16, Clusters: 4, Lo: 0, Hi: 1, Seed: 7})
+	for _, v := range ds.Vectors {
+		for d := 0; d < 8; d++ {
+			v[d] *= 10 // unbalanced variance across subspaces
+		}
+	}
+	pq, err := Build(ds.Vectors, Params{M: 4, K: 16, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opq, err := Build(ds.Vectors, Params{M: 4, K: 16, OPQIterations: 5, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opq.Name() != "OPQ" {
+		t.Errorf("name = %s", opq.Name())
+	}
+	sample := ds.Vectors[:300]
+	ePQ := pq.QuantizationError(sample)
+	eOPQ := opq.QuantizationError(sample)
+	if eOPQ > ePQ*1.05 {
+		t.Errorf("OPQ error %v should not exceed PQ error %v", eOPQ, ePQ)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Build(nil, Params{}); err == nil {
+		t.Error("empty dataset must fail")
+	}
+	ds := data.Uniform(50, 10, 0, 1, 9)
+	if _, err := Build(ds.Vectors, Params{M: 3}); err == nil {
+		t.Error("M not dividing dim must fail")
+	}
+	ix, err := Build(ds.Vectors, Params{M: 2, K: 8, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Search(ds.Vectors[0][:3], 1); err == nil {
+		t.Error("wrong dims must fail")
+	}
+	if _, err := ix.Search(ds.Vectors[0], 0); err == nil {
+		t.Error("k=0 must fail")
+	}
+	if ix.SizeBytes() <= 0 {
+		t.Error("SizeBytes must be positive")
+	}
+}

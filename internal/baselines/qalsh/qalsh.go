@@ -1,0 +1,235 @@
+// Package qalsh implements QALSH [33] (Huang et al., PVLDB 2015), the
+// query-aware LSH baseline of §5: m projections h_j(o) = a_j·o with NO
+// pre-quantised buckets — the bucket of width w·R is centred on the
+// query's own projection when the query arrives, which is what improves
+// accuracy over C2LSH. Collision counting and virtual rehashing follow
+// C2LSH; the paper runs c = 2, β = 100/n, δ = 1/e.
+package qalsh
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/hd-index/hdindex/internal/baselines"
+	"github.com/hd-index/hdindex/internal/baselines/lshmath"
+	"github.com/hd-index/hdindex/internal/topk"
+	"github.com/hd-index/hdindex/internal/vecmath"
+)
+
+// Params configures QALSH.
+type Params struct {
+	C     float64 // approximation ratio (paper: 2)
+	W     float64 // bucket width; default 2.719 (QALSH's optimised width for c = 2)
+	Beta  float64 // false-positive fraction (paper: 100/n); 0 = auto
+	Delta float64 // error probability (paper: 1/e)
+	Seed  int64
+}
+
+type projTable struct {
+	projs []float64 // sorted projections
+	ids   []uint32
+}
+
+// Index is a built QALSH index.
+type Index struct {
+	params  Params
+	dim     int
+	m, l    int
+	scale   float64
+	a       [][]float64
+	tables  []projTable
+	vectors [][]float32
+}
+
+// Build constructs the index.
+func Build(vectors [][]float32, p Params) (*Index, error) {
+	if len(vectors) == 0 {
+		return nil, fmt.Errorf("qalsh: empty dataset")
+	}
+	n := len(vectors)
+	if p.C <= 1 {
+		p.C = 2
+	}
+	if p.W <= 0 {
+		p.W = 2.719
+	}
+	if p.Beta <= 0 {
+		p.Beta = 100.0 / float64(n)
+		if p.Beta >= 1 {
+			p.Beta = 0.5
+		}
+	}
+	if p.Delta <= 0 {
+		p.Delta = 1 / math.E
+	}
+	dim := len(vectors[0])
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	p1 := lshmath.PQueryAware(p.W, 1)
+	p2 := lshmath.PQueryAware(p.W, p.C)
+	m, l := lshmath.HashCountAndThreshold(p.Beta, p.Delta, p1, p2)
+
+	ix := &Index{params: p, dim: dim, m: m, l: l, vectors: vectors}
+	// Pre-scale so near-neighbour distances sit around 1 (as the radius
+	// schedule R = 1, c, c², ... assumes; see c2lsh).
+	samples := 200
+	if samples > n-1 {
+		samples = n - 1
+	}
+	dists := make([]float64, 0, samples)
+	for i := 0; i < samples; i++ {
+		a, b := vectors[rng.Intn(n)], vectors[rng.Intn(n)]
+		if d := vecmath.Dist(a, b); d > 0 {
+			dists = append(dists, d)
+		}
+	}
+	ix.scale = lshmath.ScaleToUnitNN(dists)
+
+	ix.a = make([][]float64, m)
+	ix.tables = make([]projTable, m)
+	for j := 0; j < m; j++ {
+		a := make([]float64, dim)
+		for d := range a {
+			a[d] = rng.NormFloat64()
+		}
+		ix.a[j] = a
+		pt := projTable{projs: make([]float64, n), ids: make([]uint32, n)}
+		order := make([]int, n)
+		raw := make([]float64, n)
+		for i, v := range vectors {
+			raw[i] = ix.project(j, v)
+			order[i] = i
+		}
+		sort.Slice(order, func(x, y int) bool { return raw[order[x]] < raw[order[y]] })
+		for i, o := range order {
+			pt.projs[i] = raw[o]
+			pt.ids[i] = uint32(o)
+		}
+		ix.tables[j] = pt
+	}
+	return ix, nil
+}
+
+func (ix *Index) project(j int, v []float32) float64 {
+	var s float64
+	for d, x := range v {
+		s += ix.a[j][d] * float64(x) * ix.scale
+	}
+	return s
+}
+
+// Name implements baselines.Index.
+func (ix *Index) Name() string { return "QALSH" }
+
+// NumHashFunctions exposes m.
+func (ix *Index) NumHashFunctions() int { return ix.m }
+
+// CollisionThreshold exposes l.
+func (ix *Index) CollisionThreshold() int { return ix.l }
+
+// Search implements baselines.Index with query-centred virtual rehashing.
+func (ix *Index) Search(q []float32, k int) ([]baselines.Result, error) {
+	if len(q) != ix.dim {
+		return nil, fmt.Errorf("qalsh: query has %d dims, index has %d", len(q), ix.dim)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("qalsh: k must be >= 1")
+	}
+	n := len(ix.vectors)
+	p := ix.params
+
+	qproj := make([]float64, ix.m)
+	for j := 0; j < ix.m; j++ {
+		qproj[j] = ix.project(j, q)
+	}
+	freq := make([]uint16, n)
+	verified := make([]bool, n)
+	winLo := make([]int, ix.m)
+	winHi := make([]int, ix.m)
+	for j := range winLo {
+		winLo[j] = -1
+	}
+
+	best := topk.New(k)
+	maxVerify := k + int(p.Beta*float64(n))
+	nVerified := 0
+
+	verify := func(id uint32) {
+		if verified[id] {
+			return
+		}
+		verified[id] = true
+		nVerified++
+		best.Push(uint64(id), vecmath.DistSq(q, ix.vectors[id]))
+	}
+
+	radius := 1.0
+	const maxRounds = 40
+	for round := 0; round < maxRounds; round++ {
+		half := p.W * radius / 2
+		for j := 0; j < ix.m && nVerified < maxVerify; j++ {
+			pt := &ix.tables[j]
+			// Query-aware bucket: projections within [q-half, q+half].
+			lo := sort.SearchFloat64s(pt.projs, qproj[j]-half)
+			hi := sort.SearchFloat64s(pt.projs, qproj[j]+half)
+			if winLo[j] == -1 {
+				for i := lo; i < hi; i++ {
+					id := pt.ids[i]
+					freq[id]++
+					if int(freq[id]) >= ix.l {
+						verify(id)
+					}
+				}
+				winLo[j], winHi[j] = lo, hi
+				continue
+			}
+			for i := lo; i < winLo[j]; i++ {
+				id := pt.ids[i]
+				freq[id]++
+				if int(freq[id]) >= ix.l {
+					verify(id)
+				}
+			}
+			for i := winHi[j]; i < hi; i++ {
+				id := pt.ids[i]
+				freq[id]++
+				if int(freq[id]) >= ix.l {
+					verify(id)
+				}
+			}
+			if lo < winLo[j] {
+				winLo[j] = lo
+			}
+			if hi > winHi[j] {
+				winHi[j] = hi
+			}
+		}
+		if nVerified >= maxVerify {
+			break
+		}
+		if best.Full() {
+			bound, _ := best.Bound()
+			if math.Sqrt(bound)*ix.scale <= p.C*radius {
+				break
+			}
+		}
+		radius *= p.C
+	}
+
+	items := best.Items()
+	out := make([]baselines.Result, len(items))
+	for i, it := range items {
+		out[i] = baselines.Result{ID: it.ID, Dist: math.Sqrt(it.Dist)}
+	}
+	return out, nil
+}
+
+// SizeBytes implements baselines.Index: m projection tables of n entries.
+func (ix *Index) SizeBytes() int64 {
+	return int64(ix.m) * int64(len(ix.vectors)) * 12 // 8B proj + 4B id
+}
+
+// Close implements baselines.Index.
+func (ix *Index) Close() error { return nil }

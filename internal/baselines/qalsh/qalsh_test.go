@@ -1,0 +1,82 @@
+package qalsh
+
+import (
+	"testing"
+
+	"github.com/hd-index/hdindex/internal/data"
+	"github.com/hd-index/hdindex/internal/metrics"
+)
+
+func TestRatioAndQuality(t *testing.T) {
+	ds := data.Generate(data.Config{N: 4000, Dim: 32, Clusters: 8, Lo: 0, Hi: 1, Seed: 1})
+	queries := ds.PerturbedQueries(15, 0.01, 2)
+	ix, err := Build(ds.Vectors, Params{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	truthIDs, truthDists := data.GroundTruth(ds.Vectors, queries, 10)
+	var ratioSum float64
+	var got [][]uint64
+	for qi, q := range queries {
+		res, err := ix.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) == 0 {
+			t.Fatal("no results")
+		}
+		dists := make([]float64, len(res))
+		ids := make([]uint64, len(res))
+		for i, r := range res {
+			dists[i] = r.Dist
+			ids[i] = r.ID
+		}
+		got = append(got, ids)
+		ratioSum += metrics.Ratio(dists, truthDists[qi])
+	}
+	if ratio := ratioSum / float64(len(queries)); ratio > 2.0 {
+		t.Errorf("QALSH mean ratio = %v, beyond its c=2 target", ratio)
+	}
+	// §5: QALSH is the quality leader among the LSH family; on easy
+	// clustered data it should achieve decent MAP.
+	if m := metrics.MAP(got, truthIDs, 10); m < 0.2 {
+		t.Errorf("QALSH MAP@10 = %v, unexpectedly low", m)
+	}
+}
+
+// Query-aware hashing needs fewer hash functions than C2LSH's static
+// bucketing for the same guarantees (its headline advantage).
+func TestFewerHashFunctionsThanC2LSHWouldNeed(t *testing.T) {
+	ds := data.Uniform(2000, 16, 0, 1, 4)
+	ix, err := Build(ds.Vectors, Params{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumHashFunctions() > 120 {
+		t.Errorf("QALSH m = %d, larger than expected", ix.NumHashFunctions())
+	}
+	if ix.CollisionThreshold() < 1 || ix.CollisionThreshold() > ix.NumHashFunctions() {
+		t.Errorf("l = %d outside [1, m]", ix.CollisionThreshold())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Build(nil, Params{}); err == nil {
+		t.Error("empty dataset must fail")
+	}
+	ds := data.Uniform(200, 8, 0, 1, 6)
+	ix, err := Build(ds.Vectors, Params{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Search(ds.Vectors[0][:2], 1); err == nil {
+		t.Error("wrong dims must fail")
+	}
+	if _, err := ix.Search(ds.Vectors[0], 0); err == nil {
+		t.Error("k=0 must fail")
+	}
+	if ix.Name() != "QALSH" || ix.SizeBytes() <= 0 {
+		t.Error("interface misbehaviour")
+	}
+}

@@ -1,0 +1,82 @@
+package srs
+
+import "math"
+
+// chiSqCDF returns Ψ_m(x): the CDF of the chi-squared distribution with
+// m degrees of freedom at x — the quantity SRS' early-termination test
+// evaluates (projected squared distances of 2-stable projections follow
+// d²·χ²_m). Computed as the regularised lower incomplete gamma function
+// P(m/2, x/2) via the classic series / continued-fraction split.
+func chiSqCDF(m int, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return gammaP(float64(m)/2, x/2)
+}
+
+// gammaP is the regularised lower incomplete gamma function P(a, x).
+func gammaP(a, x float64) float64 {
+	switch {
+	case x < 0 || a <= 0:
+		return math.NaN()
+	case x == 0:
+		return 0
+	case x < a+1:
+		return gser(a, x)
+	default:
+		return 1 - gcf(a, x)
+	}
+}
+
+// gser evaluates P(a,x) by its series representation.
+func gser(a, x float64) float64 {
+	const itmax = 200
+	const eps = 3e-14
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for i := 0; i < itmax; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lnGamma(a))
+}
+
+// gcf evaluates Q(a,x) = 1 - P(a,x) by continued fraction (Lentz).
+func gcf(a, x float64) float64 {
+	const itmax = 200
+	const eps = 3e-14
+	const fpmin = 1e-300
+	b := x + 1 - a
+	c := 1 / fpmin
+	d := 1 / b
+	h := d
+	for i := 1; i <= itmax; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = b + an/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lnGamma(a)) * h
+}
+
+func lnGamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}

@@ -1,0 +1,153 @@
+package srs
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// kdTree is a balanced kd-tree over low-dimensional (m' ≈ 6) projected
+// points, supporting best-first incremental nearest-neighbour traversal —
+// the access pattern SRS' query algorithm needs (it consumes projected
+// NNs one at a time until its early-termination test fires).
+type kdTree struct {
+	points [][]float32
+	dim    int
+	root   *kdNode
+}
+
+type kdNode struct {
+	lo, hi      []float32 // bounding box
+	axis        int
+	left, right *kdNode
+	leafIdx     []int32 // point indices; non-nil only for leaves
+}
+
+const kdLeafSize = 16
+
+func buildKDTree(points [][]float32) *kdTree {
+	t := &kdTree{points: points, dim: len(points[0])}
+	idx := make([]int32, len(points))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	t.root = t.build(idx)
+	return t
+}
+
+func (t *kdTree) build(idx []int32) *kdNode {
+	n := &kdNode{lo: make([]float32, t.dim), hi: make([]float32, t.dim)}
+	copy(n.lo, t.points[idx[0]])
+	copy(n.hi, t.points[idx[0]])
+	for _, i := range idx[1:] {
+		p := t.points[i]
+		for d := 0; d < t.dim; d++ {
+			if p[d] < n.lo[d] {
+				n.lo[d] = p[d]
+			}
+			if p[d] > n.hi[d] {
+				n.hi[d] = p[d]
+			}
+		}
+	}
+	if len(idx) <= kdLeafSize {
+		n.leafIdx = idx
+		return n
+	}
+	// Split on the widest axis at the median.
+	axis := 0
+	width := n.hi[0] - n.lo[0]
+	for d := 1; d < t.dim; d++ {
+		if w := n.hi[d] - n.lo[d]; w > width {
+			axis, width = d, w
+		}
+	}
+	if width == 0 {
+		n.leafIdx = idx // all points identical
+		return n
+	}
+	n.axis = axis
+	sort.Slice(idx, func(a, b int) bool {
+		return t.points[idx[a]][axis] < t.points[idx[b]][axis]
+	})
+	mid := len(idx) / 2
+	n.left = t.build(idx[:mid])
+	n.right = t.build(idx[mid:])
+	return n
+}
+
+// minDistSq returns the squared distance from q to the node's box.
+func (n *kdNode) minDistSq(q []float32) float64 {
+	var s float64
+	for d, x := range q {
+		switch {
+		case x < n.lo[d]:
+			dx := float64(n.lo[d]) - float64(x)
+			s += dx * dx
+		case x > n.hi[d]:
+			dx := float64(x) - float64(n.hi[d])
+			s += dx * dx
+		}
+	}
+	return s
+}
+
+// kdIter yields point indices in non-decreasing distance from q.
+type kdIter struct {
+	t *kdTree
+	q []float32
+	h *kdHeap
+}
+
+type kdHeapItem struct {
+	distSq float64
+	node   *kdNode // nil => point
+	point  int32
+}
+
+type kdHeap []kdHeapItem
+
+func (h kdHeap) Len() int            { return len(h) }
+func (h kdHeap) Less(i, j int) bool  { return h[i].distSq < h[j].distSq }
+func (h kdHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *kdHeap) Push(x interface{}) { *h = append(*h, x.(kdHeapItem)) }
+func (h *kdHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// newIter starts an incremental NN traversal from q.
+func (t *kdTree) newIter(q []float32) *kdIter {
+	h := &kdHeap{}
+	heap.Push(h, kdHeapItem{distSq: t.root.minDistSq(q), node: t.root})
+	return &kdIter{t: t, q: q, h: h}
+}
+
+// next returns the next nearest point index and its squared projected
+// distance; ok = false when exhausted.
+func (it *kdIter) next() (idx int32, distSq float64, ok bool) {
+	for it.h.Len() > 0 {
+		item := heap.Pop(it.h).(kdHeapItem)
+		if item.node == nil {
+			return item.point, item.distSq, true
+		}
+		n := item.node
+		if n.leafIdx != nil {
+			for _, pi := range n.leafIdx {
+				p := it.t.points[pi]
+				var d float64
+				for dd, x := range it.q {
+					dx := float64(x) - float64(p[dd])
+					d += dx * dx
+				}
+				heap.Push(it.h, kdHeapItem{distSq: d, node: nil, point: pi})
+			}
+			continue
+		}
+		heap.Push(it.h, kdHeapItem{distSq: n.left.minDistSq(it.q), node: n.left})
+		heap.Push(it.h, kdHeapItem{distSq: n.right.minDistSq(it.q), node: n.right})
+	}
+	return 0, 0, false
+}

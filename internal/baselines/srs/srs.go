@@ -1,0 +1,151 @@
+// Package srs implements SRS [64] (Sun et al., VLDB 2014), the
+// tiny-index baseline of §5: every ν-dimensional point is projected by
+// m' = 6 independent N(0,1) ("2-stable") projections into a 6-d space
+// whose index — here a kd-tree supporting incremental NN — is linear in n
+// and small enough for memory. A query walks projected neighbours in
+// order, verifies each against the original vectors, and stops early when
+// a chi-squared test says the current k-th answer is good enough
+// (paper parameters: SRS-12, c = 2, m' = 6, τ = 0.1809, t = 0.00242).
+package srs
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/hd-index/hdindex/internal/baselines"
+	"github.com/hd-index/hdindex/internal/topk"
+	"github.com/hd-index/hdindex/internal/vecmath"
+)
+
+// Params configures SRS.
+type Params struct {
+	Projections  int     // m' (paper: 6)
+	C            float64 // approximation ratio target (paper: 2)
+	Tau          float64 // early-termination threshold p_τ (paper: 0.1809)
+	MaxFraction  float64 // t: max fraction of points examined (paper: 0.00242)
+	MinCandidate int     // absolute floor on examined points (default 1 per k... see Search)
+	Seed         int64
+}
+
+// Index is a built SRS index.
+type Index struct {
+	params    Params
+	dim       int
+	proj      [][]float64 // m' × ν projection vectors
+	projected [][]float32 // n × m'
+	tree      *kdTree
+	vectors   [][]float32 // originals, for verification
+}
+
+// Build constructs the index.
+func Build(vectors [][]float32, p Params) (*Index, error) {
+	if len(vectors) == 0 {
+		return nil, fmt.Errorf("srs: empty dataset")
+	}
+	if p.Projections <= 0 {
+		p.Projections = 6
+	}
+	if p.C <= 1 {
+		p.C = 2
+	}
+	if p.Tau <= 0 {
+		p.Tau = 0.1809
+	}
+	if p.MaxFraction <= 0 {
+		p.MaxFraction = 0.00242
+	}
+	dim := len(vectors[0])
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	ix := &Index{params: p, dim: dim, vectors: vectors}
+	ix.proj = make([][]float64, p.Projections)
+	for j := range ix.proj {
+		w := make([]float64, dim)
+		for d := range w {
+			w[d] = rng.NormFloat64()
+		}
+		ix.proj[j] = w
+	}
+	ix.projected = make([][]float32, len(vectors))
+	for i, v := range vectors {
+		ix.projected[i] = ix.project(v)
+	}
+	ix.tree = buildKDTree(ix.projected)
+	return ix, nil
+}
+
+func (ix *Index) project(v []float32) []float32 {
+	out := make([]float32, len(ix.proj))
+	for j, w := range ix.proj {
+		var s float64
+		for d, x := range v {
+			s += w[d] * float64(x)
+		}
+		out[j] = float32(s)
+	}
+	return out
+}
+
+// Name implements baselines.Index.
+func (ix *Index) Name() string { return "SRS" }
+
+// Search implements baselines.Index (algorithm SRS-12).
+func (ix *Index) Search(q []float32, k int) ([]baselines.Result, error) {
+	if len(q) != ix.dim {
+		return nil, fmt.Errorf("srs: query has %d dims, index has %d", len(q), ix.dim)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("srs: k must be >= 1")
+	}
+	p := ix.params
+	pq := ix.project(q)
+	iter := ix.tree.newIter(pq)
+
+	// T' = max(k+1, t·n) points may be examined.
+	maxExamined := int(p.MaxFraction * float64(len(ix.vectors)))
+	if maxExamined < k+1 {
+		maxExamined = k + 1
+	}
+	if p.MinCandidate > maxExamined {
+		maxExamined = p.MinCandidate
+	}
+
+	best := topk.New(k)
+	examined := 0
+	for examined < maxExamined {
+		idx, projDistSq, ok := iter.next()
+		if !ok {
+			break
+		}
+		examined++
+		best.Push(uint64(idx), vecmath.DistSq(q, ix.vectors[idx]))
+
+		// Early termination: once the k-th exact distance d_k satisfies
+		// Ψ_m'(δ²/(d_k/c)²) ≥ τ, a point at true distance below d_k/c
+		// would almost surely have appeared among the projected NNs
+		// already, so the current answer is a c-approximation.
+		if bound, okB := best.Bound(); okB && bound > 0 {
+			dkOverC := math.Sqrt(bound) / p.C
+			if dkOverC > 0 && chiSqCDF(len(ix.proj), projDistSq/(dkOverC*dkOverC)) >= p.Tau {
+				break
+			}
+		}
+	}
+	items := best.Items()
+	out := make([]baselines.Result, len(items))
+	for i, it := range items {
+		out[i] = baselines.Result{ID: it.ID, Dist: math.Sqrt(it.Dist)}
+	}
+	return out, nil
+}
+
+// SizeBytes implements baselines.Index: the projected table plus tree —
+// SRS' selling point is that this is tiny (m'·n floats).
+func (ix *Index) SizeBytes() int64 {
+	return int64(len(ix.projected))*int64(len(ix.proj))*4 + // projected points
+		int64(len(ix.proj))*int64(ix.dim)*8 // projection matrix
+}
+
+// Close implements baselines.Index.
+func (ix *Index) Close() error { return nil }

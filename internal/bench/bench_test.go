@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyCfg keeps smoke tests fast: a few hundred points, few queries.
+func tinyCfg(t *testing.T) Config {
+	return Config{Scale: 0.05, Queries: 5, K: 10, WorkDir: t.TempDir(), Seed: 1}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	// Every table/figure of the paper's evaluation must be registered.
+	for _, id := range []string{
+		"fig1", "table3", "fig4m", "fig4tau", "fig5", "fig11", "fig12",
+		"fig6alpha", "fig6gamma", "fig7", "fig8", "fig10", "fig13",
+		"table5", "imagesearch",
+		"abl-partition", "abl-curve", "abl-parallel", "abl-cache", "abl-ptolemaic-io",
+	} {
+		if _, ok := reg[id]; !ok {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+	if len(IDs()) != len(reg) {
+		t.Error("IDs() inconsistent with Registry()")
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if err := Run("nope", &bytes.Buffer{}, tinyCfg(t)); err == nil {
+		t.Fatal("unknown experiment must fail")
+	}
+}
+
+func TestTable3Experiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("table3", &buf, tinyCfg(t)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"SIFTn", "63", "36", "13", "28"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table3 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMakeWorkloadShape(t *testing.T) {
+	spec, ok := SpecByName("SIFT10K")
+	if !ok {
+		t.Fatal("spec missing")
+	}
+	w := MakeWorkload(spec, tinyCfg(t))
+	if len(w.Data.Vectors) < 300 {
+		t.Fatalf("workload too small: %d", len(w.Data.Vectors))
+	}
+	if len(w.Queries) != 5 || len(w.TruthIDs) != 5 {
+		t.Fatalf("queries %d truth %d", len(w.Queries), len(w.TruthIDs))
+	}
+	if len(w.TruthIDs[0]) != 10 {
+		t.Fatalf("truth depth %d", len(w.TruthIDs[0]))
+	}
+}
+
+func TestRunMethodHDIndex(t *testing.T) {
+	spec, _ := SpecByName("SIFT10K")
+	cfg := tinyCfg(t)
+	w := MakeWorkload(spec, cfg)
+	var hd Builder
+	for _, b := range Methods(cfg.Seed) {
+		if b.Name == "HD-Index" {
+			hd = b
+		}
+	}
+	r := RunMethod(hd, w, t.TempDir(), 10)
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.MAP <= 0 || r.MAP > 1 {
+		t.Errorf("MAP = %v", r.MAP)
+	}
+	if r.Ratio < 1 {
+		t.Errorf("ratio = %v", r.Ratio)
+	}
+	if r.IndexBytes <= 0 || r.AvgQueryMS <= 0 {
+		t.Errorf("size/time not measured: %+v", r)
+	}
+}
+
+func TestFig4TauSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("fig4tau", &buf, tinyCfg(t)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "tau") {
+		t.Error("fig4tau produced no table")
+	}
+}
+
+func TestAblationCurveSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("abl-curve", &buf, tinyCfg(t)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "hilbert") || !strings.Contains(out, "zorder") {
+		t.Errorf("ablation output incomplete:\n%s", out)
+	}
+}
+
+func TestImageSearchSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("imagesearch", &buf, tinyCfg(t)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "mean overlap") {
+		t.Error("image search produced no summary")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	var buf bytes.Buffer
+	tbl := NewTable(&buf, "a", "bb")
+	tbl.Row(1, 2.5)
+	tbl.Row("xxx", "y")
+	tbl.Flush()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "a") {
+		t.Error("header missing")
+	}
+}

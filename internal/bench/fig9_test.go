@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fig9Summary must classify a method dominating all three axes as QME,
+// and a method that is only fast as E.
+func TestFig9Classification(t *testing.T) {
+	results := map[string]map[string]RunResult{
+		"ds1": {
+			"HD-Index":    {Method: "HD-Index", MAP: 0.95, AvgQueryMS: 10, IndexBytes: 10 << 20, QueryRAMMB: 1},
+			"HNSW":        {Method: "HNSW", MAP: 0.96, AvgQueryMS: 1, IndexBytes: 10 << 20, QueryRAMMB: 500},
+			"SRS":         {Method: "SRS", MAP: 0.10, AvgQueryMS: 5, IndexBytes: 1 << 20, QueryRAMMB: 1},
+			"C2LSH":       {Method: "C2LSH", MAP: 0.50, AvgQueryMS: 2, IndexBytes: 40 << 20, QueryRAMMB: 40},
+			"QALSH":       {Method: "QALSH", MAP: 0.60, AvgQueryMS: 5, IndexBytes: 20 << 20, QueryRAMMB: 2},
+			"OPQ":         {Method: "OPQ", MAP: 0.70, AvgQueryMS: 1.5, IndexBytes: 5 << 20, QueryRAMMB: 100},
+			"Multicurves": {Method: "Multicurves", MAP: 0.93, AvgQueryMS: 50, IndexBytes: 500 << 20, QueryRAMMB: 1},
+		},
+	}
+	var buf bytes.Buffer
+	fig9Summary(&buf, results)
+	out := buf.String()
+	if !strings.Contains(out, "Figure 9") {
+		t.Fatalf("no summary printed:\n%s", out)
+	}
+	// HD-Index: quality (0.95 >= 0.8*0.96), memory (11MB <= 4*2MB=8... no).
+	// Just assert structural properties: every method appears with a class.
+	for _, m := range []string{"HD-Index", "HNSW", "SRS", "C2LSH", "QALSH", "OPQ", "Multicurves"} {
+		if !strings.Contains(out, m) {
+			t.Errorf("method %s missing from Fig. 9 summary", m)
+		}
+	}
+	// SRS must not be classified Q (MAP 0.10 << 0.8*0.96).
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "SRS") && strings.Contains(line, "Q") {
+			t.Errorf("SRS wrongly classified as quality: %s", line)
+		}
+		if strings.HasPrefix(line, "HNSW") && !strings.Contains(line, "Q") {
+			t.Errorf("HNSW should be classified as quality: %s", line)
+		}
+	}
+}
+
+func TestFig9EmptyResults(t *testing.T) {
+	var buf bytes.Buffer
+	fig9Summary(&buf, map[string]map[string]RunResult{})
+	if buf.Len() != 0 {
+		t.Error("empty results must print nothing")
+	}
+	// All-error results likewise.
+	fig9Summary(&buf, map[string]map[string]RunResult{
+		"ds": {"HD-Index": {Err: errMock{}}},
+	})
+	if buf.Len() != 0 {
+		t.Error("all-failed results must print nothing")
+	}
+}
+
+type errMock struct{}
+
+func (errMock) Error() string { return "mock" }

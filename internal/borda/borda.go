@@ -1,0 +1,70 @@
+// Package borda implements the Borda-count rank aggregation of §5.5 and
+// Appendix D: a query image has N descriptors; each is searched for its
+// kANN descriptors; a database image scores k+1-l whenever one of its
+// descriptors appears at position l of one of the N result lists (Eq. 7).
+// The images with the largest aggregate counts are the image-level
+// retrieval answer.
+package borda
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ImageScore is an aggregated result for one database image.
+type ImageScore struct {
+	ImageID uint64
+	Score   float64
+}
+
+// Aggregate computes Borda counts. resultLists holds the ranked kANN
+// descriptor ids for each of the query's descriptors; descToImage maps a
+// database descriptor id to its image id. topK images are returned,
+// highest count first (ties by ascending image id for determinism).
+func Aggregate(resultLists [][]uint64, descToImage func(uint64) uint64, topK int) ([]ImageScore, error) {
+	if topK < 1 {
+		return nil, fmt.Errorf("borda: topK must be >= 1, got %d", topK)
+	}
+	scores := make(map[uint64]float64)
+	for _, list := range resultLists {
+		k := len(list)
+		for l, descID := range list {
+			img := descToImage(descID)
+			scores[img] += float64(k - l) // k+1-(l+1): positions are 1-based in Eq. (7)
+		}
+	}
+	out := make([]ImageScore, 0, len(scores))
+	for img, s := range scores {
+		out = append(out, ImageScore{ImageID: img, Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ImageID < out[j].ImageID
+	})
+	if len(out) > topK {
+		out = out[:topK]
+	}
+	return out, nil
+}
+
+// Overlap returns |a ∩ b| / |a| for two image id lists — the measure used
+// to compare a method's image retrieval against the linear-scan ground
+// truth in §5.5.
+func Overlap(a, b []ImageScore) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	set := make(map[uint64]struct{}, len(b))
+	for _, s := range b {
+		set[s.ImageID] = struct{}{}
+	}
+	hits := 0
+	for _, s := range a {
+		if _, ok := set[s.ImageID]; ok {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(a))
+}

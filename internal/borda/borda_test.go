@@ -1,0 +1,72 @@
+package borda
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAggregatePaperFormula(t *testing.T) {
+	// Two result lists of k=3; descriptor d belongs to image d/10.
+	lists := [][]uint64{
+		{10, 20, 30}, // image 1 gets 3, image 2 gets 2, image 3 gets 1
+		{11, 30, 20}, // image 1 gets 3, image 3 gets 2, image 2 gets 1
+	}
+	toImage := func(d uint64) uint64 { return d / 10 }
+	got, err := Aggregate(lists, toImage, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d images", len(got))
+	}
+	if got[0].ImageID != 1 || got[0].Score != 6 {
+		t.Fatalf("top = %+v, want image 1 score 6", got[0])
+	}
+	// Images 2 and 3 both score 3; tie broken by id.
+	if got[1].ImageID != 2 || got[1].Score != 3 || got[2].ImageID != 3 {
+		t.Fatalf("ranks = %+v", got)
+	}
+}
+
+func TestAggregateTopKTruncation(t *testing.T) {
+	lists := [][]uint64{{1, 2, 3, 4, 5}}
+	got, err := Aggregate(lists, func(d uint64) uint64 { return d }, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ImageID != 1 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestAggregateValidation(t *testing.T) {
+	if _, err := Aggregate(nil, func(d uint64) uint64 { return d }, 0); err == nil {
+		t.Error("topK=0 must fail")
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	a := []ImageScore{{1, 5}, {2, 4}, {3, 3}}
+	b := []ImageScore{{2, 9}, {3, 8}, {4, 7}}
+	if got := Overlap(a, b); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("overlap = %v", got)
+	}
+	if Overlap(nil, b) != 0 {
+		t.Error("empty overlap must be 0")
+	}
+	if Overlap(a, a) != 1 {
+		t.Error("self overlap must be 1")
+	}
+}
+
+// Multiple descriptors of the same image in one list accumulate.
+func TestAccumulationWithinList(t *testing.T) {
+	lists := [][]uint64{{10, 11, 20}}
+	got, err := Aggregate(lists, func(d uint64) uint64 { return d / 10 }, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].ImageID != 1 || got[0].Score != 5 { // 3 + 2
+		t.Fatalf("top = %+v", got[0])
+	}
+}

@@ -1,0 +1,366 @@
+// Package bptree implements a disk-resident B+-tree over fixed-width byte
+// keys with fixed-width values, on top of the pager.
+//
+// It is the shared tree machinery of the reproduction: RDB-trees (§3.2)
+// are B+-trees whose leaf values are reference-object distances; iDistance
+// [73] and QALSH [33] index sortable-float keys; Multicurves [66] stores
+// whole descriptors in its leaves. All of these differ only in key/value
+// width, which is why the widths are parameters rather than types.
+//
+// Keys sort by bytes.Compare. Duplicate keys are allowed (two objects can
+// share a Hilbert grid cell). Trees are normally bulk-loaded bottom-up —
+// the paper builds its indexes once — but incremental Insert is provided
+// for §3.6 (updates).
+package bptree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/hd-index/hdindex/internal/pager"
+)
+
+const (
+	pageInternal = 1
+	pageLeaf     = 2
+
+	// Leaf layout: [1B type][8B left][8B right][2B count] + entries.
+	// The paper's Eq. (4) accounts 16+1 bytes of leaf overhead (sibling
+	// pointers + indicator); our two extra count bytes do not change any
+	// of the Table 3 leaf orders (verified in rdbtree tests).
+	leafHeader = 1 + 8 + 8 + 2
+
+	// Internal layout: [1B type][2B count] + (count+1)*8B children + count*keyLen keys.
+	internalHeader = 1 + 2
+)
+
+// Errors returned by the tree.
+var (
+	ErrKeyLen    = errors.New("bptree: key length mismatch")
+	ErrValueLen  = errors.New("bptree: value length mismatch")
+	ErrNotSorted = errors.New("bptree: bulk load input not sorted")
+	ErrCorrupt   = errors.New("bptree: corrupt node")
+)
+
+// Config fixes the entry geometry of a tree.
+type Config struct {
+	KeyLen int // bytes per key, > 0
+	ValLen int // bytes per value, >= 0
+
+	// LeafCap overrides the computed leaf capacity when positive. The
+	// RDB-tree uses it to pin the leaf order Ω to the paper's Eq. (4).
+	LeafCap int
+}
+
+// Tree is a B+-tree in a pager file. A pager file holds exactly one tree.
+// Safe for single-writer, multi-reader use (readers are distinct cursors).
+type Tree struct {
+	pgr       *pager.Pager
+	keyLen    int
+	valLen    int
+	leafCap   int
+	branchCap int // max separator keys per internal node
+	root      pager.PageID
+	height    int // 1 = root is a leaf
+	count     uint64
+	firstLeaf pager.PageID
+	lastLeaf  pager.PageID
+	extra     []byte // caller metadata persisted after the tree header
+}
+
+// Create initialises an empty tree in pgr (which must be freshly created).
+func Create(pgr *pager.Pager, cfg Config) (*Tree, error) {
+	t, err := newTree(pgr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Empty tree: a single empty leaf as root.
+	pg, err := pgr.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	initLeaf(pg.Data)
+	pg.MarkDirty()
+	t.root = pg.ID
+	t.firstLeaf = pg.ID
+	t.lastLeaf = pg.ID
+	t.height = 1
+	pg.Release()
+	return t, t.writeHeader()
+}
+
+// Open loads an existing tree from pgr's metadata.
+func Open(pgr *pager.Pager) (*Tree, error) {
+	meta := pgr.Meta()
+	if len(meta) < headerSize {
+		return nil, fmt.Errorf("%w: short tree header", ErrCorrupt)
+	}
+	cfg := Config{
+		KeyLen:  int(binary.BigEndian.Uint32(meta[0:])),
+		ValLen:  int(binary.BigEndian.Uint32(meta[4:])),
+		LeafCap: int(binary.BigEndian.Uint32(meta[8:])),
+	}
+	t, err := newTree(pgr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t.root = pager.PageID(binary.BigEndian.Uint64(meta[12:]))
+	t.height = int(binary.BigEndian.Uint32(meta[20:]))
+	t.count = binary.BigEndian.Uint64(meta[24:])
+	t.firstLeaf = pager.PageID(binary.BigEndian.Uint64(meta[32:]))
+	t.lastLeaf = pager.PageID(binary.BigEndian.Uint64(meta[40:]))
+	t.extra = append([]byte(nil), meta[headerSize:]...)
+	return t, nil
+}
+
+func newTree(pgr *pager.Pager, cfg Config) (*Tree, error) {
+	if cfg.KeyLen <= 0 {
+		return nil, fmt.Errorf("bptree: KeyLen must be positive, got %d", cfg.KeyLen)
+	}
+	if cfg.ValLen < 0 {
+		return nil, fmt.Errorf("bptree: ValLen must be >= 0, got %d", cfg.ValLen)
+	}
+	ps := pgr.PageSize()
+	entry := cfg.KeyLen + cfg.ValLen
+	maxLeaf := (ps - leafHeader) / entry
+	if maxLeaf < 1 {
+		return nil, fmt.Errorf("bptree: entry size %d does not fit page size %d", entry, ps)
+	}
+	leafCap := maxLeaf
+	if cfg.LeafCap > 0 {
+		if cfg.LeafCap > maxLeaf {
+			return nil, fmt.Errorf("bptree: LeafCap %d exceeds page capacity %d", cfg.LeafCap, maxLeaf)
+		}
+		leafCap = cfg.LeafCap
+	}
+	branchCap := (ps - internalHeader - 8) / (cfg.KeyLen + 8)
+	if branchCap < 2 {
+		return nil, fmt.Errorf("bptree: key length %d too large for page size %d", cfg.KeyLen, ps)
+	}
+	return &Tree{
+		pgr:       pgr,
+		keyLen:    cfg.KeyLen,
+		valLen:    cfg.ValLen,
+		leafCap:   leafCap,
+		branchCap: branchCap,
+	}, nil
+}
+
+const headerSize = 48
+
+func (t *Tree) writeHeader() error {
+	meta := make([]byte, headerSize, headerSize+len(t.extra))
+	binary.BigEndian.PutUint32(meta[0:], uint32(t.keyLen))
+	binary.BigEndian.PutUint32(meta[4:], uint32(t.valLen))
+	binary.BigEndian.PutUint32(meta[8:], uint32(t.leafCap))
+	binary.BigEndian.PutUint64(meta[12:], uint64(t.root))
+	binary.BigEndian.PutUint32(meta[20:], uint32(t.height))
+	binary.BigEndian.PutUint64(meta[24:], t.count)
+	binary.BigEndian.PutUint64(meta[32:], uint64(t.firstLeaf))
+	binary.BigEndian.PutUint64(meta[40:], uint64(t.lastLeaf))
+	meta = append(meta, t.extra...)
+	return t.pgr.SetMeta(meta)
+}
+
+// Extra returns caller metadata persisted with the tree header.
+func (t *Tree) Extra() []byte { return append([]byte(nil), t.extra...) }
+
+// SetExtra stores caller metadata with the tree header; it is persisted
+// on the next Flush (or any structural update).
+func (t *Tree) SetExtra(extra []byte) error {
+	t.extra = append([]byte(nil), extra...)
+	return t.writeHeader()
+}
+
+// Count returns the number of entries.
+func (t *Tree) Count() uint64 { return t.count }
+
+// Height returns the tree height (1 = the root is a leaf).
+func (t *Tree) Height() int { return t.height }
+
+// KeyLen returns the key width in bytes.
+func (t *Tree) KeyLen() int { return t.keyLen }
+
+// ValLen returns the value width in bytes.
+func (t *Tree) ValLen() int { return t.valLen }
+
+// LeafCap returns the leaf order Ω (entries per leaf page).
+func (t *Tree) LeafCap() int { return t.leafCap }
+
+// BranchCap returns the maximum number of separator keys per internal node.
+func (t *Tree) BranchCap() int { return t.branchCap }
+
+// Pager exposes the underlying pager (for stats and closing).
+func (t *Tree) Pager() *pager.Pager { return t.pgr }
+
+// Flush persists the header and all dirty pages.
+func (t *Tree) Flush() error {
+	if err := t.writeHeader(); err != nil {
+		return err
+	}
+	return t.pgr.Flush()
+}
+
+// ---- node accessors -------------------------------------------------------
+
+func initLeaf(data []byte) {
+	for i := range data[:leafHeader] {
+		data[i] = 0
+	}
+	data[0] = pageLeaf
+}
+
+func initInternal(data []byte) {
+	data[0] = pageInternal
+	data[1], data[2] = 0, 0
+}
+
+func nodeType(data []byte) byte { return data[0] }
+
+func leafCount(data []byte) int {
+	return int(binary.BigEndian.Uint16(data[17:19]))
+}
+
+func setLeafCount(data []byte, n int) {
+	binary.BigEndian.PutUint16(data[17:19], uint16(n))
+}
+
+func leafLeft(data []byte) pager.PageID {
+	return pager.PageID(binary.BigEndian.Uint64(data[1:9]))
+}
+
+func setLeafLeft(data []byte, id pager.PageID) {
+	binary.BigEndian.PutUint64(data[1:9], uint64(id))
+}
+
+func leafRight(data []byte) pager.PageID {
+	return pager.PageID(binary.BigEndian.Uint64(data[9:17]))
+}
+
+func setLeafRight(data []byte, id pager.PageID) {
+	binary.BigEndian.PutUint64(data[9:17], uint64(id))
+}
+
+func (t *Tree) entrySize() int { return t.keyLen + t.valLen }
+
+func (t *Tree) leafKey(data []byte, i int) []byte {
+	off := leafHeader + i*t.entrySize()
+	return data[off : off+t.keyLen]
+}
+
+func (t *Tree) leafVal(data []byte, i int) []byte {
+	off := leafHeader + i*t.entrySize() + t.keyLen
+	return data[off : off+t.valLen]
+}
+
+func internalCount(data []byte) int {
+	return int(binary.BigEndian.Uint16(data[1:3]))
+}
+
+func setInternalCount(data []byte, n int) {
+	binary.BigEndian.PutUint16(data[1:3], uint16(n))
+}
+
+func internalChild(data []byte, i int) pager.PageID {
+	off := internalHeader + i*8
+	return pager.PageID(binary.BigEndian.Uint64(data[off : off+8]))
+}
+
+func setInternalChild(data []byte, i int, id pager.PageID) {
+	off := internalHeader + i*8
+	binary.BigEndian.PutUint64(data[off:off+8], uint64(id))
+}
+
+func (t *Tree) internalKeyOff(i int) int {
+	return internalHeader + (t.branchCap+1)*8 + i*t.keyLen
+}
+
+func (t *Tree) internalKey(data []byte, i int) []byte {
+	off := t.internalKeyOff(i)
+	return data[off : off+t.keyLen]
+}
+
+// childIndex returns the index of the child subtree to descend into for
+// key: the number of separator keys <= key.
+func (t *Tree) childIndex(data []byte, key []byte) int {
+	n := internalCount(data)
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(t.internalKey(data, mid), key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// leafLowerBound returns the first index in the leaf with key >= key.
+func (t *Tree) leafLowerBound(data []byte, key []byte) int {
+	n := leafCount(data)
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(t.leafKey(data, mid), key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// leafUpperBound returns the first index in the leaf with key > key.
+func (t *Tree) leafUpperBound(data []byte, key []byte) int {
+	n := leafCount(data)
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(t.leafKey(data, mid), key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// descend walks from the root to the leaf that should contain key,
+// returning the leaf page (pinned) and, if path != nil, appending the
+// internal (pageID, childIdx) route taken.
+type pathStep struct {
+	id  pager.PageID
+	idx int
+}
+
+func (t *Tree) descend(key []byte, path *[]pathStep) (*pager.Page, error) {
+	id := t.root
+	for level := t.height; level > 1; level-- {
+		pg, err := t.pgr.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		if nodeType(pg.Data) != pageInternal {
+			pg.Release()
+			return nil, fmt.Errorf("%w: expected internal at level %d", ErrCorrupt, level)
+		}
+		idx := t.childIndex(pg.Data, key)
+		if path != nil {
+			*path = append(*path, pathStep{id, idx})
+		}
+		id = internalChild(pg.Data, idx)
+		pg.Release()
+	}
+	pg, err := t.pgr.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	if nodeType(pg.Data) != pageLeaf {
+		pg.Release()
+		return nil, fmt.Errorf("%w: expected leaf", ErrCorrupt)
+	}
+	return pg, nil
+}

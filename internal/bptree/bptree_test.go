@@ -1,0 +1,612 @@
+package bptree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"github.com/hd-index/hdindex/internal/pager"
+)
+
+func mkTree(t *testing.T, cfg Config, opts pager.Options) (*Tree, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "tree.pg")
+	opts.Create = true
+	pgr, err := pager.Open(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Create(pgr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pgr.Close() })
+	return tr, path
+}
+
+func u64key(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, v)
+	return b
+}
+
+func u64val(v uint64) []byte { return u64key(v) }
+
+type kv struct{ k, v uint64 }
+
+func sortedKVs(kvs []kv) ([]kv, *SliceSource) {
+	s := append([]kv(nil), kvs...)
+	sort.Slice(s, func(i, j int) bool { return s[i].k < s[j].k })
+	src := &SliceSource{}
+	for _, e := range s {
+		src.Keys = append(src.Keys, u64key(e.k))
+		src.Values = append(src.Values, u64val(e.v))
+	}
+	return s, src
+}
+
+func TestCreateValidation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.pg")
+	pgr, err := pager.Open(path, pager.Options{Create: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pgr.Close()
+	if _, err := Create(pgr, Config{KeyLen: 0, ValLen: 8}); err == nil {
+		t.Error("KeyLen=0 must fail")
+	}
+	if _, err := Create(pgr, Config{KeyLen: 8, ValLen: -1}); err == nil {
+		t.Error("ValLen<0 must fail")
+	}
+	if _, err := Create(pgr, Config{KeyLen: 8, ValLen: 8, LeafCap: 100000}); err == nil {
+		t.Error("huge LeafCap must fail")
+	}
+	if _, err := Create(pgr, Config{KeyLen: 5000, ValLen: 8}); err == nil {
+		t.Error("oversized entry must fail")
+	}
+}
+
+func TestBulkLoadAndScanAll(t *testing.T) {
+	tr, _ := mkTree(t, Config{KeyLen: 8, ValLen: 8}, pager.Options{PageSize: 256})
+	var kvs []kv
+	for i := 0; i < 1000; i++ {
+		kvs = append(kvs, kv{uint64(i * 3), uint64(i)})
+	}
+	want, src := sortedKVs(kvs)
+	if err := tr.BulkLoad(src); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Count() != 1000 {
+		t.Fatalf("Count = %d, want 1000", tr.Count())
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("height = %d, expected a multi-level tree at page size 256", tr.Height())
+	}
+	var got []kv
+	err := tr.Scan(nil, nil, func(k, v []byte) bool {
+		got = append(got, kv{binary.BigEndian.Uint64(k), binary.BigEndian.Uint64(v)})
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scan returned %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBulkLoadRejectsUnsorted(t *testing.T) {
+	tr, _ := mkTree(t, Config{KeyLen: 8, ValLen: 0}, pager.Options{})
+	src := &SliceSource{Keys: [][]byte{u64key(5), u64key(3)}, Values: [][]byte{{}, {}}}
+	if err := tr.BulkLoad(src); !errors.Is(err, ErrNotSorted) {
+		t.Fatalf("err = %v, want ErrNotSorted", err)
+	}
+}
+
+func TestBulkLoadEmpty(t *testing.T) {
+	tr, _ := mkTree(t, Config{KeyLen: 8, ValLen: 8}, pager.Options{})
+	if err := tr.BulkLoad(&SliceSource{}); err != nil {
+		t.Fatal(err)
+	}
+	c := tr.NewCursor()
+	defer c.Close()
+	if err := c.First(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Valid() {
+		t.Error("cursor valid on empty tree")
+	}
+	if err := c.Seek(u64key(1)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Valid() {
+		t.Error("seek valid on empty tree")
+	}
+}
+
+func TestSeekLowerBoundSemantics(t *testing.T) {
+	tr, _ := mkTree(t, Config{KeyLen: 8, ValLen: 8}, pager.Options{PageSize: 256})
+	var kvs []kv
+	for i := 0; i < 200; i++ {
+		kvs = append(kvs, kv{uint64(i*10 + 5), uint64(i)}) // keys 5,15,25,...
+	}
+	_, src := sortedKVs(kvs)
+	if err := tr.BulkLoad(src); err != nil {
+		t.Fatal(err)
+	}
+	c := tr.NewCursor()
+	defer c.Close()
+	// Exact hit.
+	if err := c.Seek(u64key(45)); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Valid() || binary.BigEndian.Uint64(c.Key()) != 45 {
+		t.Fatalf("Seek(45) landed on %v", c.Valid())
+	}
+	// Between keys: lands on next larger.
+	if err := c.Seek(u64key(46)); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Valid() || binary.BigEndian.Uint64(c.Key()) != 55 {
+		t.Fatalf("Seek(46) key = %d, want 55", binary.BigEndian.Uint64(c.Key()))
+	}
+	// Before all keys.
+	if err := c.Seek(u64key(0)); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Valid() || binary.BigEndian.Uint64(c.Key()) != 5 {
+		t.Fatal("Seek(0) must land on first key")
+	}
+	// Past all keys.
+	if err := c.Seek(u64key(1e9)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Valid() {
+		t.Fatal("Seek past end must be invalid")
+	}
+}
+
+func TestSeekDuplicatesAcrossLeaves(t *testing.T) {
+	// Small pages force a run of equal keys to span leaf boundaries; Seek
+	// must land on the FIRST duplicate.
+	tr, _ := mkTree(t, Config{KeyLen: 8, ValLen: 8}, pager.Options{PageSize: 128})
+	var src SliceSource
+	src.Keys = append(src.Keys, u64key(1))
+	src.Values = append(src.Values, u64val(100))
+	for i := 0; i < 50; i++ {
+		src.Keys = append(src.Keys, u64key(7))
+		src.Values = append(src.Values, u64val(uint64(i)))
+	}
+	src.Keys = append(src.Keys, u64key(9))
+	src.Values = append(src.Values, u64val(200))
+	if err := tr.BulkLoad(&src); err != nil {
+		t.Fatal(err)
+	}
+	c := tr.NewCursor()
+	defer c.Close()
+	if err := c.Seek(u64key(7)); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Valid() || binary.BigEndian.Uint64(c.Key()) != 7 {
+		t.Fatal("Seek(7) missed")
+	}
+	if got := binary.BigEndian.Uint64(c.Value()); got != 0 {
+		t.Fatalf("Seek(7) value = %d, want first duplicate (0)", got)
+	}
+	// All 50 duplicates iterate in insertion order.
+	for i := 0; i < 50; i++ {
+		if !c.Valid() || binary.BigEndian.Uint64(c.Key()) != 7 {
+			t.Fatalf("duplicate %d missing", i)
+		}
+		if got := binary.BigEndian.Uint64(c.Value()); got != uint64(i) {
+			t.Fatalf("duplicate %d value = %d", i, got)
+		}
+		if err := c.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.Valid() || binary.BigEndian.Uint64(c.Key()) != 9 {
+		t.Fatal("iteration after duplicates broken")
+	}
+}
+
+func TestCursorBidirectional(t *testing.T) {
+	tr, _ := mkTree(t, Config{KeyLen: 8, ValLen: 0}, pager.Options{PageSize: 128})
+	var src SliceSource
+	for i := 0; i < 100; i++ {
+		src.Keys = append(src.Keys, u64key(uint64(i)))
+		src.Values = append(src.Values, []byte{})
+	}
+	if err := tr.BulkLoad(&src); err != nil {
+		t.Fatal(err)
+	}
+	c := tr.NewCursor()
+	defer c.Close()
+	if err := c.Seek(u64key(50)); err != nil {
+		t.Fatal(err)
+	}
+	left, err := c.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer left.Close()
+	// Walk right from 50 and left from 49.
+	if err := left.Prev(); err != nil {
+		t.Fatal(err)
+	}
+	for want := uint64(50); want < 100; want++ {
+		if !c.Valid() || binary.BigEndian.Uint64(c.Key()) != want {
+			t.Fatalf("right walk at %d failed", want)
+		}
+		c.Next()
+	}
+	if c.Valid() {
+		t.Fatal("right walk must end invalid")
+	}
+	for want := int64(49); want >= 0; want-- {
+		if !left.Valid() || binary.BigEndian.Uint64(left.Key()) != uint64(want) {
+			t.Fatalf("left walk at %d failed", want)
+		}
+		left.Prev()
+	}
+	if left.Valid() {
+		t.Fatal("left walk must end invalid")
+	}
+}
+
+func TestFirstLast(t *testing.T) {
+	tr, _ := mkTree(t, Config{KeyLen: 8, ValLen: 0}, pager.Options{PageSize: 128})
+	var src SliceSource
+	for i := 10; i <= 90; i += 10 {
+		src.Keys = append(src.Keys, u64key(uint64(i)))
+		src.Values = append(src.Values, []byte{})
+	}
+	if err := tr.BulkLoad(&src); err != nil {
+		t.Fatal(err)
+	}
+	c := tr.NewCursor()
+	defer c.Close()
+	c.First()
+	if binary.BigEndian.Uint64(c.Key()) != 10 {
+		t.Fatal("First broken")
+	}
+	c.Last()
+	if binary.BigEndian.Uint64(c.Key()) != 90 {
+		t.Fatal("Last broken")
+	}
+}
+
+func TestInsertIncremental(t *testing.T) {
+	tr, _ := mkTree(t, Config{KeyLen: 8, ValLen: 8}, pager.Options{PageSize: 128})
+	rng := rand.New(rand.NewSource(3))
+	model := make(map[uint64]uint64)
+	for i := 0; i < 2000; i++ {
+		k := uint64(rng.Intn(5000))
+		v := uint64(i)
+		if _, dup := model[k]; dup {
+			continue // value model is last-write; skip dups for simplicity here
+		}
+		model[k] = v
+		if err := tr.Insert(u64key(k), u64val(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Count() != uint64(len(model)) {
+		t.Fatalf("Count = %d, want %d", tr.Count(), len(model))
+	}
+	// Verify full ordered iteration matches the model.
+	keys := make([]uint64, 0, len(model))
+	for k := range model {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	i := 0
+	err := tr.Scan(nil, nil, func(k, v []byte) bool {
+		ku := binary.BigEndian.Uint64(k)
+		if ku != keys[i] {
+			t.Fatalf("pos %d key = %d, want %d", i, ku, keys[i])
+		}
+		if binary.BigEndian.Uint64(v) != model[ku] {
+			t.Fatalf("key %d wrong value", ku)
+		}
+		i++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != len(keys) {
+		t.Fatalf("iterated %d, want %d", i, len(keys))
+	}
+}
+
+func TestInsertIntoBulkLoadedTree(t *testing.T) {
+	// §3.6: updates land in an already-built index.
+	tr, _ := mkTree(t, Config{KeyLen: 8, ValLen: 8}, pager.Options{PageSize: 128})
+	var src SliceSource
+	for i := 0; i < 500; i++ {
+		src.Keys = append(src.Keys, u64key(uint64(i*2)))
+		src.Values = append(src.Values, u64val(uint64(i)))
+	}
+	if err := tr.BulkLoad(&src); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := tr.Insert(u64key(uint64(i*2+1)), u64val(9999)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Count() != 600 {
+		t.Fatalf("Count = %d, want 600", tr.Count())
+	}
+	prev := int64(-1)
+	n := 0
+	tr.Scan(nil, nil, func(k, v []byte) bool {
+		ku := int64(binary.BigEndian.Uint64(k))
+		if ku <= prev {
+			t.Fatalf("order violated: %d after %d", ku, prev)
+		}
+		prev = ku
+		n++
+		return true
+	})
+	if n != 600 {
+		t.Fatalf("scanned %d entries, want 600", n)
+	}
+}
+
+func TestPersistenceReopen(t *testing.T) {
+	cfg := Config{KeyLen: 8, ValLen: 8}
+	path := filepath.Join(t.TempDir(), "tree.pg")
+	pgr, err := pager.Open(path, pager.Options{Create: true, PageSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Create(pgr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var src SliceSource
+	for i := 0; i < 300; i++ {
+		src.Keys = append(src.Keys, u64key(uint64(i)))
+		src.Values = append(src.Values, u64val(uint64(i*7)))
+	}
+	if err := tr.BulkLoad(&src); err != nil {
+		t.Fatal(err)
+	}
+	if err := pgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	pgr2, err := pager.Open(path, pager.Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pgr2.Close()
+	tr2, err := Open(pgr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Count() != 300 || tr2.KeyLen() != 8 || tr2.ValLen() != 8 {
+		t.Fatalf("reopened header wrong: count=%d", tr2.Count())
+	}
+	c := tr2.NewCursor()
+	defer c.Close()
+	if err := c.Seek(u64key(123)); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Valid() || binary.BigEndian.Uint64(c.Value()) != 123*7 {
+		t.Fatal("reopened tree lookup failed")
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	tr, _ := mkTree(t, Config{KeyLen: 8, ValLen: 0}, pager.Options{PageSize: 128})
+	var src SliceSource
+	for i := 0; i < 100; i++ {
+		src.Keys = append(src.Keys, u64key(uint64(i)))
+		src.Values = append(src.Values, []byte{})
+	}
+	if err := tr.BulkLoad(&src); err != nil {
+		t.Fatal(err)
+	}
+	var got []uint64
+	tr.Scan(u64key(20), u64key(29), func(k, v []byte) bool {
+		got = append(got, binary.BigEndian.Uint64(k))
+		return true
+	})
+	if len(got) != 10 || got[0] != 20 || got[9] != 29 {
+		t.Fatalf("range scan = %v", got)
+	}
+	// Early stop.
+	n := 0
+	tr.Scan(nil, nil, func(k, v []byte) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early stop failed, n = %d", n)
+	}
+}
+
+// Model-based randomized test: a mixture of bulk load and inserts must
+// agree with a sorted slice under iteration and seeks.
+func TestRandomizedAgainstModel(t *testing.T) {
+	for _, pageSize := range []int{128, 256, 512} {
+		rng := rand.New(rand.NewSource(int64(pageSize)))
+		tr, _ := mkTree(t, Config{KeyLen: 8, ValLen: 8}, pager.Options{PageSize: pageSize, PoolPages: 8})
+		var kvs []kv
+		for i := 0; i < 400; i++ {
+			kvs = append(kvs, kv{uint64(rng.Intn(10000)), uint64(i)})
+		}
+		_, src := sortedKVs(kvs)
+		if err := tr.BulkLoad(src); err != nil {
+			t.Fatal(err)
+		}
+		model := append([]kv(nil), kvs...)
+		for i := 0; i < 300; i++ {
+			k := uint64(rng.Intn(10000))
+			v := uint64(100000 + i)
+			if err := tr.Insert(u64key(k), u64val(v)); err != nil {
+				t.Fatal(err)
+			}
+			model = append(model, kv{k, v})
+		}
+		sort.SliceStable(model, func(i, j int) bool { return model[i].k < model[j].k })
+
+		// Full iteration must agree on keys (values of duplicates may
+		// interleave between bulk and inserted entries, so compare keys
+		// plus the multiset of values).
+		var gotKeys []uint64
+		gotVals := map[uint64]int{}
+		tr.Scan(nil, nil, func(k, v []byte) bool {
+			gotKeys = append(gotKeys, binary.BigEndian.Uint64(k))
+			gotVals[binary.BigEndian.Uint64(v)]++
+			return true
+		})
+		if len(gotKeys) != len(model) {
+			t.Fatalf("ps=%d: %d entries, want %d", pageSize, len(gotKeys), len(model))
+		}
+		for i := range model {
+			if gotKeys[i] != model[i].k {
+				t.Fatalf("ps=%d pos %d: key %d, want %d", pageSize, i, gotKeys[i], model[i].k)
+			}
+		}
+		for _, e := range model {
+			gotVals[e.v]--
+		}
+		for v, n := range gotVals {
+			if n != 0 {
+				t.Fatalf("ps=%d: value multiset mismatch at %d (%d)", pageSize, v, n)
+			}
+		}
+
+		// Random seeks: cursor lower bound must match model lower bound.
+		for i := 0; i < 200; i++ {
+			target := uint64(rng.Intn(11000))
+			c := tr.NewCursor()
+			if err := c.Seek(u64key(target)); err != nil {
+				t.Fatal(err)
+			}
+			j := sort.Search(len(model), func(i int) bool { return model[i].k >= target })
+			if j == len(model) {
+				if c.Valid() {
+					t.Fatalf("ps=%d: Seek(%d) should be invalid", pageSize, target)
+				}
+			} else {
+				if !c.Valid() || binary.BigEndian.Uint64(c.Key()) != model[j].k {
+					t.Fatalf("ps=%d: Seek(%d) wrong position", pageSize, target)
+				}
+			}
+			c.Close()
+		}
+	}
+}
+
+func TestKeyValueLenValidation(t *testing.T) {
+	tr, _ := mkTree(t, Config{KeyLen: 8, ValLen: 4}, pager.Options{})
+	if err := tr.Insert([]byte{1}, make([]byte, 4)); !errors.Is(err, ErrKeyLen) {
+		t.Error("short key must fail")
+	}
+	if err := tr.Insert(u64key(1), make([]byte, 3)); !errors.Is(err, ErrValueLen) {
+		t.Error("short value must fail")
+	}
+	src := &SliceSource{Keys: [][]byte{{1, 2}}, Values: [][]byte{make([]byte, 4)}}
+	if err := tr.BulkLoad(src); !errors.Is(err, ErrKeyLen) {
+		t.Error("bulk short key must fail")
+	}
+}
+
+func TestLeafCapOverride(t *testing.T) {
+	tr, _ := mkTree(t, Config{KeyLen: 8, ValLen: 8, LeafCap: 5}, pager.Options{})
+	if tr.LeafCap() != 5 {
+		t.Fatalf("LeafCap = %d, want 5", tr.LeafCap())
+	}
+	var src SliceSource
+	for i := 0; i < 23; i++ {
+		src.Keys = append(src.Keys, u64key(uint64(i)))
+		src.Values = append(src.Values, u64val(0))
+	}
+	if err := tr.BulkLoad(&src); err != nil {
+		t.Fatal(err)
+	}
+	// 23 entries at 5/leaf = 5 leaves; root must be internal.
+	if tr.Height() < 2 {
+		t.Fatal("expected multi-level tree with LeafCap=5")
+	}
+	n := 0
+	tr.Scan(nil, nil, func(k, v []byte) bool { n++; return true })
+	if n != 23 {
+		t.Fatalf("scanned %d, want 23", n)
+	}
+}
+
+func TestVariableLengthKeysOrderedAsBytes(t *testing.T) {
+	// Hilbert keys are multi-byte; confirm byte order is respected.
+	tr, _ := mkTree(t, Config{KeyLen: 4, ValLen: 0}, pager.Options{})
+	keys := [][]byte{{0, 0, 0, 1}, {0, 0, 1, 0}, {0, 1, 0, 0}, {1, 0, 0, 0}}
+	src := &SliceSource{Keys: keys, Values: [][]byte{{}, {}, {}, {}}}
+	if err := tr.BulkLoad(src); err != nil {
+		t.Fatal(err)
+	}
+	var got [][]byte
+	tr.Scan(nil, nil, func(k, v []byte) bool {
+		got = append(got, append([]byte(nil), k...))
+		return true
+	})
+	for i := range keys {
+		if !bytes.Equal(got[i], keys[i]) {
+			t.Fatalf("order broken at %d", i)
+		}
+	}
+}
+
+func BenchmarkBulkLoad10k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		path := filepath.Join(b.TempDir(), "bl.pg")
+		pgr, _ := pager.Open(path, pager.Options{Create: true})
+		tr, _ := Create(pgr, Config{KeyLen: 16, ValLen: 48})
+		var src SliceSource
+		key := make([]byte, 16)
+		for j := 0; j < 10000; j++ {
+			binary.BigEndian.PutUint64(key[8:], uint64(j))
+			src.Keys = append(src.Keys, append([]byte(nil), key...))
+			src.Values = append(src.Values, make([]byte, 48))
+		}
+		b.StartTimer()
+		if err := tr.BulkLoad(&src); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		pgr.Close()
+	}
+}
+
+func BenchmarkSeek(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "seek.pg")
+	pgr, _ := pager.Open(path, pager.Options{Create: true})
+	defer pgr.Close()
+	tr, _ := Create(pgr, Config{KeyLen: 8, ValLen: 8})
+	var src SliceSource
+	for j := 0; j < 100000; j++ {
+		src.Keys = append(src.Keys, u64key(uint64(j)))
+		src.Values = append(src.Values, u64val(uint64(j)))
+	}
+	if err := tr.BulkLoad(&src); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	c := tr.NewCursor()
+	defer c.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Seek(u64key(uint64(rng.Intn(100000))))
+	}
+}

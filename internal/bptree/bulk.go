@@ -1,0 +1,195 @@
+package bptree
+
+import (
+	"bytes"
+
+	"github.com/hd-index/hdindex/internal/pager"
+)
+
+// EntrySource yields key/value pairs in non-decreasing key order for bulk
+// loading. Next returns false when exhausted. The returned slices are only
+// valid until the next call.
+type EntrySource interface {
+	Next() (key, value []byte, ok bool)
+}
+
+// SliceSource adapts in-memory parallel slices to an EntrySource.
+type SliceSource struct {
+	Keys   [][]byte
+	Values [][]byte
+	i      int
+}
+
+// Next implements EntrySource.
+func (s *SliceSource) Next() (key, value []byte, ok bool) {
+	if s.i >= len(s.Keys) {
+		return nil, nil, false
+	}
+	k := s.Keys[s.i]
+	var v []byte
+	if s.Values != nil {
+		v = s.Values[s.i]
+	}
+	s.i++
+	return k, v, true
+}
+
+// BulkLoad builds the tree bottom-up from a sorted entry stream, replacing
+// any previous content. This mirrors the paper's offline construction
+// (Algorithm 1): leaves are packed to the leaf order Ω left to right, then
+// each internal level is packed on top.
+func (t *Tree) BulkLoad(src EntrySource) error {
+	type childRef struct {
+		firstKey []byte
+		id       pager.PageID
+	}
+	var level []childRef
+
+	// ---- leaf level ----
+	var (
+		cur      *pager.Page
+		curN     int
+		prevLeaf pager.PageID
+		prevKey  []byte
+		n        uint64
+	)
+	t.firstLeaf, t.lastLeaf = 0, 0
+	flushLeaf := func() {
+		setLeafCount(cur.Data, curN)
+		setLeafLeft(cur.Data, prevLeaf)
+		setLeafRight(cur.Data, 0)
+		cur.MarkDirty()
+		prevLeaf = cur.ID
+		t.lastLeaf = cur.ID
+		cur.Release()
+		cur = nil
+	}
+	for {
+		key, val, ok := src.Next()
+		if !ok {
+			break
+		}
+		if len(key) != t.keyLen {
+			if cur != nil {
+				flushLeaf()
+			}
+			return ErrKeyLen
+		}
+		if len(val) != t.valLen {
+			if cur != nil {
+				flushLeaf()
+			}
+			return ErrValueLen
+		}
+		if prevKey != nil && bytes.Compare(prevKey, key) > 0 {
+			if cur != nil {
+				flushLeaf()
+			}
+			return ErrNotSorted
+		}
+		prevKey = append(prevKey[:0], key...)
+		if cur == nil {
+			pg, err := t.pgr.Alloc()
+			if err != nil {
+				return err
+			}
+			initLeaf(pg.Data)
+			cur = pg
+			curN = 0
+			if t.firstLeaf == 0 {
+				t.firstLeaf = pg.ID
+			}
+			level = append(level, childRef{firstKey: append([]byte(nil), key...), id: pg.ID})
+		}
+		copy(t.leafKey(cur.Data, curN), key)
+		copy(t.leafVal(cur.Data, curN), val)
+		curN++
+		n++
+		if curN == t.leafCap {
+			flushLeaf()
+		}
+	}
+	if cur != nil {
+		flushLeaf()
+	}
+
+	if len(level) == 0 {
+		// Empty input: a single empty leaf.
+		pg, err := t.pgr.Alloc()
+		if err != nil {
+			return err
+		}
+		initLeaf(pg.Data)
+		pg.MarkDirty()
+		t.root = pg.ID
+		t.firstLeaf, t.lastLeaf = pg.ID, pg.ID
+		t.height = 1
+		t.count = 0
+		pg.Release()
+		return t.Flush()
+	}
+
+	// Fix up right-sibling links: leaves were chained left-to-right with
+	// left links set; now set right links by walking the chain.
+	if err := t.linkRightSiblings(); err != nil {
+		return err
+	}
+
+	// ---- internal levels ----
+	height := 1
+	for len(level) > 1 {
+		var next []childRef
+		i := 0
+		for i < len(level) {
+			run := len(level) - i
+			if run > t.branchCap+1 {
+				run = t.branchCap + 1
+			}
+			// Avoid a trailing single-child node: borrow from this run.
+			if rem := len(level) - i - run; rem == 1 && run > 2 {
+				run--
+			}
+			pg, err := t.pgr.Alloc()
+			if err != nil {
+				return err
+			}
+			initInternal(pg.Data)
+			setInternalCount(pg.Data, run-1)
+			for j := 0; j < run; j++ {
+				setInternalChild(pg.Data, j, level[i+j].id)
+				if j > 0 {
+					copy(t.internalKey(pg.Data, j-1), level[i+j].firstKey)
+				}
+			}
+			pg.MarkDirty()
+			next = append(next, childRef{firstKey: level[i].firstKey, id: pg.ID})
+			pg.Release()
+			i += run
+		}
+		level = next
+		height++
+	}
+	t.root = level[0].id
+	t.height = height
+	t.count = n
+	return t.Flush()
+}
+
+// linkRightSiblings walks the leaf chain backwards using left links and
+// sets the right links.
+func (t *Tree) linkRightSiblings() error {
+	var right pager.PageID
+	id := t.lastLeaf
+	for id != 0 {
+		pg, err := t.pgr.Get(id)
+		if err != nil {
+			return err
+		}
+		setLeafRight(pg.Data, right)
+		pg.MarkDirty()
+		right = id
+		id = leafLeft(pg.Data)
+		pg.Release()
+	}
+	return nil
+}

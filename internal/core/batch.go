@@ -1,0 +1,41 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// SearchBatch answers many queries concurrently (across queries, not
+// trees), returning per-query results in input order. This is the
+// natural shape for the §5.5 image-search workload, where one logical
+// query fans out into N descriptor searches.
+func (ix *Index) SearchBatch(queries [][]float32, k int) ([][]Result, error) {
+	out := make([][]Result, len(queries))
+	errs := make([]error, len(queries))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int, len(queries))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for qi := range ch {
+				out[qi], errs[qi] = ix.Search(queries[qi], k)
+			}
+		}()
+	}
+	for qi := range queries {
+		ch <- qi
+	}
+	close(ch)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// §3.6: "deletions can be handled by simply marking the object as
+// 'deleted' and not returning it as an answer." The mark set lives in a
+// side file (deleted.bin: a count followed by raw ids) and is consulted
+// during the exact-refinement step, so no tree surgery is ever needed.
+
+const deletedFile = "deleted.bin"
+
+type deleteSet struct {
+	mu  sync.RWMutex
+	ids map[uint64]struct{}
+}
+
+func (d *deleteSet) has(id uint64) bool {
+	if d == nil {
+		return false
+	}
+	d.mu.RLock()
+	_, ok := d.ids[id]
+	d.mu.RUnlock()
+	return ok
+}
+
+func (d *deleteSet) len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.ids)
+}
+
+// Delete marks object id as deleted; it will no longer be returned by
+// Search. Deleting an unknown id is an error; deleting twice is a no-op.
+func (ix *Index) Delete(id uint64) error {
+	if id >= ix.vectors.Count() {
+		return fmt.Errorf("core: delete of unknown id %d (have %d)", id, ix.vectors.Count())
+	}
+	ix.ensureDeleteSet()
+	ix.deleted.mu.Lock()
+	ix.deleted.ids[id] = struct{}{}
+	ix.deleted.mu.Unlock()
+	return ix.saveDeleteSet()
+}
+
+// Undelete removes the deletion mark from id.
+func (ix *Index) Undelete(id uint64) error {
+	if ix.deleted == nil {
+		return nil
+	}
+	ix.deleted.mu.Lock()
+	delete(ix.deleted.ids, id)
+	ix.deleted.mu.Unlock()
+	return ix.saveDeleteSet()
+}
+
+// DeletedCount returns the number of marked objects.
+func (ix *Index) DeletedCount() int {
+	if ix.deleted == nil {
+		return 0
+	}
+	return ix.deleted.len()
+}
+
+func (ix *Index) ensureDeleteSet() {
+	if ix.deleted == nil {
+		ix.deleted = &deleteSet{ids: make(map[uint64]struct{})}
+	}
+}
+
+func (ix *Index) saveDeleteSet() error {
+	ix.deleted.mu.RLock()
+	buf := make([]byte, 8+8*len(ix.deleted.ids))
+	binary.BigEndian.PutUint64(buf, uint64(len(ix.deleted.ids)))
+	off := 8
+	for id := range ix.deleted.ids {
+		binary.BigEndian.PutUint64(buf[off:], id)
+		off += 8
+	}
+	ix.deleted.mu.RUnlock()
+	return os.WriteFile(filepath.Join(ix.dir, deletedFile), buf, 0o644)
+}
+
+func (ix *Index) loadDeleteSet() error {
+	buf, err := os.ReadFile(filepath.Join(ix.dir, deletedFile))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if len(buf) < 8 {
+		return fmt.Errorf("core: corrupt %s", deletedFile)
+	}
+	n := binary.BigEndian.Uint64(buf)
+	if uint64(len(buf)) < 8+8*n {
+		return fmt.Errorf("core: truncated %s", deletedFile)
+	}
+	ix.ensureDeleteSet()
+	for i := uint64(0); i < n; i++ {
+		ix.deleted.ids[binary.BigEndian.Uint64(buf[8+8*i:])] = struct{}{}
+	}
+	return nil
+}

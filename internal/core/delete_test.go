@@ -1,0 +1,120 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/hd-index/hdindex/internal/data"
+)
+
+func TestDeleteHidesObject(t *testing.T) {
+	ds := data.Generate(data.Config{N: 500, Dim: 16, Lo: 0, Hi: 1, Seed: 61})
+	dir := filepath.Join(t.TempDir(), "ix")
+	p := Params{Tau: 2, Omega: 8, M: 3, Alpha: 500, Beta: 500, Gamma: 500, Seed: 62}
+	ix, err := Build(dir, ds.Vectors, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+
+	// Query right on top of object 123: it must rank first.
+	q := ds.Vectors[123]
+	res, err := ix.Search(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].ID != 123 {
+		t.Fatalf("pre-delete nearest = %d, want 123", res[0].ID)
+	}
+	second := res[1].ID
+
+	if err := ix.Delete(123); err != nil {
+		t.Fatal(err)
+	}
+	if ix.DeletedCount() != 1 {
+		t.Fatalf("DeletedCount = %d", ix.DeletedCount())
+	}
+	res, err = ix.Search(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.ID == 123 {
+			t.Fatal("deleted object returned")
+		}
+	}
+	if res[0].ID != second {
+		t.Fatalf("post-delete nearest = %d, want the former runner-up %d", res[0].ID, second)
+	}
+
+	// Undelete restores it.
+	if err := ix.Undelete(123); err != nil {
+		t.Fatal(err)
+	}
+	res, err = ix.Search(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].ID != 123 {
+		t.Fatal("undelete did not restore the object")
+	}
+}
+
+func TestDeletePersistsAcrossReopen(t *testing.T) {
+	ds := data.Generate(data.Config{N: 300, Dim: 16, Lo: 0, Hi: 1, Seed: 63})
+	dir := filepath.Join(t.TempDir(), "ix")
+	p := Params{Tau: 2, Omega: 8, M: 3, Alpha: 300, Beta: 300, Gamma: 300, Seed: 64}
+	ix, err := Build(dir, ds.Vectors, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Delete(42); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.DeletedCount() != 1 {
+		t.Fatalf("reopened DeletedCount = %d", re.DeletedCount())
+	}
+	res, err := re.Search(ds.Vectors[42], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].ID == 42 {
+		t.Fatal("deletion mark lost across reopen")
+	}
+}
+
+func TestDeleteValidation(t *testing.T) {
+	ds := data.Generate(data.Config{N: 100, Dim: 8, Lo: 0, Hi: 1, Seed: 65})
+	dir := filepath.Join(t.TempDir(), "ix")
+	ix, err := Build(dir, ds.Vectors, Params{Tau: 2, Omega: 8, M: 2, Alpha: 100, Beta: 100, Gamma: 100, Seed: 66})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if err := ix.Delete(1000); err == nil {
+		t.Error("deleting unknown id must fail")
+	}
+	// Double delete is a no-op.
+	if err := ix.Delete(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Delete(5); err != nil {
+		t.Fatal(err)
+	}
+	if ix.DeletedCount() != 1 {
+		t.Fatalf("double delete counted twice: %d", ix.DeletedCount())
+	}
+	// Undelete of a never-deleted id is a no-op.
+	if err := ix.Undelete(7); err != nil {
+		t.Fatal(err)
+	}
+}

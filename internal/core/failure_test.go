@@ -1,0 +1,93 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/hd-index/hdindex/internal/data"
+)
+
+func buildTiny(t *testing.T) (string, *data.Dataset) {
+	t.Helper()
+	ds := data.Generate(data.Config{N: 200, Dim: 16, Lo: 0, Hi: 1, Seed: 71})
+	dir := filepath.Join(t.TempDir(), "ix")
+	ix, err := Build(dir, ds.Vectors, Params{Tau: 2, Omega: 8, M: 3, Alpha: 64, Gamma: 16, Seed: 72})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir, ds
+}
+
+func TestOpenMissingMeta(t *testing.T) {
+	dir, _ := buildTiny(t)
+	if err := os.Remove(filepath.Join(dir, metaFile)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, OpenOptions{}); err == nil {
+		t.Fatal("open without meta.json must fail")
+	}
+}
+
+func TestOpenCorruptMeta(t *testing.T) {
+	dir, _ := buildTiny(t)
+	if err := os.WriteFile(filepath.Join(dir, metaFile), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, OpenOptions{}); err == nil {
+		t.Fatal("open with corrupt meta.json must fail")
+	}
+}
+
+func TestOpenMissingTreeFile(t *testing.T) {
+	dir, _ := buildTiny(t)
+	if err := os.Remove(filepath.Join(dir, "tree_01.pg")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, OpenOptions{}); err == nil {
+		t.Fatal("open with a missing tree file must fail")
+	}
+}
+
+func TestOpenTruncatedVectors(t *testing.T) {
+	dir, _ := buildTiny(t)
+	path := filepath.Join(dir, "vectors.pg")
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, st.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Open(dir, OpenOptions{})
+	if err != nil {
+		return // failing at open is acceptable
+	}
+	defer ix.Close()
+	// If open succeeded (superblock intact), reads into the truncated
+	// region must fail rather than return garbage silently.
+	q := make([]float32, 16)
+	var sawErr bool
+	for id := uint64(0); id < ix.Count(); id++ {
+		if _, err := ix.vectors.Get(id, q); err != nil {
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Fatal("reads from truncated vector store must eventually error")
+	}
+}
+
+func TestOpenCorruptDeleteFile(t *testing.T) {
+	dir, _ := buildTiny(t)
+	if err := os.WriteFile(filepath.Join(dir, deletedFile), []byte{1, 2, 3}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, OpenOptions{}); err == nil {
+		t.Fatal("open with corrupt deleted.bin must fail")
+	}
+}

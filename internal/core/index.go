@@ -1,0 +1,525 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/hd-index/hdindex/internal/hilbert"
+	"github.com/hd-index/hdindex/internal/pager"
+	"github.com/hd-index/hdindex/internal/rdbtree"
+	"github.com/hd-index/hdindex/internal/refsel"
+	"github.com/hd-index/hdindex/internal/vecmath"
+	"github.com/hd-index/hdindex/internal/vecstore"
+)
+
+const metaFile = "meta.json"
+
+// Index is an HD-Index on disk: τ RDB-trees plus the raw vector store.
+type Index struct {
+	dir    string
+	params Params
+	nu     int
+	eta    int
+
+	trees      []*rdbtree.Tree
+	treePagers []*pager.Pager
+	vectors    *vecstore.Store
+	vecPager   *pager.Pager
+
+	refs     [][]float32 // the m reference vectors
+	refCross [][]float64 // d(R_i, R_j), for the Ptolemaic bound
+	lo, hi   []float32   // per-dimension quantiser domain
+
+	curves  []hilbert.Curve      // one per partition
+	quants  []*hilbert.Quantizer // one per partition
+	deleted *deleteSet           // §3.6 deletion marks
+}
+
+// metaJSON is the serialised index descriptor.
+type metaJSON struct {
+	Params Params      `json:"params"`
+	Nu     int         `json:"nu"`
+	Count  uint64      `json:"count"`
+	Refs   [][]float32 `json:"refs"`
+	Lo     []float32   `json:"lo"`
+	Hi     []float32   `json:"hi"`
+}
+
+// Build constructs an HD-Index over vectors in directory dir
+// (Algorithm 1). The directory is created; existing index files in it are
+// overwritten.
+func Build(dir string, vectors [][]float32, p Params) (*Index, error) {
+	if len(vectors) == 0 {
+		return nil, fmt.Errorf("core: empty dataset")
+	}
+	nu := len(vectors[0])
+	p.SetDefaults(nu, len(vectors))
+	if err := p.Validate(nu); err != nil {
+		return nil, err
+	}
+	if p.M > len(vectors) {
+		return nil, fmt.Errorf("core: m = %d exceeds dataset size %d", p.M, len(vectors))
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: mkdir %s: %w", dir, err)
+	}
+
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	// Algorithm 1 line 1: choose reference objects.
+	var sel *refsel.Result
+	var err error
+	switch p.RefSelection {
+	case RefRandom:
+		sel, err = refsel.Random(vectors, p.M, rng)
+	case RefSSSDyn:
+		sel, err = refsel.SSSDyn(vectors, p.M, p.SSSFraction, 64, rng)
+	default:
+		sel, err = refsel.SSS(vectors, p.M, p.SSSFraction, rng)
+	}
+	if err != nil {
+		return nil, err
+	}
+	refs := make([][]float32, p.M)
+	for i, v := range sel.Vectors {
+		refs[i] = vecmath.Copy(v)
+	}
+
+	// Algorithm 1 line 2: distances of every object to every reference.
+	rdist := computeRefDists(vectors, refs)
+
+	lo, hi := vecmath.MinMax(vectors, nu)
+
+	ix := &Index{
+		dir:    dir,
+		params: p,
+		nu:     nu,
+		eta:    nu / p.Tau,
+		refs:   refs,
+		lo:     lo,
+		hi:     hi,
+	}
+	ix.refCross = crossDistances(refs)
+	if err := ix.initCurves(); err != nil {
+		return nil, err
+	}
+
+	// Algorithm 1 lines 5-10: one RDB-tree per partition.
+	ix.trees = make([]*rdbtree.Tree, p.Tau)
+	ix.treePagers = make([]*pager.Pager, p.Tau)
+	errs := make([]error, p.Tau)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for t := 0; t < p.Tau; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[t] = ix.buildTree(t, vectors, rdist)
+		}(t)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			ix.Close()
+			return nil, e
+		}
+	}
+
+	// The pointer target: raw vectors in a paged store.
+	vp, err := pager.Open(filepath.Join(dir, "vectors.pg"), pager.Options{
+		Create: true, PageSize: p.PageSize, PoolPages: p.PoolPages, DisableLRU: p.DisableCache,
+	})
+	if err != nil {
+		ix.Close()
+		return nil, err
+	}
+	vs, err := vecstore.Create(vp, nu)
+	if err != nil {
+		vp.Close()
+		ix.Close()
+		return nil, err
+	}
+	if err := vs.BuildFrom(vectors); err != nil {
+		vp.Close()
+		ix.Close()
+		return nil, err
+	}
+	if err := vs.Flush(); err != nil {
+		vp.Close()
+		ix.Close()
+		return nil, err
+	}
+	ix.vectors = vs
+	ix.vecPager = vp
+
+	if err := ix.writeMeta(); err != nil {
+		ix.Close()
+		return nil, err
+	}
+	return ix, nil
+}
+
+// buildTree constructs RDB-tree t: Hilbert keys for partition t, sorted,
+// bulk-loaded with (key, id, refdists).
+func (ix *Index) buildTree(t int, vectors [][]float32, rdist [][]float32) error {
+	p := ix.params
+	q := ix.quants[t]
+	curve := ix.curves[t]
+	start := t * ix.eta
+
+	records := make([]rdbtree.Record, len(vectors))
+	coords := make([]uint32, ix.eta)
+	for id, v := range vectors {
+		q.Coords(coords, v[start:start+ix.eta])
+		records[id] = rdbtree.Record{
+			Key:      curve.Encode(nil, coords),
+			ID:       uint64(id),
+			RefDists: rdist[id],
+		}
+	}
+	sort.Slice(records, func(i, j int) bool {
+		return compareBytes(records[i].Key, records[j].Key) < 0
+	})
+
+	pgr, err := pager.Open(ix.treePath(t), pager.Options{
+		Create: true, PageSize: p.PageSize, PoolPages: p.PoolPages, DisableLRU: p.DisableCache,
+	})
+	if err != nil {
+		return err
+	}
+	tree, err := rdbtree.Create(pgr, rdbtree.Config{Eta: ix.eta, Omega: p.Omega, M: p.M})
+	if err != nil {
+		pgr.Close()
+		return err
+	}
+	if err := tree.BulkLoad(records); err != nil {
+		pgr.Close()
+		return err
+	}
+	if err := tree.Flush(); err != nil {
+		pgr.Close()
+		return err
+	}
+	ix.trees[t] = tree
+	ix.treePagers[t] = pgr
+	return nil
+}
+
+func (ix *Index) treePath(t int) string {
+	return filepath.Join(ix.dir, fmt.Sprintf("tree_%02d.pg", t))
+}
+
+func (ix *Index) initCurves() error {
+	p := ix.params
+	ix.curves = make([]hilbert.Curve, p.Tau)
+	ix.quants = make([]*hilbert.Quantizer, p.Tau)
+	for t := 0; t < p.Tau; t++ {
+		var c hilbert.Curve
+		var err error
+		switch p.Curve {
+		case CurveZOrder:
+			c, err = hilbert.NewZOrder(ix.eta, p.Omega)
+		default:
+			c, err = hilbert.New(ix.eta, p.Omega)
+		}
+		if err != nil {
+			return err
+		}
+		ix.curves[t] = c
+		start := t * ix.eta
+		ix.quants[t] = hilbert.NewQuantizer(ix.lo[start:start+ix.eta], ix.hi[start:start+ix.eta], p.Omega)
+	}
+	return nil
+}
+
+func computeRefDists(vectors, refs [][]float32) [][]float32 {
+	rdist := make([][]float32, len(vectors))
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	chunk := (len(vectors) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		loI, hiI := w*chunk, (w+1)*chunk
+		if hiI > len(vectors) {
+			hiI = len(vectors)
+		}
+		if loI >= hiI {
+			break
+		}
+		wg.Add(1)
+		go func(loI, hiI int) {
+			defer wg.Done()
+			for i := loI; i < hiI; i++ {
+				d := make([]float32, len(refs))
+				for r, rv := range refs {
+					d[r] = float32(vecmath.Dist(vectors[i], rv))
+				}
+				rdist[i] = d
+			}
+		}(loI, hiI)
+	}
+	wg.Wait()
+	return rdist
+}
+
+func crossDistances(refs [][]float32) [][]float64 {
+	m := len(refs)
+	cross := make([][]float64, m)
+	for i := range cross {
+		cross[i] = make([]float64, m)
+		for j := range cross[i] {
+			if i != j {
+				cross[i][j] = vecmath.Dist(refs[i], refs[j])
+			}
+		}
+	}
+	return cross
+}
+
+func compareBytes(a, b []byte) int {
+	for i := range a {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+func (ix *Index) writeMeta() error {
+	m := metaJSON{
+		Params: ix.params,
+		Nu:     ix.nu,
+		Count:  ix.vectors.Count(),
+		Refs:   ix.refs,
+		Lo:     ix.lo,
+		Hi:     ix.hi,
+	}
+	buf, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(ix.dir, metaFile), buf, 0o644)
+}
+
+// OpenOptions tunes how an existing index is opened.
+type OpenOptions struct {
+	PoolPages    int  // buffer-pool pages per file; 0 keeps the build-time value
+	DisableCache bool // paper's caching-off protocol
+	Parallel     bool // search trees concurrently
+}
+
+// Open loads an HD-Index previously written by Build.
+func Open(dir string, opts OpenOptions) (*Index, error) {
+	buf, err := os.ReadFile(filepath.Join(dir, metaFile))
+	if err != nil {
+		return nil, fmt.Errorf("core: read index meta: %w", err)
+	}
+	var m metaJSON
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return nil, fmt.Errorf("core: parse index meta: %w", err)
+	}
+	p := m.Params
+	if opts.PoolPages > 0 {
+		p.PoolPages = opts.PoolPages
+	}
+	p.DisableCache = opts.DisableCache
+	p.Parallel = opts.Parallel
+
+	ix := &Index{
+		dir:    dir,
+		params: p,
+		nu:     m.Nu,
+		eta:    m.Nu / p.Tau,
+		refs:   m.Refs,
+		lo:     m.Lo,
+		hi:     m.Hi,
+	}
+	ix.refCross = crossDistances(m.Refs)
+	if err := ix.initCurves(); err != nil {
+		return nil, err
+	}
+
+	ix.trees = make([]*rdbtree.Tree, p.Tau)
+	ix.treePagers = make([]*pager.Pager, p.Tau)
+	for t := 0; t < p.Tau; t++ {
+		pgr, err := pager.Open(ix.treePath(t), pager.Options{
+			PoolPages: p.PoolPages, DisableLRU: p.DisableCache,
+		})
+		if err != nil {
+			ix.Close()
+			return nil, err
+		}
+		ix.treePagers[t] = pgr
+		tree, err := rdbtree.Open(pgr)
+		if err != nil {
+			ix.Close()
+			return nil, err
+		}
+		ix.trees[t] = tree
+	}
+	vp, err := pager.Open(filepath.Join(dir, "vectors.pg"), pager.Options{
+		PoolPages: p.PoolPages, DisableLRU: p.DisableCache,
+	})
+	if err != nil {
+		ix.Close()
+		return nil, err
+	}
+	ix.vecPager = vp
+	vs, err := vecstore.Open(vp)
+	if err != nil {
+		ix.Close()
+		return nil, err
+	}
+	ix.vectors = vs
+	if err := ix.loadDeleteSet(); err != nil {
+		ix.Close()
+		return nil, err
+	}
+	return ix, nil
+}
+
+// Close releases all file handles. Safe to call more than once.
+func (ix *Index) Close() error {
+	var first error
+	for _, pgr := range ix.treePagers {
+		if pgr != nil {
+			if err := pgr.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	if ix.vecPager != nil {
+		if err := ix.vecPager.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Params returns the effective parameters.
+func (ix *Index) Params() Params { return ix.params }
+
+// Dim returns the indexed dimensionality ν.
+func (ix *Index) Dim() int { return ix.nu }
+
+// Count returns the number of indexed objects.
+func (ix *Index) Count() uint64 { return ix.vectors.Count() }
+
+// References returns the reference vectors (not copies).
+func (ix *Index) References() [][]float32 { return ix.refs }
+
+// SizeOnDisk returns the total bytes of all index files.
+func (ix *Index) SizeOnDisk() int64 {
+	var total int64
+	for _, pgr := range ix.treePagers {
+		if pgr != nil {
+			total += pgr.FileSize()
+		}
+	}
+	if ix.vecPager != nil {
+		total += ix.vecPager.FileSize()
+	}
+	return total
+}
+
+// TreeSizeOnDisk returns bytes used by the RDB-trees only (the index
+// proper, excluding the dataset vectors every method must keep).
+func (ix *Index) TreeSizeOnDisk() int64 {
+	var total int64
+	for _, pgr := range ix.treePagers {
+		if pgr != nil {
+			total += pgr.FileSize()
+		}
+	}
+	return total
+}
+
+// IOStats sums the pager counters of all files.
+func (ix *Index) IOStats() pager.Stats {
+	var s pager.Stats
+	for _, pgr := range ix.treePagers {
+		if pgr != nil {
+			st := pgr.Stats()
+			s.Reads += st.Reads
+			s.Writes += st.Writes
+			s.Hits += st.Hits
+			s.Misses += st.Misses
+			s.Allocs += st.Allocs
+		}
+	}
+	if ix.vecPager != nil {
+		st := ix.vecPager.Stats()
+		s.Reads += st.Reads
+		s.Writes += st.Writes
+		s.Hits += st.Hits
+		s.Misses += st.Misses
+		s.Allocs += st.Allocs
+	}
+	return s
+}
+
+// ResetIOStats zeroes all pager counters.
+func (ix *Index) ResetIOStats() {
+	for _, pgr := range ix.treePagers {
+		if pgr != nil {
+			pgr.ResetStats()
+		}
+	}
+	if ix.vecPager != nil {
+		ix.vecPager.ResetStats()
+	}
+}
+
+// Insert adds one vector to the index (§3.6): append to the vector store,
+// compute its reference distances and Hilbert keys, insert into each
+// RDB-tree. The reference set is not recomputed.
+func (ix *Index) Insert(vec []float32) (uint64, error) {
+	if len(vec) != ix.nu {
+		return 0, fmt.Errorf("core: vector has %d dims, index has %d", len(vec), ix.nu)
+	}
+	id, err := ix.vectors.Append(vec)
+	if err != nil {
+		return 0, err
+	}
+	rd := make([]float32, ix.params.M)
+	for r, rv := range ix.refs {
+		rd[r] = float32(vecmath.Dist(vec, rv))
+	}
+	coords := make([]uint32, ix.eta)
+	for t := 0; t < ix.params.Tau; t++ {
+		start := t * ix.eta
+		ix.quants[t].Coords(coords, vec[start:start+ix.eta])
+		key := ix.curves[t].Encode(nil, coords)
+		if err := ix.trees[t].Insert(key, id, rd); err != nil {
+			return 0, err
+		}
+	}
+	return id, nil
+}
+
+// Flush persists all dirty state to disk.
+func (ix *Index) Flush() error {
+	for _, tr := range ix.trees {
+		if tr != nil {
+			if err := tr.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if ix.vectors != nil {
+		if err := ix.vectors.Flush(); err != nil {
+			return err
+		}
+	}
+	return ix.writeMeta()
+}

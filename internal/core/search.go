@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/hd-index/hdindex/internal/topk"
+	"github.com/hd-index/hdindex/internal/vecmath"
+)
+
+// Result is one returned neighbour.
+type Result struct {
+	ID   uint64
+	Dist float64
+}
+
+// QueryStats reports the work one query did.
+type QueryStats struct {
+	Candidates     int    // κ = |C|, distinct objects refined exactly
+	TreeEntries    int    // total α entries fetched across trees
+	PageReads      uint64 // physical page reads during the query
+	ExactDistances int    // full ν-dimensional distance computations
+}
+
+// Search answers a kANN query (Algorithm 2).
+func (ix *Index) Search(q []float32, k int) ([]Result, error) {
+	res, _, err := ix.SearchWithStats(q, k)
+	return res, err
+}
+
+// SearchWithStats is Search plus per-query work counters.
+func (ix *Index) SearchWithStats(q []float32, k int) ([]Result, *QueryStats, error) {
+	if len(q) != ix.nu {
+		return nil, nil, fmt.Errorf("core: query has %d dims, index has %d", len(q), ix.nu)
+	}
+	if k < 1 {
+		return nil, nil, fmt.Errorf("core: k must be >= 1, got %d", k)
+	}
+	p := ix.params
+	ioBefore := ix.IOStats()
+
+	// Distances from q to the m reference objects (lines handled before
+	// the loop in Algorithm 2; O(m·ν)).
+	qdist := make([]float64, p.M)
+	for r, rv := range ix.refs {
+		qdist[r] = vecmath.Dist(q, rv)
+	}
+
+	// Per-tree candidate retrieval and filtering (lines 1-10).
+	perTree := make([][]uint64, p.Tau)
+	entriesFetched := make([]int, p.Tau)
+	errs := make([]error, p.Tau)
+	run := func(t int) {
+		ids, fetched, err := ix.searchTree(t, q, qdist)
+		perTree[t], entriesFetched[t], errs[t] = ids, fetched, err
+	}
+	if p.Parallel && p.Tau > 1 {
+		var wg sync.WaitGroup
+		for t := 0; t < p.Tau; t++ {
+			wg.Add(1)
+			go func(t int) {
+				defer wg.Done()
+				run(t)
+			}(t)
+		}
+		wg.Wait()
+	} else {
+		for t := 0; t < p.Tau; t++ {
+			run(t)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Union of candidates (line 11): γ <= κ <= τ·γ.
+	seen := make(map[uint64]struct{}, p.Gamma*p.Tau)
+	var candidates []uint64
+	for _, ids := range perTree {
+		for _, id := range ids {
+			if _, ok := seen[id]; !ok {
+				seen[id] = struct{}{}
+				candidates = append(candidates, id)
+			}
+		}
+	}
+
+	// Exact refinement (lines 12-15): fetch each candidate's vector and
+	// compute the true distance. Deleted objects (§3.6) are skipped here
+	// — they stay in the trees but are never returned.
+	best := topk.New(k)
+	vec := make([]float32, ix.nu)
+	for _, id := range candidates {
+		if ix.deleted.has(id) {
+			continue
+		}
+		v, err := ix.vectors.Get(id, vec)
+		if err != nil {
+			return nil, nil, err
+		}
+		best.Push(id, vecmath.DistSq(q, v))
+	}
+
+	items := best.Items()
+	out := make([]Result, len(items))
+	for i, it := range items {
+		out[i] = Result{ID: it.ID, Dist: math.Sqrt(it.Dist)}
+	}
+	ioAfter := ix.IOStats()
+	stats := &QueryStats{
+		Candidates:     len(candidates),
+		ExactDistances: len(candidates),
+		PageReads:      ioAfter.Reads - ioBefore.Reads,
+	}
+	for _, f := range entriesFetched {
+		stats.TreeEntries += f
+	}
+	return out, stats, nil
+}
+
+// searchTree performs Algorithm 2 lines 2-10 for one partition: Hilbert
+// key, α nearest leaf entries, triangular filter, optional Ptolemaic
+// filter, returning the surviving γ object ids.
+func (ix *Index) searchTree(t int, q []float32, qdist []float64) ([]uint64, int, error) {
+	p := ix.params
+	start := t * ix.eta
+	coords := make([]uint32, ix.eta)
+	ix.quants[t].Coords(coords, q[start:start+ix.eta])
+	key := ix.curves[t].Encode(nil, coords)
+
+	entries, err := ix.trees[t].SearchNearest(key, p.Alpha)
+	if err != nil {
+		return nil, 0, err
+	}
+	fetched := len(entries)
+	if len(entries) == 0 {
+		return nil, 0, nil
+	}
+
+	// Triangular inequality (Eq. 5): keep the β (or γ, if Ptolemaic is
+	// off) smallest lower bounds.
+	narrowTo := p.Gamma
+	if p.UsePtolemaic {
+		narrowTo = p.Beta
+	}
+	tri := make([]topk.Item, len(entries))
+	for i := range entries {
+		tri[i] = topk.Item{ID: uint64(i), Dist: triangularLB(qdist, entries[i].RefDists)}
+	}
+	tri = topk.SelectK(tri, narrowTo)
+
+	if !p.UsePtolemaic {
+		ids := make([]uint64, len(tri))
+		for i, it := range tri {
+			ids[i] = entries[it.ID].ID
+		}
+		return ids, fetched, nil
+	}
+
+	// Ptolemaic inequality (Eq. 6): tighter but O(m²) per object.
+	pto := make([]topk.Item, len(tri))
+	for i, it := range tri {
+		pto[i] = topk.Item{ID: it.ID, Dist: ix.ptolemaicLB(qdist, entries[it.ID].RefDists)}
+	}
+	pto = topk.SelectK(pto, p.Gamma)
+	ids := make([]uint64, len(pto))
+	for i, it := range pto {
+		ids[i] = entries[it.ID].ID
+	}
+	return ids, fetched, nil
+}
+
+// triangularLB is Eq. (5): max_i |d(q,R_i) - d(o,R_i)|.
+func triangularLB(qdist []float64, refDists []float32) float64 {
+	var best float64
+	for i, qd := range qdist {
+		lb := qd - float64(refDists[i])
+		if lb < 0 {
+			lb = -lb
+		}
+		if lb > best {
+			best = lb
+		}
+	}
+	return best
+}
+
+// ptolemaicLB is Eq. (6):
+// max_{i<j} |d(q,R_i)·d(o,R_j) - d(q,R_j)·d(o,R_i)| / d(R_i,R_j).
+func (ix *Index) ptolemaicLB(qdist []float64, refDists []float32) float64 {
+	var best float64
+	m := len(qdist)
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			den := ix.refCross[i][j]
+			if den <= 0 {
+				continue
+			}
+			num := qdist[i]*float64(refDists[j]) - qdist[j]*float64(refDists[i])
+			if num < 0 {
+				num = -num
+			}
+			if lb := num / den; lb > best {
+				best = lb
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,241 @@
+package data
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"github.com/hd-index/hdindex/internal/vecmath"
+)
+
+func TestGenerateShapeAndDomain(t *testing.T) {
+	ds := Generate(Config{Name: "t", N: 500, Dim: 16, Lo: -2, Hi: 2, Seed: 1})
+	if len(ds.Vectors) != 500 || ds.Dim != 16 {
+		t.Fatalf("shape = %d x %d", len(ds.Vectors), ds.Dim)
+	}
+	for _, v := range ds.Vectors {
+		if len(v) != 16 {
+			t.Fatal("ragged vector")
+		}
+		for _, x := range v {
+			if x < -2 || x > 2 {
+				t.Fatalf("value %v out of domain", x)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{N: 50, Dim: 8, Lo: 0, Hi: 1, Seed: 7})
+	b := Generate(Config{N: 50, Dim: 8, Lo: 0, Hi: 1, Seed: 7})
+	for i := range a.Vectors {
+		for d := range a.Vectors[i] {
+			if a.Vectors[i][d] != b.Vectors[i][d] {
+				t.Fatal("same seed must give same data")
+			}
+		}
+	}
+	c := Generate(Config{N: 50, Dim: 8, Lo: 0, Hi: 1, Seed: 8})
+	same := true
+	for i := range a.Vectors {
+		for d := range a.Vectors[i] {
+			if a.Vectors[i][d] != c.Vectors[i][d] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestIntegerDatasets(t *testing.T) {
+	ds := SIFTLike(200, 3)
+	if ds.Dim != 128 {
+		t.Fatalf("SIFT dim = %d", ds.Dim)
+	}
+	for _, v := range ds.Vectors[:10] {
+		for _, x := range v {
+			if x != float32(int64(x)) {
+				t.Fatalf("SIFT value %v not integral", x)
+			}
+			if x < 0 || x > 255 {
+				t.Fatalf("SIFT value %v out of [0,255]", x)
+			}
+		}
+	}
+}
+
+func TestPresetsDims(t *testing.T) {
+	cases := []struct {
+		ds   *Dataset
+		dim  int
+		name string
+	}{
+		{AudioLike(10, 1), 192, "audio"},
+		{SUNLike(10, 1), 512, "sun"},
+		{YorckLike(10, 1), 128, "yorck"},
+		{GloveLike(10, 1), 100, "glove"},
+	}
+	for _, c := range cases {
+		if c.ds.Dim != c.dim || c.ds.Name != c.name {
+			t.Errorf("%s: dim=%d name=%s", c.name, c.ds.Dim, c.ds.Name)
+		}
+	}
+}
+
+func TestClusteredness(t *testing.T) {
+	// Clustered data must have a markedly smaller mean NN distance than
+	// uniform data over the same domain.
+	cl := Generate(Config{N: 400, Dim: 16, Clusters: 5, Lo: 0, Hi: 1, Seed: 5})
+	un := Uniform(400, 16, 0, 1, 5)
+	nn := func(vecs [][]float32) float64 {
+		var sum float64
+		for i := 0; i < 50; i++ {
+			best := math.Inf(1)
+			for j, v := range vecs {
+				if j == i {
+					continue
+				}
+				if d := vecmath.DistSq(vecs[i], v); d < best {
+					best = d
+				}
+			}
+			sum += math.Sqrt(best)
+		}
+		return sum
+	}
+	if nn(cl.Vectors) >= nn(un.Vectors) {
+		t.Error("clustered data should have smaller NN distances than uniform")
+	}
+}
+
+func TestHoldOutQueries(t *testing.T) {
+	ds := Uniform(100, 4, 0, 1, 2)
+	qs := ds.HoldOutQueries(10, 3)
+	if len(qs) != 10 || len(ds.Vectors) != 90 {
+		t.Fatalf("holdout sizes: q=%d rest=%d", len(qs), len(ds.Vectors))
+	}
+	// No query vector may remain in the dataset (they were removed by
+	// identity, so check by value).
+	for _, q := range qs {
+		for _, v := range ds.Vectors {
+			if &q[0] == &v[0] {
+				t.Fatal("query still present in dataset")
+			}
+		}
+	}
+}
+
+func TestPerturbedQueries(t *testing.T) {
+	ds := Uniform(50, 8, 0, 1, 4)
+	qs := ds.PerturbedQueries(20, 0.01, 5)
+	if len(qs) != 20 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	if len(ds.Vectors) != 50 {
+		t.Fatal("PerturbedQueries must not shrink the dataset")
+	}
+	for _, q := range qs {
+		best := math.Inf(1)
+		for _, v := range ds.Vectors {
+			if d := vecmath.Dist(q, v); d < best {
+				best = d
+			}
+		}
+		// 1% noise per dim over 8 dims: NN distance stays well under the
+		// domain diagonal.
+		if best > 0.5 {
+			t.Fatalf("perturbed query too far from data: %v", best)
+		}
+	}
+}
+
+func TestGroundTruth(t *testing.T) {
+	vecs := [][]float32{{0, 0}, {1, 0}, {2, 0}, {5, 0}}
+	queries := [][]float32{{0.9, 0}}
+	ids, dists := GroundTruth(vecs, queries, 3)
+	if len(ids) != 1 || len(ids[0]) != 3 {
+		t.Fatalf("shape = %v", ids)
+	}
+	want := []uint64{1, 0, 2}
+	for i, id := range ids[0] {
+		if id != want[i] {
+			t.Fatalf("ids = %v, want %v", ids[0], want)
+		}
+	}
+	if math.Abs(dists[0][0]-0.1) > 1e-6 {
+		t.Fatalf("dist[0] = %v, want 0.1", dists[0][0])
+	}
+	// Distances are non-decreasing.
+	for i := 1; i < len(dists[0]); i++ {
+		if dists[0][i] < dists[0][i-1] {
+			t.Fatal("ground-truth distances not sorted")
+		}
+	}
+}
+
+func TestGroundTruthParallelConsistency(t *testing.T) {
+	ds := Uniform(300, 8, 0, 1, 6)
+	qs := ds.PerturbedQueries(25, 0.02, 7)
+	ids1, _ := GroundTruth(ds.Vectors, qs, 10)
+	ids2, _ := GroundTruth(ds.Vectors, qs, 10)
+	for i := range ids1 {
+		for j := range ids1[i] {
+			if ids1[i][j] != ids2[i][j] {
+				t.Fatal("ground truth must be deterministic")
+			}
+		}
+	}
+}
+
+func TestFvecsRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.fvecs")
+	vecs := [][]float32{{1, 2, 3}, {-4.5, 0, 9.25}}
+	if err := WriteFvecs(path, vecs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFvecs(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d vectors", len(got))
+	}
+	for i := range vecs {
+		for d := range vecs[i] {
+			if got[i][d] != vecs[i][d] {
+				t.Fatal("fvecs round trip mismatch")
+			}
+		}
+	}
+}
+
+func TestIvecsRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.ivecs")
+	rows := [][]uint64{{1, 2, 3}, {7}}
+	if err := WriteIvecs(path, rows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIvecs(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0][2] != 3 || got[1][0] != 7 {
+		t.Fatalf("ivecs = %v", got)
+	}
+}
+
+func TestReadFvecsErrors(t *testing.T) {
+	if _, err := ReadFvecs(filepath.Join(t.TempDir(), "missing.fvecs")); err == nil {
+		t.Error("missing file must fail")
+	}
+	// Mixed dims must fail.
+	path := filepath.Join(t.TempDir(), "mixed.fvecs")
+	if err := WriteFvecs(path, [][]float32{{1}, {1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFvecs(path); err == nil {
+		t.Error("mixed dimensions must fail")
+	}
+}

@@ -1,0 +1,143 @@
+package data
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// fvecs/ivecs are the file formats the paper's corpora are distributed in
+// (corpus-texmex.irisa.fr): each vector is an int32 dimension count
+// followed by dim little-endian float32 (fvecs) or int32 (ivecs) values.
+
+// WriteFvecs writes vectors to path in fvecs format.
+func WriteFvecs(path string, vectors [][]float32) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("data: create %s: %w", path, err)
+	}
+	w := bufio.NewWriter(f)
+	var buf [4]byte
+	for _, v := range vectors {
+		binary.LittleEndian.PutUint32(buf[:], uint32(len(v)))
+		if _, err := w.Write(buf[:]); err != nil {
+			f.Close()
+			return err
+		}
+		for _, x := range v {
+			binary.LittleEndian.PutUint32(buf[:], math.Float32bits(x))
+			if _, err := w.Write(buf[:]); err != nil {
+				f.Close()
+				return err
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFvecs reads all vectors from an fvecs file. Every vector must have
+// the same dimensionality.
+func ReadFvecs(path string) ([][]float32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("data: open %s: %w", path, err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var vectors [][]float32
+	var buf [4]byte
+	dim := -1
+	for {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			if err == io.EOF {
+				return vectors, nil
+			}
+			return nil, fmt.Errorf("data: read %s: %w", path, err)
+		}
+		d := int(int32(binary.LittleEndian.Uint32(buf[:])))
+		if d <= 0 {
+			return nil, fmt.Errorf("data: %s: bad dimension %d", path, d)
+		}
+		if dim == -1 {
+			dim = d
+		} else if d != dim {
+			return nil, fmt.Errorf("data: %s: mixed dimensions %d and %d", path, dim, d)
+		}
+		v := make([]float32, d)
+		for i := range v {
+			if _, err := io.ReadFull(r, buf[:]); err != nil {
+				return nil, fmt.Errorf("data: %s: truncated vector: %w", path, err)
+			}
+			v[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[:]))
+		}
+		vectors = append(vectors, v)
+	}
+}
+
+// WriteIvecs writes integer id lists (e.g. ground truth) in ivecs format.
+func WriteIvecs(path string, rows [][]uint64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("data: create %s: %w", path, err)
+	}
+	w := bufio.NewWriter(f)
+	var buf [4]byte
+	for _, row := range rows {
+		binary.LittleEndian.PutUint32(buf[:], uint32(len(row)))
+		if _, err := w.Write(buf[:]); err != nil {
+			f.Close()
+			return err
+		}
+		for _, x := range row {
+			binary.LittleEndian.PutUint32(buf[:], uint32(x))
+			if _, err := w.Write(buf[:]); err != nil {
+				f.Close()
+				return err
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadIvecs reads integer id lists from an ivecs file.
+func ReadIvecs(path string) ([][]uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("data: open %s: %w", path, err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var rows [][]uint64
+	var buf [4]byte
+	for {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			if err == io.EOF {
+				return rows, nil
+			}
+			return nil, fmt.Errorf("data: read %s: %w", path, err)
+		}
+		n := int(int32(binary.LittleEndian.Uint32(buf[:])))
+		if n < 0 {
+			return nil, fmt.Errorf("data: %s: bad row length %d", path, n)
+		}
+		row := make([]uint64, n)
+		for i := range row {
+			if _, err := io.ReadFull(r, buf[:]); err != nil {
+				return nil, fmt.Errorf("data: %s: truncated row: %w", path, err)
+			}
+			row[i] = uint64(binary.LittleEndian.Uint32(buf[:]))
+		}
+		rows = append(rows, row)
+	}
+}

@@ -1,0 +1,211 @@
+// Package hilbert implements the Hilbert space-filling curve for arbitrary
+// dimensionality and order, following the Butz algorithm [19] in John
+// Skilling's compact transpose formulation ("Programming the Hilbert
+// curve", AIP 2004), which is the standard modern restatement of Butz.
+//
+// HD-Index (§3.1) passes one Hilbert curve of order ω through each of the
+// τ dimension partitions (η = ν/τ dimensions each). The single-dimensional
+// position of an object's grid cell along the curve is its Hilbert key;
+// the keys are what the RDB-trees index. Keys here are big-endian byte
+// strings of ceil(η·ω/8) bytes so that bytes.Compare gives curve order —
+// exactly the property a B+-tree needs.
+//
+// The package also provides a Z-order (Morton) curve with the same key
+// format, used by the ablation benchmarks: the paper cites the Hilbert
+// curve as the most appropriate space-filling curve for indexing [37],
+// and the ablation quantifies that choice.
+package hilbert
+
+import "fmt"
+
+// Curve maps points on a dims-dimensional grid with 2^order cells per side
+// to keys along a space-filling curve and back. Implementations must be
+// bijections from [0,2^order)^dims onto [0, 2^(dims·order)).
+type Curve interface {
+	// Dims returns the grid dimensionality η.
+	Dims() int
+	// Order returns the bits per dimension ω.
+	Order() int
+	// KeyLen returns the key size in bytes: ceil(dims·order/8).
+	KeyLen() int
+	// Encode appends the key of coords to dst and returns it.
+	// Each coordinate must be < 2^order.
+	Encode(dst []byte, coords []uint32) []byte
+	// Decode writes the grid coordinates of key into coords.
+	Decode(key []byte, coords []uint32)
+}
+
+// Hilbert is a Curve following the Hilbert space-filling curve.
+type Hilbert struct {
+	dims   int
+	order  int
+	keyLen int
+}
+
+// New returns a Hilbert curve over dims dimensions with the given order
+// (bits per dimension, 1..32). The paper uses ω ∈ {8, 16, 32} (Table 3).
+func New(dims, order int) (*Hilbert, error) {
+	if dims < 1 {
+		return nil, fmt.Errorf("hilbert: dims must be >= 1, got %d", dims)
+	}
+	if order < 1 || order > 32 {
+		return nil, fmt.Errorf("hilbert: order must be in [1,32], got %d", order)
+	}
+	return &Hilbert{dims: dims, order: order, keyLen: (dims*order + 7) / 8}, nil
+}
+
+// MustNew is New for known-good parameters; it panics on error.
+func MustNew(dims, order int) *Hilbert {
+	h, err := New(dims, order)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Dims returns the dimensionality of the curve.
+func (h *Hilbert) Dims() int { return h.dims }
+
+// Order returns the bits per dimension.
+func (h *Hilbert) Order() int { return h.order }
+
+// KeyLen returns the number of bytes in a key.
+func (h *Hilbert) KeyLen() int { return h.keyLen }
+
+// Encode appends the Hilbert key of coords to dst and returns the extended
+// slice. len(coords) must equal Dims() and every coordinate must fit in
+// Order() bits; violations panic, as they are always caller bugs.
+func (h *Hilbert) Encode(dst []byte, coords []uint32) []byte {
+	if len(coords) != h.dims {
+		panic("hilbert: coordinate count mismatch")
+	}
+	x := make([]uint32, h.dims)
+	maxv := maxCoord(h.order)
+	for i, c := range coords {
+		if c > maxv {
+			panic("hilbert: coordinate exceeds order")
+		}
+		x[i] = c
+	}
+	axesToTranspose(x, h.order)
+	return packTransposed(dst, x, h.dims, h.order)
+}
+
+// Decode writes the grid coordinates of key into coords (length Dims()).
+func (h *Hilbert) Decode(key []byte, coords []uint32) {
+	if len(coords) != h.dims {
+		panic("hilbert: coordinate count mismatch")
+	}
+	if len(key) != h.keyLen {
+		panic("hilbert: key length mismatch")
+	}
+	unpackTransposed(key, coords, h.dims, h.order)
+	transposeToAxes(coords, h.order)
+}
+
+func maxCoord(order int) uint32 {
+	if order == 32 {
+		return ^uint32(0)
+	}
+	return (1 << uint(order)) - 1
+}
+
+// axesToTranspose converts grid coordinates in x (b bits each) into the
+// "transposed" Hilbert index representation, in place. Skilling 2004.
+func axesToTranspose(x []uint32, b int) {
+	n := len(x)
+	var q, p, t uint32
+	// Inverse undo excess work.
+	for q = 1 << uint(b-1); q > 1; q >>= 1 {
+		p = q - 1
+		for i := 0; i < n; i++ {
+			if x[i]&q != 0 {
+				x[0] ^= p // invert low bits of x[0]
+			} else {
+				t = (x[0] ^ x[i]) & p
+				x[0] ^= t
+				x[i] ^= t
+			}
+		}
+	}
+	// Gray encode.
+	for i := 1; i < n; i++ {
+		x[i] ^= x[i-1]
+	}
+	t = 0
+	for q = 1 << uint(b-1); q > 1; q >>= 1 {
+		if x[n-1]&q != 0 {
+			t ^= q - 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		x[i] ^= t
+	}
+}
+
+// transposeToAxes inverts axesToTranspose, in place.
+func transposeToAxes(x []uint32, b int) {
+	n := len(x)
+	var q, p, t uint32
+	// Gray decode by H ^ (H/2).
+	t = x[n-1] >> 1
+	for i := n - 1; i > 0; i-- {
+		x[i] ^= x[i-1]
+	}
+	x[0] ^= t
+	// Undo excess work.
+	for q = 2; q != 1<<uint(b); q <<= 1 {
+		p = q - 1
+		for i := n - 1; i >= 0; i-- {
+			if x[i]&q != 0 {
+				x[0] ^= p
+			} else {
+				t = (x[0] ^ x[i]) & p
+				x[0] ^= t
+				x[i] ^= t
+			}
+		}
+	}
+}
+
+// packTransposed serialises the transposed representation into the key:
+// the bit stream cycles over dimensions fastest, bit-planes from most to
+// least significant — the interleaving that turns the transpose into the
+// integer Hilbert index. The stream is right-aligned in the key (front
+// padding bits are zero) so that the big-endian byte string *is* the
+// index numerically, not merely order-equivalent.
+func packTransposed(dst []byte, x []uint32, n, b int) []byte {
+	keyLen := (n*b + 7) / 8
+	start := len(dst)
+	for i := 0; i < keyLen; i++ {
+		dst = append(dst, 0)
+	}
+	out := dst[start:]
+	bit := keyLen*8 - n*b // front padding
+	for j := b - 1; j >= 0; j-- {
+		for i := 0; i < n; i++ {
+			if (x[i]>>uint(j))&1 != 0 {
+				out[bit>>3] |= 0x80 >> uint(bit&7)
+			}
+			bit++
+		}
+	}
+	return dst
+}
+
+// unpackTransposed inverts packTransposed.
+func unpackTransposed(key []byte, x []uint32, n, b int) {
+	for i := range x {
+		x[i] = 0
+	}
+	keyLen := (n*b + 7) / 8
+	bit := keyLen*8 - n*b
+	for j := b - 1; j >= 0; j-- {
+		for i := 0; i < n; i++ {
+			if key[bit>>3]&(0x80>>uint(bit&7)) != 0 {
+				x[i] |= 1 << uint(j)
+			}
+			bit++
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Package kmeans implements Lloyd's algorithm with k-means++ seeding.
+//
+// Two baselines need it: iDistance [73] uses cluster centres as the
+// pivots its one-dimensional keys are measured from, and PQ/OPQ [35,27]
+// learn one 256-centroid codebook per subspace with it.
+package kmeans
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/hd-index/hdindex/internal/vecmath"
+)
+
+// Result holds the clustering output.
+type Result struct {
+	Centroids [][]float32
+	Assign    []int // Assign[i] = centroid index of vectors[i]
+}
+
+// Run clusters vectors into k groups. maxIters bounds Lloyd iterations
+// (15 is plenty for index construction — exactness is not required).
+func Run(vectors [][]float32, k, maxIters int, rng *rand.Rand) (*Result, error) {
+	n := len(vectors)
+	if k < 1 {
+		return nil, fmt.Errorf("kmeans: k must be >= 1, got %d", k)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("kmeans: empty input")
+	}
+	if k > n {
+		k = n
+	}
+	if maxIters <= 0 {
+		maxIters = 15
+	}
+	dim := len(vectors[0])
+
+	centroids := seedPlusPlus(vectors, k, rng)
+	assign := make([]int, n)
+	counts := make([]int, k)
+	sums := make([][]float64, k)
+	for c := range sums {
+		sums[c] = make([]float64, dim)
+	}
+
+	for iter := 0; iter < maxIters; iter++ {
+		changed := 0
+		for i, v := range vectors {
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range centroids {
+				if d := vecmath.DistSq(v, ctr); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best || iter == 0 {
+				changed++
+			}
+			assign[i] = best
+		}
+		if iter > 0 && changed == 0 {
+			break
+		}
+		for c := range sums {
+			counts[c] = 0
+			for d := range sums[c] {
+				sums[c][d] = 0
+			}
+		}
+		for i, v := range vectors {
+			c := assign[i]
+			counts[c]++
+			for d, x := range v {
+				sums[c][d] += float64(x)
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Re-seed empty cluster at a random point.
+				centroids[c] = vecmath.Copy(vectors[rng.Intn(n)])
+				continue
+			}
+			ctr := make([]float32, dim)
+			for d := range ctr {
+				ctr[d] = float32(sums[c][d] / float64(counts[c]))
+			}
+			centroids[c] = ctr
+		}
+	}
+	return &Result{Centroids: centroids, Assign: assign}, nil
+}
+
+// seedPlusPlus picks initial centroids with the k-means++ D² weighting.
+func seedPlusPlus(vectors [][]float32, k int, rng *rand.Rand) [][]float32 {
+	n := len(vectors)
+	centroids := make([][]float32, 0, k)
+	centroids = append(centroids, vecmath.Copy(vectors[rng.Intn(n)]))
+	d2 := make([]float64, n)
+	for i, v := range vectors {
+		d2[i] = vecmath.DistSq(v, centroids[0])
+	}
+	for len(centroids) < k {
+		var total float64
+		for _, d := range d2 {
+			total += d
+		}
+		var next int
+		if total <= 0 {
+			next = rng.Intn(n)
+		} else {
+			target := rng.Float64() * total
+			for i, d := range d2 {
+				target -= d
+				if target <= 0 {
+					next = i
+					break
+				}
+			}
+		}
+		c := vecmath.Copy(vectors[next])
+		centroids = append(centroids, c)
+		for i, v := range vectors {
+			if d := vecmath.DistSq(v, c); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return centroids
+}
+
+// Inertia returns the total squared distance of points to their assigned
+// centroids — the quantity Lloyd descends; exposed for tests.
+func Inertia(vectors [][]float32, res *Result) float64 {
+	var sum float64
+	for i, v := range vectors {
+		sum += vecmath.DistSq(v, res.Centroids[res.Assign[i]])
+	}
+	return sum
+}

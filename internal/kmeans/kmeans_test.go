@@ -1,0 +1,116 @@
+package kmeans
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/hd-index/hdindex/internal/data"
+	"github.com/hd-index/hdindex/internal/vecmath"
+)
+
+func TestSeparatedClusters(t *testing.T) {
+	// Three well-separated blobs must be recovered.
+	rng := rand.New(rand.NewSource(1))
+	var vecs [][]float32
+	centers := [][]float32{{0, 0}, {10, 10}, {-10, 5}}
+	for _, c := range centers {
+		for i := 0; i < 50; i++ {
+			vecs = append(vecs, []float32{
+				c[0] + float32(rng.NormFloat64())*0.2,
+				c[1] + float32(rng.NormFloat64())*0.2,
+			})
+		}
+	}
+	res, err := Run(vecs, 3, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each centroid must be within 1.0 of a true centre.
+	for _, ctr := range res.Centroids {
+		ok := false
+		for _, c := range centers {
+			if vecmath.Dist(ctr, c) < 1.0 {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("centroid %v far from all true centres", ctr)
+		}
+	}
+	// Points in the same blob share an assignment.
+	for b := 0; b < 3; b++ {
+		first := res.Assign[b*50]
+		for i := 1; i < 50; i++ {
+			if res.Assign[b*50+i] != first {
+				t.Fatalf("blob %d split across clusters", b)
+			}
+		}
+	}
+}
+
+func TestAssignmentsAreNearest(t *testing.T) {
+	ds := data.Uniform(200, 4, 0, 1, 2)
+	rng := rand.New(rand.NewSource(3))
+	res, err := Run(ds.Vectors, 5, 15, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range ds.Vectors {
+		got := vecmath.DistSq(v, res.Centroids[res.Assign[i]])
+		for _, ctr := range res.Centroids {
+			if d := vecmath.DistSq(v, ctr); d < got-1e-9 {
+				t.Fatalf("point %d not assigned to nearest centroid", i)
+			}
+		}
+	}
+}
+
+func TestMoreIterationsNeverWorse(t *testing.T) {
+	ds := data.Uniform(300, 8, 0, 1, 4)
+	r1, err := Run(ds.Vectors, 8, 1, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r15, err := Run(ds.Vectors, 8, 15, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Inertia(ds.Vectors, r15) > Inertia(ds.Vectors, r1)+1e-6 {
+		t.Error("more Lloyd iterations must not increase inertia")
+	}
+}
+
+func TestKClampedToN(t *testing.T) {
+	vecs := [][]float32{{1}, {2}}
+	res, err := Run(vecs, 10, 5, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centroids) != 2 {
+		t.Fatalf("k should clamp to n, got %d", len(res.Centroids))
+	}
+}
+
+func TestValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Run(nil, 2, 5, rng); err == nil {
+		t.Error("empty input must fail")
+	}
+	if _, err := Run([][]float32{{1}}, 0, 5, rng); err == nil {
+		t.Error("k=0 must fail")
+	}
+}
+
+func TestIdenticalPoints(t *testing.T) {
+	vecs := make([][]float32, 20)
+	for i := range vecs {
+		vecs[i] = []float32{3, 3}
+	}
+	res, err := Run(vecs, 4, 10, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Inertia(vecs, res) != 0 {
+		t.Error("identical points must have zero inertia")
+	}
+}

@@ -1,0 +1,278 @@
+// Package linalg provides the small dense linear algebra OPQ needs: a
+// row-major float64 matrix, multiplication, Jacobi eigendecomposition of
+// symmetric matrices, and the orthogonal Procrustes solution built from
+// it. Only square sizes up to the dataset dimensionality (≤ ~1400) occur,
+// for which cyclic Jacobi is simple and dependably accurate.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mat is a dense row-major matrix.
+type Mat struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMat returns a zeroed rows×cols matrix.
+func NewMat(rows, cols int) *Mat {
+	return &Mat{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// Identity returns the n×n identity.
+func Identity(n int) *Mat {
+	m := NewMat(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Mat) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Mat) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Mat) Clone() *Mat {
+	c := NewMat(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// T returns the transpose.
+func (m *Mat) T() *Mat {
+	t := NewMat(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Mul returns a·b.
+func Mul(a, b *Mat) *Mat {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: dim mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMat(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for p := 0; p < a.Cols; p++ {
+			av := a.At(i, p)
+			if av == 0 {
+				continue
+			}
+			rowB := b.Data[p*b.Cols : (p+1)*b.Cols]
+			rowO := out.Data[i*out.Cols : (i+1)*out.Cols]
+			for j, bv := range rowB {
+				rowO[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns m·v for a column vector v.
+func (m *Mat) MulVec(v []float64) []float64 {
+	if len(v) != m.Cols {
+		panic("linalg: vector length mismatch")
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, x := range row {
+			s += x * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// JacobiEigen diagonalises the symmetric matrix a, returning eigenvalues
+// (descending) and the matrix whose COLUMNS are the corresponding
+// eigenvectors. a is not modified.
+func JacobiEigen(a *Mat, maxSweeps int) (vals []float64, vecs *Mat) {
+	if a.Rows != a.Cols {
+		panic("linalg: JacobiEigen needs a square matrix")
+	}
+	n := a.Rows
+	if maxSweeps <= 0 {
+		maxSweeps = 30
+	}
+	w := a.Clone()
+	v := Identity(n)
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w.At(i, j) * w.At(i, j)
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Rotate rows/cols p and q of w.
+				for i := 0; i < n; i++ {
+					wip, wiq := w.At(i, p), w.At(i, q)
+					w.Set(i, p, c*wip-s*wiq)
+					w.Set(i, q, s*wip+c*wiq)
+				}
+				for i := 0; i < n; i++ {
+					wpi, wqi := w.At(p, i), w.At(q, i)
+					w.Set(p, i, c*wpi-s*wqi)
+					w.Set(q, i, s*wpi+c*wqi)
+				}
+				for i := 0; i < n; i++ {
+					vip, viq := v.At(i, p), v.At(i, q)
+					v.Set(i, p, c*vip-s*viq)
+					v.Set(i, q, s*vip+c*viq)
+				}
+			}
+		}
+	}
+	vals = make([]float64, n)
+	for i := range vals {
+		vals[i] = w.At(i, i)
+	}
+	// Sort descending, permuting eigenvector columns alongside.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && vals[order[j]] > vals[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	sorted := make([]float64, n)
+	perm := NewMat(n, n)
+	for newCol, oldCol := range order {
+		sorted[newCol] = vals[oldCol]
+		for r := 0; r < n; r++ {
+			perm.Set(r, newCol, v.At(r, oldCol))
+		}
+	}
+	return sorted, perm
+}
+
+// Procrustes returns the orthogonal matrix R maximising tr(Rᵀ·M) — the
+// solution of the orthogonal Procrustes problem, R = U·Vᵀ for the SVD
+// M = U·Σ·Vᵀ. The SVD is derived from Jacobi eigendecompositions of
+// MᵀM; rank-deficient directions are completed to an orthonormal basis.
+func Procrustes(m *Mat) *Mat {
+	if m.Rows != m.Cols {
+		panic("linalg: Procrustes needs a square matrix")
+	}
+	n := m.Rows
+	mtm := Mul(m.T(), m)
+	vals, v := JacobiEigen(mtm, 40)
+	// U column i = M v_i / σ_i for σ_i > 0.
+	u := NewMat(n, n)
+	have := make([]bool, n)
+	for i := 0; i < n; i++ {
+		sigma := math.Sqrt(math.Max(vals[i], 0))
+		if sigma < 1e-10 {
+			continue
+		}
+		col := make([]float64, n)
+		for r := 0; r < n; r++ {
+			col[r] = v.At(r, i)
+		}
+		mu := m.MulVec(col)
+		for r := 0; r < n; r++ {
+			u.Set(r, i, mu[r]/sigma)
+		}
+		have[i] = true
+	}
+	completeBasis(u, have)
+	return Mul(u, v.T())
+}
+
+// completeBasis fills in missing columns (have[i] == false) so that the
+// columns of u form an orthonormal basis, via Gram-Schmidt against the
+// existing ones.
+func completeBasis(u *Mat, have []bool) {
+	n := u.Rows
+	for i := 0; i < n; i++ {
+		if have[i] {
+			continue
+		}
+		// Try canonical basis vectors until one survives projection.
+		for e := 0; e < n; e++ {
+			col := make([]float64, n)
+			col[e] = 1
+			for j := 0; j < n; j++ {
+				if j == i || !colNonZero(u, j) {
+					continue
+				}
+				var dot float64
+				for r := 0; r < n; r++ {
+					dot += col[r] * u.At(r, j)
+				}
+				for r := 0; r < n; r++ {
+					col[r] -= dot * u.At(r, j)
+				}
+			}
+			var norm float64
+			for _, x := range col {
+				norm += x * x
+			}
+			if norm > 1e-12 {
+				norm = math.Sqrt(norm)
+				for r := 0; r < n; r++ {
+					u.Set(r, i, col[r]/norm)
+				}
+				have[i] = true
+				break
+			}
+		}
+	}
+}
+
+func colNonZero(u *Mat, j int) bool {
+	for r := 0; r < u.Rows; r++ {
+		if u.At(r, j) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IsOrthogonal reports whether RᵀR ≈ I within tol.
+func IsOrthogonal(r *Mat, tol float64) bool {
+	if r.Rows != r.Cols {
+		return false
+	}
+	p := Mul(r.T(), r)
+	for i := 0; i < p.Rows; i++ {
+		for j := 0; j < p.Cols; j++ {
+			want := 0.0
+			if i == j {
+				want = 1.0
+			}
+			if math.Abs(p.At(i, j)-want) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}

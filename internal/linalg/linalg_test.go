@@ -1,0 +1,179 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMul(t *testing.T) {
+	a := NewMat(2, 3)
+	copy(a.Data, []float64{1, 2, 3, 4, 5, 6})
+	b := NewMat(3, 2)
+	copy(b.Data, []float64{7, 8, 9, 10, 11, 12})
+	c := Mul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, w := range want {
+		if math.Abs(c.Data[i]-w) > 1e-12 {
+			t.Fatalf("Mul[%d] = %v, want %v", i, c.Data[i], w)
+		}
+	}
+}
+
+func TestMulVecAndTranspose(t *testing.T) {
+	a := NewMat(2, 2)
+	copy(a.Data, []float64{1, 2, 3, 4})
+	v := a.MulVec([]float64{5, 6})
+	if v[0] != 17 || v[1] != 39 {
+		t.Fatalf("MulVec = %v", v)
+	}
+	at := a.T()
+	if at.At(0, 1) != 3 || at.At(1, 0) != 2 {
+		t.Fatal("transpose broken")
+	}
+}
+
+func TestJacobiEigenKnown(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := NewMat(2, 2)
+	copy(a.Data, []float64{2, 1, 1, 2})
+	vals, vecs := JacobiEigen(a, 30)
+	if math.Abs(vals[0]-3) > 1e-10 || math.Abs(vals[1]-1) > 1e-10 {
+		t.Fatalf("eigenvalues = %v, want [3 1]", vals)
+	}
+	// Check A·v = λ·v for each column.
+	for c := 0; c < 2; c++ {
+		v := []float64{vecs.At(0, c), vecs.At(1, c)}
+		av := a.MulVec(v)
+		for r := range av {
+			if math.Abs(av[r]-vals[c]*v[r]) > 1e-10 {
+				t.Fatalf("A·v != λ·v for column %d", c)
+			}
+		}
+	}
+}
+
+func TestJacobiEigenRandomSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 16
+	a := NewMat(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			x := rng.NormFloat64()
+			a.Set(i, j, x)
+			a.Set(j, i, x)
+		}
+	}
+	vals, vecs := JacobiEigen(a, 40)
+	// Eigenvectors orthonormal.
+	if !IsOrthogonal(vecs, 1e-8) {
+		t.Fatal("eigenvector matrix not orthogonal")
+	}
+	// Descending order.
+	for i := 1; i < n; i++ {
+		if vals[i] > vals[i-1]+1e-12 {
+			t.Fatal("eigenvalues not sorted descending")
+		}
+	}
+	// Reconstruction: V Λ Vᵀ == A.
+	lam := NewMat(n, n)
+	for i := 0; i < n; i++ {
+		lam.Set(i, i, vals[i])
+	}
+	rec := Mul(Mul(vecs, lam), vecs.T())
+	for i := range a.Data {
+		if math.Abs(rec.Data[i]-a.Data[i]) > 1e-8 {
+			t.Fatalf("reconstruction error at %d: %v vs %v", i, rec.Data[i], a.Data[i])
+		}
+	}
+}
+
+// Procrustes must recover a known rotation: with M = R₀ (orthogonal),
+// argmax tr(RᵀM) = R₀.
+func TestProcrustesRecoversRotation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 8
+	r0 := randomRotation(n, rng)
+	r := Procrustes(r0)
+	for i := range r.Data {
+		if math.Abs(r.Data[i]-r0.Data[i]) > 1e-8 {
+			t.Fatalf("Procrustes failed to recover rotation at %d", i)
+		}
+	}
+}
+
+func TestProcrustesOrthogonalOnRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 5; trial++ {
+		n := 4 + trial*4
+		m := NewMat(n, n)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		r := Procrustes(m)
+		if !IsOrthogonal(r, 1e-7) {
+			t.Fatalf("trial %d: result not orthogonal", trial)
+		}
+	}
+}
+
+func TestProcrustesRankDeficient(t *testing.T) {
+	// Zero matrix: any orthogonal R is optimal; result must still be
+	// orthogonal (the basis-completion path).
+	m := NewMat(6, 6)
+	r := Procrustes(m)
+	if !IsOrthogonal(r, 1e-7) {
+		t.Fatal("rank-deficient Procrustes result not orthogonal")
+	}
+}
+
+// randomRotation builds an orthogonal matrix by Gram-Schmidt on a random
+// Gaussian matrix.
+func randomRotation(n int, rng *rand.Rand) *Mat {
+	m := NewMat(n, n)
+	for c := 0; c < n; c++ {
+		col := make([]float64, n)
+		for r := range col {
+			col[r] = rng.NormFloat64()
+		}
+		for prev := 0; prev < c; prev++ {
+			var dot float64
+			for r := 0; r < n; r++ {
+				dot += col[r] * m.At(r, prev)
+			}
+			for r := 0; r < n; r++ {
+				col[r] -= dot * m.At(r, prev)
+			}
+		}
+		var norm float64
+		for _, x := range col {
+			norm += x * x
+		}
+		norm = math.Sqrt(norm)
+		for r := 0; r < n; r++ {
+			m.Set(r, c, col[r]/norm)
+		}
+	}
+	return m
+}
+
+func TestIdentityAndClone(t *testing.T) {
+	id := Identity(3)
+	c := id.Clone()
+	c.Set(0, 0, 5)
+	if id.At(0, 0) != 1 {
+		t.Fatal("Clone aliases data")
+	}
+	if !IsOrthogonal(id, 1e-15) {
+		t.Fatal("identity must be orthogonal")
+	}
+}
+
+func TestMulPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Mul(NewMat(2, 3), NewMat(2, 3))
+}

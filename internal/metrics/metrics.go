@@ -1,0 +1,127 @@
+// Package metrics implements the paper's quality measures: the
+// approximation ratio (Definition 1), average precision at k
+// (Definition 2), mean average precision (Definition 3), and recall.
+//
+// The paper's central methodological argument (§1, §5.3) is that in
+// high-dimensional spaces the approximation ratio saturates near 1 while
+// MAP@k still discriminates ranked quality; both are implemented so the
+// benchmarks can reproduce Figures 1 and 7.
+package metrics
+
+// Ratio returns the approximation ratio c >= 1 of Definition 1:
+// the mean over ranks i of d(q, got_i) / d(q, true_i).
+//
+// gotDists and trueDists are the distances of the returned and the exact
+// k nearest neighbours, both sorted ascending. If an exact distance is
+// zero (query equals a data point) that rank contributes 1 if the returned
+// distance is also zero, else it is skipped, mirroring the convention used
+// by the C2LSH/SRS evaluation code the paper compares against.
+func Ratio(gotDists, trueDists []float64) float64 {
+	n := len(gotDists)
+	if len(trueDists) < n {
+		n = len(trueDists)
+	}
+	if n == 0 {
+		return 1
+	}
+	var sum float64
+	var cnt int
+	for i := 0; i < n; i++ {
+		switch {
+		case trueDists[i] > 0:
+			sum += gotDists[i] / trueDists[i]
+			cnt++
+		case gotDists[i] == 0:
+			sum++
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 1
+	}
+	return sum / float64(cnt)
+}
+
+// AP returns AP@k of Definition 2 for one query.
+//
+// got is the returned ranked list, truth the exact ranked list; k is the
+// evaluation depth. For each rank i (1-based) at which got[i-1] appears
+// anywhere in truth[:k], the precision j/i is accumulated, where j is the
+// number of relevant results among got[:i]; the sum is divided by k.
+func AP(got, truth []uint64, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	rel := make(map[uint64]struct{}, k)
+	for i, id := range truth {
+		if i >= k {
+			break
+		}
+		rel[id] = struct{}{}
+	}
+	var sum float64
+	j := 0
+	for i, id := range got {
+		if i >= k {
+			break
+		}
+		if _, ok := rel[id]; ok {
+			j++
+			sum += float64(j) / float64(i+1)
+		}
+	}
+	return sum / float64(k)
+}
+
+// MAP returns MAP@k of Definition 3: the mean AP@k over queries.
+// got and truth are per-query ranked id lists and must have equal length.
+func MAP(got, truth [][]uint64, k int) float64 {
+	if len(got) != len(truth) {
+		panic("metrics: got/truth query count mismatch")
+	}
+	if len(got) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range got {
+		sum += AP(got[i], truth[i], k)
+	}
+	return sum / float64(len(got))
+}
+
+// Recall returns |got[:k] ∩ truth[:k]| / k, the fraction of true
+// neighbours retrieved irrespective of order.
+func Recall(got, truth []uint64, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	rel := make(map[uint64]struct{}, k)
+	for i, id := range truth {
+		if i >= k {
+			break
+		}
+		rel[id] = struct{}{}
+	}
+	hits := 0
+	for i, id := range got {
+		if i >= k {
+			break
+		}
+		if _, ok := rel[id]; ok {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// MeanRecall averages Recall over queries.
+func MeanRecall(got, truth [][]uint64, k int) float64 {
+	if len(got) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range got {
+		sum += Recall(got[i], truth[i], k)
+	}
+	return sum / float64(len(got))
+}

@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+// Example 1 from the paper (§2.1): truth {o1,o2,o3};
+// A1 = {o4,o3,o2} has AP 0.39 (exactly (0 + 1/2 + 2/3)/3);
+// A2 = {o3,o2,o4} has AP 0.67 (exactly (1+1+0)/3); MAP = mean.
+func TestPaperExample1(t *testing.T) {
+	truth := []uint64{1, 2, 3}
+	a1 := []uint64{4, 3, 2}
+	a2 := []uint64{3, 2, 4}
+	ap1 := AP(a1, truth, 3)
+	ap2 := AP(a2, truth, 3)
+	if !almost(ap1, (0+0.5+2.0/3.0)/3) {
+		t.Errorf("AP(A1) = %v", ap1)
+	}
+	if !almost(ap2, 2.0/3.0) {
+		t.Errorf("AP(A2) = %v", ap2)
+	}
+	m := MAP([][]uint64{a1, a2}, [][]uint64{truth, truth}, 3)
+	if !almost(m, (ap1+ap2)/2) {
+		t.Errorf("MAP = %v", m)
+	}
+}
+
+func TestAPPerfect(t *testing.T) {
+	truth := []uint64{10, 20, 30, 40}
+	if got := AP(truth, truth, 4); !almost(got, 1) {
+		t.Errorf("perfect AP = %v, want 1", got)
+	}
+}
+
+func TestAPEmptyAndZeroK(t *testing.T) {
+	if AP(nil, []uint64{1}, 3) != 0 {
+		t.Error("AP of empty result must be 0")
+	}
+	if AP([]uint64{1}, []uint64{1}, 0) != 0 {
+		t.Error("AP@0 must be 0")
+	}
+}
+
+// AP must be order sensitive: correct items earlier gives higher AP.
+func TestAPOrderSensitivity(t *testing.T) {
+	truth := []uint64{1, 2, 3, 4}
+	early := []uint64{1, 2, 9, 8}
+	late := []uint64{9, 8, 1, 2}
+	if AP(early, truth, 4) <= AP(late, truth, 4) {
+		t.Error("AP must reward early correct answers")
+	}
+	// Same set, so recall is identical.
+	if Recall(early, truth, 4) != Recall(late, truth, 4) {
+		t.Error("recall must be order-insensitive")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio([]float64{2, 4}, []float64{1, 2}); !almost(got, 2) {
+		t.Errorf("ratio = %v, want 2", got)
+	}
+	if got := Ratio([]float64{1, 2}, []float64{1, 2}); !almost(got, 1) {
+		t.Errorf("exact ratio = %v, want 1", got)
+	}
+	// zero true distance with zero returned distance counts as 1
+	if got := Ratio([]float64{0, 2}, []float64{0, 2}); !almost(got, 1) {
+		t.Errorf("zero-dist ratio = %v, want 1", got)
+	}
+	// zero true distance with non-zero returned distance is skipped
+	if got := Ratio([]float64{5, 2}, []float64{0, 2}); !almost(got, 1) {
+		t.Errorf("skip-zero ratio = %v, want 1", got)
+	}
+	if got := Ratio(nil, nil); got != 1 {
+		t.Errorf("empty ratio = %v, want 1", got)
+	}
+}
+
+// Property: AP is within [0,1], and AP == 1 iff got[:k] == truth[:k].
+func TestQuickAPBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := rng.Intn(10) + 1
+		n := k + rng.Intn(10)
+		perm := rng.Perm(n)
+		truth := make([]uint64, n)
+		for i, p := range perm {
+			truth[i] = uint64(p)
+		}
+		got := make([]uint64, n)
+		copy(got, truth)
+		rng.Shuffle(n, func(i, j int) { got[i], got[j] = got[j], got[i] })
+		ap := AP(got, truth, k)
+		if ap < 0 || ap > 1+1e-12 {
+			return false
+		}
+		same := true
+		for i := 0; i < k; i++ {
+			if got[i] != truth[i] {
+				same = false
+				break
+			}
+		}
+		if same && !almost(ap, 1) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ratio >= 1 whenever gotDists dominates trueDists rank-wise,
+// which holds when both are sorted results over the same dataset.
+func TestQuickRatioAtLeastOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := rng.Intn(10) + 1
+		truth := make([]float64, k)
+		got := make([]float64, k)
+		cur := 0.0
+		for i := 0; i < k; i++ {
+			cur += rng.Float64()
+			truth[i] = cur
+			got[i] = cur + rng.Float64() // got never closer than truth
+		}
+		return Ratio(got, truth) >= 1-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMAPMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MAP with mismatched lengths did not panic")
+		}
+	}()
+	MAP([][]uint64{{1}}, nil, 1)
+}
+
+func TestMeanRecall(t *testing.T) {
+	got := [][]uint64{{1, 2}, {3, 9}}
+	truth := [][]uint64{{1, 2}, {3, 4}}
+	if r := MeanRecall(got, truth, 2); !almost(r, 0.75) {
+		t.Errorf("MeanRecall = %v, want 0.75", r)
+	}
+	if MeanRecall(nil, nil, 2) != 0 {
+		t.Error("empty MeanRecall must be 0")
+	}
+}

@@ -1,0 +1,86 @@
+package pager
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+)
+
+// Concurrent readers over a shared pager (the access pattern of parallel
+// tree search within one query batch) must be race-free and observe
+// consistent page content. Run under -race in CI.
+func TestConcurrentReaders(t *testing.T) {
+	p, _ := newTemp(t, Options{PoolPages: 4})
+	const pages = 16
+	ids := make([]PageID, pages)
+	for i := 0; i < pages; i++ {
+		pg, err := p.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		binary.BigEndian.PutUint64(pg.Data, uint64(i)*7)
+		pg.MarkDirty()
+		ids[i] = pg.ID
+		pg.Release()
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 0; round < 200; round++ {
+				i := (w + round) % pages
+				pg, err := p.Get(ids[i])
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if got := binary.BigEndian.Uint64(pg.Data); got != uint64(i)*7 {
+					errs[w] = ErrCorrupt(i)
+					pg.Release()
+					return
+				}
+				pg.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// ErrCorrupt is a test-local error carrying the page index.
+type ErrCorrupt int
+
+func (e ErrCorrupt) Error() string { return "corrupt page content" }
+
+// A pinned page must never be evicted even under pool pressure.
+func TestPinnedPageSurvivesPressure(t *testing.T) {
+	p, _ := newTemp(t, Options{PoolPages: 2})
+	pinned, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(pinned.Data, "pinned!!")
+	pinned.MarkDirty()
+	// Flood the pool far past capacity while the first page stays pinned.
+	for i := 0; i < 20; i++ {
+		pg, err := p.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg.MarkDirty()
+		pg.Release()
+	}
+	if string(pinned.Data[:8]) != "pinned!!" {
+		t.Fatal("pinned page content lost")
+	}
+	pinned.Release()
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,452 @@
+// Package pager implements the disk substrate of the reproduction: a
+// page-structured file with a fixed page size (4096 bytes in all of the
+// paper's experiments, §5 "Parameters"), an LRU buffer pool with pin
+// counts, and I/O statistics.
+//
+// The statistics matter beyond bookkeeping: §4.4.1 analyses HD-Index by
+// the number of random disk accesses, and §5.2.5 argues the Ptolemaic
+// filter is free in I/O terms. The counters here are what let the
+// benchmarks report those numbers on any hardware.
+package pager
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sync"
+)
+
+// DefaultPageSize is the disk page size used throughout the paper.
+const DefaultPageSize = 4096
+
+const (
+	magic         = "HDIXPAGE"
+	version       = 1
+	headerLen     = 36 // magic(8) + version(4) + pageSize(4) + pageCount(8) + checksum(8) + metaLen(4)
+	offVersion    = 8
+	offPageSize   = 12
+	offPageCount  = 16
+	offChecksum   = 24
+	offMetaLen    = 32
+	offMeta       = 36
+	defaultFrames = 256
+)
+
+// Errors returned by the pager.
+var (
+	ErrBadMagic     = errors.New("pager: not a pager file (bad magic)")
+	ErrBadVersion   = errors.New("pager: unsupported file version")
+	ErrBadChecksum  = errors.New("pager: superblock checksum mismatch")
+	ErrPageRange    = errors.New("pager: page id out of range")
+	ErrClosed       = errors.New("pager: file is closed")
+	ErrMetaTooLarge = errors.New("pager: metadata exceeds superblock capacity")
+)
+
+// PageID identifies a page within a file. Page 0 is the superblock and is
+// never handed out.
+type PageID uint64
+
+// Stats counts logical and physical page traffic since the last reset.
+type Stats struct {
+	Reads  uint64 // physical page reads from disk
+	Writes uint64 // physical page writes to disk
+	Hits   uint64 // buffer pool hits
+	Misses uint64 // buffer pool misses (each implies one Read)
+	Allocs uint64 // pages allocated
+}
+
+// Options configures Open.
+type Options struct {
+	PageSize   int  // bytes per page; DefaultPageSize if zero
+	PoolPages  int  // buffer pool capacity in pages; 256 if zero
+	Create     bool // create (truncate) instead of opening existing
+	ReadOnly   bool // open without write permission
+	DisableLRU bool // bypass caching entirely: every Get is a disk read (paper's "caching off" mode)
+}
+
+// Page is a pinned page in the buffer pool. Callers must Release it when
+// done; writes must be followed by MarkDirty before Release.
+type Page struct {
+	ID    PageID
+	Data  []byte
+	frame *frame
+	pgr   *Pager
+}
+
+// MarkDirty records that Data was modified and must reach disk.
+func (p *Page) MarkDirty() {
+	p.pgr.mu.Lock()
+	p.frame.dirty = true
+	p.pgr.mu.Unlock()
+}
+
+// Release unpins the page. The Page must not be used afterwards.
+func (p *Page) Release() {
+	p.pgr.release(p.frame)
+}
+
+type frame struct {
+	id    PageID
+	data  []byte
+	pins  int
+	dirty bool
+	prev  *frame // LRU list of unpinned frames
+	next  *frame
+}
+
+// Pager manages one page file. It is safe for concurrent use.
+type Pager struct {
+	mu        sync.Mutex
+	f         *os.File
+	pageSize  int
+	poolCap   int
+	noCache   bool
+	readOnly  bool
+	closed    bool
+	pageCount uint64 // includes superblock
+	meta      []byte
+	frames    map[PageID]*frame
+	lruHead   *frame // most recently used unpinned
+	lruTail   *frame // least recently used unpinned
+	lruLen    int
+	stats     Stats
+}
+
+// Open creates or opens the page file at path.
+func Open(path string, opts Options) (*Pager, error) {
+	if opts.PageSize == 0 {
+		opts.PageSize = DefaultPageSize
+	}
+	if opts.PageSize < headerLen+8 {
+		return nil, fmt.Errorf("pager: page size %d too small", opts.PageSize)
+	}
+	if opts.PoolPages <= 0 {
+		opts.PoolPages = defaultFrames
+	}
+	flag := os.O_RDWR
+	if opts.ReadOnly {
+		flag = os.O_RDONLY
+	}
+	if opts.Create {
+		flag |= os.O_CREATE | os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flag, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pager: open %s: %w", path, err)
+	}
+	p := &Pager{
+		f:        f,
+		pageSize: opts.PageSize,
+		poolCap:  opts.PoolPages,
+		noCache:  opts.DisableLRU,
+		readOnly: opts.ReadOnly,
+		frames:   make(map[PageID]*frame),
+	}
+	if opts.Create {
+		p.pageCount = 1
+		if err := p.writeSuperblock(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return p, nil
+	}
+	if err := p.readSuperblock(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *Pager) writeSuperblock() error {
+	buf := make([]byte, p.pageSize)
+	copy(buf, magic)
+	binary.BigEndian.PutUint32(buf[offVersion:], version)
+	binary.BigEndian.PutUint32(buf[offPageSize:], uint32(p.pageSize))
+	binary.BigEndian.PutUint64(buf[offPageCount:], p.pageCount)
+	binary.BigEndian.PutUint32(buf[offMetaLen:], uint32(len(p.meta)))
+	copy(buf[offMeta:], p.meta)
+	binary.BigEndian.PutUint64(buf[offChecksum:], superChecksum(buf))
+	if _, err := p.f.WriteAt(buf, 0); err != nil {
+		return fmt.Errorf("pager: write superblock: %w", err)
+	}
+	p.stats.Writes++
+	return nil
+}
+
+func (p *Pager) readSuperblock() error {
+	// Read the fixed header first: the on-disk page size wins over the
+	// configured one, so callers need not know it when reopening.
+	hdr := make([]byte, headerLen)
+	if _, err := p.f.ReadAt(hdr, 0); err != nil {
+		return fmt.Errorf("pager: read superblock: %w", err)
+	}
+	if string(hdr[:8]) != magic {
+		return ErrBadMagic
+	}
+	if v := binary.BigEndian.Uint32(hdr[offVersion:]); v != version {
+		return fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	ps := int(binary.BigEndian.Uint32(hdr[offPageSize:]))
+	if ps < headerLen+8 {
+		return ErrBadChecksum
+	}
+	p.pageSize = ps
+	buf := make([]byte, ps)
+	if _, err := p.f.ReadAt(buf, 0); err != nil {
+		return fmt.Errorf("pager: read superblock: %w", err)
+	}
+	p.stats.Reads++
+	want := binary.BigEndian.Uint64(buf[offChecksum:])
+	if superChecksum(buf) != want {
+		return ErrBadChecksum
+	}
+	p.pageCount = binary.BigEndian.Uint64(buf[offPageCount:])
+	metaLen := int(binary.BigEndian.Uint32(buf[offMetaLen:]))
+	if metaLen > p.pageSize-offMeta {
+		return ErrBadChecksum
+	}
+	p.meta = append([]byte(nil), buf[offMeta:offMeta+metaLen]...)
+	return nil
+}
+
+// superChecksum hashes the superblock with the checksum field zeroed.
+func superChecksum(buf []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(buf[:offChecksum])
+	var zero [8]byte
+	h.Write(zero[:])
+	h.Write(buf[offChecksum+8:])
+	return h.Sum64()
+}
+
+// PageSize returns the page size in bytes.
+func (p *Pager) PageSize() int { return p.pageSize }
+
+// PageCount returns the number of pages, including the superblock.
+func (p *Pager) PageCount() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pageCount
+}
+
+// Meta returns a copy of the user metadata stored in the superblock.
+func (p *Pager) Meta() []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]byte(nil), p.meta...)
+}
+
+// SetMeta stores user metadata (tree headers etc.) in the superblock.
+// It is persisted on the next Flush or Close.
+func (p *Pager) SetMeta(meta []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(meta) > p.pageSize-offMeta {
+		return ErrMetaTooLarge
+	}
+	p.meta = append([]byte(nil), meta...)
+	return nil
+}
+
+// Stats returns a snapshot of the I/O counters.
+func (p *Pager) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ResetStats zeroes the I/O counters; benchmarks call it per query batch.
+func (p *Pager) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = Stats{}
+}
+
+// Alloc appends a zeroed page to the file and returns it pinned.
+func (p *Pager) Alloc() (*Page, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrClosed
+	}
+	if p.readOnly {
+		return nil, errors.New("pager: alloc on read-only file")
+	}
+	id := PageID(p.pageCount)
+	p.pageCount++
+	p.stats.Allocs++
+	fr := &frame{id: id, data: make([]byte, p.pageSize), pins: 1, dirty: true}
+	if err := p.admit(fr); err != nil {
+		return nil, err
+	}
+	return &Page{ID: id, Data: fr.data, frame: fr, pgr: p}, nil
+}
+
+// Get returns the page with the given id, pinned.
+func (p *Pager) Get(id PageID) (*Page, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrClosed
+	}
+	if id == 0 || uint64(id) >= p.pageCount {
+		return nil, fmt.Errorf("%w: %d (have %d)", ErrPageRange, id, p.pageCount)
+	}
+	if fr, ok := p.frames[id]; ok {
+		p.stats.Hits++
+		if fr.pins == 0 {
+			p.lruRemove(fr)
+		}
+		fr.pins++
+		return &Page{ID: id, Data: fr.data, frame: fr, pgr: p}, nil
+	}
+	p.stats.Misses++
+	data := make([]byte, p.pageSize)
+	if _, err := p.f.ReadAt(data, int64(uint64(id))*int64(p.pageSize)); err != nil {
+		return nil, fmt.Errorf("pager: read page %d: %w", id, err)
+	}
+	p.stats.Reads++
+	fr := &frame{id: id, data: data, pins: 1}
+	if err := p.admit(fr); err != nil {
+		return nil, err
+	}
+	return &Page{ID: id, Data: fr.data, frame: fr, pgr: p}, nil
+}
+
+// admit inserts fr into the pool, evicting the LRU unpinned frame if the
+// pool is at capacity. Caller holds p.mu.
+func (p *Pager) admit(fr *frame) error {
+	for len(p.frames) >= p.poolCap && p.lruLen > 0 {
+		victim := p.lruTail
+		p.lruRemove(victim)
+		delete(p.frames, victim.id)
+		if victim.dirty {
+			if err := p.writeFrame(victim); err != nil {
+				return err
+			}
+		}
+	}
+	p.frames[fr.id] = fr
+	return nil
+}
+
+func (p *Pager) writeFrame(fr *frame) error {
+	if _, err := p.f.WriteAt(fr.data, int64(uint64(fr.id))*int64(p.pageSize)); err != nil {
+		return fmt.Errorf("pager: write page %d: %w", fr.id, err)
+	}
+	fr.dirty = false
+	p.stats.Writes++
+	return nil
+}
+
+func (p *Pager) release(fr *frame) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fr.pins--
+	if fr.pins > 0 {
+		return
+	}
+	if p.noCache {
+		// Caching off (§5 "for fairness, we turn off buffering and
+		// caching"): drop the frame immediately, writing it if dirty.
+		delete(p.frames, fr.id)
+		if fr.dirty {
+			p.writeFrame(fr) // error surfaces at Flush/Close via re-write
+		}
+		return
+	}
+	p.lruPushFront(fr)
+}
+
+func (p *Pager) lruPushFront(fr *frame) {
+	fr.prev = nil
+	fr.next = p.lruHead
+	if p.lruHead != nil {
+		p.lruHead.prev = fr
+	}
+	p.lruHead = fr
+	if p.lruTail == nil {
+		p.lruTail = fr
+	}
+	p.lruLen++
+}
+
+func (p *Pager) lruRemove(fr *frame) {
+	if fr.prev != nil {
+		fr.prev.next = fr.next
+	} else {
+		p.lruHead = fr.next
+	}
+	if fr.next != nil {
+		fr.next.prev = fr.prev
+	} else {
+		p.lruTail = fr.prev
+	}
+	fr.prev, fr.next = nil, nil
+	p.lruLen--
+}
+
+// Flush writes all dirty pages and the superblock to disk.
+func (p *Pager) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	if p.readOnly {
+		return nil
+	}
+	for _, fr := range p.frames {
+		if fr.dirty {
+			if err := p.writeFrame(fr); err != nil {
+				return err
+			}
+		}
+	}
+	return p.writeSuperblock()
+}
+
+// Sync flushes and fsyncs the file.
+func (p *Pager) Sync() error {
+	if err := p.Flush(); err != nil {
+		return err
+	}
+	return p.f.Sync()
+}
+
+// Close flushes and closes the file. The pager is unusable afterwards.
+func (p *Pager) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	var err error
+	if !p.readOnly {
+		for _, fr := range p.frames {
+			if fr.dirty {
+				if e := p.writeFrame(fr); e != nil && err == nil {
+					err = e
+				}
+			}
+		}
+		if e := p.writeSuperblock(); e != nil && err == nil {
+			err = e
+		}
+	}
+	p.closed = true
+	p.mu.Unlock()
+	if e := p.f.Close(); e != nil && err == nil {
+		err = e
+	}
+	return err
+}
+
+// FileSize returns the current size of the backing file in bytes.
+func (p *Pager) FileSize() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return int64(p.pageCount) * int64(p.pageSize)
+}

@@ -1,0 +1,336 @@
+package pager
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func newTemp(t *testing.T, opts Options) (*Pager, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.pg")
+	opts.Create = true
+	p, err := Open(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, path
+}
+
+func TestAllocGetRoundTrip(t *testing.T) {
+	p, path := newTemp(t, Options{PoolPages: 4})
+	pg, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.ID != 1 {
+		t.Fatalf("first alloc id = %d, want 1", pg.ID)
+	}
+	copy(pg.Data, "hello page")
+	pg.MarkDirty()
+	pg.Release()
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	pg2, err := p2.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(pg2.Data, []byte("hello page")) {
+		t.Fatalf("page content lost: %q", pg2.Data[:16])
+	}
+	pg2.Release()
+}
+
+func TestMetaPersistence(t *testing.T) {
+	p, path := newTemp(t, Options{})
+	meta := []byte("tree-root=42")
+	if err := p.SetMeta(meta); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Open(path, Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if !bytes.Equal(p2.Meta(), meta) {
+		t.Fatalf("meta = %q, want %q", p2.Meta(), meta)
+	}
+}
+
+func TestMetaTooLarge(t *testing.T) {
+	p, _ := newTemp(t, Options{PageSize: 128})
+	defer p.Close()
+	if err := p.SetMeta(make([]byte, 128)); !errors.Is(err, ErrMetaTooLarge) {
+		t.Fatalf("err = %v, want ErrMetaTooLarge", err)
+	}
+}
+
+func TestGetOutOfRange(t *testing.T) {
+	p, _ := newTemp(t, Options{})
+	defer p.Close()
+	if _, err := p.Get(0); !errors.Is(err, ErrPageRange) {
+		t.Error("superblock must not be gettable")
+	}
+	if _, err := p.Get(7); !errors.Is(err, ErrPageRange) {
+		t.Error("unallocated page must not be gettable")
+	}
+}
+
+func TestLRUEvictionAndStats(t *testing.T) {
+	p, _ := newTemp(t, Options{PoolPages: 2})
+	defer p.Close()
+	var ids []PageID
+	for i := 0; i < 4; i++ {
+		pg, err := p.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		binary.BigEndian.PutUint64(pg.Data, uint64(i))
+		pg.MarkDirty()
+		ids = append(ids, pg.ID)
+		pg.Release()
+	}
+	// Pool holds 2 of the 4; reading the evicted ones must miss.
+	st0 := p.Stats()
+	for i, id := range ids {
+		pg, err := p.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := binary.BigEndian.Uint64(pg.Data); got != uint64(i) {
+			t.Fatalf("page %d content = %d, want %d", id, got, i)
+		}
+		pg.Release()
+	}
+	st := p.Stats()
+	if st.Misses == st0.Misses {
+		t.Error("expected buffer pool misses after eviction")
+	}
+	if st.Reads == 0 {
+		t.Error("expected physical reads")
+	}
+}
+
+func TestDisableLRUCountsEveryRead(t *testing.T) {
+	p, _ := newTemp(t, Options{DisableLRU: true})
+	defer p.Close()
+	pg, _ := p.Alloc()
+	id := pg.ID
+	pg.MarkDirty()
+	pg.Release()
+	p.ResetStats()
+	for i := 0; i < 3; i++ {
+		g, err := p.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Release()
+	}
+	st := p.Stats()
+	if st.Misses != 3 || st.Reads != 3 {
+		t.Fatalf("no-cache stats = %+v, want 3 misses/reads", st)
+	}
+	if st.Hits != 0 {
+		t.Fatalf("no-cache must never hit, got %d", st.Hits)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk.pg")
+	if err := os.WriteFile(path, make([]byte, DefaultPageSize), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Options{}); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestCorruptedSuperblock(t *testing.T) {
+	p, path := newTemp(t, Options{})
+	p.SetMeta([]byte("important"))
+	p.Close()
+	// Flip a byte inside the metadata region.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[offMeta] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Options{}); !errors.Is(err, ErrBadChecksum) {
+		t.Fatalf("err = %v, want ErrBadChecksum", err)
+	}
+}
+
+func TestTruncatedFile(t *testing.T) {
+	p, path := newTemp(t, Options{})
+	pg, _ := p.Alloc()
+	pg.MarkDirty()
+	pg.Release()
+	p.Close()
+	if err := os.Truncate(path, DefaultPageSize/2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Options{}); err == nil {
+		t.Fatal("opening truncated file must fail")
+	}
+}
+
+func TestOpenWithDifferentConfiguredPageSize(t *testing.T) {
+	p, path := newTemp(t, Options{PageSize: 512})
+	pg, _ := p.Alloc()
+	copy(pg.Data, "x")
+	pg.MarkDirty()
+	pg.Release()
+	p.Close()
+	// Opening with the default page size must self-correct to 512.
+	p2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if p2.PageSize() != 512 {
+		t.Fatalf("page size = %d, want 512", p2.PageSize())
+	}
+	g, err := p2.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Data[0] != 'x' {
+		t.Fatal("content lost across page-size self-correction")
+	}
+	g.Release()
+}
+
+func TestClosedErrors(t *testing.T) {
+	p, _ := newTemp(t, Options{})
+	p.Close()
+	if _, err := p.Alloc(); !errors.Is(err, ErrClosed) {
+		t.Error("Alloc after close must fail")
+	}
+	if _, err := p.Get(1); !errors.Is(err, ErrClosed) {
+		t.Error("Get after close must fail")
+	}
+	if err := p.Close(); err != nil {
+		t.Error("double close must be a no-op")
+	}
+}
+
+func TestReadOnly(t *testing.T) {
+	p, path := newTemp(t, Options{})
+	pg, _ := p.Alloc()
+	pg.MarkDirty()
+	pg.Release()
+	p.Close()
+	ro, err := Open(path, Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	if _, err := ro.Alloc(); err == nil {
+		t.Error("Alloc on read-only pager must fail")
+	}
+	g, err := ro.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Release()
+}
+
+// Many random writes and reads through a tiny pool: the file must end up
+// byte-identical to an in-memory model.
+func TestRandomizedAgainstModel(t *testing.T) {
+	p, path := newTemp(t, Options{PageSize: 256, PoolPages: 3})
+	rng := rand.New(rand.NewSource(7))
+	const n = 50
+	model := make(map[PageID][]byte)
+	var ids []PageID
+	for i := 0; i < n; i++ {
+		pg, err := p.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng.Read(pg.Data)
+		pg.MarkDirty()
+		model[pg.ID] = append([]byte(nil), pg.Data...)
+		ids = append(ids, pg.ID)
+		pg.Release()
+	}
+	for i := 0; i < 200; i++ {
+		id := ids[rng.Intn(len(ids))]
+		pg, err := p.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rng.Intn(2) == 0 {
+			rng.Read(pg.Data[:16])
+			pg.MarkDirty()
+			copy(model[id][:16], pg.Data[:16])
+		} else if !bytes.Equal(pg.Data, model[id]) {
+			t.Fatalf("page %d diverged from model", id)
+		}
+		pg.Release()
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Open(path, Options{PoolPages: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	for id, want := range model {
+		pg, err := p2.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(pg.Data, want) {
+			t.Fatalf("page %d content mismatch after reopen", id)
+		}
+		pg.Release()
+	}
+}
+
+func TestFileSize(t *testing.T) {
+	p, _ := newTemp(t, Options{PageSize: 512})
+	defer p.Close()
+	for i := 0; i < 3; i++ {
+		pg, _ := p.Alloc()
+		pg.Release()
+	}
+	if got := p.FileSize(); got != 4*512 {
+		t.Fatalf("FileSize = %d, want %d", got, 4*512)
+	}
+}
+
+func BenchmarkGetCached(b *testing.B) {
+	dir := b.TempDir()
+	p, err := Open(filepath.Join(dir, "b.pg"), Options{Create: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	pg, _ := p.Alloc()
+	id := pg.ID
+	pg.Release()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, _ := p.Get(id)
+		g.Release()
+	}
+}

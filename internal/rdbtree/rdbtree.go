@@ -1,0 +1,280 @@
+// Package rdbtree implements the paper's novel structure: the RDB-tree
+// (Reference Distance B+-tree, §3.2).
+//
+// An RDB-tree is a B+-tree over Hilbert keys whose leaves do not store
+// object descriptors or bare pointers, but each object's distances to the
+// m reference objects, alongside its pointer (object id). That leaf design
+// is the paper's central trade: candidates fetched from a leaf can be
+// filtered with the triangular and Ptolemaic inequalities (§4.2) without
+// any further I/O, and the leaf order Ω stays high even at ν in the
+// hundreds because m ≪ ν.
+//
+// Leaf entry layout (paper Eq. (4)):
+//
+//	[Hilbert key: ceil(η·ω/8) bytes][object id: 8 bytes][m × float32 distances]
+//
+// The leaf order is Ω = max { (η·(ω/8) + 4m + 8)·Ω + 16 + 1 ≤ B } exactly
+// as in Eq. (4), reproduced against Table 3 in the tests.
+package rdbtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/hd-index/hdindex/internal/bptree"
+	"github.com/hd-index/hdindex/internal/hilbert"
+	"github.com/hd-index/hdindex/internal/pager"
+)
+
+// Config fixes the geometry of an RDB-tree.
+type Config struct {
+	Eta   int // dimensions per Hilbert curve (η)
+	Omega int // Hilbert curve order (ω)
+	M     int // number of reference objects (m)
+}
+
+// KeyLen returns the Hilbert key width in bytes: ceil(η·ω/8).
+func (c Config) KeyLen() int { return (c.Eta*c.Omega + 7) / 8 }
+
+// ValLen returns the per-entry payload width: 8-byte pointer + m floats.
+func (c Config) ValLen() int { return 8 + 4*c.M }
+
+// LeafOrder evaluates the paper's Eq. (4): the largest Ω such that
+// (η·(ω/8) + 4·m + 8)·Ω + 16 + 1 ≤ B.
+func LeafOrder(pageSize, eta, omega, m int) int {
+	entry := eta*omega/8 + 4*m + 8
+	if eta*omega%8 != 0 {
+		entry++ // ceil for orders not a multiple of 8 bits
+	}
+	return (pageSize - 17) / entry
+}
+
+// Entry is one leaf record: an object pointer plus its reference distances.
+type Entry struct {
+	ID       uint64
+	RefDists []float32
+}
+
+// Tree is an RDB-tree in a single pager file.
+type Tree struct {
+	bt  *bptree.Tree
+	cfg Config
+}
+
+// Create initialises an empty RDB-tree in a fresh pager file.
+func Create(pgr *pager.Pager, cfg Config) (*Tree, error) {
+	if cfg.Eta < 1 || cfg.Omega < 1 || cfg.Omega > 32 || cfg.M < 1 {
+		return nil, fmt.Errorf("rdbtree: invalid config %+v", cfg)
+	}
+	order := LeafOrder(pgr.PageSize(), cfg.Eta, cfg.Omega, cfg.M)
+	if order < 1 {
+		return nil, fmt.Errorf("rdbtree: page size %d cannot hold one entry of config %+v", pgr.PageSize(), cfg)
+	}
+	// Our leaf header needs 2 bytes more than Eq. (4) accounts for (an
+	// entry count); cap at the physically possible order in that corner.
+	maxPhysical := (pgr.PageSize() - 19) / (cfg.KeyLen() + cfg.ValLen())
+	if order > maxPhysical {
+		order = maxPhysical
+	}
+	bt, err := bptree.Create(pgr, bptree.Config{
+		KeyLen:  cfg.KeyLen(),
+		ValLen:  cfg.ValLen(),
+		LeafCap: order,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{bt: bt, cfg: cfg}
+	return t, t.writeExtra()
+}
+
+// Open loads an RDB-tree from an existing pager file.
+func Open(pgr *pager.Pager) (*Tree, error) {
+	bt, err := bptree.Open(pgr)
+	if err != nil {
+		return nil, err
+	}
+	extra := bt.Extra()
+	if len(extra) < 12 {
+		return nil, fmt.Errorf("rdbtree: missing config metadata")
+	}
+	cfg := Config{
+		Eta:   int(binary.BigEndian.Uint32(extra[0:])),
+		Omega: int(binary.BigEndian.Uint32(extra[4:])),
+		M:     int(binary.BigEndian.Uint32(extra[8:])),
+	}
+	if cfg.KeyLen() != bt.KeyLen() || cfg.ValLen() != bt.ValLen() {
+		return nil, fmt.Errorf("rdbtree: config/tree geometry mismatch")
+	}
+	return &Tree{bt: bt, cfg: cfg}, nil
+}
+
+func (t *Tree) writeExtra() error {
+	extra := make([]byte, 12)
+	binary.BigEndian.PutUint32(extra[0:], uint32(t.cfg.Eta))
+	binary.BigEndian.PutUint32(extra[4:], uint32(t.cfg.Omega))
+	binary.BigEndian.PutUint32(extra[8:], uint32(t.cfg.M))
+	return t.bt.SetExtra(extra)
+}
+
+// Config returns the tree's geometry.
+func (t *Tree) Config() Config { return t.cfg }
+
+// Count returns the number of indexed objects.
+func (t *Tree) Count() uint64 { return t.bt.Count() }
+
+// LeafOrder returns the effective leaf order Ω.
+func (t *Tree) LeafOrder() int { return t.bt.LeafCap() }
+
+// Pager exposes the underlying pager for stats and closing.
+func (t *Tree) Pager() *pager.Pager { return t.bt.Pager() }
+
+// Flush persists all state.
+func (t *Tree) Flush() error { return t.bt.Flush() }
+
+func (t *Tree) encodeValue(dst []byte, id uint64, refDists []float32) {
+	binary.BigEndian.PutUint64(dst[0:8], id)
+	for i, d := range refDists {
+		binary.LittleEndian.PutUint32(dst[8+4*i:], math.Float32bits(d))
+	}
+}
+
+func (t *Tree) decodeValue(v []byte) Entry {
+	e := Entry{
+		ID:       binary.BigEndian.Uint64(v[0:8]),
+		RefDists: make([]float32, t.cfg.M),
+	}
+	for i := range e.RefDists {
+		e.RefDists[i] = math.Float32frombits(binary.LittleEndian.Uint32(v[8+4*i:]))
+	}
+	return e
+}
+
+// Record is bulk-load input: a pre-computed Hilbert key, the object id,
+// and the object's distances to the m reference objects.
+type Record struct {
+	Key      []byte
+	ID       uint64
+	RefDists []float32
+}
+
+// BulkLoad builds the tree from records sorted by Key (Algorithm 1,
+// lines 8–10).
+func (t *Tree) BulkLoad(records []Record) error {
+	src := &recordSource{t: t, records: records, buf: make([]byte, t.cfg.ValLen())}
+	return t.bt.BulkLoad(src)
+}
+
+type recordSource struct {
+	t       *Tree
+	records []Record
+	buf     []byte
+	i       int
+}
+
+func (s *recordSource) Next() (key, value []byte, ok bool) {
+	if s.i >= len(s.records) {
+		return nil, nil, false
+	}
+	r := s.records[s.i]
+	s.i++
+	if len(r.RefDists) != s.t.cfg.M {
+		// Signal the mismatch through a wrong-length value, which
+		// BulkLoad turns into ErrValueLen.
+		return r.Key, nil, true
+	}
+	s.t.encodeValue(s.buf, r.ID, r.RefDists)
+	return r.Key, s.buf, true
+}
+
+// Insert adds a single object (§3.6 updates).
+func (t *Tree) Insert(key []byte, id uint64, refDists []float32) error {
+	if len(refDists) != t.cfg.M {
+		return fmt.Errorf("rdbtree: got %d reference distances, want %d", len(refDists), t.cfg.M)
+	}
+	buf := make([]byte, t.cfg.ValLen())
+	t.encodeValue(buf, id, refDists)
+	return t.bt.Insert(key, buf)
+}
+
+// SearchNearest returns up to alpha entries whose Hilbert keys are
+// numerically nearest to key — the candidate retrieval of §4.1. It seeks
+// the key's would-be position and walks outward along the leaf chain,
+// always consuming the side whose next key is closer to the query key.
+func (t *Tree) SearchNearest(key []byte, alpha int) ([]Entry, error) {
+	if alpha < 1 {
+		return nil, fmt.Errorf("rdbtree: alpha must be >= 1, got %d", alpha)
+	}
+	right := t.bt.NewCursor()
+	defer right.Close()
+	if err := right.Seek(key); err != nil {
+		return nil, err
+	}
+	left, err := right.Clone()
+	if err != nil {
+		return nil, err
+	}
+	defer left.Close()
+	if left.Valid() {
+		if err := left.Prev(); err != nil {
+			return nil, err
+		}
+	} else {
+		// Query key past the end: left scan starts at the last entry.
+		if err := left.Last(); err != nil {
+			return nil, err
+		}
+	}
+
+	out := make([]Entry, 0, alpha)
+	dl := make([]byte, len(key))
+	dr := make([]byte, len(key))
+	for len(out) < alpha && (left.Valid() || right.Valid()) {
+		takeRight := false
+		switch {
+		case !left.Valid():
+			takeRight = true
+		case !right.Valid():
+			takeRight = false
+		default:
+			hilbert.KeyDelta(dl, key, left.Key())
+			hilbert.KeyDelta(dr, key, right.Key())
+			// Ties go right: keys >= the query key are preferred, the
+			// same convention a forward range scan would use.
+			takeRight = compareBytes(dr, dl) <= 0
+		}
+		if takeRight {
+			out = append(out, t.decodeValue(right.Value()))
+			if err := right.Next(); err != nil {
+				return nil, err
+			}
+		} else {
+			out = append(out, t.decodeValue(left.Value()))
+			if err := left.Prev(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+func compareBytes(a, b []byte) int {
+	for i := range a {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// ScanAll invokes fn for every entry in key order; used by integrity
+// checks and tests.
+func (t *Tree) ScanAll(fn func(key []byte, e Entry) bool) error {
+	return t.bt.Scan(nil, nil, func(k, v []byte) bool {
+		return fn(k, t.decodeValue(v))
+	})
+}

@@ -1,0 +1,351 @@
+package rdbtree
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"github.com/hd-index/hdindex/internal/pager"
+)
+
+// Table 3 of the paper: leaf orders from Eq. (4) at page size 4 KB.
+// SIFT/Yorck/SUN/Audio match the printed table; for Enron and Glove the
+// printed values (18 and 40) disagree with the paper's own Eq. (4), which
+// yields 33 and 46 — we implement the equation (see EXPERIMENTS.md).
+func TestLeafOrderTable3(t *testing.T) {
+	cases := []struct {
+		name            string
+		eta, omega, m   int
+		want            int
+		printedInTable3 int
+	}{
+		{"SIFT", 16, 8, 10, 63, 63},
+		{"Yorck", 16, 32, 10, 36, 36},
+		{"SUN", 64, 32, 10, 13, 13},
+		{"Audio", 24, 32, 10, 28, 28},
+		{"Enron", 37, 16, 10, 33, 18},
+		{"Glove", 10, 32, 10, 46, 40},
+	}
+	for _, c := range cases {
+		if got := LeafOrder(4096, c.eta, c.omega, c.m); got != c.want {
+			t.Errorf("%s: LeafOrder = %d, want %d (table prints %d)",
+				c.name, got, c.want, c.printedInTable3)
+		}
+	}
+}
+
+func mkRDB(t *testing.T, cfg Config, pageSize int) (*Tree, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "rdb.pg")
+	pgr, err := pager.Open(path, pager.Options{Create: true, PageSize: pageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Create(pgr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pgr.Close() })
+	return tr, path
+}
+
+func key16(v uint64) []byte {
+	b := make([]byte, 16)
+	binary.BigEndian.PutUint64(b[8:], v)
+	return b
+}
+
+func TestCreateUsesEquation4Order(t *testing.T) {
+	// SIFT geometry: keys 16 B, values 8+40 B, order 63 at 4 KB pages.
+	tr, _ := mkRDB(t, Config{Eta: 16, Omega: 8, M: 10}, 4096)
+	if tr.LeafOrder() != 63 {
+		t.Fatalf("leaf order = %d, want 63", tr.LeafOrder())
+	}
+}
+
+func TestBulkLoadAndScan(t *testing.T) {
+	cfg := Config{Eta: 16, Omega: 8, M: 3}
+	tr, _ := mkRDB(t, cfg, 512)
+	var recs []Record
+	for i := 0; i < 500; i++ {
+		recs = append(recs, Record{
+			Key:      key16(uint64(i * 7)),
+			ID:       uint64(i),
+			RefDists: []float32{float32(i), float32(i) * 2, float32(i) * 3},
+		})
+	}
+	if err := tr.BulkLoad(recs); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Count() != 500 {
+		t.Fatalf("Count = %d", tr.Count())
+	}
+	i := 0
+	tr.ScanAll(func(k []byte, e Entry) bool {
+		if e.ID != uint64(i) {
+			t.Fatalf("pos %d id = %d", i, e.ID)
+		}
+		if e.RefDists[1] != float32(i)*2 {
+			t.Fatalf("pos %d refdists = %v", i, e.RefDists)
+		}
+		i++
+		return true
+	})
+	if i != 500 {
+		t.Fatalf("scanned %d", i)
+	}
+}
+
+func TestBulkLoadWrongRefDistLen(t *testing.T) {
+	tr, _ := mkRDB(t, Config{Eta: 16, Omega: 8, M: 3}, 512)
+	err := tr.BulkLoad([]Record{{Key: key16(1), ID: 0, RefDists: []float32{1}}})
+	if err == nil {
+		t.Fatal("wrong refdist length must fail")
+	}
+}
+
+func TestSearchNearestCentred(t *testing.T) {
+	cfg := Config{Eta: 16, Omega: 8, M: 2}
+	tr, _ := mkRDB(t, cfg, 512)
+	var recs []Record
+	for i := 0; i < 100; i++ {
+		recs = append(recs, Record{Key: key16(uint64(i * 10)), ID: uint64(i), RefDists: []float32{0, 0}})
+	}
+	if err := tr.BulkLoad(recs); err != nil {
+		t.Fatal(err)
+	}
+	// Query key 497 sits between ids 49 (490) and 50 (500); nearest 6 by
+	// key distance: 500(3), 490(7), 510(13), 480(17), 520(23), 470(27).
+	got, err := tr.SearchNearest(key16(497), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{50, 49, 51, 48, 52, 47}
+	if len(got) != len(want) {
+		t.Fatalf("got %d entries", len(got))
+	}
+	for i, e := range got {
+		if e.ID != want[i] {
+			t.Fatalf("pos %d id = %d, want %d (all %v)", i, e.ID, want[i], got)
+		}
+	}
+}
+
+func TestSearchNearestTieGoesRight(t *testing.T) {
+	cfg := Config{Eta: 16, Omega: 8, M: 1}
+	tr, _ := mkRDB(t, cfg, 512)
+	recs := []Record{
+		{Key: key16(90), ID: 1, RefDists: []float32{0}},
+		{Key: key16(110), ID: 2, RefDists: []float32{0}},
+	}
+	if err := tr.BulkLoad(recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.SearchNearest(key16(100), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != 2 {
+		t.Fatalf("tie must go right, got %v", got)
+	}
+}
+
+func TestSearchNearestAtExtremes(t *testing.T) {
+	cfg := Config{Eta: 16, Omega: 8, M: 1}
+	tr, _ := mkRDB(t, cfg, 512)
+	var recs []Record
+	for i := 0; i < 50; i++ {
+		recs = append(recs, Record{Key: key16(uint64(1000 + i)), ID: uint64(i), RefDists: []float32{0}})
+	}
+	if err := tr.BulkLoad(recs); err != nil {
+		t.Fatal(err)
+	}
+	// Before all keys.
+	got, err := tr.SearchNearest(key16(0), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0].ID != 0 || got[1].ID != 1 || got[2].ID != 2 {
+		t.Fatalf("before-all = %+v", got)
+	}
+	// After all keys.
+	got, err = tr.SearchNearest(key16(99999), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0].ID != 49 || got[1].ID != 48 || got[2].ID != 47 {
+		t.Fatalf("after-all = %+v", got)
+	}
+	// Alpha larger than the tree returns everything.
+	got, err = tr.SearchNearest(key16(1025), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 50 {
+		t.Fatalf("alpha>n returned %d", len(got))
+	}
+}
+
+// Property: SearchNearest returns exactly the alpha keys nearest to the
+// query key, matching a brute-force sort.
+func TestSearchNearestAgainstBruteForce(t *testing.T) {
+	cfg := Config{Eta: 16, Omega: 8, M: 1}
+	tr, _ := mkRDB(t, cfg, 512)
+	rng := rand.New(rand.NewSource(13))
+	keys := make([]uint64, 0, 300)
+	seen := map[uint64]bool{}
+	var recs []Record
+	for len(keys) < 300 {
+		k := uint64(rng.Intn(1 << 20))
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for i, k := range keys {
+		recs = append(recs, Record{Key: key16(k), ID: uint64(i), RefDists: []float32{0}})
+	}
+	if err := tr.BulkLoad(recs); err != nil {
+		t.Fatal(err)
+	}
+	absDiff := func(a, b uint64) uint64 {
+		if a > b {
+			return a - b
+		}
+		return b - a
+	}
+	for trial := 0; trial < 50; trial++ {
+		q := uint64(rng.Intn(1 << 20))
+		alpha := rng.Intn(20) + 1
+		got, err := tr.SearchNearest(key16(q), alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute force: sort ids by |key - q|.
+		idx := make([]int, len(keys))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			da, db := absDiff(keys[idx[a]], q), absDiff(keys[idx[b]], q)
+			if da != db {
+				return da < db
+			}
+			return keys[idx[a]] > keys[idx[b]] // tie: right side first
+		})
+		if len(got) != alpha {
+			t.Fatalf("got %d, want %d", len(got), alpha)
+		}
+		for i := 0; i < alpha; i++ {
+			if got[i].ID != uint64(idx[i]) {
+				t.Fatalf("trial %d pos %d: id %d, want %d (q=%d)", trial, i, got[i].ID, idx[i], q)
+			}
+		}
+	}
+}
+
+func TestInsertThenSearch(t *testing.T) {
+	cfg := Config{Eta: 16, Omega: 8, M: 2}
+	tr, _ := mkRDB(t, cfg, 512)
+	if err := tr.BulkLoad(nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := tr.Insert(key16(uint64(i*3)), uint64(i), []float32{1, 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := tr.SearchNearest(key16(300), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].ID != 100 {
+		t.Fatalf("nearest to 300 = %d, want 100", got[0].ID)
+	}
+	if err := tr.Insert(key16(1), 999, []float32{1}); err == nil {
+		t.Fatal("wrong refdist count must fail")
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.pg")
+	pgr, err := pager.Open(path, pager.Options{Create: true, PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Eta: 16, Omega: 8, M: 4}
+	tr, err := Create(pgr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []Record
+	for i := 0; i < 100; i++ {
+		recs = append(recs, Record{Key: key16(uint64(i)), ID: uint64(i), RefDists: []float32{1, 2, 3, 4}})
+	}
+	if err := tr.BulkLoad(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := pgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	pgr2, err := pager.Open(path, pager.Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pgr2.Close()
+	tr2, err := Open(pgr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Config() != cfg {
+		t.Fatalf("config = %+v, want %+v", tr2.Config(), cfg)
+	}
+	got, err := tr2.SearchNearest(key16(42), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].ID != 42 || got[0].RefDists[3] != 4 {
+		t.Fatalf("reopened search = %+v", got[0])
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v.pg")
+	pgr, err := pager.Open(path, pager.Options{Create: true, PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pgr.Close()
+	if _, err := Create(pgr, Config{Eta: 0, Omega: 8, M: 1}); err == nil {
+		t.Error("eta=0 must fail")
+	}
+	if _, err := Create(pgr, Config{Eta: 4, Omega: 40, M: 1}); err == nil {
+		t.Error("omega>32 must fail")
+	}
+	if _, err := Create(pgr, Config{Eta: 4, Omega: 8, M: 0}); err == nil {
+		t.Error("m=0 must fail")
+	}
+	// Entry too large for the page.
+	if _, err := Create(pgr, Config{Eta: 64, Omega: 32, M: 100}); err == nil {
+		t.Error("oversized entry must fail")
+	}
+}
+
+func TestSearchEmptyTree(t *testing.T) {
+	tr, _ := mkRDB(t, Config{Eta: 16, Omega: 8, M: 1}, 512)
+	got, err := tr.SearchNearest(key16(5), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty tree returned %v", got)
+	}
+	if _, err := tr.SearchNearest(key16(5), 0); err == nil {
+		t.Fatal("alpha=0 must fail")
+	}
+}

@@ -1,0 +1,142 @@
+// Package topk implements bounded top-k selection over (id, distance)
+// pairs. Every method in the paper — HD-Index's refinement step, the
+// baselines' candidate verification, and ground-truth computation — ends
+// with "keep the k nearest", so this lives in one shared package.
+package topk
+
+import "sort"
+
+// Item is a candidate object with its (possibly approximate) distance.
+type Item struct {
+	ID   uint64
+	Dist float64
+}
+
+// List is a bounded max-heap keeping the k smallest-distance items seen.
+// The zero value is unusable; construct with New.
+type List struct {
+	k     int
+	items []Item // max-heap on Dist
+}
+
+// New returns a List that retains the k nearest items pushed into it.
+func New(k int) *List {
+	if k < 1 {
+		panic("topk: k must be >= 1")
+	}
+	return &List{k: k, items: make([]Item, 0, k)}
+}
+
+// K returns the bound this list was created with.
+func (l *List) K() int { return l.k }
+
+// Len returns the number of items currently held (<= k).
+func (l *List) Len() int { return len(l.items) }
+
+// Full reports whether k items are held.
+func (l *List) Full() bool { return len(l.items) == l.k }
+
+// Bound returns the current k-th smallest distance, or +Inf-like behaviour:
+// if fewer than k items are held it returns ok=false.
+func (l *List) Bound() (float64, bool) {
+	if len(l.items) < l.k {
+		return 0, false
+	}
+	return l.items[0].Dist, true
+}
+
+// Accepts reports whether an item at distance d would enter the list.
+func (l *List) Accepts(d float64) bool {
+	if len(l.items) < l.k {
+		return true
+	}
+	return d < l.items[0].Dist
+}
+
+// Push offers an item; it is kept only if it is among the k nearest so far.
+// Returns true if the item was retained.
+func (l *List) Push(id uint64, d float64) bool {
+	if len(l.items) < l.k {
+		l.items = append(l.items, Item{id, d})
+		l.up(len(l.items) - 1)
+		return true
+	}
+	if d >= l.items[0].Dist {
+		return false
+	}
+	l.items[0] = Item{id, d}
+	l.down(0)
+	return true
+}
+
+// Items returns the retained items sorted by ascending distance
+// (ties broken by ascending id, for determinism). The list is unchanged.
+func (l *List) Items() []Item {
+	out := make([]Item, len(l.items))
+	copy(out, l.items)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// IDs returns just the ids, nearest first.
+func (l *List) IDs() []uint64 {
+	items := l.Items()
+	ids := make([]uint64, len(items))
+	for i, it := range items {
+		ids[i] = it.ID
+	}
+	return ids
+}
+
+// Reset empties the list, keeping capacity.
+func (l *List) Reset() { l.items = l.items[:0] }
+
+func (l *List) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if l.items[p].Dist >= l.items[i].Dist {
+			break
+		}
+		l.items[p], l.items[i] = l.items[i], l.items[p]
+		i = p
+	}
+}
+
+func (l *List) down(i int) {
+	n := len(l.items)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			return
+		}
+		if r := c + 1; r < n && l.items[r].Dist > l.items[c].Dist {
+			c = r
+		}
+		if l.items[i].Dist >= l.items[c].Dist {
+			return
+		}
+		l.items[i], l.items[c] = l.items[c], l.items[i]
+		i = c
+	}
+}
+
+// SelectK sorts items ascending by distance and returns the first k
+// (or all, if fewer). It is the non-streaming counterpart of List, used
+// by the filter cascade where the candidate set is already materialised.
+func SelectK(items []Item, k int) []Item {
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Dist != items[j].Dist {
+			return items[i].Dist < items[j].Dist
+		}
+		return items[i].ID < items[j].ID
+	})
+	if len(items) > k {
+		items = items[:k]
+	}
+	return items
+}

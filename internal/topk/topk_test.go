@@ -1,0 +1,144 @@
+package topk
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPushKeepsKNearest(t *testing.T) {
+	l := New(3)
+	for i, d := range []float64{5, 1, 4, 2, 8, 0.5} {
+		l.Push(uint64(i), d)
+	}
+	items := l.Items()
+	if len(items) != 3 {
+		t.Fatalf("len = %d, want 3", len(items))
+	}
+	want := []float64{0.5, 1, 2}
+	for i, it := range items {
+		if it.Dist != want[i] {
+			t.Errorf("item %d dist = %v, want %v", i, it.Dist, want[i])
+		}
+	}
+}
+
+func TestBoundAndAccepts(t *testing.T) {
+	l := New(2)
+	if _, ok := l.Bound(); ok {
+		t.Fatal("Bound ok on empty list")
+	}
+	if !l.Accepts(1e9) {
+		t.Fatal("non-full list must accept anything")
+	}
+	l.Push(1, 3.0)
+	l.Push(2, 1.0)
+	b, ok := l.Bound()
+	if !ok || b != 3.0 {
+		t.Fatalf("Bound = %v,%v want 3,true", b, ok)
+	}
+	if l.Accepts(3.0) {
+		t.Error("equal distance must not be accepted")
+	}
+	if !l.Accepts(2.9) {
+		t.Error("smaller distance must be accepted")
+	}
+}
+
+func TestTieBreakDeterminism(t *testing.T) {
+	l := New(4)
+	l.Push(9, 1)
+	l.Push(3, 1)
+	l.Push(7, 1)
+	l.Push(1, 1)
+	ids := l.IDs()
+	want := []uint64{1, 3, 7, 9}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	l := New(2)
+	l.Push(1, 1)
+	l.Reset()
+	if l.Len() != 0 {
+		t.Fatal("Reset did not empty the list")
+	}
+	l.Push(2, 5)
+	if got := l.IDs(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("after reset got %v", got)
+	}
+}
+
+func TestNewPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+// Property: the heap agrees with sorting the full stream.
+func TestQuickAgainstSort(t *testing.T) {
+	f := func(seed int64, kRaw uint8, nRaw uint8) bool {
+		k := int(kRaw%20) + 1
+		n := int(nRaw)
+		rng := rand.New(rand.NewSource(seed))
+		l := New(k)
+		all := make([]Item, 0, n)
+		for i := 0; i < n; i++ {
+			d := rng.Float64() * 100
+			l.Push(uint64(i), d)
+			all = append(all, Item{uint64(i), d})
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].Dist != all[j].Dist {
+				return all[i].Dist < all[j].Dist
+			}
+			return all[i].ID < all[j].ID
+		})
+		if len(all) > k {
+			all = all[:k]
+		}
+		got := l.Items()
+		if len(got) != len(all) {
+			return false
+		}
+		for i := range all {
+			if got[i] != all[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectK(t *testing.T) {
+	items := []Item{{1, 4}, {2, 1}, {3, 3}, {4, 1}}
+	got := SelectK(items, 2)
+	if len(got) != 2 || got[0].ID != 2 || got[1].ID != 4 {
+		t.Fatalf("SelectK = %v", got)
+	}
+	// k larger than input returns everything, sorted.
+	got = SelectK([]Item{{5, 2}, {6, 1}}, 10)
+	if len(got) != 2 || got[0].ID != 6 {
+		t.Fatalf("SelectK big-k = %v", got)
+	}
+}
+
+func BenchmarkPush(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	l := New(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Push(uint64(i), rng.Float64())
+	}
+}

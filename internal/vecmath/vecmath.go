@@ -1,0 +1,140 @@
+// Package vecmath provides the low-level vector arithmetic used throughout
+// the HD-Index reproduction: Euclidean distances over float32 vectors,
+// order-preserving encodings of floating-point values, and a few small
+// helpers shared by the index and the baseline methods.
+//
+// Vectors are []float32: every dataset in the paper (Table 4) fits in
+// single precision, and float32 halves the I/O volume of the disk-resident
+// structures, which is the paper's central concern.
+package vecmath
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Dist returns the Euclidean (L2) distance between a and b.
+// It panics if the slices have different lengths, as mixing
+// dimensionalities is always a programming error in this codebase.
+func Dist(a, b []float32) float64 {
+	return math.Sqrt(DistSq(a, b))
+}
+
+// DistSq returns the squared Euclidean distance between a and b.
+// Squared distances preserve the kNN order and avoid the sqrt in hot loops.
+func DistSq(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic("vecmath: dimension mismatch")
+	}
+	var s float64
+	for i, av := range a {
+		d := float64(av) - float64(b[i])
+		s += d * d
+	}
+	return s
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic("vecmath: dimension mismatch")
+	}
+	var s float64
+	for i, av := range a {
+		s += float64(av) * float64(b[i])
+	}
+	return s
+}
+
+// Norm returns the L2 norm of v.
+func Norm(v []float32) float64 {
+	var s float64
+	for _, x := range v {
+		s += float64(x) * float64(x)
+	}
+	return math.Sqrt(s)
+}
+
+// Sub stores a-b into dst and returns dst. dst may alias a or b.
+func Sub(dst, a, b []float32) []float32 {
+	for i := range a {
+		dst[i] = a[i] - b[i]
+	}
+	return dst
+}
+
+// Add stores a+b into dst and returns dst. dst may alias a or b.
+func Add(dst, a, b []float32) []float32 {
+	for i := range a {
+		dst[i] = a[i] + b[i]
+	}
+	return dst
+}
+
+// Scale multiplies v by s in place and returns v.
+func Scale(v []float32, s float32) []float32 {
+	for i := range v {
+		v[i] *= s
+	}
+	return v
+}
+
+// Copy returns a fresh copy of v.
+func Copy(v []float32) []float32 {
+	c := make([]float32, len(v))
+	copy(c, v)
+	return c
+}
+
+// SortableFloat64 maps a float64 to a uint64 whose unsigned order matches
+// the numeric order of the inputs (including negatives, zeros and infs).
+// It is used to build B+-tree keys from distance values (iDistance, QALSH).
+func SortableFloat64(f float64) uint64 {
+	u := math.Float64bits(f)
+	if u&(1<<63) != 0 {
+		return ^u // negative: flip all bits
+	}
+	return u | (1 << 63) // positive: flip sign bit
+}
+
+// UnsortableFloat64 inverts SortableFloat64.
+func UnsortableFloat64(u uint64) float64 {
+	if u&(1<<63) != 0 {
+		return math.Float64frombits(u &^ (1 << 63))
+	}
+	return math.Float64frombits(^u)
+}
+
+// PutSortableFloat64 writes the sortable encoding of f into b (8 bytes,
+// big-endian) so that bytes.Compare agrees with numeric order.
+func PutSortableFloat64(b []byte, f float64) {
+	binary.BigEndian.PutUint64(b, SortableFloat64(f))
+}
+
+// GetSortableFloat64 reads a value written by PutSortableFloat64.
+func GetSortableFloat64(b []byte) float64 {
+	return UnsortableFloat64(binary.BigEndian.Uint64(b))
+}
+
+// MinMax returns the per-dimension minimum and maximum over vecs.
+// Both results have length dim; they are nil if vecs is empty.
+func MinMax(vecs [][]float32, dim int) (lo, hi []float32) {
+	if len(vecs) == 0 {
+		return nil, nil
+	}
+	lo = make([]float32, dim)
+	hi = make([]float32, dim)
+	copy(lo, vecs[0])
+	copy(hi, vecs[0])
+	for _, v := range vecs[1:] {
+		for d := 0; d < dim; d++ {
+			if v[d] < lo[d] {
+				lo[d] = v[d]
+			}
+			if v[d] > hi[d] {
+				hi[d] = v[d]
+			}
+		}
+	}
+	return lo, hi
+}

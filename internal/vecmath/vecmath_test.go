@@ -1,0 +1,163 @@
+package vecmath
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDist(t *testing.T) {
+	a := []float32{0, 0, 0}
+	b := []float32{1, 2, 2}
+	if got := Dist(a, b); math.Abs(got-3) > 1e-9 {
+		t.Errorf("Dist = %v, want 3", got)
+	}
+	if got := DistSq(a, b); math.Abs(got-9) > 1e-9 {
+		t.Errorf("DistSq = %v, want 9", got)
+	}
+}
+
+func TestDistMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch did not panic")
+		}
+	}()
+	DistSq([]float32{1}, []float32{1, 2})
+}
+
+func TestDotNorm(t *testing.T) {
+	a := []float32{1, 2, 3}
+	b := []float32{4, 5, 6}
+	if got := Dot(a, b); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+	if got := Norm([]float32{3, 4}); math.Abs(got-5) > 1e-9 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+}
+
+func TestAddSubScaleCopy(t *testing.T) {
+	a := []float32{1, 2}
+	b := []float32{3, 5}
+	dst := make([]float32, 2)
+	Sub(dst, b, a)
+	if dst[0] != 2 || dst[1] != 3 {
+		t.Errorf("Sub = %v", dst)
+	}
+	Add(dst, dst, a)
+	if dst[0] != 3 || dst[1] != 5 {
+		t.Errorf("Add = %v", dst)
+	}
+	Scale(dst, 2)
+	if dst[0] != 6 || dst[1] != 10 {
+		t.Errorf("Scale = %v", dst)
+	}
+	c := Copy(a)
+	c[0] = 99
+	if a[0] != 1 {
+		t.Error("Copy aliases input")
+	}
+}
+
+// Property: the sortable float encoding preserves order, for all finite
+// pairs including negatives and zeros.
+func TestQuickSortableFloatOrder(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		ea, eb := SortableFloat64(a), SortableFloat64(b)
+		switch {
+		case a < b:
+			return ea < eb
+		case a > b:
+			return ea > eb
+		default:
+			return ea == eb || (a == 0 && b == 0) // -0 vs +0 may differ
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSortableFloatRoundTrip(t *testing.T) {
+	f := func(a float64) bool {
+		if math.IsNaN(a) {
+			return true
+		}
+		return UnsortableFloat64(SortableFloat64(a)) == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bytes.Compare over PutSortableFloat64 must agree with numeric order.
+func TestSortableBytesOrder(t *testing.T) {
+	vals := []float64{math.Inf(-1), -1e300, -3.5, -1, -1e-9, 0, 1e-9, 2, 7.25, 1e300, math.Inf(1)}
+	prev := make([]byte, 8)
+	cur := make([]byte, 8)
+	PutSortableFloat64(prev, vals[0])
+	for _, v := range vals[1:] {
+		PutSortableFloat64(cur, v)
+		if bytes.Compare(prev, cur) >= 0 {
+			t.Fatalf("byte order broken at %v", v)
+		}
+		if got := GetSortableFloat64(cur); got != v {
+			t.Fatalf("round trip %v -> %v", v, got)
+		}
+		copy(prev, cur)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	vecs := [][]float32{{1, 5}, {3, 2}, {-1, 4}}
+	lo, hi := MinMax(vecs, 2)
+	if lo[0] != -1 || lo[1] != 2 || hi[0] != 3 || hi[1] != 5 {
+		t.Errorf("MinMax = %v %v", lo, hi)
+	}
+	lo, hi = MinMax(nil, 2)
+	if lo != nil || hi != nil {
+		t.Error("MinMax of empty input must be nil")
+	}
+}
+
+// Property: triangle inequality holds for Dist over random vectors —
+// a sanity check that the distance is a metric, which the triangular
+// filter of §4.2 depends on.
+func TestQuickTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := rng.Intn(16) + 1
+		mk := func() []float32 {
+			v := make([]float32, dim)
+			for i := range v {
+				v[i] = float32(rng.NormFloat64())
+			}
+			return v
+		}
+		a, b, c := mk(), mk(), mk()
+		return Dist(a, c) <= Dist(a, b)+Dist(b, c)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDistSq128(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float32, 128)
+	y := make([]float32, 128)
+	for i := range x {
+		x[i] = rng.Float32()
+		y[i] = rng.Float32()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DistSq(x, y)
+	}
+}

@@ -1,0 +1,214 @@
+// Package vecstore stores the raw dataset vectors in a paged file.
+//
+// HD-Index never keeps descriptors inside the tree (that is the point of
+// the RDB-tree leaf design, §3.2): the final refinement step (§4.3)
+// follows object pointers and pays one random disk access per candidate
+// — the κ = O(τ·γ) accesses of the I/O analysis in §4.4.1. This store is
+// that pointer target, with the pager's counters measuring those reads.
+//
+// Records are fixed-size (4·dim bytes) and packed back to back in the
+// data region after the superblock; a vector may span page boundaries
+// (e.g. Enron's ν=1369 needs 5476 bytes, more than one 4096-byte page),
+// and the I/O counters reflect every page touched.
+package vecstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/hd-index/hdindex/internal/pager"
+)
+
+// Errors returned by the store.
+var (
+	ErrBadID  = errors.New("vecstore: object id out of range")
+	ErrDim    = errors.New("vecstore: dimension mismatch")
+	ErrHeader = errors.New("vecstore: corrupt store header")
+)
+
+// Store is a fixed-dimension vector file. Safe for concurrent readers.
+type Store struct {
+	pgr   *pager.Pager
+	dim   int
+	count uint64
+}
+
+// Create initialises an empty store of dim-dimensional vectors in pgr.
+func Create(pgr *pager.Pager, dim int) (*Store, error) {
+	if dim < 1 {
+		return nil, fmt.Errorf("vecstore: dim must be >= 1, got %d", dim)
+	}
+	s := &Store{pgr: pgr, dim: dim}
+	return s, s.writeHeader()
+}
+
+// Open loads an existing store from pgr's metadata.
+func Open(pgr *pager.Pager) (*Store, error) {
+	meta := pgr.Meta()
+	if len(meta) < 12 {
+		return nil, ErrHeader
+	}
+	return &Store{
+		pgr:   pgr,
+		dim:   int(binary.BigEndian.Uint32(meta[0:])),
+		count: binary.BigEndian.Uint64(meta[4:]),
+	}, nil
+}
+
+func (s *Store) writeHeader() error {
+	meta := make([]byte, 12)
+	binary.BigEndian.PutUint32(meta[0:], uint32(s.dim))
+	binary.BigEndian.PutUint64(meta[4:], s.count)
+	return s.pgr.SetMeta(meta)
+}
+
+// Dim returns the vector dimensionality ν.
+func (s *Store) Dim() int { return s.dim }
+
+// Count returns the number of stored vectors.
+func (s *Store) Count() uint64 { return s.count }
+
+// Pager exposes the underlying pager for stats and closing.
+func (s *Store) Pager() *pager.Pager { return s.pgr }
+
+func (s *Store) recSize() int { return 4 * s.dim }
+
+// byte range of record id within the data region (which starts at page 1).
+func (s *Store) recRange(id uint64) (firstPage pager.PageID, firstOff, size int) {
+	off := int64(id) * int64(s.recSize())
+	ps := int64(s.pgr.PageSize())
+	return pager.PageID(1 + off/ps), int(off % ps), s.recSize()
+}
+
+// Append adds a vector and returns its object id (0-based, dense).
+func (s *Store) Append(vec []float32) (uint64, error) {
+	if len(vec) != s.dim {
+		return 0, ErrDim
+	}
+	id := s.count
+	buf := make([]byte, s.recSize())
+	for i, v := range vec {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	if err := s.writeBytes(int64(id)*int64(s.recSize()), buf); err != nil {
+		return 0, err
+	}
+	s.count++
+	return id, s.writeHeader()
+}
+
+// BuildFrom bulk-appends all vectors; far fewer header writes than
+// repeated Append calls.
+func (s *Store) BuildFrom(vecs [][]float32) error {
+	buf := make([]byte, s.recSize())
+	for _, vec := range vecs {
+		if len(vec) != s.dim {
+			return ErrDim
+		}
+		for i, v := range vec {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+		}
+		if err := s.writeBytes(int64(s.count)*int64(s.recSize()), buf); err != nil {
+			return err
+		}
+		s.count++
+	}
+	return s.writeHeader()
+}
+
+// writeBytes writes buf at the given data-region offset, allocating pages
+// as needed.
+func (s *Store) writeBytes(off int64, buf []byte) error {
+	ps := int64(s.pgr.PageSize())
+	for len(buf) > 0 {
+		pageIdx := pager.PageID(1 + off/ps)
+		inPage := int(off % ps)
+		n := int(ps) - inPage
+		if n > len(buf) {
+			n = len(buf)
+		}
+		for uint64(pageIdx) >= s.pgr.PageCount() {
+			pg, err := s.pgr.Alloc()
+			if err != nil {
+				return err
+			}
+			pg.MarkDirty()
+			pg.Release()
+		}
+		pg, err := s.pgr.Get(pageIdx)
+		if err != nil {
+			return err
+		}
+		copy(pg.Data[inPage:inPage+n], buf[:n])
+		pg.MarkDirty()
+		pg.Release()
+		buf = buf[n:]
+		off += int64(n)
+	}
+	return nil
+}
+
+// Get reads vector id into dst (length Dim) and returns dst; if dst is
+// nil a fresh slice is allocated.
+func (s *Store) Get(id uint64, dst []float32) ([]float32, error) {
+	if id >= s.count {
+		return nil, fmt.Errorf("%w: %d (have %d)", ErrBadID, id, s.count)
+	}
+	if dst == nil {
+		dst = make([]float32, s.dim)
+	} else if len(dst) != s.dim {
+		return nil, ErrDim
+	}
+	ps := int64(s.pgr.PageSize())
+	off := int64(id) * int64(s.recSize())
+	remaining := s.recSize()
+	outIdx := 0
+	var partial [4]byte
+	partialLen := 0
+	for remaining > 0 {
+		pageIdx := pager.PageID(1 + off/ps)
+		inPage := int(off % ps)
+		n := int(ps) - inPage
+		if n > remaining {
+			n = remaining
+		}
+		pg, err := s.pgr.Get(pageIdx)
+		if err != nil {
+			return nil, err
+		}
+		chunk := pg.Data[inPage : inPage+n]
+		// Assemble float32 values across the chunk (and page splits).
+		for len(chunk) > 0 {
+			if partialLen > 0 || len(chunk) < 4 {
+				for partialLen < 4 && len(chunk) > 0 {
+					partial[partialLen] = chunk[0]
+					partialLen++
+					chunk = chunk[1:]
+				}
+				if partialLen == 4 {
+					dst[outIdx] = math.Float32frombits(binary.LittleEndian.Uint32(partial[:]))
+					outIdx++
+					partialLen = 0
+				}
+				continue
+			}
+			dst[outIdx] = math.Float32frombits(binary.LittleEndian.Uint32(chunk))
+			outIdx++
+			chunk = chunk[4:]
+		}
+		pg.Release()
+		off += int64(n)
+		remaining -= n
+	}
+	return dst, nil
+}
+
+// Flush persists the header and dirty pages.
+func (s *Store) Flush() error {
+	if err := s.writeHeader(); err != nil {
+		return err
+	}
+	return s.pgr.Flush()
+}

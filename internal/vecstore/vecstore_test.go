@@ -1,0 +1,203 @@
+package vecstore
+
+import (
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"github.com/hd-index/hdindex/internal/pager"
+)
+
+func mkStore(t *testing.T, dim, pageSize int) (*Store, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "vecs.pg")
+	pgr, err := pager.Open(path, pager.Options{Create: true, PageSize: pageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Create(pgr, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pgr.Close() })
+	return s, path
+}
+
+func randVecs(rng *rand.Rand, n, dim int) [][]float32 {
+	vecs := make([][]float32, n)
+	for i := range vecs {
+		v := make([]float32, dim)
+		for d := range v {
+			v[d] = rng.Float32()*200 - 100
+		}
+		vecs[i] = v
+	}
+	return vecs
+}
+
+func TestAppendGetRoundTrip(t *testing.T) {
+	s, _ := mkStore(t, 8, 256)
+	rng := rand.New(rand.NewSource(1))
+	vecs := randVecs(rng, 100, 8)
+	for i, v := range vecs {
+		id, err := s.Append(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != uint64(i) {
+			t.Fatalf("id = %d, want %d", id, i)
+		}
+	}
+	for i, want := range vecs {
+		got, err := s.Get(uint64(i), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for d := range want {
+			if got[d] != want[d] {
+				t.Fatalf("vec %d dim %d = %v, want %v", i, d, got[d], want[d])
+			}
+		}
+	}
+}
+
+// Vectors larger than a page must span pages correctly (Enron: ν=1369,
+// 5476 bytes > 4096-byte pages).
+func TestVectorSpanningPages(t *testing.T) {
+	s, _ := mkStore(t, 100, 128) // 400-byte records on 128-byte pages
+	rng := rand.New(rand.NewSource(2))
+	vecs := randVecs(rng, 20, 100)
+	if err := s.BuildFrom(vecs); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float32, 100)
+	for i, want := range vecs {
+		got, err := s.Get(uint64(i), dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for d := range want {
+			if got[d] != want[d] {
+				t.Fatalf("vec %d dim %d mismatch", i, d)
+			}
+		}
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v.pg")
+	pgr, err := pager.Open(path, pager.Options{Create: true, PageSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Create(pgr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	vecs := randVecs(rng, 33, 4)
+	if err := s.BuildFrom(vecs); err != nil {
+		t.Fatal(err)
+	}
+	if err := pgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	pgr2, err := pager.Open(path, pager.Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pgr2.Close()
+	s2, err := Open(pgr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Dim() != 4 || s2.Count() != 33 {
+		t.Fatalf("reopened dim=%d count=%d", s2.Dim(), s2.Count())
+	}
+	got, err := s2.Get(32, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := range got {
+		if got[d] != vecs[32][d] {
+			t.Fatal("content mismatch after reopen")
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	s, _ := mkStore(t, 4, 256)
+	if _, err := s.Append([]float32{1}); !errors.Is(err, ErrDim) {
+		t.Error("short vector must fail")
+	}
+	if _, err := s.Get(0, nil); !errors.Is(err, ErrBadID) {
+		t.Error("get from empty store must fail")
+	}
+	s.Append([]float32{1, 2, 3, 4})
+	if _, err := s.Get(1, nil); !errors.Is(err, ErrBadID) {
+		t.Error("out of range id must fail")
+	}
+	if _, err := s.Get(0, make([]float32, 3)); !errors.Is(err, ErrDim) {
+		t.Error("wrong dst length must fail")
+	}
+	if err := s.BuildFrom([][]float32{{1}}); !errors.Is(err, ErrDim) {
+		t.Error("BuildFrom wrong dim must fail")
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.pg")
+	pgr, err := pager.Open(path, pager.Options{Create: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pgr.Close()
+	if _, err := Create(pgr, 0); err == nil {
+		t.Error("dim=0 must fail")
+	}
+}
+
+// Random reads must cost at least one physical page access when the pool
+// is cold — the property Fig. 8 query-time measurements rely on.
+func TestReadCountsIO(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "io.pg")
+	pgr, err := pager.Open(path, pager.Options{Create: true, PageSize: 256, DisableLRU: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pgr.Close()
+	s, err := Create(pgr, 16) // 64-byte records, 4 per page
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	if err := s.BuildFrom(randVecs(rng, 64, 16)); err != nil {
+		t.Fatal(err)
+	}
+	pgr.ResetStats()
+	for i := 0; i < 10; i++ {
+		if _, err := s.Get(uint64(rng.Intn(64)), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := pgr.Stats(); st.Reads < 10 {
+		t.Fatalf("expected >= 10 physical reads with cache off, got %d", st.Reads)
+	}
+}
+
+func BenchmarkGet128(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "bench.pg")
+	pgr, _ := pager.Open(path, pager.Options{Create: true})
+	defer pgr.Close()
+	s, _ := Create(pgr, 128)
+	rng := rand.New(rand.NewSource(5))
+	vecs := randVecs(rng, 1000, 128)
+	s.BuildFrom(vecs)
+	dst := make([]float32, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get(uint64(i%1000), dst)
+	}
+}

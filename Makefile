@@ -1,0 +1,56 @@
+# Targets mirror .github/workflows/ci.yml so "make check" locally means
+# CI will agree.
+
+GO ?= go
+
+.PHONY: build test race bench bench-smoke snapshot fmt fmt-check vet check serve clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/... ./internal/server/...
+
+# Full benchmark suite (the paper's tables/figures at reduced scale).
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# What CI runs: one iteration per experiment plus core micro-benchmarks.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+	$(GO) test -bench=. -benchtime=50x -run='^$$' ./internal/core/
+
+# Write a perf snapshot to SNAPSHOT_OUT. To refresh the committed
+# baseline, point it at the BENCH_PR<n>.json for the current PR:
+#   make snapshot SNAPSHOT_OUT=BENCH_PR1.json
+SNAPSHOT_OUT ?= bench-snapshot.json
+snapshot:
+	$(GO) run ./cmd/hdbench -snapshot $(SNAPSHOT_OUT) -scale 0.1 -queries 20 -k 20
+
+fmt:
+	gofmt -l -w .
+
+# Fails (like CI) when any file needs formatting; does not rewrite.
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+check: build vet fmt-check test race
+
+# Build a demo index over synthetic SIFT-like data and serve it
+# (ctrl-c to drain and exit).
+serve:
+	$(GO) run ./cmd/datagen -dataset sift -n 10000 -out /tmp/hdserve-demo.fvecs
+	$(GO) run ./cmd/hdtool build -data /tmp/hdserve-demo.fvecs -index /tmp/hdserve-demo.index -omega 8
+	$(GO) run ./cmd/hdserve -index /tmp/hdserve-demo.index
+
+clean:
+	rm -f bench-smoke.txt bench-core.txt bench-snapshot.json

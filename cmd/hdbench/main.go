@@ -22,13 +22,14 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (see -list), or 'all'")
-		list    = flag.Bool("list", false, "list available experiments")
-		scale   = flag.Float64("scale", 1.0, "dataset scale multiplier")
-		queries = flag.Int("queries", 50, "queries per dataset")
-		k       = flag.Int("k", 100, "neighbours for MAP@k experiments")
-		workdir = flag.String("workdir", "", "scratch directory for on-disk indexes")
-		seed    = flag.Int64("seed", 42, "random seed")
+		exp      = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		list     = flag.Bool("list", false, "list available experiments")
+		scale    = flag.Float64("scale", 1.0, "dataset scale multiplier")
+		queries  = flag.Int("queries", 50, "queries per dataset")
+		k        = flag.Int("k", 100, "neighbours for MAP@k experiments")
+		workdir  = flag.String("workdir", "", "scratch directory for on-disk indexes")
+		seed     = flag.Int64("seed", 42, "random seed")
+		snapshot = flag.String("snapshot", "", "write a machine-readable HD-Index perf snapshot (JSON) to this file and exit")
 	)
 	flag.Parse()
 
@@ -40,18 +41,44 @@ func main() {
 		}
 		return
 	}
-	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "hdbench: -exp required (or -list)")
-		flag.Usage()
-		os.Exit(2)
-	}
-
 	cfg := bench.Config{
 		Scale:   *scale,
 		Queries: *queries,
 		K:       *k,
 		WorkDir: *workdir,
 		Seed:    *seed,
+	}
+
+	if *snapshot != "" {
+		if *exp != "" {
+			fmt.Fprintln(os.Stderr, "hdbench: -snapshot and -exp are mutually exclusive")
+			os.Exit(2)
+		}
+		snap, err := bench.RunSnapshot(cfg, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hdbench: snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*snapshot)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hdbench: %v\n", err)
+			os.Exit(1)
+		}
+		werr := snap.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "hdbench: %v\n", werr)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *snapshot)
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "hdbench: -exp required (or -list)")
+		flag.Usage()
+		os.Exit(2)
 	}
 
 	ids := []string{*exp}

@@ -1,0 +1,109 @@
+// Command hdserve serves kNN queries over a built HD-Index via HTTP.
+//
+// Usage:
+//
+//	hdserve -index /data/sift.index -addr :8080
+//
+// Endpoints (JSON bodies; see internal/server):
+//
+//	POST /search       single kNN query
+//	POST /searchbatch  many queries, answered on a bounded worker pool
+//	POST /insert       add a vector (§3.6)
+//	POST /delete       mark/unmark a vector deleted (§3.6)
+//	GET  /stats        index + per-endpoint latency/QPS counters
+//	GET  /healthz      liveness probe
+//
+// SIGINT/SIGTERM drain in-flight requests, flush the index, and exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	hdindex "github.com/hd-index/hdindex"
+	"github.com/hd-index/hdindex/internal/server"
+)
+
+func main() {
+	var (
+		indexDir     = flag.String("index", "", "directory of a built index (required)")
+		addr         = flag.String("addr", ":8080", "listen address")
+		parallel     = flag.Bool("parallel", true, "search the index's trees concurrently")
+		batchWorkers = flag.Int("batch-workers", 0, "bound on concurrent queries per /searchbatch request (0 = GOMAXPROCS)")
+		queryTimeout = flag.Duration("query-timeout", 2*time.Second, "default per-request search deadline (0 = none)")
+		maxK         = flag.Int("max-k", 1000, "largest accepted k")
+		maxBatch     = flag.Int("max-batch", 4096, "largest accepted /searchbatch size")
+		readOnly     = flag.Bool("readonly", false, "reject /insert and /delete")
+		noFlush      = flag.Bool("no-flush-on-write", false, "skip the durability flush after each /insert (faster bulk loads, crash loses recent inserts)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "shutdown grace period for in-flight requests")
+	)
+	flag.Parse()
+	if *indexDir == "" {
+		log.Fatal("hdserve: -index is required")
+	}
+
+	idx, err := hdindex.Open(*indexDir, hdindex.Options{
+		Parallel:     *parallel,
+		BatchWorkers: *batchWorkers,
+	})
+	if err != nil {
+		log.Fatalf("hdserve: open index: %v", err)
+	}
+	// No defer: every exit path below ends in os.Exit, so the index is
+	// closed explicitly after the drain.
+	log.Printf("hdserve: opened %s: %d vectors, %d dims, %.1f MB on disk",
+		*indexDir, idx.Count(), idx.Dim(), float64(idx.SizeOnDisk())/(1<<20))
+
+	srv := server.New(idx, server.Config{
+		QueryTimeout:   *queryTimeout,
+		MaxK:           *maxK,
+		MaxBatch:       *maxBatch,
+		ReadOnly:       *readOnly,
+		NoFlushOnWrite: *noFlush,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("hdserve: listening on %s", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	exitCode := 0
+	select {
+	case err := <-errCh:
+		// A dead listener still drains, flushes, and closes below —
+		// exiting here would lose inserts not yet flushed to disk.
+		log.Printf("hdserve: %v", err)
+		exitCode = 1
+	case s := <-sig:
+		log.Printf("hdserve: %v, draining for up to %v", s, *drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("hdserve: drain: %v", err)
+	}
+	if err := srv.Shutdown(); err != nil {
+		log.Printf("hdserve: flush: %v", err)
+	}
+	if err := idx.Close(); err != nil {
+		log.Printf("hdserve: close: %v", err)
+	}
+	log.Print("hdserve: bye")
+	os.Exit(exitCode)
+}

@@ -1,0 +1,3 @@
+module github.com/hd-index/hdindex
+
+go 1.24

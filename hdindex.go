@@ -26,6 +26,8 @@
 package hdindex
 
 import (
+	"context"
+
 	"github.com/hd-index/hdindex/internal/core"
 )
 
@@ -48,6 +50,9 @@ type Options struct {
 	UsePtolemaic bool
 	// Parallel searches the τ trees concurrently.
 	Parallel bool
+	// BatchWorkers bounds the SearchBatch fan-out: at most this many
+	// queries run concurrently (0 = GOMAXPROCS).
+	BatchWorkers int
 	// DisableCache turns the buffer pool off (the paper's cold-cache
 	// measurement protocol).
 	DisableCache bool
@@ -56,6 +61,9 @@ type Options struct {
 	// Seed makes reference selection and construction deterministic.
 	Seed int64
 }
+
+// ErrUnknownID reports a Delete of an id the index never assigned.
+var ErrUnknownID = core.ErrUnknownID
 
 // Result is one returned neighbour, nearest first.
 type Result = core.Result
@@ -81,6 +89,7 @@ func Build(dir string, vectors [][]float32, o Options) (*Index, error) {
 		Gamma:        o.Gamma,
 		UsePtolemaic: o.UsePtolemaic,
 		Parallel:     o.Parallel,
+		BatchWorkers: o.BatchWorkers,
 		DisableCache: o.DisableCache,
 		PageSize:     o.PageSize,
 		Seed:         o.Seed,
@@ -97,6 +106,7 @@ func Open(dir string, o Options) (*Index, error) {
 	ix, err := core.Open(dir, core.OpenOptions{
 		DisableCache: o.DisableCache,
 		Parallel:     o.Parallel,
+		BatchWorkers: o.BatchWorkers,
 	})
 	if err != nil {
 		return nil, err
@@ -109,9 +119,20 @@ func (i *Index) Search(q []float32, k int) ([]Result, error) {
 	return i.ix.Search(q, k)
 }
 
+// SearchContext is Search honouring ctx: the query returns early with
+// ctx.Err() when ctx is cancelled or its deadline expires.
+func (i *Index) SearchContext(ctx context.Context, q []float32, k int) ([]Result, error) {
+	return i.ix.SearchContext(ctx, q, k)
+}
+
 // SearchWithStats is Search plus work counters.
 func (i *Index) SearchWithStats(q []float32, k int) ([]Result, *Stats, error) {
 	return i.ix.SearchWithStats(q, k)
+}
+
+// SearchWithStatsContext is SearchContext plus work counters.
+func (i *Index) SearchWithStatsContext(ctx context.Context, q []float32, k int) ([]Result, *Stats, error) {
+	return i.ix.SearchWithStatsContext(ctx, q, k)
 }
 
 // SearchBatch answers many queries concurrently, preserving input order
@@ -119,6 +140,12 @@ func (i *Index) SearchWithStats(q []float32, k int) ([]Result, *Stats, error) {
 // search.
 func (i *Index) SearchBatch(queries [][]float32, k int) ([][]Result, error) {
 	return i.ix.SearchBatch(queries, k)
+}
+
+// SearchBatchContext is SearchBatch honouring ctx: remaining queries are
+// abandoned promptly on cancellation and ctx.Err() is returned.
+func (i *Index) SearchBatchContext(ctx context.Context, queries [][]float32, k int) ([][]Result, error) {
+	return i.ix.SearchBatchContext(ctx, queries, k)
 }
 
 // Insert adds a vector to the index (§3.6) and returns its id.

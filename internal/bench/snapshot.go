@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"github.com/hd-index/hdindex/internal/core"
+	"github.com/hd-index/hdindex/internal/metrics"
+)
+
+// Snapshot is a machine-readable perf baseline: the numbers a CI run (or
+// a reviewer) diffs against the committed BENCH_PR*.json files to see
+// the performance trajectory across PRs. It deliberately measures only
+// HD-Index itself — build cost, per-query latency and I/O, batch
+// throughput, and answer quality — not the baseline methods, which have
+// their own experiment runners.
+type Snapshot struct {
+	GoVersion string          `json:"go_version"`
+	GOOS      string          `json:"goos"`
+	GOARCH    string          `json:"goarch"`
+	Config    SnapshotConfig  `json:"config"`
+	Datasets  []DatasetResult `json:"datasets"`
+}
+
+// SnapshotConfig records the knobs the numbers depend on.
+type SnapshotConfig struct {
+	Scale   float64 `json:"scale"`
+	Queries int     `json:"queries"`
+	K       int     `json:"k"`
+	Seed    int64   `json:"seed"`
+}
+
+// DatasetResult is one dataset's row of the snapshot.
+type DatasetResult struct {
+	Dataset           string  `json:"dataset"`
+	N                 int     `json:"n"`
+	Dim               int     `json:"dim"`
+	BuildMS           float64 `json:"build_ms"`
+	IndexBytes        int64   `json:"index_bytes"`
+	MeanQueryUS       float64 `json:"mean_query_us"`
+	BatchQPS          float64 `json:"batch_qps"` // queries/s through SearchBatch
+	MAP               float64 `json:"map"`
+	MeanRatio         float64 `json:"mean_ratio"`
+	PageReadsPerQuery float64 `json:"page_reads_per_query"`
+}
+
+// RunSnapshot builds HD-Index over the named datasets (nil/empty = a
+// representative default pair) and measures the serving-relevant
+// numbers.
+func RunSnapshot(cfg Config, datasets []string) (*Snapshot, error) {
+	cfg.defaults()
+	if len(datasets) == 0 {
+		datasets = []string{"SIFT10K", "Audio"}
+	}
+	snap := &Snapshot{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Config: SnapshotConfig{
+			Scale: cfg.Scale, Queries: cfg.Queries, K: cfg.K, Seed: cfg.Seed,
+		},
+	}
+	for _, name := range datasets {
+		spec, ok := SpecByName(name)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown dataset %q", name)
+		}
+		res, err := snapshotDataset(spec, cfg)
+		if err != nil {
+			return nil, err
+		}
+		snap.Datasets = append(snap.Datasets, res)
+	}
+	return snap, nil
+}
+
+func snapshotDataset(spec DataSpec, cfg Config) (DatasetResult, error) {
+	w := MakeWorkload(spec, cfg)
+	n := len(w.Data.Vectors)
+	out := DatasetResult{Dataset: spec.Name, N: n, Dim: w.Data.Dim}
+
+	dir := filepath.Join(cfg.WorkDir, "snapshot", spec.Name)
+	p := HDParams(spec, n)
+	p.Seed = cfg.Seed
+
+	t0 := time.Now()
+	built, err := core.Build(dir, w.Data.Vectors, p)
+	if err != nil {
+		return out, err
+	}
+	out.BuildMS = float64(time.Since(t0).Microseconds()) / 1e3
+
+	// Reopen before measuring: querying the just-built index would hit
+	// a buffer pool still warm from construction and report zero page
+	// reads, hiding any I/O regression the snapshot exists to catch.
+	if err := built.Close(); err != nil {
+		return out, err
+	}
+	ix, err := core.Open(dir, core.OpenOptions{})
+	if err != nil {
+		return out, err
+	}
+	defer ix.Close()
+	out.IndexBytes = ix.SizeOnDisk()
+
+	// Single-query latency, quality, and I/O. Only the Search call is
+	// timed — metric bookkeeping must not inflate the baseline.
+	var got [][]uint64
+	var ratioSum float64
+	var reads uint64
+	var elapsed time.Duration
+	for qi, q := range w.Queries {
+		t := time.Now()
+		res, st, err := ix.SearchWithStats(q, w.K)
+		elapsed += time.Since(t)
+		if err != nil {
+			return out, err
+		}
+		ids := make([]uint64, len(res))
+		dists := make([]float64, len(res))
+		for i, r := range res {
+			ids[i] = r.ID
+			dists[i] = r.Dist
+		}
+		got = append(got, ids)
+		ratioSum += metrics.Ratio(dists, w.TruthDs[qi])
+		reads += st.PageReads
+	}
+	nq := len(w.Queries)
+	out.MeanQueryUS = float64(elapsed.Microseconds()) / float64(nq)
+	out.MAP = metrics.MAP(got, w.TruthIDs, w.K)
+	out.MeanRatio = ratioSum / float64(nq)
+	out.PageReadsPerQuery = float64(reads) / float64(nq)
+
+	// Batch throughput through the bounded worker pool.
+	t0 = time.Now()
+	if _, err := ix.SearchBatch(w.Queries, w.K); err != nil {
+		return out, err
+	}
+	if d := time.Since(t0).Seconds(); d > 0 {
+		out.BatchQPS = float64(nq) / d
+	}
+	return out, nil
+}
+
+// WriteJSON renders the snapshot, indented for a stable committed diff.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

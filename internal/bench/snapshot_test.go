@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRunSnapshot(t *testing.T) {
+	cfg := Config{Scale: 0.05, Queries: 5, K: 10, WorkDir: t.TempDir(), Seed: 42}
+	snap, err := RunSnapshot(cfg, []string{"SIFT10K"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Datasets) != 1 {
+		t.Fatalf("%d datasets", len(snap.Datasets))
+	}
+	d := snap.Datasets[0]
+	if d.Dataset != "SIFT10K" || d.N == 0 || d.Dim != 128 {
+		t.Errorf("dataset row = %+v", d)
+	}
+	if d.BuildMS <= 0 || d.MeanQueryUS <= 0 || d.IndexBytes <= 0 || d.BatchQPS <= 0 {
+		t.Errorf("timings not populated: %+v", d)
+	}
+	if d.MAP <= 0 || d.MAP > 1 || d.MeanRatio < 1-1e-9 {
+		t.Errorf("quality out of range: MAP=%v ratio=%v", d.MAP, d.MeanRatio)
+	}
+
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if round.Datasets[0].MAP != d.MAP {
+		t.Error("round-tripped MAP differs")
+	}
+}
+
+func TestRunSnapshotUnknownDataset(t *testing.T) {
+	if _, err := RunSnapshot(Config{Scale: 0.05, WorkDir: t.TempDir()}, []string{"nope"}); err == nil {
+		t.Fatal("unknown dataset must fail")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -10,32 +11,78 @@ import (
 // natural shape for the §5.5 image-search workload, where one logical
 // query fans out into N descriptor searches.
 func (ix *Index) SearchBatch(queries [][]float32, k int) ([][]Result, error) {
-	out := make([][]Result, len(queries))
-	errs := make([]error, len(queries))
-	workers := runtime.GOMAXPROCS(0)
+	return ix.SearchBatchContext(context.Background(), queries, k)
+}
+
+// SearchBatchContext is SearchBatch honouring ctx. The fan-out runs on a
+// bounded worker pool (Params.BatchWorkers, default GOMAXPROCS) so a
+// huge batch cannot monopolise the scheduler; cancellation or the first
+// per-query error stops the remaining work promptly and is returned.
+func (ix *Index) SearchBatchContext(ctx context.Context, queries [][]float32, k int) ([][]Result, error) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	workers := ix.params.BatchWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(queries) {
 		workers = len(queries)
 	}
+
+	// A cancellable child context lets the first failure abort the
+	// queries still queued or in flight.
+	bctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		failMu   sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		failMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		failMu.Unlock()
+	}
+
+	out := make([][]Result, len(queries))
 	var wg sync.WaitGroup
-	ch := make(chan int, len(queries))
+	ch := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for qi := range ch {
-				out[qi], errs[qi] = ix.Search(queries[qi], k)
+				if bctx.Err() != nil {
+					continue // drain without searching
+				}
+				res, err := ix.SearchContext(bctx, queries[qi], k)
+				if err != nil {
+					fail(err)
+					continue
+				}
+				out[qi] = res
 			}
 		}()
 	}
+dispatch:
 	for qi := range queries {
-		ch <- qi
+		select {
+		case ch <- qi:
+		case <-bctx.Done():
+			break dispatch
+		}
 	}
 	close(ch)
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/hd-index/hdindex/internal/data"
+)
+
+// SearchBatch must return results in input order regardless of worker
+// scheduling: batch results must equal per-query sequential results.
+func TestSearchBatchPreservesOrder(t *testing.T) {
+	p := Params{Tau: 4, Omega: 8, M: 4, Alpha: 128, Gamma: 32, BatchWorkers: 3, Seed: 1}
+	ix, ds, _ := buildSmall(t, 1500, p)
+	queries := ds.PerturbedQueries(50, 0.02, 2)
+
+	want := make([][]Result, len(queries))
+	for i, q := range queries {
+		var err error
+		want[i], err = ix.Search(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ix.SearchBatch(queries, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("batch returned %d result sets, want %d", len(got), len(want))
+	}
+	for qi := range want {
+		if len(got[qi]) != len(want[qi]) {
+			t.Fatalf("query %d: %d results, want %d", qi, len(got[qi]), len(want[qi]))
+		}
+		for j := range want[qi] {
+			if got[qi][j] != want[qi][j] {
+				t.Fatalf("query %d rank %d: batch %+v != sequential %+v",
+					qi, j, got[qi][j], want[qi][j])
+			}
+		}
+	}
+}
+
+func TestSearchBatchWorkerBounds(t *testing.T) {
+	for _, workers := range []int{1, 2, 16} {
+		p := Params{Tau: 2, Omega: 8, M: 3, Alpha: 64, Gamma: 16, BatchWorkers: workers, Seed: 3}
+		ix, ds, _ := buildSmall(t, 400, p)
+		queries := ds.PerturbedQueries(9, 0.02, 4)
+		res, err := ix.SearchBatch(queries, 3)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(res) != len(queries) {
+			t.Fatalf("workers=%d: %d result sets", workers, len(res))
+		}
+	}
+}
+
+// Concurrent searches, inserts, and deletes must be race-clean (run
+// under -race in CI) and never corrupt results.
+func TestConcurrentSearchInsertDelete(t *testing.T) {
+	p := Params{Tau: 2, Omega: 8, M: 3, Alpha: 64, Gamma: 16, Seed: 5}
+	ix, ds, queries := buildSmall(t, 800, p)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errCh := make(chan error, 64)
+
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := ix.Search(queries[(w+i)%len(queries)], 5)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if len(res) == 0 {
+					errCh <- errors.New("search returned no results")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 30; i++ {
+			if _, err := ix.Insert(ds.Vectors[i%len(ds.Vectors)]); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 30; i++ {
+			id := uint64(i % 100)
+			if err := ix.Delete(id); err != nil {
+				errCh <- err
+				return
+			}
+			if err := ix.Undelete(id); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			_ = ix.Count()
+			_, _ = ix.SearchBatch(queries[:4], 3)
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	timer := time.NewTimer(2 * time.Second)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+	case <-done:
+	}
+	close(stop)
+	<-done
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+}
+
+// A search given an already-cancelled context must not do any work.
+func TestSearchCancelledContext(t *testing.T) {
+	p := Params{Tau: 2, Omega: 8, M: 3, Alpha: 64, Gamma: 16, Seed: 6}
+	ix, _, queries := buildSmall(t, 400, p)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ix.SearchContext(ctx, queries[0], 5); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, _, err := ix.SearchWithStatsContext(ctx, queries[0], 5); !errors.Is(err, context.Canceled) {
+		t.Fatalf("stats err = %v, want context.Canceled", err)
+	}
+}
+
+// An in-flight search must abort promptly once its context is
+// cancelled: with cancellation racing a stream of searches, cancelled
+// calls return context.Canceled instead of running to completion.
+func TestSearchAbortsOnCancel(t *testing.T) {
+	// A deliberately heavy configuration so a single search has many
+	// cancellation checkpoints to hit.
+	ds := data.Generate(data.Config{N: 4000, Dim: 32, Clusters: 6, Lo: 0, Hi: 1, Seed: 7})
+	p := Params{Tau: 4, Omega: 8, M: 8, Alpha: 1024, Gamma: 1024, Seed: 7}
+	ix, err := Build(t.TempDir(), ds.Vectors, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	queries := ds.PerturbedQueries(4, 0.02, 8)
+
+	var cancelled atomic.Int64
+	for trial := 0; trial < 20 && cancelled.Load() == 0; trial++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		go cancel() // race the cancel against the search
+		for _, q := range queries {
+			if _, err := ix.SearchContext(ctx, q, 10); errors.Is(err, context.Canceled) {
+				cancelled.Add(1)
+				break
+			} else if err != nil {
+				t.Fatal(err)
+			}
+		}
+		cancel()
+	}
+	if cancelled.Load() == 0 {
+		t.Fatal("no search observed the cancellation in 20 trials")
+	}
+}
+
+// A deadline that has already passed must fail with DeadlineExceeded.
+func TestSearchDeadlineExceeded(t *testing.T) {
+	p := Params{Tau: 2, Omega: 8, M: 3, Alpha: 64, Gamma: 16, Seed: 9}
+	ix, _, queries := buildSmall(t, 400, p)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := ix.SearchContext(ctx, queries[0], 5); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// SearchBatchContext must stop dispatching once cancelled and report
+// ctx.Err().
+func TestSearchBatchCancellation(t *testing.T) {
+	p := Params{Tau: 2, Omega: 8, M: 3, Alpha: 64, Gamma: 16, BatchWorkers: 2, Seed: 10}
+	ix, ds, _ := buildSmall(t, 400, p)
+	queries := ds.PerturbedQueries(200, 0.02, 11)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ix.SearchBatchContext(ctx, queries, 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel2()
+	start := time.Now()
+	_, err := ix.SearchBatchContext(ctx2, queries, 3)
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled batch took %v to return", elapsed)
+	}
+	// The batch may have finished under the deadline on a fast machine;
+	// only a non-context error is wrong.
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -15,15 +16,27 @@ import (
 
 const deletedFile = "deleted.bin"
 
+// ErrUnknownID reports a Delete of an id the index has never assigned.
+var ErrUnknownID = errors.New("core: unknown id")
+
 type deleteSet struct {
 	mu  sync.RWMutex
 	ids map[uint64]struct{}
+	// saveMu serialises the whole mutate-then-persist sequence of
+	// Delete/Undelete: a mark observed while HOLDING saveMu is always
+	// persisted, because a failed write rolls the mark back before
+	// saveMu is released — that is what makes Delete's already-marked
+	// short-circuit sound. has() deliberately takes only mu, so an
+	// in-flight Delete's mark is visible to searches before (and, on a
+	// failed write, briefly without) persistence — an acceptable read
+	// anomaly that keeps disk I/O off the search hot path. saveMu is
+	// also separate from Index.mu so deletes never stall searches.
+	saveMu sync.Mutex
 }
 
+// has is on the search hot path; Build and Open always initialise the
+// set, so no nil guard is needed.
 func (d *deleteSet) has(id uint64) bool {
-	if d == nil {
-		return false
-	}
 	d.mu.RLock()
 	_, ok := d.ids[id]
 	d.mu.RUnlock()
@@ -39,52 +52,119 @@ func (d *deleteSet) len() int {
 // Delete marks object id as deleted; it will no longer be returned by
 // Search. Deleting an unknown id is an error; deleting twice is a no-op.
 func (ix *Index) Delete(id uint64) error {
-	if id >= ix.vectors.Count() {
-		return fmt.Errorf("core: delete of unknown id %d (have %d)", id, ix.vectors.Count())
+	ix.mu.RLock()
+	count := ix.vectors.Count()
+	ix.mu.RUnlock()
+	if id >= count {
+		return fmt.Errorf("%w: delete of id %d (have %d)", ErrUnknownID, id, count)
 	}
-	ix.ensureDeleteSet()
-	ix.deleted.mu.Lock()
-	ix.deleted.ids[id] = struct{}{}
-	ix.deleted.mu.Unlock()
-	return ix.saveDeleteSet()
+	d := ix.deleted
+	d.saveMu.Lock()
+	defer d.saveMu.Unlock()
+	d.mu.Lock()
+	_, already := d.ids[id]
+	d.ids[id] = struct{}{}
+	d.mu.Unlock()
+	if already {
+		return nil // mark unchanged, already persisted
+	}
+	if err := ix.saveDeleteSetLocked(); err != nil {
+		// Roll back so memory stays consistent with disk and a retry
+		// attempts the persist again instead of short-circuiting.
+		d.mu.Lock()
+		delete(d.ids, id)
+		d.mu.Unlock()
+		return err
+	}
+	return nil
 }
 
-// Undelete removes the deletion mark from id.
+// Undelete removes the deletion mark from id. Undeleting an unmarked
+// (but known) id is a no-op; an unknown id is an error.
 func (ix *Index) Undelete(id uint64) error {
-	if ix.deleted == nil {
+	ix.mu.RLock()
+	count := ix.vectors.Count()
+	ix.mu.RUnlock()
+	if id >= count {
+		return fmt.Errorf("%w: undelete of id %d (have %d)", ErrUnknownID, id, count)
+	}
+	d := ix.deleted
+	d.saveMu.Lock()
+	defer d.saveMu.Unlock()
+	d.mu.Lock()
+	_, marked := d.ids[id]
+	delete(d.ids, id)
+	d.mu.Unlock()
+	if !marked {
 		return nil
 	}
-	ix.deleted.mu.Lock()
-	delete(ix.deleted.ids, id)
-	ix.deleted.mu.Unlock()
-	return ix.saveDeleteSet()
+	if err := ix.saveDeleteSetLocked(); err != nil {
+		d.mu.Lock()
+		d.ids[id] = struct{}{}
+		d.mu.Unlock()
+		return err
+	}
+	return nil
 }
 
 // DeletedCount returns the number of marked objects.
-func (ix *Index) DeletedCount() int {
-	if ix.deleted == nil {
-		return 0
-	}
-	return ix.deleted.len()
+func (ix *Index) DeletedCount() int { return ix.deleted.len() }
+
+func newDeleteSet() *deleteSet {
+	return &deleteSet{ids: make(map[uint64]struct{})}
 }
 
-func (ix *Index) ensureDeleteSet() {
-	if ix.deleted == nil {
-		ix.deleted = &deleteSet{ids: make(map[uint64]struct{})}
-	}
-}
-
-func (ix *Index) saveDeleteSet() error {
-	ix.deleted.mu.RLock()
-	buf := make([]byte, 8+8*len(ix.deleted.ids))
-	binary.BigEndian.PutUint64(buf, uint64(len(ix.deleted.ids)))
+// saveDeleteSetLocked snapshots and writes the mark file. Callers hold
+// d.saveMu, which both serialises the writes and guarantees they land
+// in the order their snapshots were taken — a stale snapshot can never
+// overwrite a newer one.
+func (ix *Index) saveDeleteSetLocked() error {
+	d := ix.deleted
+	d.mu.RLock()
+	buf := make([]byte, 8+8*len(d.ids))
+	binary.BigEndian.PutUint64(buf, uint64(len(d.ids)))
 	off := 8
-	for id := range ix.deleted.ids {
+	for id := range d.ids {
 		binary.BigEndian.PutUint64(buf[off:], id)
 		off += 8
 	}
-	ix.deleted.mu.RUnlock()
-	return os.WriteFile(filepath.Join(ix.dir, deletedFile), buf, 0o644)
+	d.mu.RUnlock()
+	// Write, fsync, then rename: a crash at any point leaves either the
+	// old complete file or the new complete file, never a torn
+	// deleted.bin that would fail loadDeleteSet and brick Open. The
+	// fsync matters — without it the rename can become durable before
+	// the data blocks, surfacing a zero-filled file after power loss.
+	tmp := filepath.Join(ix.dir, deletedFile+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(ix.dir, deletedFile)); err != nil {
+		return err
+	}
+	// The rename itself lives in the directory entry: sync the
+	// directory too, or a power loss could resurrect the old file
+	// after the caller was told the mark persisted.
+	dir, err := os.Open(ix.dir)
+	if err != nil {
+		return err
+	}
+	serr := dir.Sync()
+	if cerr := dir.Close(); serr == nil {
+		serr = cerr
+	}
+	return serr
 }
 
 func (ix *Index) loadDeleteSet() error {
@@ -99,10 +179,10 @@ func (ix *Index) loadDeleteSet() error {
 		return fmt.Errorf("core: corrupt %s", deletedFile)
 	}
 	n := binary.BigEndian.Uint64(buf)
-	if uint64(len(buf)) < 8+8*n {
+	// Divide rather than multiply: 8+8*n overflows for a corrupt count.
+	if n > uint64(len(buf)-8)/8 {
 		return fmt.Errorf("core: truncated %s", deletedFile)
 	}
-	ix.ensureDeleteSet()
 	for i := uint64(0); i < n; i++ {
 		ix.deleted.ids[binary.BigEndian.Uint64(buf[8+8*i:])] = struct{}{}
 	}

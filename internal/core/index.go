@@ -21,7 +21,11 @@ import (
 const metaFile = "meta.json"
 
 // Index is an HD-Index on disk: τ RDB-trees plus the raw vector store.
+// Searches may run concurrently with each other; mu serialises them
+// against Insert/Delete/Flush, which mutate the trees and the vector
+// store in place.
 type Index struct {
+	mu     sync.RWMutex
 	dir    string
 	params Params
 	nu     int
@@ -97,13 +101,14 @@ func Build(dir string, vectors [][]float32, p Params) (*Index, error) {
 	lo, hi := vecmath.MinMax(vectors, nu)
 
 	ix := &Index{
-		dir:    dir,
-		params: p,
-		nu:     nu,
-		eta:    nu / p.Tau,
-		refs:   refs,
-		lo:     lo,
-		hi:     hi,
+		dir:     dir,
+		params:  p,
+		nu:      nu,
+		eta:     nu / p.Tau,
+		refs:    refs,
+		lo:      lo,
+		hi:      hi,
+		deleted: newDeleteSet(),
 	}
 	ix.refCross = crossDistances(refs)
 	if err := ix.initCurves(); err != nil {
@@ -316,6 +321,7 @@ type OpenOptions struct {
 	PoolPages    int  // buffer-pool pages per file; 0 keeps the build-time value
 	DisableCache bool // paper's caching-off protocol
 	Parallel     bool // search trees concurrently
+	BatchWorkers int  // SearchBatch fan-out bound; 0 = GOMAXPROCS
 }
 
 // Open loads an HD-Index previously written by Build.
@@ -334,15 +340,17 @@ func Open(dir string, opts OpenOptions) (*Index, error) {
 	}
 	p.DisableCache = opts.DisableCache
 	p.Parallel = opts.Parallel
+	p.BatchWorkers = opts.BatchWorkers
 
 	ix := &Index{
-		dir:    dir,
-		params: p,
-		nu:     m.Nu,
-		eta:    m.Nu / p.Tau,
-		refs:   m.Refs,
-		lo:     m.Lo,
-		hi:     m.Hi,
+		dir:     dir,
+		params:  p,
+		nu:      m.Nu,
+		eta:     m.Nu / p.Tau,
+		refs:    m.Refs,
+		lo:      m.Lo,
+		hi:      m.Hi,
+		deleted: newDeleteSet(),
 	}
 	ix.refCross = crossDistances(m.Refs)
 	if err := ix.initCurves(); err != nil {
@@ -388,8 +396,13 @@ func Open(dir string, opts OpenOptions) (*Index, error) {
 	return ix, nil
 }
 
-// Close releases all file handles. Safe to call more than once.
+// Close releases all file handles. Safe to call more than once. Taking
+// the write lock makes Close wait out in-flight searches instead of
+// closing pagers under them (searches bound their own lifetime via
+// context deadlines).
 func (ix *Index) Close() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	var first error
 	for _, pgr := range ix.treePagers {
 		if pgr != nil {
@@ -413,7 +426,11 @@ func (ix *Index) Params() Params { return ix.params }
 func (ix *Index) Dim() int { return ix.nu }
 
 // Count returns the number of indexed objects.
-func (ix *Index) Count() uint64 { return ix.vectors.Count() }
+func (ix *Index) Count() uint64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.vectors.Count()
+}
 
 // References returns the reference vectors (not copies).
 func (ix *Index) References() [][]float32 { return ix.refs }
@@ -487,6 +504,8 @@ func (ix *Index) Insert(vec []float32) (uint64, error) {
 	if len(vec) != ix.nu {
 		return 0, fmt.Errorf("core: vector has %d dims, index has %d", len(vec), ix.nu)
 	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	id, err := ix.vectors.Append(vec)
 	if err != nil {
 		return 0, err
@@ -509,6 +528,8 @@ func (ix *Index) Insert(vec []float32) (uint64, error) {
 
 // Flush persists all dirty state to disk.
 func (ix *Index) Flush() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	for _, tr := range ix.trees {
 		if tr != nil {
 			if err := tr.Flush(); err != nil {

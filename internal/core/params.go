@@ -56,6 +56,10 @@ type Params struct {
 	// parallelises trivially across its independent trees).
 	Parallel bool
 
+	// BatchWorkers bounds the SearchBatch fan-out: at most this many
+	// queries run concurrently. 0 means GOMAXPROCS.
+	BatchWorkers int
+
 	Seed int64
 }
 
@@ -123,6 +127,9 @@ func (p *Params) Validate(nu int) error {
 	}
 	if p.M < 1 {
 		return fmt.Errorf("core: m must be >= 1, got %d", p.M)
+	}
+	if p.BatchWorkers < 0 {
+		return fmt.Errorf("core: batch workers must be >= 0, got %d", p.BatchWorkers)
 	}
 	if p.Alpha < 1 || p.Beta < 1 || p.Gamma < 1 {
 		return fmt.Errorf("core: alpha/beta/gamma must be >= 1, got %d/%d/%d", p.Alpha, p.Beta, p.Gamma)

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/hd-index/hdindex/internal/rdbtree"
+	"github.com/hd-index/hdindex/internal/topk"
+)
+
+// Per-search scratch reuse. A query allocates O(τ·α) intermediate state
+// — fetched leaf entries, their reference-distance arrays, filter items,
+// the candidate union — none of which outlives the call. Under serving
+// load (internal/server) those allocations dominate the hot path, so
+// both levels of scratch are pooled: one searchScratch per query, one
+// treeScratch per searchTree invocation (trees may run concurrently
+// within a query, so tree scratch cannot live inside searchScratch).
+
+// searchScratch is the per-query state of SearchWithStatsContext.
+type searchScratch struct {
+	qdist      []float64
+	vec        []float32
+	perTree    [][]uint64
+	fetched    []int
+	errs       []error
+	seen       map[uint64]struct{}
+	candidates []uint64
+}
+
+var searchPool = sync.Pool{New: func() any { return new(searchScratch) }}
+
+// getSearchScratch returns a scratch sized for this index's parameters.
+func (ix *Index) getSearchScratch() *searchScratch {
+	s := searchPool.Get().(*searchScratch)
+	p := ix.params
+	if cap(s.qdist) < p.M {
+		s.qdist = make([]float64, p.M)
+	}
+	s.qdist = s.qdist[:p.M]
+	if cap(s.vec) < ix.nu {
+		s.vec = make([]float32, ix.nu)
+	}
+	s.vec = s.vec[:ix.nu]
+	// Each slice is gated on its own capacity: allocator size-class
+	// rounding can give the three different caps for the same make
+	// length, so checking one cap for all three could reslice a
+	// shorter sibling out of range.
+	if cap(s.perTree) < p.Tau {
+		s.perTree = make([][]uint64, p.Tau)
+	}
+	if cap(s.fetched) < p.Tau {
+		s.fetched = make([]int, p.Tau)
+	}
+	if cap(s.errs) < p.Tau {
+		s.errs = make([]error, p.Tau)
+	}
+	s.perTree = s.perTree[:p.Tau]
+	s.fetched = s.fetched[:p.Tau]
+	s.errs = s.errs[:p.Tau]
+	for t := 0; t < p.Tau; t++ {
+		s.perTree[t], s.fetched[t], s.errs[t] = nil, 0, nil
+	}
+	if s.seen == nil {
+		s.seen = make(map[uint64]struct{}, p.Gamma*p.Tau)
+	} else {
+		clear(s.seen)
+	}
+	s.candidates = s.candidates[:0]
+	return s
+}
+
+func putSearchScratch(s *searchScratch) { searchPool.Put(s) }
+
+// treeScratch is the per-tree state of searchTree: the Hilbert key, the
+// α fetched entries (backed by one flat refDists arena), and the filter
+// item slices.
+type treeScratch struct {
+	coords  []uint32
+	key     []byte
+	entries []rdbtree.Entry
+	arena   []float32
+	tri     []topk.Item
+	pto     []topk.Item
+}
+
+var treePool = sync.Pool{New: func() any { return new(treeScratch) }}
+
+func (ix *Index) getTreeScratch() *treeScratch {
+	s := treePool.Get().(*treeScratch)
+	if cap(s.coords) < ix.eta {
+		s.coords = make([]uint32, ix.eta)
+	}
+	s.coords = s.coords[:ix.eta]
+	return s
+}
+
+func putTreeScratch(s *treeScratch) { treePool.Put(s) }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -17,43 +18,74 @@ type Result struct {
 
 // QueryStats reports the work one query did.
 type QueryStats struct {
-	Candidates     int    // κ = |C|, distinct objects refined exactly
-	TreeEntries    int    // total α entries fetched across trees
-	PageReads      uint64 // physical page reads during the query
-	ExactDistances int    // full ν-dimensional distance computations
+	Candidates  int // κ = |C|, distinct candidate ids (before the deleted-mark skip)
+	TreeEntries int // total α entries fetched across trees
+	// PageReads is the delta of the index-wide pager counters across
+	// this query: exact when queries run one at a time (the paper's
+	// measurement protocol), best-effort under concurrent searches,
+	// whose reads land in whichever windows overlap them.
+	PageReads      uint64
+	ExactDistances int // full ν-dimensional distance computations
 }
+
+// refineCheckEvery is how many exact refinements happen between context
+// checks: frequent enough that a cancelled query stops within a few page
+// reads, rare enough to keep the check off the profile.
+const refineCheckEvery = 64
 
 // Search answers a kANN query (Algorithm 2).
 func (ix *Index) Search(q []float32, k int) ([]Result, error) {
-	res, _, err := ix.SearchWithStats(q, k)
+	res, _, err := ix.SearchWithStatsContext(context.Background(), q, k)
+	return res, err
+}
+
+// SearchContext is Search honouring ctx: the query returns early with
+// ctx.Err() on cancellation or deadline expiry.
+func (ix *Index) SearchContext(ctx context.Context, q []float32, k int) ([]Result, error) {
+	res, _, err := ix.SearchWithStatsContext(ctx, q, k)
 	return res, err
 }
 
 // SearchWithStats is Search plus per-query work counters.
 func (ix *Index) SearchWithStats(q []float32, k int) ([]Result, *QueryStats, error) {
+	return ix.SearchWithStatsContext(context.Background(), q, k)
+}
+
+// SearchWithStatsContext is the full query entry point: Algorithm 2 with
+// work counters and cooperative cancellation. The context is checked
+// between pipeline stages (per tree when sequential) and every
+// refineCheckEvery candidate refinements.
+func (ix *Index) SearchWithStatsContext(ctx context.Context, q []float32, k int) ([]Result, *QueryStats, error) {
 	if len(q) != ix.nu {
 		return nil, nil, fmt.Errorf("core: query has %d dims, index has %d", len(q), ix.nu)
 	}
 	if k < 1 {
 		return nil, nil, fmt.Errorf("core: k must be >= 1, got %d", k)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+
+	// Searches run concurrently with each other but not with writers
+	// (Insert mutates the trees and the vector store in place).
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
 	p := ix.params
 	ioBefore := ix.IOStats()
+	sc := ix.getSearchScratch()
+	defer putSearchScratch(sc)
 
 	// Distances from q to the m reference objects (lines handled before
 	// the loop in Algorithm 2; O(m·ν)).
-	qdist := make([]float64, p.M)
+	qdist := sc.qdist
 	for r, rv := range ix.refs {
 		qdist[r] = vecmath.Dist(q, rv)
 	}
 
 	// Per-tree candidate retrieval and filtering (lines 1-10).
-	perTree := make([][]uint64, p.Tau)
-	entriesFetched := make([]int, p.Tau)
-	errs := make([]error, p.Tau)
 	run := func(t int) {
-		ids, fetched, err := ix.searchTree(t, q, qdist)
-		perTree[t], entriesFetched[t], errs[t] = ids, fetched, err
+		sc.perTree[t], sc.fetched[t], sc.errs[t] = ix.searchTree(ctx, t, q, qdist)
 	}
 	if p.Parallel && p.Tau > 1 {
 		var wg sync.WaitGroup
@@ -67,19 +99,22 @@ func (ix *Index) SearchWithStats(q []float32, k int) ([]Result, *QueryStats, err
 		wg.Wait()
 	} else {
 		for t := 0; t < p.Tau; t++ {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
 			run(t)
 		}
 	}
-	for _, err := range errs {
+	for _, err := range sc.errs {
 		if err != nil {
 			return nil, nil, err
 		}
 	}
 
 	// Union of candidates (line 11): γ <= κ <= τ·γ.
-	seen := make(map[uint64]struct{}, p.Gamma*p.Tau)
-	var candidates []uint64
-	for _, ids := range perTree {
+	seen := sc.seen
+	candidates := sc.candidates
+	for _, ids := range sc.perTree {
 		for _, id := range ids {
 			if _, ok := seen[id]; !ok {
 				seen[id] = struct{}{}
@@ -87,13 +122,20 @@ func (ix *Index) SearchWithStats(q []float32, k int) ([]Result, *QueryStats, err
 			}
 		}
 	}
+	sc.candidates = candidates // keep the grown buffer for reuse
 
 	// Exact refinement (lines 12-15): fetch each candidate's vector and
 	// compute the true distance. Deleted objects (§3.6) are skipped here
 	// — they stay in the trees but are never returned.
 	best := topk.New(k)
-	vec := make([]float32, ix.nu)
-	for _, id := range candidates {
+	vec := sc.vec
+	refined := 0
+	for ci, id := range candidates {
+		if ci%refineCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+		}
 		if ix.deleted.has(id) {
 			continue
 		}
@@ -102,6 +144,7 @@ func (ix *Index) SearchWithStats(q []float32, k int) ([]Result, *QueryStats, err
 			return nil, nil, err
 		}
 		best.Push(id, vecmath.DistSq(q, v))
+		refined++
 	}
 
 	items := best.Items()
@@ -112,10 +155,10 @@ func (ix *Index) SearchWithStats(q []float32, k int) ([]Result, *QueryStats, err
 	ioAfter := ix.IOStats()
 	stats := &QueryStats{
 		Candidates:     len(candidates),
-		ExactDistances: len(candidates),
+		ExactDistances: refined, // deleted-skipped candidates do no work
 		PageReads:      ioAfter.Reads - ioBefore.Reads,
 	}
-	for _, f := range entriesFetched {
+	for _, f := range sc.fetched {
 		stats.TreeEntries += f
 	}
 	return out, stats, nil
@@ -124,14 +167,20 @@ func (ix *Index) SearchWithStats(q []float32, k int) ([]Result, *QueryStats, err
 // searchTree performs Algorithm 2 lines 2-10 for one partition: Hilbert
 // key, α nearest leaf entries, triangular filter, optional Ptolemaic
 // filter, returning the surviving γ object ids.
-func (ix *Index) searchTree(t int, q []float32, qdist []float64) ([]uint64, int, error) {
+func (ix *Index) searchTree(ctx context.Context, t int, q []float32, qdist []float64) ([]uint64, int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
 	p := ix.params
-	start := t * ix.eta
-	coords := make([]uint32, ix.eta)
-	ix.quants[t].Coords(coords, q[start:start+ix.eta])
-	key := ix.curves[t].Encode(nil, coords)
+	ts := ix.getTreeScratch()
+	defer putTreeScratch(ts)
 
-	entries, err := ix.trees[t].SearchNearest(key, p.Alpha)
+	start := t * ix.eta
+	ix.quants[t].Coords(ts.coords, q[start:start+ix.eta])
+	ts.key = ix.curves[t].Encode(ts.key[:0], ts.coords)
+
+	entries, arena, err := ix.trees[t].SearchNearestInto(ctx, ts.key, p.Alpha, ts.entries, ts.arena)
+	ts.entries, ts.arena = entries, arena // keep the grown buffers for reuse
 	if err != nil {
 		return nil, 0, err
 	}
@@ -146,10 +195,11 @@ func (ix *Index) searchTree(t int, q []float32, qdist []float64) ([]uint64, int,
 	if p.UsePtolemaic {
 		narrowTo = p.Beta
 	}
-	tri := make([]topk.Item, len(entries))
+	tri := ts.tri[:0]
 	for i := range entries {
-		tri[i] = topk.Item{ID: uint64(i), Dist: triangularLB(qdist, entries[i].RefDists)}
+		tri = append(tri, topk.Item{ID: uint64(i), Dist: triangularLB(qdist, entries[i].RefDists)})
 	}
+	ts.tri = tri
 	tri = topk.SelectK(tri, narrowTo)
 
 	if !p.UsePtolemaic {
@@ -161,10 +211,14 @@ func (ix *Index) searchTree(t int, q []float32, qdist []float64) ([]uint64, int,
 	}
 
 	// Ptolemaic inequality (Eq. 6): tighter but O(m²) per object.
-	pto := make([]topk.Item, len(tri))
-	for i, it := range tri {
-		pto[i] = topk.Item{ID: it.ID, Dist: ix.ptolemaicLB(qdist, entries[it.ID].RefDists)}
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
 	}
+	pto := ts.pto[:0]
+	for _, it := range tri {
+		pto = append(pto, topk.Item{ID: it.ID, Dist: ix.ptolemaicLB(qdist, entries[it.ID].RefDists)})
+	}
+	ts.pto = pto
 	pto = topk.SelectK(pto, p.Gamma)
 	ids := make([]uint64, len(pto))
 	for i, it := range pto {

@@ -18,6 +18,7 @@
 package rdbtree
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -141,9 +142,14 @@ func (t *Tree) encodeValue(dst []byte, id uint64, refDists []float32) {
 }
 
 func (t *Tree) decodeValue(v []byte) Entry {
+	return t.decodeValueInto(v, make([]float32, t.cfg.M))
+}
+
+// decodeValueInto decodes into caller-provided RefDists storage (len m).
+func (t *Tree) decodeValueInto(v []byte, rd []float32) Entry {
 	e := Entry{
 		ID:       binary.BigEndian.Uint64(v[0:8]),
-		RefDists: make([]float32, t.cfg.M),
+		RefDists: rd,
 	}
 	for i := range e.RefDists {
 		e.RefDists[i] = math.Float32frombits(binary.LittleEndian.Uint32(v[8+4*i:]))
@@ -203,34 +209,77 @@ func (t *Tree) Insert(key []byte, id uint64, refDists []float32) error {
 // the key's would-be position and walks outward along the leaf chain,
 // always consuming the side whose next key is closer to the query key.
 func (t *Tree) SearchNearest(key []byte, alpha int) ([]Entry, error) {
+	entries, _, err := t.SearchNearestInto(context.Background(), key, alpha, nil, nil)
+	return entries, err
+}
+
+// SearchNearestInto is SearchNearest with caller-provided storage: dst
+// receives the entries (its backing array is reused when large enough)
+// and arena backs every entry's RefDists slice as one flat allocation of
+// alpha·m floats. Either may be nil. The returned entries alias the
+// returned arena (which the caller should keep for the next call), so
+// they are only valid until the buffers are reused. The leaf-chain walk
+// is the query's dominant I/O phase, so ctx is checked periodically and
+// a cancelled walk stops within a few page reads.
+func (t *Tree) SearchNearestInto(ctx context.Context, key []byte, alpha int, dst []Entry, arena []float32) ([]Entry, []float32, error) {
+	// The buffers are prepared first and returned on every path, error
+	// or not, so a pooling caller never loses them to a transient
+	// failure.
+	out := dst[:0]
+	if cap(out) < alpha {
+		out = make([]Entry, 0, alpha)
+	}
+	if cap(arena) < alpha*t.cfg.M {
+		arena = make([]float32, 0, alpha*t.cfg.M)
+	}
+	arena = arena[:0]
 	if alpha < 1 {
-		return nil, fmt.Errorf("rdbtree: alpha must be >= 1, got %d", alpha)
+		return out, arena, fmt.Errorf("rdbtree: alpha must be >= 1, got %d", alpha)
 	}
 	right := t.bt.NewCursor()
 	defer right.Close()
 	if err := right.Seek(key); err != nil {
-		return nil, err
+		return out, arena, err
 	}
 	left, err := right.Clone()
 	if err != nil {
-		return nil, err
+		return out, arena, err
 	}
 	defer left.Close()
 	if left.Valid() {
 		if err := left.Prev(); err != nil {
-			return nil, err
+			return out, arena, err
 		}
 	} else {
 		// Query key past the end: left scan starts at the last entry.
 		if err := left.Last(); err != nil {
-			return nil, err
+			return out, arena, err
 		}
 	}
-
-	out := make([]Entry, 0, alpha)
-	dl := make([]byte, len(key))
-	dr := make([]byte, len(key))
+	take := func(v []byte) {
+		m := t.cfg.M
+		rd := arena[len(arena) : len(arena)+m : len(arena)+m]
+		arena = arena[:len(arena)+m]
+		out = append(out, t.decodeValueInto(v, rd))
+	}
+	// Key-delta scratch: keys are at most ceil(η·ω/8) bytes, which fits
+	// the stack arrays for every realistic geometry (η·ω ≤ 512 bits);
+	// only pathological configs pay the heap fallback.
+	var dlArr, drArr [64]byte
+	dl, dr := dlArr[:], drArr[:]
+	if len(key) > len(dlArr) {
+		dl = make([]byte, len(key))
+		dr = make([]byte, len(key))
+	} else {
+		dl, dr = dl[:len(key)], dr[:len(key)]
+	}
+	const walkCheckEvery = 256
 	for len(out) < alpha && (left.Valid() || right.Valid()) {
+		if len(out)%walkCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return out, arena, err
+			}
+		}
 		takeRight := false
 		switch {
 		case !left.Valid():
@@ -245,18 +294,18 @@ func (t *Tree) SearchNearest(key []byte, alpha int) ([]Entry, error) {
 			takeRight = compareBytes(dr, dl) <= 0
 		}
 		if takeRight {
-			out = append(out, t.decodeValue(right.Value()))
+			take(right.Value())
 			if err := right.Next(); err != nil {
-				return nil, err
+				return out, arena, err
 			}
 		} else {
-			out = append(out, t.decodeValue(left.Value()))
+			take(left.Value())
 			if err := left.Prev(); err != nil {
-				return nil, err
+				return out, arena, err
 			}
 		}
 	}
-	return out, nil
+	return out, arena, nil
 }
 
 func compareBytes(a, b []byte) int {

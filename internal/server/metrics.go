@@ -1,0 +1,58 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// endpointMetrics counts one endpoint's traffic with lock-free atomics:
+// the handlers sit on the query hot path, so the counters must cost a
+// few atomic adds, not a mutex.
+type endpointMetrics struct {
+	requests  atomic.Uint64
+	errors    atomic.Uint64
+	latencyNs atomic.Uint64 // total across all requests
+	maxNs     atomic.Uint64
+}
+
+// observe records one finished request.
+func (m *endpointMetrics) observe(d time.Duration, failed bool) {
+	ns := uint64(d.Nanoseconds())
+	m.requests.Add(1)
+	m.latencyNs.Add(ns)
+	if failed {
+		m.errors.Add(1)
+	}
+	for {
+		old := m.maxNs.Load()
+		if ns <= old || m.maxNs.CompareAndSwap(old, ns) {
+			return
+		}
+	}
+}
+
+// EndpointStats is one endpoint's row in the /stats response.
+type EndpointStats struct {
+	Requests      uint64  `json:"requests"`
+	Errors        uint64  `json:"errors"`
+	MeanLatencyMs float64 `json:"mean_latency_ms"`
+	MaxLatencyMs  float64 `json:"max_latency_ms"`
+	QPS           float64 `json:"qps"` // requests / server uptime
+}
+
+// snapshot renders the counters; uptime scales the QPS figure.
+func (m *endpointMetrics) snapshot(uptime time.Duration) EndpointStats {
+	n := m.requests.Load()
+	s := EndpointStats{
+		Requests:     n,
+		Errors:       m.errors.Load(),
+		MaxLatencyMs: float64(m.maxNs.Load()) / 1e6,
+	}
+	if n > 0 {
+		s.MeanLatencyMs = float64(m.latencyNs.Load()) / float64(n) / 1e6
+	}
+	if sec := uptime.Seconds(); sec > 0 {
+		s.QPS = float64(n) / sec
+	}
+	return s
+}

@@ -1,0 +1,412 @@
+// Package server is the HTTP JSON serving layer over an HD-Index: the
+// piece that turns the library into a system. It exposes kNN search
+// (single and batch), index mutation, and introspection endpoints,
+// honours per-request deadlines via context cancellation threaded down
+// to core's query loop, and keeps per-endpoint latency/QPS counters.
+//
+// Endpoints:
+//
+//	POST /search      {"query": [...], "k": 10}        -> {"results": [{"id","dist"},...]}
+//	POST /searchbatch {"queries": [[...],...], "k": 5} -> {"results": [[...],...]}
+//	POST /insert      {"vector": [...]}                -> {"id": n}
+//	POST /delete      {"id": n, "undelete": false}     -> {"deleted": n}
+//	GET  /stats                                        -> index + per-endpoint counters
+//	GET  /healthz                                      -> {"status": "ok"}
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+
+	hdindex "github.com/hd-index/hdindex"
+)
+
+// Config tunes the server independently of the index parameters.
+type Config struct {
+	// QueryTimeout is the default deadline applied to /search and
+	// /searchbatch requests. 0 means no deadline. A request may lower
+	// (never raise) it with "timeout_ms".
+	QueryTimeout time.Duration
+	// MaxK caps the requested neighbour count (default 1000).
+	MaxK int
+	// MaxBatch caps the number of queries in one /searchbatch request
+	// (default 4096).
+	MaxBatch int
+	// MaxBodyBytes caps the request body size before decoding (default
+	// 64 MiB), bounding memory per request ahead of any validation.
+	MaxBodyBytes int64
+	// ReadOnly disables /insert and /delete.
+	ReadOnly bool
+	// NoFlushOnWrite skips the index flush after each /insert. The
+	// default (flush) makes an acknowledged insert durable at the cost
+	// of serialising with in-flight searches; disable it for bulk
+	// loading where a crash losing recent inserts is acceptable.
+	NoFlushOnWrite bool
+}
+
+func (c *Config) defaults() {
+	if c.MaxK <= 0 {
+		c.MaxK = 1000
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 4096
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+}
+
+// Server routes HTTP requests onto one open index. Create with New,
+// mount via Handler, stop with Shutdown (which flushes the index).
+type Server struct {
+	idx     *hdindex.Index
+	cfg     Config
+	mux     *http.ServeMux
+	started time.Time
+
+	mSearch, mBatch, mInsert, mDelete, mStats, mHealth endpointMetrics
+}
+
+// New wraps an open index in a Server.
+func New(idx *hdindex.Index, cfg Config) *Server {
+	cfg.defaults()
+	s := &Server{idx: idx, cfg: cfg, mux: http.NewServeMux(), started: time.Now()}
+	s.mux.HandleFunc("POST /search", s.instrument(&s.mSearch, s.handleSearch))
+	s.mux.HandleFunc("POST /searchbatch", s.instrument(&s.mBatch, s.handleSearchBatch))
+	s.mux.HandleFunc("POST /insert", s.instrument(&s.mInsert, s.handleInsert))
+	s.mux.HandleFunc("POST /delete", s.instrument(&s.mDelete, s.handleDelete))
+	s.mux.HandleFunc("GET /stats", s.instrument(&s.mStats, s.handleStats))
+	s.mux.HandleFunc("GET /healthz", s.instrument(&s.mHealth, s.handleHealthz))
+	return s
+}
+
+// Handler returns the routed http.Handler for mounting in an
+// http.Server or a test server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown flushes the index; call after the http.Server has drained.
+func (s *Server) Shutdown() error { return s.idx.Flush() }
+
+// handlerFunc is an endpoint body: it returns the response object, or
+// an httpError/plain error.
+type handlerFunc func(w http.ResponseWriter, r *http.Request) (any, error)
+
+// httpError carries a status code chosen by the handler.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// instrument wraps a handler with a body-size cap, metrics, and uniform
+// JSON rendering.
+func (s *Server) instrument(m *endpointMetrics, h handlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
+		start := time.Now()
+		resp, err := h(w, r)
+		m.observe(time.Since(start), err != nil)
+		if err != nil {
+			writeError(w, r, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, r *http.Request, err error) {
+	code := http.StatusInternalServerError
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		code = he.code
+	case errors.Is(err, context.DeadlineExceeded):
+		code = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is for the log line only.
+		code = StatusClientClosedRequest
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// StatusClientClosedRequest is nginx's non-standard 499, used when the
+// client cancelled the request before the response was ready.
+const StatusClientClosedRequest = 499
+
+// decodeBody strictly parses the JSON request body into v.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return &httpError{code: http.StatusRequestEntityTooLarge,
+				msg: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)}
+		}
+		return badRequest("invalid request body: %v", err)
+	}
+	if dec.More() {
+		return badRequest("invalid request body: trailing data after JSON object")
+	}
+	return nil
+}
+
+// queryContext applies the effective deadline: the server default,
+// lowered by the request's timeout_ms if given.
+func (s *Server) queryContext(r *http.Request, timeoutMs int) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	d := s.cfg.QueryTimeout
+	// The upper bound is checked before multiplying: an absurd
+	// timeout_ms would overflow the Duration and could wrap to an
+	// arbitrary value, either disabling the server deadline or imposing
+	// a near-zero one. Out-of-range values are ignored, like absent.
+	if timeoutMs > 0 && int64(timeoutMs) <= int64(math.MaxInt64)/int64(time.Millisecond) {
+		if rd := time.Duration(timeoutMs) * time.Millisecond; d == 0 || rd < d {
+			d = rd
+		}
+	}
+	if d > 0 {
+		return context.WithTimeout(ctx, d)
+	}
+	return ctx, func() {}
+}
+
+// ResultJSON is one neighbour in a search response.
+type ResultJSON struct {
+	ID   uint64  `json:"id"`
+	Dist float64 `json:"dist"`
+}
+
+func toResultJSON(res []hdindex.Result) []ResultJSON {
+	out := make([]ResultJSON, len(res))
+	for i, r := range res {
+		out[i] = ResultJSON{ID: r.ID, Dist: r.Dist}
+	}
+	return out
+}
+
+type searchRequest struct {
+	Query     []float32 `json:"query"`
+	K         int       `json:"k"`
+	TimeoutMs int       `json:"timeout_ms"`
+	Stats     bool      `json:"stats"`
+}
+
+// QueryStatsJSON mirrors hdindex.Stats with stable snake_case keys, so
+// the wire format stays put if the internal struct evolves.
+type QueryStatsJSON struct {
+	Candidates     int    `json:"candidates"`
+	TreeEntries    int    `json:"tree_entries"`
+	PageReads      uint64 `json:"page_reads"`
+	ExactDistances int    `json:"exact_distances"`
+}
+
+type searchResponse struct {
+	Results []ResultJSON    `json:"results"`
+	Stats   *QueryStatsJSON `json:"stats,omitempty"`
+}
+
+func (s *Server) validateQuery(name string, q []float32) error {
+	if len(q) == 0 {
+		return badRequest("%s must be non-empty", name)
+	}
+	if len(q) != s.idx.Dim() {
+		return badRequest("%s has %d dims, index has %d", name, len(q), s.idx.Dim())
+	}
+	return nil
+}
+
+func (s *Server) validateK(k int) error {
+	if k < 1 {
+		return badRequest("k must be >= 1, got %d", k)
+	}
+	if k > s.cfg.MaxK {
+		return badRequest("k = %d exceeds the server limit %d", k, s.cfg.MaxK)
+	}
+	return nil
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) (any, error) {
+	var req searchRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	if err := s.validateQuery("query", req.Query); err != nil {
+		return nil, err
+	}
+	if err := s.validateK(req.K); err != nil {
+		return nil, err
+	}
+	ctx, cancel := s.queryContext(r, req.TimeoutMs)
+	defer cancel()
+
+	if req.Stats {
+		res, st, err := s.idx.SearchWithStatsContext(ctx, req.Query, req.K)
+		if err != nil {
+			return nil, err
+		}
+		return searchResponse{Results: toResultJSON(res), Stats: &QueryStatsJSON{
+			Candidates:     st.Candidates,
+			TreeEntries:    st.TreeEntries,
+			PageReads:      st.PageReads,
+			ExactDistances: st.ExactDistances,
+		}}, nil
+	}
+	res, err := s.idx.SearchContext(ctx, req.Query, req.K)
+	if err != nil {
+		return nil, err
+	}
+	return searchResponse{Results: toResultJSON(res)}, nil
+}
+
+type searchBatchRequest struct {
+	Queries   [][]float32 `json:"queries"`
+	K         int         `json:"k"`
+	TimeoutMs int         `json:"timeout_ms"`
+}
+
+type searchBatchResponse struct {
+	Results [][]ResultJSON `json:"results"`
+}
+
+func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) (any, error) {
+	var req searchBatchRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	if len(req.Queries) == 0 {
+		return nil, badRequest("queries must be non-empty")
+	}
+	if len(req.Queries) > s.cfg.MaxBatch {
+		return nil, badRequest("batch of %d queries exceeds the server limit %d", len(req.Queries), s.cfg.MaxBatch)
+	}
+	for i, q := range req.Queries {
+		// Build the field name only on failure: a full MaxBatch request
+		// must not pay per-query formatting just to validate.
+		if len(q) == 0 {
+			return nil, badRequest("queries[%d] must be non-empty", i)
+		}
+		if len(q) != s.idx.Dim() {
+			return nil, badRequest("queries[%d] has %d dims, index has %d", i, len(q), s.idx.Dim())
+		}
+	}
+	if err := s.validateK(req.K); err != nil {
+		return nil, err
+	}
+	ctx, cancel := s.queryContext(r, req.TimeoutMs)
+	defer cancel()
+
+	res, err := s.idx.SearchBatchContext(ctx, req.Queries, req.K)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]ResultJSON, len(res))
+	for i, rs := range res {
+		out[i] = toResultJSON(rs)
+	}
+	return searchBatchResponse{Results: out}, nil
+}
+
+type insertRequest struct {
+	Vector []float32 `json:"vector"`
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) (any, error) {
+	if s.cfg.ReadOnly {
+		return nil, &httpError{code: http.StatusForbidden, msg: "server is read-only"}
+	}
+	var req insertRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	if err := s.validateQuery("vector", req.Vector); err != nil {
+		return nil, err
+	}
+	id, err := s.idx.Insert(req.Vector)
+	if err != nil {
+		return nil, err
+	}
+	if !s.cfg.NoFlushOnWrite {
+		if err := s.idx.Flush(); err != nil {
+			return nil, fmt.Errorf("inserted id %d but flush failed: %w", id, err)
+		}
+	}
+	return map[string]uint64{"id": id}, nil
+}
+
+type deleteRequest struct {
+	ID       uint64 `json:"id"`
+	Undelete bool   `json:"undelete"`
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) (any, error) {
+	if s.cfg.ReadOnly {
+		return nil, &httpError{code: http.StatusForbidden, msg: "server is read-only"}
+	}
+	var req deleteRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	op, verb := s.idx.Delete, "deleted"
+	if req.Undelete {
+		op, verb = s.idx.Undelete, "undeleted"
+	}
+	if err := op(req.ID); err != nil {
+		if errors.Is(err, hdindex.ErrUnknownID) {
+			return nil, badRequest("%v", err)
+		}
+		return nil, err
+	}
+	return map[string]uint64{verb: req.ID}, nil
+}
+
+// StatsResponse is the /stats payload.
+type StatsResponse struct {
+	Index struct {
+		Count      uint64 `json:"count"`
+		Dim        int    `json:"dim"`
+		SizeOnDisk int64  `json:"size_on_disk"`
+	} `json:"index"`
+	UptimeSeconds float64                  `json:"uptime_seconds"`
+	Endpoints     map[string]EndpointStats `json:"endpoints"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) (any, error) {
+	up := time.Since(s.started)
+	var resp StatsResponse
+	resp.Index.Count = s.idx.Count()
+	resp.Index.Dim = s.idx.Dim()
+	resp.Index.SizeOnDisk = s.idx.SizeOnDisk()
+	resp.UptimeSeconds = up.Seconds()
+	resp.Endpoints = map[string]EndpointStats{
+		"search":      s.mSearch.snapshot(up),
+		"searchbatch": s.mBatch.snapshot(up),
+		"insert":      s.mInsert.snapshot(up),
+		"delete":      s.mDelete.snapshot(up),
+		"stats":       s.mStats.snapshot(up),
+		"healthz":     s.mHealth.snapshot(up),
+	}
+	return resp, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) (any, error) {
+	return map[string]string{"status": "ok"}, nil
+}

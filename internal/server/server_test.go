@@ -1,0 +1,344 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	hdindex "github.com/hd-index/hdindex"
+	"github.com/hd-index/hdindex/internal/data"
+)
+
+// newTestServer builds a small index and mounts a Server over it.
+func newTestServer(t testing.TB, cfg Config) (*httptest.Server, *hdindex.Index, *data.Dataset) {
+	t.Helper()
+	ds := data.Generate(data.Config{Name: "t", N: 1500, Dim: 32, Clusters: 6, Lo: 0, Hi: 1, Seed: 42})
+	idx, err := hdindex.Build(t.TempDir(), ds.Vectors, hdindex.Options{
+		Tau: 4, Omega: 8, M: 4, Alpha: 128, Gamma: 32, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { idx.Close() })
+	ts := httptest.NewServer(New(idx, cfg).Handler())
+	t.Cleanup(ts.Close)
+	return ts, idx, ds
+}
+
+// post sends a JSON body and decodes a JSON response.
+func post(t testing.TB, url string, body, out any) int {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s response: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestSearchEndpointMatchesDirect(t *testing.T) {
+	ts, idx, ds := newTestServer(t, Config{})
+	queries := ds.PerturbedQueries(5, 0.02, 2)
+	for _, q := range queries {
+		want, err := idx.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got searchResponse
+		if code := post(t, ts.URL+"/search", searchRequest{Query: q, K: 10}, &got); code != 200 {
+			t.Fatalf("status %d", code)
+		}
+		if len(got.Results) != len(want) {
+			t.Fatalf("%d results, want %d", len(got.Results), len(want))
+		}
+		for i := range want {
+			if got.Results[i].ID != want[i].ID {
+				t.Fatalf("rank %d: id %d, want %d", i, got.Results[i].ID, want[i].ID)
+			}
+		}
+	}
+}
+
+func TestSearchEndpointStats(t *testing.T) {
+	ts, _, ds := newTestServer(t, Config{})
+	q := ds.PerturbedQueries(1, 0.02, 3)[0]
+	var got searchResponse
+	if code := post(t, ts.URL+"/search", searchRequest{Query: q, K: 5, Stats: true}, &got); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if got.Stats == nil || got.Stats.Candidates == 0 {
+		t.Fatalf("stats missing or empty: %+v", got.Stats)
+	}
+}
+
+func TestSearchBatchEndpoint(t *testing.T) {
+	ts, idx, ds := newTestServer(t, Config{})
+	queries := ds.PerturbedQueries(12, 0.02, 4)
+	var got searchBatchResponse
+	if code := post(t, ts.URL+"/searchbatch", searchBatchRequest{Queries: queries, K: 5}, &got); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(got.Results) != len(queries) {
+		t.Fatalf("%d result sets, want %d", len(got.Results), len(queries))
+	}
+	// Order must match per-query searches.
+	for qi, q := range queries {
+		want, err := idx.Search(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got.Results[qi][i].ID != want[i].ID {
+				t.Fatalf("query %d rank %d: id %d, want %d", qi, i, got.Results[qi][i].ID, want[i].ID)
+			}
+		}
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	ts, idx, ds := newTestServer(t, Config{MaxK: 50, MaxBatch: 4})
+	q := ds.PerturbedQueries(1, 0.02, 5)[0]
+	cases := []struct {
+		name string
+		url  string
+		body any
+	}{
+		{"empty query", "/search", searchRequest{K: 5}},
+		{"wrong dims", "/search", searchRequest{Query: q[:7], K: 5}},
+		{"k=0", "/search", searchRequest{Query: q, K: 0}},
+		{"k over cap", "/search", searchRequest{Query: q, K: 51}},
+		{"empty batch", "/searchbatch", searchBatchRequest{K: 5}},
+		{"oversized batch", "/searchbatch", searchBatchRequest{Queries: [][]float32{q, q, q, q, q}, K: 5}},
+		{"bad batch query", "/searchbatch", searchBatchRequest{Queries: [][]float32{q[:3]}, K: 5}},
+		{"empty insert", "/insert", insertRequest{}},
+		{"unknown delete id", "/delete", deleteRequest{ID: idx.Count() + 10}},
+		{"unknown field", "/search", map[string]any{"query": q, "k": 5, "bogus": 1}},
+	}
+	for _, c := range cases {
+		var errResp map[string]string
+		if code := post(t, ts.URL+c.url, c.body, &errResp); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (resp %v)", c.name, code, errResp)
+		} else if errResp["error"] == "" {
+			t.Errorf("%s: no error message", c.name)
+		}
+	}
+	// Trailing garbage after a valid object.
+	resp0, err := http.Post(ts.URL+"/search", "application/json",
+		bytes.NewReader([]byte(`{"query":[1],"k":5}{"k":1}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp0.Body.Close()
+	if resp0.StatusCode != http.StatusBadRequest {
+		t.Errorf("trailing data: status %d", resp0.StatusCode)
+	}
+	// Malformed JSON entirely.
+	resp, err := http.Post(ts.URL+"/search", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d", resp.StatusCode)
+	}
+	// Wrong method.
+	resp, err = http.Get(ts.URL + "/search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /search: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestInsertDeleteRoundTrip(t *testing.T) {
+	ts, idx, _ := newTestServer(t, Config{})
+	novel := make([]float32, idx.Dim())
+	for d := range novel {
+		novel[d] = 0.97
+	}
+	var ins map[string]uint64
+	if code := post(t, ts.URL+"/insert", insertRequest{Vector: novel}, &ins); code != 200 {
+		t.Fatalf("insert status %d", code)
+	}
+	id := ins["id"]
+
+	var sr searchResponse
+	if code := post(t, ts.URL+"/search", searchRequest{Query: novel, K: 1}, &sr); code != 200 {
+		t.Fatalf("search status %d", code)
+	}
+	if len(sr.Results) != 1 || sr.Results[0].ID != id {
+		t.Fatalf("search after insert = %+v, want id %d", sr.Results, id)
+	}
+
+	if code := post(t, ts.URL+"/delete", deleteRequest{ID: id}, nil); code != 200 {
+		t.Fatalf("delete status %d", code)
+	}
+	if code := post(t, ts.URL+"/search", searchRequest{Query: novel, K: 1}, &sr); code != 200 {
+		t.Fatalf("search status %d", code)
+	}
+	if len(sr.Results) == 1 && sr.Results[0].ID == id {
+		t.Fatal("deleted vector still returned")
+	}
+
+	if code := post(t, ts.URL+"/delete", deleteRequest{ID: id, Undelete: true}, nil); code != 200 {
+		t.Fatalf("undelete status %d", code)
+	}
+	if code := post(t, ts.URL+"/search", searchRequest{Query: novel, K: 1}, &sr); code != 200 {
+		t.Fatalf("search status %d", code)
+	}
+	if len(sr.Results) != 1 || sr.Results[0].ID != id {
+		t.Fatal("undeleted vector not returned again")
+	}
+}
+
+func TestReadOnlyMode(t *testing.T) {
+	ts, idx, _ := newTestServer(t, Config{ReadOnly: true})
+	vec := make([]float32, idx.Dim())
+	if code := post(t, ts.URL+"/insert", insertRequest{Vector: vec}, nil); code != http.StatusForbidden {
+		t.Errorf("insert status %d, want 403", code)
+	}
+	if code := post(t, ts.URL+"/delete", deleteRequest{ID: 0}, nil); code != http.StatusForbidden {
+		t.Errorf("delete status %d, want 403", code)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _, _ := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts, idx, ds := newTestServer(t, Config{})
+	q := ds.PerturbedQueries(1, 0.02, 6)[0]
+	const n = 7
+	for i := 0; i < n; i++ {
+		if code := post(t, ts.URL+"/search", searchRequest{Query: q, K: 3}, nil); code != 200 {
+			t.Fatalf("search status %d", code)
+		}
+	}
+	// One failed request must show up in the error counter.
+	post(t, ts.URL+"/search", searchRequest{Query: q, K: 0}, nil)
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Index.Count != idx.Count() || st.Index.Dim != idx.Dim() {
+		t.Errorf("index stats = %+v", st.Index)
+	}
+	es := st.Endpoints["search"]
+	if es.Requests != n+1 || es.Errors != 1 {
+		t.Errorf("search endpoint stats = %+v, want %d requests / 1 error", es, n+1)
+	}
+	if es.MeanLatencyMs <= 0 || es.MaxLatencyMs < es.MeanLatencyMs || es.QPS <= 0 {
+		t.Errorf("latency/QPS not populated: %+v", es)
+	}
+}
+
+// A request deadline of effectively zero must yield 504, not 200.
+func TestSearchTimeoutHonoured(t *testing.T) {
+	ts, _, ds := newTestServer(t, Config{QueryTimeout: time.Nanosecond})
+	q := ds.PerturbedQueries(1, 0.02, 7)[0]
+	var errResp map[string]string
+	code := post(t, ts.URL+"/search", searchRequest{Query: q, K: 5}, &errResp)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (resp %v)", code, errResp)
+	}
+	// An absurd timeout_ms must not overflow into disabling the server
+	// deadline.
+	code = post(t, ts.URL+"/search", searchRequest{Query: q, K: 5, TimeoutMs: math.MaxInt}, &errResp)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("overflow timeout_ms: status %d, want 504 (resp %v)", code, errResp)
+	}
+	// Per-request timeout_ms lowers the (here absent) server default too.
+	ts2, _, _ := newTestServer(t, Config{})
+	var batchErr map[string]string
+	queries := ds.PerturbedQueries(64, 0.02, 8)
+	code = post(t, ts2.URL+"/searchbatch", searchBatchRequest{Queries: queries, K: 5, TimeoutMs: -1}, nil)
+	if code != 200 {
+		t.Fatalf("negative timeout_ms must be ignored, got %d (%v)", code, batchErr)
+	}
+}
+
+func TestEndpointMetricsMaxTracksLargest(t *testing.T) {
+	var m endpointMetrics
+	m.observe(2*time.Millisecond, false)
+	m.observe(5*time.Millisecond, true)
+	m.observe(1*time.Millisecond, false)
+	s := m.snapshot(time.Second)
+	if s.Requests != 3 || s.Errors != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.MaxLatencyMs < 4.9 || s.MaxLatencyMs > 5.1 {
+		t.Fatalf("max latency = %v, want ~5ms", s.MaxLatencyMs)
+	}
+	if want := 3.0; s.QPS != want {
+		t.Fatalf("qps = %v, want %v", s.QPS, want)
+	}
+}
+
+func TestBodySizeLimit(t *testing.T) {
+	ts, _, _ := newTestServer(t, Config{MaxBodyBytes: 256})
+	nums := bytes.Repeat([]byte("0.5,"), 500)
+	body := append([]byte(`{"query":[`), nums...)
+	body = append(body[:len(body)-1], []byte(`],"k":5}`)...)
+	resp, err := http.Post(ts.URL+"/search", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestUnknownRoute(t *testing.T) {
+	ts, _, _ := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestDeleteUnknownIDMessage(t *testing.T) {
+	ts, idx, _ := newTestServer(t, Config{})
+	var errResp map[string]string
+	code := post(t, ts.URL+"/delete", deleteRequest{ID: idx.Count() * 2}, &errResp)
+	if code != http.StatusBadRequest {
+		t.Fatalf("status %d", code)
+	}
+	if errResp["error"] == "" {
+		t.Fatal("no error message")
+	}
+}

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke snapshot fmt fmt-check vet check serve clean
+.PHONY: build test race bench bench-smoke snapshot snapshot-sharded fmt fmt-check vet check serve clean
 
 build:
 	$(GO) build ./...
@@ -12,7 +12,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/server/...
+	$(GO) test -race ./internal/core/... ./internal/server/... ./internal/shard/... ./internal/fanout/...
 
 # Full benchmark suite (the paper's tables/figures at reduced scale).
 bench:
@@ -29,6 +29,12 @@ bench-smoke:
 SNAPSHOT_OUT ?= bench-snapshot.json
 snapshot:
 	$(GO) run ./cmd/hdbench -snapshot $(SNAPSHOT_OUT) -scale 0.1 -queries 20 -k 20
+
+# Sharded counterpart (the committed baseline is BENCH_PR2.json):
+#   make snapshot-sharded SNAPSHOT_SHARDED_OUT=BENCH_PR2.json
+SNAPSHOT_SHARDED_OUT ?= bench-snapshot-sharded.json
+snapshot-sharded:
+	$(GO) run ./cmd/hdbench -shards 4 -snapshot $(SNAPSHOT_SHARDED_OUT) -scale 0.1 -queries 20 -k 20
 
 fmt:
 	gofmt -l -w .

@@ -30,6 +30,7 @@ func main() {
 		workdir  = flag.String("workdir", "", "scratch directory for on-disk indexes")
 		seed     = flag.Int64("seed", 42, "random seed")
 		snapshot = flag.String("snapshot", "", "write a machine-readable HD-Index perf snapshot (JSON) to this file and exit")
+		shards   = flag.Int("shards", 0, "build the snapshot index as a sharded layout with N shards (0 = single index)")
 	)
 	flag.Parse()
 
@@ -47,8 +48,21 @@ func main() {
 		K:       *k,
 		WorkDir: *workdir,
 		Seed:    *seed,
+		Shards:  *shards,
 	}
 
+	// The experiment runners always measure the monolithic index (they
+	// reproduce the paper); only the snapshot consults -shards, and only
+	// positive values select the sharded layout. Reject anything else
+	// rather than silently measuring the wrong layout.
+	if *shards < 0 {
+		fmt.Fprintln(os.Stderr, "hdbench: -shards must be >= 0")
+		os.Exit(2)
+	}
+	if *shards > 0 && *snapshot == "" {
+		fmt.Fprintln(os.Stderr, "hdbench: -shards only applies to -snapshot")
+		os.Exit(2)
+	}
 	if *snapshot != "" {
 		if *exp != "" {
 			fmt.Fprintln(os.Stderr, "hdbench: -snapshot and -exp are mutually exclusive")

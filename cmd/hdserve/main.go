@@ -60,6 +60,11 @@ func main() {
 	// closed explicitly after the drain.
 	log.Printf("hdserve: opened %s: %d vectors, %d dims, %.1f MB on disk",
 		*indexDir, idx.Count(), idx.Dim(), float64(idx.SizeOnDisk())/(1<<20))
+	if n := idx.NumShards(); n > 1 {
+		for _, sh := range idx.Shards() {
+			log.Printf("hdserve: shard %02d/%d: %d vectors, %d deleted", sh.ID, n, sh.Count, sh.Deleted)
+		}
+	}
 
 	srv := server.New(idx, server.Config{
 		QueryTimeout:   *queryTimeout,

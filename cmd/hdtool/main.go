@@ -16,6 +16,7 @@ import (
 
 	hdindex "github.com/hd-index/hdindex"
 	"github.com/hd-index/hdindex/internal/data"
+	"github.com/hd-index/hdindex/internal/shard"
 )
 
 func main() {
@@ -43,7 +44,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  hdtool build -data vectors.fvecs -index DIR [-tau N -omega N -m N -alpha N -gamma N -ptolemaic]
+  hdtool build -data vectors.fvecs -index DIR [-shards N] [-tau N -omega N -m N -alpha N -gamma N -ptolemaic]
   hdtool query -index DIR -queries q.fvecs -k K [-out results.ivecs] [-parallel]
   hdtool info  -index DIR`)
 }
@@ -59,6 +60,7 @@ func runBuild(args []string) error {
 	gamma := fs.Int("gamma", 0, "filter survivors per tree (0 = alpha/4)")
 	pto := fs.Bool("ptolemaic", false, "enable the Ptolemaic filter")
 	seed := fs.Int64("seed", 42, "random seed")
+	shards := fs.Int("shards", 0, "split the index into N concurrently built shards (0 = single index)")
 	fs.Parse(args)
 	if *dataPath == "" || *indexDir == "" {
 		return fmt.Errorf("build: -data and -index are required")
@@ -72,12 +74,17 @@ func runBuild(args []string) error {
 	ix, err := hdindex.Build(*indexDir, vectors, hdindex.Options{
 		Tau: *tau, Omega: *omega, M: *m,
 		Alpha: *alpha, Gamma: *gamma, UsePtolemaic: *pto, Seed: *seed,
+		Shards: *shards,
 	})
 	if err != nil {
 		return err
 	}
 	defer ix.Close()
-	fmt.Printf("built index in %v, %d bytes on disk\n", time.Since(t0).Round(time.Millisecond), ix.SizeOnDisk())
+	layout := "single index"
+	if *shards > 0 {
+		layout = fmt.Sprintf("%d shards", *shards)
+	}
+	fmt.Printf("built %s in %v, %d bytes on disk\n", layout, time.Since(t0).Round(time.Millisecond), ix.SizeOnDisk())
 	return nil
 }
 
@@ -147,6 +154,23 @@ func runInfo(args []string) error {
 	defer ix.Close()
 	fmt.Printf("vectors:       %d\n", ix.Count())
 	fmt.Printf("dimensions:    %d\n", ix.Dim())
+	fmt.Printf("deleted:       %d\n", ix.DeletedCount())
 	fmt.Printf("size on disk:  %d bytes (%.1f MB)\n", ix.SizeOnDisk(), float64(ix.SizeOnDisk())/(1<<20))
+
+	if !shard.IsSharded(*indexDir) {
+		fmt.Printf("layout:        single index (legacy)\n")
+		return nil
+	}
+	man, err := shard.ReadManifest(*indexDir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("layout:        sharded (manifest v%d)\n", man.FormatVersion)
+	fmt.Printf("created:       %s\n", time.Unix(man.CreatedUnix, 0).UTC().Format(time.RFC3339))
+	fmt.Printf("shards:        %d\n", man.Shards)
+	for _, sh := range ix.Shards() {
+		fmt.Printf("  shard-%02d:    %d vectors, %d deleted, %d bytes\n",
+			sh.ID, sh.Count, sh.Deleted, sh.SizeOnDisk)
+	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/hd-index/hdindex/internal/data"
+	"github.com/hd-index/hdindex/internal/shard"
 )
 
 func TestBuildQueryInfoPipeline(t *testing.T) {
@@ -27,6 +28,50 @@ func TestBuildQueryInfoPipeline(t *testing.T) {
 		"-tau", "8", "-omega", "8", "-m", "5", "-alpha", "256", "-gamma", "64",
 	}); err != nil {
 		t.Fatalf("build: %v", err)
+	}
+	if err := runInfo([]string{"-index", indexDir}); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	outPath := filepath.Join(tmp, "r.ivecs")
+	if err := runQuery([]string{
+		"-index", indexDir, "-queries", qPath, "-k", "5", "-out", outPath,
+	}); err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	rows, err := data.ReadIvecs(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 || len(rows[0]) != 5 {
+		t.Fatalf("results shape = %dx%d", len(rows), len(rows[0]))
+	}
+}
+
+// The same pipeline must work against a sharded layout: build with
+// -shards, info prints the breakdown, query auto-detects the manifest.
+func TestShardedPipeline(t *testing.T) {
+	tmp := t.TempDir()
+	ds := data.SIFTLike(600, 1)
+	queries := ds.PerturbedQueries(4, 0.01, 2)
+
+	dataPath := filepath.Join(tmp, "d.fvecs")
+	if err := data.WriteFvecs(dataPath, ds.Vectors); err != nil {
+		t.Fatal(err)
+	}
+	qPath := filepath.Join(tmp, "q.fvecs")
+	if err := data.WriteFvecs(qPath, queries); err != nil {
+		t.Fatal(err)
+	}
+	indexDir := filepath.Join(tmp, "ix")
+
+	if err := runBuild([]string{
+		"-data", dataPath, "-index", indexDir, "-shards", "4",
+		"-tau", "8", "-omega", "8", "-m", "5", "-alpha", "256", "-gamma", "64",
+	}); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if !shard.IsSharded(indexDir) {
+		t.Fatal("build -shards did not write a manifest layout")
 	}
 	if err := runInfo([]string{"-index", indexDir}); err != nil {
 		t.Fatalf("info: %v", err)

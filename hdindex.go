@@ -29,6 +29,7 @@ import (
 	"context"
 
 	"github.com/hd-index/hdindex/internal/core"
+	"github.com/hd-index/hdindex/internal/shard"
 )
 
 // Options configures Build. The zero value uses the paper's recommended
@@ -60,6 +61,15 @@ type Options struct {
 	PageSize int
 	// Seed makes reference selection and construction deterministic.
 	Seed int64
+	// Shards partitions the index into this many independently built
+	// and searched sub-indexes under a manifest-backed on-disk layout
+	// (round-robin striping; see internal/shard). 0 keeps the legacy
+	// single-index layout. Open ignores this field: it auto-detects the
+	// layout from the directory, so existing indexes keep working.
+	Shards int
+	// BuildWorkers bounds how many shards build concurrently when
+	// Shards > 0 (0 = GOMAXPROCS).
+	BuildWorkers int
 }
 
 // ErrUnknownID reports a Delete of an id the index never assigned.
@@ -72,13 +82,45 @@ type Result = core.Result
 // fetched, and physical page reads.
 type Stats = core.QueryStats
 
-// Index is a built HD-Index. It is safe for concurrent searches.
+// backend is the method set the facade needs from an index layout.
+// Both *core.Index (the legacy single-index layout) and *shard.Sharded
+// (the manifest-backed sharded layout) implement it, which is what lets
+// every caller above this file — server, tools, examples — stay
+// layout-agnostic.
+type backend interface {
+	SearchContext(ctx context.Context, q []float32, k int) ([]core.Result, error)
+	SearchWithStatsContext(ctx context.Context, q []float32, k int) ([]core.Result, *core.QueryStats, error)
+	SearchBatchContext(ctx context.Context, queries [][]float32, k int) ([][]core.Result, error)
+	Insert(vec []float32) (uint64, error)
+	Delete(id uint64) error
+	Undelete(id uint64) error
+	Count() uint64
+	Dim() int
+	DeletedCount() int
+	SizeOnDisk() int64
+	Flush() error
+	Close() error
+}
+
+// Index is a built HD-Index — monolithic or sharded; the layout is
+// transparent to every method. It is safe for concurrent searches.
 type Index struct {
-	ix *core.Index
+	ix backend
+}
+
+// ShardInfo is one shard's row of an index's layout breakdown. A legacy
+// single-index layout reports exactly one shard.
+type ShardInfo struct {
+	ID         int
+	Count      uint64
+	Deleted    int
+	SizeOnDisk int64
 }
 
 // Build constructs an HD-Index over vectors in the directory dir.
-// All vectors must share the same dimensionality.
+// All vectors must share the same dimensionality. Options.Shards
+// selects the on-disk layout: 0 writes the legacy single-index layout,
+// N >= 1 a manifest-backed layout of N concurrently built shards.
 func Build(dir string, vectors [][]float32, o Options) (*Index, error) {
 	p := core.Params{
 		Tau:          o.Tau,
@@ -94,6 +136,22 @@ func Build(dir string, vectors [][]float32, o Options) (*Index, error) {
 		PageSize:     o.PageSize,
 		Seed:         o.Seed,
 	}
+	if o.Shards > 0 {
+		sh, err := shard.Build(dir, vectors, shard.Params{
+			Params: p, Shards: o.Shards, BuildWorkers: o.BuildWorkers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Index{ix: sh}, nil
+	}
+	// A legacy build into a directory that previously held a sharded
+	// layout must remove it first — a stale manifest would keep Open's
+	// auto-detection serving the old shards, and stale shard dirs would
+	// leak a full copy of the previous dataset.
+	if err := shard.ClearLayout(dir); err != nil {
+		return nil, err
+	}
 	ix, err := core.Build(dir, vectors, p)
 	if err != nil {
 		return nil, err
@@ -101,13 +159,23 @@ func Build(dir string, vectors [][]float32, o Options) (*Index, error) {
 	return &Index{ix: ix}, nil
 }
 
-// Open loads an index previously written by Build.
+// Open loads an index previously written by Build, auto-detecting the
+// layout: a directory with a manifest.json opens as a sharded index,
+// anything else as the legacy single-index layout.
 func Open(dir string, o Options) (*Index, error) {
-	ix, err := core.Open(dir, core.OpenOptions{
+	opts := core.OpenOptions{
 		DisableCache: o.DisableCache,
 		Parallel:     o.Parallel,
 		BatchWorkers: o.BatchWorkers,
-	})
+	}
+	if shard.IsSharded(dir) {
+		sh, err := shard.Open(dir, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &Index{ix: sh}, nil
+	}
+	ix, err := core.Open(dir, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -116,7 +184,7 @@ func Open(dir string, o Options) (*Index, error) {
 
 // Search returns the approximate k nearest neighbours of q.
 func (i *Index) Search(q []float32, k int) ([]Result, error) {
-	return i.ix.Search(q, k)
+	return i.ix.SearchContext(context.Background(), q, k)
 }
 
 // SearchContext is Search honouring ctx: the query returns early with
@@ -125,9 +193,10 @@ func (i *Index) SearchContext(ctx context.Context, q []float32, k int) ([]Result
 	return i.ix.SearchContext(ctx, q, k)
 }
 
-// SearchWithStats is Search plus work counters.
+// SearchWithStats is Search plus work counters. On a sharded index the
+// counters are summed across shards; see Shards for the breakdown.
 func (i *Index) SearchWithStats(q []float32, k int) ([]Result, *Stats, error) {
-	return i.ix.SearchWithStats(q, k)
+	return i.ix.SearchWithStatsContext(context.Background(), q, k)
 }
 
 // SearchWithStatsContext is SearchContext plus work counters.
@@ -139,7 +208,7 @@ func (i *Index) SearchWithStatsContext(ctx context.Context, q []float32, k int) 
 // — the natural shape for multi-descriptor workloads like §5.5's image
 // search.
 func (i *Index) SearchBatch(queries [][]float32, k int) ([][]Result, error) {
-	return i.ix.SearchBatch(queries, k)
+	return i.ix.SearchBatchContext(context.Background(), queries, k)
 }
 
 // SearchBatchContext is SearchBatch honouring ctx: remaining queries are
@@ -168,6 +237,33 @@ func (i *Index) Dim() int { return i.ix.Dim() }
 
 // SizeOnDisk returns the total size of the index files in bytes.
 func (i *Index) SizeOnDisk() int64 { return i.ix.SizeOnDisk() }
+
+// DeletedCount returns the number of deletion marks.
+func (i *Index) DeletedCount() int { return i.ix.DeletedCount() }
+
+// NumShards returns the number of shards in the on-disk layout; a
+// legacy single-index layout counts as 1.
+func (i *Index) NumShards() int {
+	if sh, ok := i.ix.(*shard.Sharded); ok {
+		return sh.NumShards()
+	}
+	return 1
+}
+
+// Shards returns the per-shard layout breakdown, in shard order. A
+// legacy single-index layout reports itself as one shard, so callers
+// (the /stats endpoint, hdtool info) render both layouts uniformly.
+func (i *Index) Shards() []ShardInfo {
+	if sh, ok := i.ix.(*shard.Sharded); ok {
+		infos := sh.ShardInfos()
+		out := make([]ShardInfo, len(infos))
+		for j, in := range infos {
+			out[j] = ShardInfo{ID: in.ID, Count: in.Count, Deleted: in.Deleted, SizeOnDisk: in.SizeOnDisk}
+		}
+		return out
+	}
+	return []ShardInfo{{ID: 0, Count: i.ix.Count(), Deleted: i.ix.DeletedCount(), SizeOnDisk: i.ix.SizeOnDisk()}}
+}
 
 // Flush persists all state.
 func (i *Index) Flush() error { return i.ix.Flush() }

@@ -1,0 +1,33 @@
+package atomicfile
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileReplaces(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteFile(dir, "f.bin", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(dir, "f.bin", []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "f.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "two" {
+		t.Fatalf("content = %q", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "f.bin.tmp")); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind")
+	}
+}
+
+func TestWriteFileMissingDir(t *testing.T) {
+	if err := WriteFile(filepath.Join(t.TempDir(), "nope"), "f", []byte("x")); err == nil {
+		t.Fatal("write into a missing directory must fail")
+	}
+}

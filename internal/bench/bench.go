@@ -38,6 +38,11 @@ type Config struct {
 	K       int     // neighbours for quality metrics where the paper uses 100
 	WorkDir string  // scratch directory for on-disk indexes; "" = temp
 	Seed    int64
+	// Shards builds the snapshot's HD-Index as a manifest-backed
+	// sharded layout with this many shards (0 = the legacy single
+	// index). Only the snapshot runner consults it; the paper's
+	// experiment runners always measure the monolithic index.
+	Shards int
 }
 
 func (c *Config) defaults() {

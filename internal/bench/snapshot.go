@@ -10,6 +10,7 @@ import (
 
 	"github.com/hd-index/hdindex/internal/core"
 	"github.com/hd-index/hdindex/internal/metrics"
+	"github.com/hd-index/hdindex/internal/shard"
 )
 
 // Snapshot is a machine-readable perf baseline: the numbers a CI run (or
@@ -32,6 +33,7 @@ type SnapshotConfig struct {
 	Queries int     `json:"queries"`
 	K       int     `json:"k"`
 	Seed    int64   `json:"seed"`
+	Shards  int     `json:"shards"` // 0 = legacy single-index layout
 }
 
 // DatasetResult is one dataset's row of the snapshot.
@@ -44,6 +46,7 @@ type DatasetResult struct {
 	MeanQueryUS       float64 `json:"mean_query_us"`
 	BatchQPS          float64 `json:"batch_qps"` // queries/s through SearchBatch
 	MAP               float64 `json:"map"`
+	Recall            float64 `json:"recall"` // recall@k vs. brute-force ground truth
 	MeanRatio         float64 `json:"mean_ratio"`
 	PageReadsPerQuery float64 `json:"page_reads_per_query"`
 }
@@ -62,6 +65,7 @@ func RunSnapshot(cfg Config, datasets []string) (*Snapshot, error) {
 		GOARCH:    runtime.GOARCH,
 		Config: SnapshotConfig{
 			Scale: cfg.Scale, Queries: cfg.Queries, K: cfg.K, Seed: cfg.Seed,
+			Shards: cfg.Shards,
 		},
 	}
 	for _, name := range datasets {
@@ -78,6 +82,16 @@ func RunSnapshot(cfg Config, datasets []string) (*Snapshot, error) {
 	return snap, nil
 }
 
+// snapIndex is the slice of the index surface the snapshot measures —
+// satisfied by both core.Index and shard.Sharded, so one measurement
+// body covers both layouts.
+type snapIndex interface {
+	SearchWithStats(q []float32, k int) ([]core.Result, *core.QueryStats, error)
+	SearchBatch(queries [][]float32, k int) ([][]core.Result, error)
+	SizeOnDisk() int64
+	Close() error
+}
+
 func snapshotDataset(spec DataSpec, cfg Config) (DatasetResult, error) {
 	w := MakeWorkload(spec, cfg)
 	n := len(w.Data.Vectors)
@@ -87,8 +101,26 @@ func snapshotDataset(spec DataSpec, cfg Config) (DatasetResult, error) {
 	p := HDParams(spec, n)
 	p.Seed = cfg.Seed
 
+	// Select the layout under measurement; the measurement body below
+	// is layout-agnostic. The legacy build clears any sharded layout a
+	// previous run left in the reused workdir, mirroring the facade, so
+	// the directory left behind never holds a stale manifest.
+	build := func() (snapIndex, error) {
+		if err := shard.ClearLayout(dir); err != nil {
+			return nil, err
+		}
+		return core.Build(dir, w.Data.Vectors, p)
+	}
+	open := func() (snapIndex, error) { return core.Open(dir, core.OpenOptions{}) }
+	if cfg.Shards > 0 {
+		build = func() (snapIndex, error) {
+			return shard.Build(dir, w.Data.Vectors, shard.Params{Params: p, Shards: cfg.Shards})
+		}
+		open = func() (snapIndex, error) { return shard.Open(dir, core.OpenOptions{}) }
+	}
+
 	t0 := time.Now()
-	built, err := core.Build(dir, w.Data.Vectors, p)
+	built, err := build()
 	if err != nil {
 		return out, err
 	}
@@ -100,7 +132,7 @@ func snapshotDataset(spec DataSpec, cfg Config) (DatasetResult, error) {
 	if err := built.Close(); err != nil {
 		return out, err
 	}
-	ix, err := core.Open(dir, core.OpenOptions{})
+	ix, err := open()
 	if err != nil {
 		return out, err
 	}
@@ -133,6 +165,7 @@ func snapshotDataset(spec DataSpec, cfg Config) (DatasetResult, error) {
 	nq := len(w.Queries)
 	out.MeanQueryUS = float64(elapsed.Microseconds()) / float64(nq)
 	out.MAP = metrics.MAP(got, w.TruthIDs, w.K)
+	out.Recall = metrics.MeanRecall(got, w.TruthIDs, w.K)
 	out.MeanRatio = ratioSum / float64(nq)
 	out.PageReadsPerQuery = float64(reads) / float64(nq)
 

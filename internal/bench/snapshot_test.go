@@ -25,6 +25,9 @@ func TestRunSnapshot(t *testing.T) {
 	if d.MAP <= 0 || d.MAP > 1 || d.MeanRatio < 1-1e-9 {
 		t.Errorf("quality out of range: MAP=%v ratio=%v", d.MAP, d.MeanRatio)
 	}
+	if d.Recall <= 0 || d.Recall > 1 {
+		t.Errorf("recall out of range: %v", d.Recall)
+	}
 
 	var buf bytes.Buffer
 	if err := snap.WriteJSON(&buf); err != nil {
@@ -36,6 +39,26 @@ func TestRunSnapshot(t *testing.T) {
 	}
 	if round.Datasets[0].MAP != d.MAP {
 		t.Error("round-tripped MAP differs")
+	}
+}
+
+// The snapshot must also run over a sharded layout, recording the shard
+// count it measured.
+func TestRunSnapshotSharded(t *testing.T) {
+	cfg := Config{Scale: 0.05, Queries: 5, K: 10, WorkDir: t.TempDir(), Seed: 42, Shards: 4}
+	snap, err := RunSnapshot(cfg, []string{"SIFT10K"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Config.Shards != 4 {
+		t.Fatalf("snapshot config shards = %d", snap.Config.Shards)
+	}
+	d := snap.Datasets[0]
+	if d.BuildMS <= 0 || d.MeanQueryUS <= 0 || d.BatchQPS <= 0 {
+		t.Errorf("timings not populated: %+v", d)
+	}
+	if d.Recall <= 0 || d.Recall > 1 || d.MAP <= 0 {
+		t.Errorf("quality out of range: %+v", d)
 	}
 }
 

@@ -2,8 +2,8 @@ package core
 
 import (
 	"context"
-	"runtime"
-	"sync"
+
+	"github.com/hd-index/hdindex/internal/fanout"
 )
 
 // SearchBatch answers many queries concurrently (across queries, not
@@ -22,66 +22,16 @@ func (ix *Index) SearchBatchContext(ctx context.Context, queries [][]float32, k 
 	if len(queries) == 0 {
 		return nil, nil
 	}
-	workers := ix.params.BatchWorkers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(queries) {
-		workers = len(queries)
-	}
-
-	// A cancellable child context lets the first failure abort the
-	// queries still queued or in flight.
-	bctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	var (
-		failMu   sync.Mutex
-		firstErr error
-	)
-	fail := func(err error) {
-		failMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-			cancel()
-		}
-		failMu.Unlock()
-	}
-
 	out := make([][]Result, len(queries))
-	var wg sync.WaitGroup
-	ch := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for qi := range ch {
-				if bctx.Err() != nil {
-					continue // drain without searching
-				}
-				res, err := ix.SearchContext(bctx, queries[qi], k)
-				if err != nil {
-					fail(err)
-					continue
-				}
-				out[qi] = res
-			}
-		}()
-	}
-dispatch:
-	for qi := range queries {
-		select {
-		case ch <- qi:
-		case <-bctx.Done():
-			break dispatch
+	err := fanout.Run(ctx, len(queries), ix.params.BatchWorkers, func(ctx context.Context, qi int) error {
+		res, err := ix.SearchContext(ctx, queries[qi], k)
+		if err != nil {
+			return err
 		}
-	}
-	close(ch)
-	wg.Wait()
-
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	if err := ctx.Err(); err != nil {
+		out[qi] = res
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -7,6 +7,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"github.com/hd-index/hdindex/internal/atomicfile"
 )
 
 // §3.6: "deletions can be handled by simply marking the object as
@@ -129,42 +131,10 @@ func (ix *Index) saveDeleteSetLocked() error {
 		off += 8
 	}
 	d.mu.RUnlock()
-	// Write, fsync, then rename: a crash at any point leaves either the
-	// old complete file or the new complete file, never a torn
-	// deleted.bin that would fail loadDeleteSet and brick Open. The
-	// fsync matters — without it the rename can become durable before
-	// the data blocks, surfacing a zero-filled file after power loss.
-	tmp := filepath.Join(ix.dir, deletedFile+".tmp")
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return err
-	}
-	if _, err := f.Write(buf); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, filepath.Join(ix.dir, deletedFile)); err != nil {
-		return err
-	}
-	// The rename itself lives in the directory entry: sync the
-	// directory too, or a power loss could resurrect the old file
-	// after the caller was told the mark persisted.
-	dir, err := os.Open(ix.dir)
-	if err != nil {
-		return err
-	}
-	serr := dir.Sync()
-	if cerr := dir.Close(); serr == nil {
-		serr = cerr
-	}
-	return serr
+	// Atomic replace: a crash at any point leaves either the old
+	// complete file or the new complete file, never a torn deleted.bin
+	// that would fail loadDeleteSet and brick Open.
+	return atomicfile.WriteFile(ix.dir, deletedFile, buf)
 }
 
 func (ix *Index) loadDeleteSet() error {
@@ -185,6 +155,24 @@ func (ix *Index) loadDeleteSet() error {
 	}
 	for i := uint64(0); i < n; i++ {
 		ix.deleted.ids[binary.BigEndian.Uint64(buf[8+8*i:])] = struct{}{}
+	}
+	// Prune marks for ids beyond the vector store: an insert whose
+	// append never flushed before a crash but was deleted in the same
+	// window persists the mark without the vector. The id will be
+	// reassigned to a future insert, which must not be born deleted —
+	// rewrite the file so the stale mark cannot outlive this Open.
+	pruned := false
+	count := ix.vectors.Count()
+	for id := range ix.deleted.ids {
+		if id >= count {
+			delete(ix.deleted.ids, id)
+			pruned = true
+		}
+	}
+	if pruned {
+		ix.deleted.saveMu.Lock()
+		defer ix.deleted.saveMu.Unlock()
+		return ix.saveDeleteSetLocked()
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"os"
 	"path/filepath"
 	"testing"
@@ -79,6 +80,101 @@ func TestOpenTruncatedVectors(t *testing.T) {
 	}
 	if !sawErr {
 		t.Fatal("reads from truncated vector store must eventually error")
+	}
+}
+
+// Rebuilding into a directory that already holds an index must not
+// inherit any of its state — in particular deletion marks, which would
+// silently hide arbitrary vectors of the new dataset.
+func TestRebuildClearsStaleState(t *testing.T) {
+	dir, ds := buildTiny(t)
+	ix, err := Open(dir, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Delete(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Delete(11); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Build(dir, ds.Vectors, Params{Tau: 2, Omega: 8, M: 3, Alpha: 64, Gamma: 16, Seed: 73})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Open(dir, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	if n := fresh.DeletedCount(); n != 0 {
+		t.Fatalf("rebuilt index inherited %d deletion marks", n)
+	}
+}
+
+// A crash can persist a delete mark for an insert whose vector append
+// never flushed (marks are written synchronously, appends on Flush).
+// Open must prune such marks: the id gets reassigned to a later insert,
+// which must not be born deleted and invisible to every search.
+func TestOpenPrunesStaleDeleteMarks(t *testing.T) {
+	dir, _ := buildTiny(t) // 200 vectors, ids 0..199
+	buf := make([]byte, 16)
+	binary.BigEndian.PutUint64(buf, 1)
+	binary.BigEndian.PutUint64(buf[8:], 200) // mark the lost id
+	if err := os.WriteFile(filepath.Join(dir, deletedFile), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ix, err := Open(dir, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := ix.DeletedCount(); n != 0 {
+		t.Fatalf("stale mark survived open: DeletedCount = %d", n)
+	}
+	vec := make([]float32, 16)
+	for d := range vec {
+		vec[d] = 0.77
+	}
+	id, err := ix.Insert(vec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 200 {
+		t.Fatalf("refill insert assigned id %d, want 200", id)
+	}
+	res, err := ix.Search(vec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].ID != 200 {
+		t.Fatalf("refilled id 200 invisible to search: got %d", res[0].ID)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The prune must have been persisted, not just applied in memory.
+	re, err := Open(dir, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if n := re.DeletedCount(); n != 0 {
+		t.Fatalf("stale mark resurrected after reopen: DeletedCount = %d", n)
+	}
+	res, err = re.Search(vec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].ID != 200 {
+		t.Fatalf("refilled id 200 lost after reopen: got %d", res[0].ID)
 	}
 }
 

@@ -73,6 +73,9 @@ func Build(dir string, vectors [][]float32, p Params) (*Index, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("core: mkdir %s: %w", dir, err)
 	}
+	if err := RemoveIndexFiles(dir); err != nil {
+		return nil, err
+	}
 
 	rng := rand.New(rand.NewSource(p.Seed))
 
@@ -220,6 +223,32 @@ func (ix *Index) buildTree(t int, vectors [][]float32, rdist [][]float32) error 
 
 func (ix *Index) treePath(t int) string {
 	return filepath.Join(ix.dir, fmt.Sprintf("tree_%02d.pg", t))
+}
+
+// RemoveIndexFiles deletes every file a previous Build may have left at
+// dir's top level: meta.json first (the layout's commit point, so a
+// crash mid-rebuild leaves a directory Open rejects rather than one
+// silently serving the old dataset), then the deletion marks, the
+// vector store, and the tree files. Build calls it so rebuilding in
+// place starts clean — stale deleted.bin marks would otherwise
+// resurrect on the new index, and stale tree files would linger when
+// tau shrinks. Missing files (or a missing directory) are fine.
+func RemoveIndexFiles(dir string) error {
+	trees, err := filepath.Glob(filepath.Join(dir, "tree_*.pg"))
+	if err != nil {
+		return err
+	}
+	victims := []string{
+		filepath.Join(dir, metaFile),
+		filepath.Join(dir, deletedFile),
+		filepath.Join(dir, "vectors.pg"),
+	}
+	for _, p := range append(victims, trees...) {
+		if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	return nil
 }
 
 func (ix *Index) initCurves() error {

@@ -1,0 +1,84 @@
+// Package fanout runs a bounded worker-pool fan-out with cooperative
+// cancellation: the shape shared by core's batch search, shard's batch
+// search, and shard's per-query scatter-gather. One implementation
+// keeps the failure semantics — first error cancels the rest, parent
+// cancellation wins the race to be reported — identical everywhere.
+package fanout
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Run invokes fn(ctx, i) for every i in [0, n) on at most workers
+// concurrent goroutines (workers <= 0 means GOMAXPROCS). The first
+// error cancels the context passed to the remaining calls and is
+// returned; work not yet dispatched is dropped. If the parent ctx is
+// cancelled, ctx.Err() is returned unless a real error was recorded
+// first.
+func Run(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		failMu   sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		failMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		failMu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				if fctx.Err() != nil {
+					continue // drain without working
+				}
+				if err := fn(fctx, i); err != nil {
+					fail(err)
+				}
+			}
+		}()
+	}
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case ch <- i:
+		case <-fctx.Done():
+			break dispatch
+		}
+	}
+	close(ch)
+	wg.Wait()
+
+	// A worker cancelled by our own cancel() reports ctx.Canceled; the
+	// caller should see the original cause. A recorded real error
+	// therefore wins over the parent's cancellation, which is checked
+	// second so dropped work still surfaces as an error.
+	failMu.Lock()
+	err := firstErr
+	failMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return ctx.Err()
+}

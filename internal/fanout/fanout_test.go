@@ -1,0 +1,60 @@
+package fanout
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunAll(t *testing.T) {
+	var hit [20]int32
+	err := Run(context.Background(), len(hit), 3, func(_ context.Context, i int) error {
+		atomic.AddInt32(&hit[i], 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hit {
+		if h != 1 {
+			t.Fatalf("index %d ran %d times", i, h)
+		}
+	}
+}
+
+func TestRunFirstErrorWins(t *testing.T) {
+	boom := errors.New("boom")
+	var ran int32
+	err := Run(context.Background(), 100, 2, func(ctx context.Context, i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := atomic.LoadInt32(&ran); n == 100 {
+		t.Error("error did not stop the remaining work")
+	}
+}
+
+func TestRunParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Run(ctx, 10, 2, func(ctx context.Context, i int) error { return ctx.Err() })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	if err := Run(context.Background(), 0, 4, func(context.Context, int) error {
+		t.Fatal("fn must not run")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -378,12 +378,26 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) (any, erro
 	return map[string]uint64{verb: req.ID}, nil
 }
 
+// ShardStatsJSON is one shard's row of the /stats layout breakdown.
+type ShardStatsJSON struct {
+	ID         int    `json:"id"`
+	Count      uint64 `json:"count"`
+	Deleted    int    `json:"deleted"`
+	SizeOnDisk int64  `json:"size_on_disk"`
+}
+
 // StatsResponse is the /stats payload.
 type StatsResponse struct {
 	Index struct {
 		Count      uint64 `json:"count"`
 		Dim        int    `json:"dim"`
+		Deleted    int    `json:"deleted"`
 		SizeOnDisk int64  `json:"size_on_disk"`
+		// Shards describes the on-disk layout: 1 for a legacy
+		// single-index directory, N for a manifest-backed sharded
+		// layout, with the per-shard breakdown alongside.
+		Shards   int              `json:"shards"`
+		PerShard []ShardStatsJSON `json:"per_shard"`
 	} `json:"index"`
 	UptimeSeconds float64                  `json:"uptime_seconds"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
@@ -394,7 +408,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) (any, error
 	var resp StatsResponse
 	resp.Index.Count = s.idx.Count()
 	resp.Index.Dim = s.idx.Dim()
+	resp.Index.Deleted = s.idx.DeletedCount()
 	resp.Index.SizeOnDisk = s.idx.SizeOnDisk()
+	shards := s.idx.Shards()
+	resp.Index.Shards = len(shards)
+	resp.Index.PerShard = make([]ShardStatsJSON, len(shards))
+	for i, sh := range shards {
+		resp.Index.PerShard[i] = ShardStatsJSON{
+			ID: sh.ID, Count: sh.Count, Deleted: sh.Deleted, SizeOnDisk: sh.SizeOnDisk,
+		}
+	}
 	resp.UptimeSeconds = up.Seconds()
 	resp.Endpoints = map[string]EndpointStats{
 		"search":      s.mSearch.snapshot(up),

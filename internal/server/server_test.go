@@ -253,12 +253,71 @@ func TestStatsEndpoint(t *testing.T) {
 	if st.Index.Count != idx.Count() || st.Index.Dim != idx.Dim() {
 		t.Errorf("index stats = %+v", st.Index)
 	}
+	// A legacy single-index layout reports itself as one shard.
+	if st.Index.Shards != 1 || len(st.Index.PerShard) != 1 || st.Index.PerShard[0].Count != idx.Count() {
+		t.Errorf("legacy layout shard stats = %+v", st.Index)
+	}
 	es := st.Endpoints["search"]
 	if es.Requests != n+1 || es.Errors != 1 {
 		t.Errorf("search endpoint stats = %+v, want %d requests / 1 error", es, n+1)
 	}
 	if es.MeanLatencyMs <= 0 || es.MaxLatencyMs < es.MeanLatencyMs || es.QPS <= 0 {
 		t.Errorf("latency/QPS not populated: %+v", es)
+	}
+}
+
+// /stats over a sharded layout reports the shard count and a per-shard
+// breakdown that sums to the whole.
+func TestStatsShardedLayout(t *testing.T) {
+	ds := data.Generate(data.Config{Name: "sh", N: 1201, Dim: 32, Clusters: 4, Lo: 0, Hi: 1, Seed: 17})
+	idx, err := hdindex.Build(t.TempDir(), ds.Vectors, hdindex.Options{
+		Tau: 4, Omega: 8, M: 4, Alpha: 128, Gamma: 32, Seed: 1, Shards: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { idx.Close() })
+	ts := httptest.NewServer(New(idx, Config{}).Handler())
+	t.Cleanup(ts.Close)
+
+	if code := post(t, ts.URL+"/delete", deleteRequest{ID: 3}, nil); code != 200 {
+		t.Fatalf("delete status %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Index.Shards != 4 || len(st.Index.PerShard) != 4 {
+		t.Fatalf("shard stats = %+v", st.Index)
+	}
+	var count uint64
+	var deleted int
+	var size int64
+	for _, sh := range st.Index.PerShard {
+		count += sh.Count
+		deleted += sh.Deleted
+		size += sh.SizeOnDisk
+	}
+	if count != st.Index.Count || deleted != st.Index.Deleted || size != st.Index.SizeOnDisk {
+		t.Fatalf("per-shard rows do not sum to the totals: %+v", st.Index)
+	}
+	if st.Index.Deleted != 1 {
+		t.Fatalf("deleted = %d, want 1", st.Index.Deleted)
+	}
+
+	// Search still round-trips through the scatter-gather path.
+	q := ds.PerturbedQueries(1, 0.02, 8)[0]
+	var got searchResponse
+	if code := post(t, ts.URL+"/search", searchRequest{Query: q, K: 5}, &got); code != 200 {
+		t.Fatalf("search status %d", code)
+	}
+	if len(got.Results) != 5 {
+		t.Fatalf("%d results", len(got.Results))
 	}
 }
 

@@ -1,0 +1,115 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"github.com/hd-index/hdindex/internal/core"
+	"github.com/hd-index/hdindex/internal/fanout"
+)
+
+// Params configures a sharded build: the per-shard HD-Index parameters
+// plus the layout shape.
+type Params struct {
+	core.Params
+
+	// Shards is the number of sub-indexes N (default 1). Each shard is
+	// a complete HD-Index over its ~1/N stripe of the data: smaller
+	// sorts, smaller reference-selection samples, and independent files
+	// — which is what lets Build parallelise beyond core's per-tree
+	// concurrency and later PRs rebalance or place shards elsewhere.
+	Shards int
+
+	// BuildWorkers bounds how many shards build concurrently
+	// (0 = GOMAXPROCS). Each shard build is itself internally parallel,
+	// so the useful ceiling is small.
+	BuildWorkers int
+}
+
+// Build constructs a sharded HD-Index over vectors in directory dir:
+// stripes the dataset round-robin across N shards, builds the shards
+// concurrently on a bounded worker pool, and commits the layout by
+// writing the manifest last.
+func Build(dir string, vectors [][]float32, p Params) (*Sharded, error) {
+	if p.Shards == 0 {
+		p.Shards = 1
+	}
+	if p.Shards < 1 {
+		return nil, fmt.Errorf("shard: shards must be >= 1, got %d", p.Shards)
+	}
+	if len(vectors) == 0 {
+		return nil, fmt.Errorf("shard: empty dataset")
+	}
+	if p.Shards > len(vectors) {
+		return nil, fmt.Errorf("shard: %d shards exceed dataset size %d", p.Shards, len(vectors))
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("shard: mkdir %s: %w", dir, err)
+	}
+	// Invalidate and remove any previous layout first — sharded (the
+	// manifest and shard dirs) and legacy (root meta.json, trees,
+	// vectors) alike. Until the new manifest is written at the end, the
+	// directory must not look like a complete index of either kind, so
+	// a crash mid-rebuild fails Open instead of silently serving the
+	// old dataset.
+	if err := ClearLayout(dir); err != nil {
+		return nil, err
+	}
+	if err := core.RemoveIndexFiles(dir); err != nil {
+		return nil, err
+	}
+
+	n := p.Shards
+	stripes := make([][][]float32, n)
+	for i := range stripes {
+		// Shard i owns global ids i, i+N, i+2N, ... — local id l there
+		// is global l*N+i.
+		stripes[i] = make([][]float32, 0, (len(vectors)-i+n-1)/n)
+	}
+	for g, v := range vectors {
+		stripes[g%n] = append(stripes[g%n], v)
+	}
+
+	s := &Sharded{
+		dir: dir,
+		man: Manifest{
+			FormatVersion: FormatVersion,
+			Shards:        n,
+			Dim:           len(vectors[0]),
+			CreatedUnix:   now().Unix(),
+		},
+		shards:       make([]*core.Index, n),
+		dirty:        make([]bool, n),
+		total:        uint64(len(vectors)),
+		batchWorkers: p.BatchWorkers,
+	}
+
+	// The bounded fan-out also stops scheduling further shard builds as
+	// soon as one fails, instead of burning CPU on a doomed layout.
+	err := fanout.Run(context.Background(), n, p.BuildWorkers, func(_ context.Context, i int) error {
+		sp := p.Params
+		// Derive per-shard seeds so shards don't sample identical
+		// reference candidates; shard 0 keeps the caller's seed, so
+		// a 1-shard build is bit-identical to the monolithic layout.
+		sp.Seed = p.Seed + int64(i)
+		ix, err := core.Build(shardDir(dir, i), stripes[i], sp)
+		if err != nil {
+			return fmt.Errorf("shard: build shard %d: %w", i, err)
+		}
+		s.shards[i] = ix
+		return nil
+	})
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+
+	// Commit point: a crash before this line leaves a directory Open
+	// rejects (no manifest) instead of a silently short layout.
+	if err := writeManifest(dir, &s.man); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,140 @@
+// Package shard partitions an HD-Index across N independent sub-indexes
+// (each a core.Index in its own subdirectory), described by a
+// manifest.json at the layout root:
+//
+//	dir/
+//	  manifest.json     {"format_version":1,"shards":4,"dim":128,...}
+//	  shard-00/         a complete core.Index (meta.json, tree_*.pg, ...)
+//	  shard-01/
+//	  shard-02/
+//	  shard-03/
+//
+// Vectors are striped round-robin, so global id g lives in shard g mod N
+// at local id g div N. The striping keeps shard sizes within one vector
+// of each other and the global id space dense and append-only, exactly
+// like the single-index layout's; Insert routes to the shard owning the
+// smallest unassigned global id, which also lets a layout whose shards
+// persisted unevenly across a crash self-heal instead of refusing to
+// open.
+//
+// Shards are built concurrently (bounded by Params.BuildWorkers) and
+// searched with a scatter-gather fan-out whose per-shard top-k results
+// are merged through internal/topk. Each shard carries its own reference
+// objects, RDB-trees, and deletion marks, so every durability property
+// of core.Index holds per shard — and therefore for the whole layout.
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/hd-index/hdindex/internal/atomicfile"
+)
+
+// ManifestFile is the layout descriptor's file name; its presence is
+// what distinguishes a sharded layout from a legacy single-index
+// directory (which has meta.json at its root instead).
+const ManifestFile = "manifest.json"
+
+// FormatVersion is the manifest schema version written by this package.
+const FormatVersion = 1
+
+// Manifest describes a sharded on-disk layout.
+type Manifest struct {
+	FormatVersion int `json:"format_version"`
+	Shards        int `json:"shards"`
+	Dim           int `json:"dim"`
+	// CreatedUnix is the build time in Unix seconds — informational
+	// metadata for tooling (hdtool info), not consulted by Open.
+	CreatedUnix int64 `json:"created_unix"`
+}
+
+// shardDir returns the subdirectory of shard s under root.
+func shardDir(root string, s int) string {
+	return filepath.Join(root, fmt.Sprintf("shard-%02d", s))
+}
+
+// IsSharded reports whether dir holds a manifest-backed sharded layout.
+func IsSharded(dir string) bool {
+	fi, err := os.Stat(filepath.Join(dir, ManifestFile))
+	return err == nil && fi.Mode().IsRegular()
+}
+
+// ClearManifest removes dir's manifest so the directory stops being
+// detected as a sharded layout. Rebuilders call it first: a build that
+// replaces the layout (or replaces it with a legacy single index) must
+// invalidate the old commit point before touching any files, so a crash
+// mid-rebuild leaves a directory Open rejects rather than a stale
+// manifest silently serving the previous dataset. A missing manifest
+// (or missing directory) is not an error.
+func ClearManifest(dir string) error {
+	err := os.Remove(filepath.Join(dir, ManifestFile))
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// ClearLayout removes the sharded layout's artifacts under dir: the
+// manifest first (invalidating the commit point), then every shard
+// subdirectory. Rebuilders — including a legacy build replacing a
+// sharded layout — call it so nothing of the old layout survives to be
+// served or leak disk. Missing pieces (or a missing dir) are fine.
+func ClearLayout(dir string) error {
+	if err := ClearManifest(dir); err != nil {
+		return err
+	}
+	// Glob rather than counting up from shard-00: a gap in the numbering
+	// (say, a crash partway through a previous ClearLayout) must not
+	// strand the stale dirs behind it.
+	matches, err := filepath.Glob(filepath.Join(dir, "shard-*"))
+	if err != nil {
+		return err
+	}
+	for _, p := range matches {
+		if err := os.RemoveAll(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadManifest loads and validates dir's manifest.
+func ReadManifest(dir string) (*Manifest, error) {
+	buf, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	if err != nil {
+		return nil, fmt.Errorf("shard: read manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return nil, fmt.Errorf("shard: parse manifest: %w", err)
+	}
+	if m.FormatVersion != FormatVersion {
+		return nil, fmt.Errorf("shard: manifest format version %d, this build reads %d", m.FormatVersion, FormatVersion)
+	}
+	if m.Shards < 1 {
+		return nil, fmt.Errorf("shard: manifest declares %d shards", m.Shards)
+	}
+	if m.Dim < 1 {
+		return nil, fmt.Errorf("shard: manifest declares dimensionality %d", m.Dim)
+	}
+	return &m, nil
+}
+
+// writeManifest persists m atomically (the same crash discipline as
+// core's deleted.bin). The manifest is the layout's commit point: Open
+// refuses a directory without one, so a build that dies mid-way leaves
+// no half-layout that looks complete.
+func writeManifest(dir string, m *Manifest) error {
+	buf, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return atomicfile.WriteFile(dir, ManifestFile, buf)
+}
+
+// now is stubbed in tests.
+var now = time.Now

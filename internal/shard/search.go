@@ -1,0 +1,109 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/hd-index/hdindex/internal/core"
+	"github.com/hd-index/hdindex/internal/fanout"
+	"github.com/hd-index/hdindex/internal/topk"
+)
+
+// Search answers a kANN query across all shards.
+func (s *Sharded) Search(q []float32, k int) ([]core.Result, error) {
+	return s.SearchContext(context.Background(), q, k)
+}
+
+// SearchContext is Search honouring ctx.
+func (s *Sharded) SearchContext(ctx context.Context, q []float32, k int) ([]core.Result, error) {
+	res, _, err := s.SearchWithStatsContext(ctx, q, k)
+	return res, err
+}
+
+// SearchWithStats is Search plus work counters summed across shards.
+func (s *Sharded) SearchWithStats(q []float32, k int) ([]core.Result, *core.QueryStats, error) {
+	return s.SearchWithStatsContext(context.Background(), q, k)
+}
+
+// SearchWithStatsContext scatter-gathers the query: every shard answers
+// its local top-k concurrently, local ids are mapped back to global
+// ids, and the N·k candidates are merged through one bounded top-k
+// heap. Cancellation propagates into each shard's query loop, and the
+// first shard error cancels the remaining fan-out.
+//
+// Because each shard's answer is exact over the candidates it refined,
+// merging per-shard top-k lists loses nothing: the global k nearest of
+// the union of refined candidates all appear in their own shard's
+// top-k. A 1-shard layout therefore returns exactly what the monolithic
+// layout would, and with exhaustive filter parameters an N-shard layout
+// returns the exact global kNN.
+func (s *Sharded) SearchWithStatsContext(ctx context.Context, q []float32, k int) ([]core.Result, *core.QueryStats, error) {
+	n := len(s.shards)
+	if n == 1 {
+		// Global and local ids coincide; skip the merge entirely.
+		return s.shards[0].SearchWithStatsContext(ctx, q, k)
+	}
+	if len(q) != s.man.Dim {
+		return nil, nil, fmt.Errorf("shard: query has %d dims, index has %d", len(q), s.man.Dim)
+	}
+
+	perShard := make([][]core.Result, n)
+	perStats := make([]*core.QueryStats, n)
+	err := fanout.Run(ctx, n, n, func(ctx context.Context, i int) error {
+		res, st, err := s.shards[i].SearchWithStatsContext(ctx, q, k)
+		if err != nil {
+			return err
+		}
+		perShard[i], perStats[i] = res, st
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	best := topk.New(k)
+	agg := &core.QueryStats{}
+	for i, res := range perShard {
+		for _, r := range res {
+			best.Push(s.globalID(i, r.ID), r.Dist)
+		}
+		agg.Candidates += perStats[i].Candidates
+		agg.TreeEntries += perStats[i].TreeEntries
+		agg.PageReads += perStats[i].PageReads
+		agg.ExactDistances += perStats[i].ExactDistances
+	}
+	items := best.Items()
+	out := make([]core.Result, len(items))
+	for i, it := range items {
+		out[i] = core.Result{ID: it.ID, Dist: it.Dist}
+	}
+	return out, agg, nil
+}
+
+// SearchBatch answers many queries, preserving input order.
+func (s *Sharded) SearchBatch(queries [][]float32, k int) ([][]core.Result, error) {
+	return s.SearchBatchContext(context.Background(), queries, k)
+}
+
+// SearchBatchContext fans the batch out on a bounded worker pool (the
+// layout's BatchWorkers, default GOMAXPROCS); each query then
+// scatter-gathers across shards. Cancellation or the first error stops
+// the remaining queries promptly.
+func (s *Sharded) SearchBatchContext(ctx context.Context, queries [][]float32, k int) ([][]core.Result, error) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	out := make([][]core.Result, len(queries))
+	err := fanout.Run(ctx, len(queries), s.batchWorkers, func(ctx context.Context, qi int) error {
+		res, err := s.SearchContext(ctx, queries[qi], k)
+		if err != nil {
+			return err
+		}
+		out[qi] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

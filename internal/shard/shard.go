@@ -1,0 +1,232 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/hd-index/hdindex/internal/core"
+)
+
+// Sharded is an HD-Index partitioned across N independent core
+// sub-indexes under one manifest-backed directory. It mirrors
+// core.Index's method set so callers (the public facade, the server,
+// the bench harness) can treat the two layouts interchangeably.
+//
+// Concurrency: searches run lock-free here (each sub-index does its own
+// reader/writer locking); mu serialises Insert's route-and-append pair
+// and guards the cached total count.
+type Sharded struct {
+	mu     sync.RWMutex
+	dir    string
+	man    Manifest
+	shards []*core.Index
+	total  uint64 // sum of shard counts; maintained by Insert
+	// dirty[i] marks shard i as holding unflushed inserts, so Flush —
+	// on the server's per-insert durability path — pays one shard's
+	// writeback instead of N. Deletes persist synchronously and never
+	// set it. Guarded by mu.
+	dirty []bool
+
+	batchWorkers int
+}
+
+// Info is one shard's row of the layout breakdown exposed through
+// /stats and hdtool info.
+type Info struct {
+	ID         int
+	Count      uint64
+	Deleted    int
+	SizeOnDisk int64
+}
+
+// numShards is len(shards) without a lock — the shard count is fixed at
+// Build/Open time.
+func (s *Sharded) numShards() uint64 { return uint64(len(s.shards)) }
+
+// ownerOf maps a global id to its owning shard and local id there.
+func (s *Sharded) ownerOf(id uint64) (shard int, local uint64) {
+	n := s.numShards()
+	return int(id % n), id / n
+}
+
+// globalID is the inverse mapping.
+func (s *Sharded) globalID(shard int, local uint64) uint64 {
+	return local*s.numShards() + uint64(shard)
+}
+
+// Open loads a sharded layout previously written by Build. opts is
+// applied to every sub-index.
+func Open(dir string, opts core.OpenOptions) (*Sharded, error) {
+	man, err := ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sharded{
+		dir:          dir,
+		man:          *man,
+		shards:       make([]*core.Index, man.Shards),
+		dirty:        make([]bool, man.Shards),
+		batchWorkers: opts.BatchWorkers,
+	}
+	for i := range s.shards {
+		ix, err := core.Open(shardDir(dir, i), opts)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("shard: open shard %d: %w", i, err)
+		}
+		if d := ix.Dim(); d != man.Dim {
+			s.Close()
+			return nil, fmt.Errorf("shard: shard %d has dimensionality %d, manifest declares %d", i, d, man.Dim)
+		}
+		s.shards[i] = ix
+		s.total += ix.Count()
+	}
+	return s, nil
+}
+
+// Close releases every sub-index. Safe to call more than once and on a
+// partially opened layout.
+func (s *Sharded) Close() error {
+	var first error
+	for _, ix := range s.shards {
+		if ix != nil {
+			if err := ix.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// Flush persists the shards holding unflushed inserts. On the server's
+// flush-per-insert durability path only the shard the insert routed to
+// pays the writeback, however many shards the layout has.
+func (s *Sharded) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, ix := range s.shards {
+		if !s.dirty[i] {
+			continue
+		}
+		if err := ix.Flush(); err != nil {
+			return err
+		}
+		s.dirty[i] = false
+	}
+	return nil
+}
+
+// NumShards returns the shard count N.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Manifest returns a copy of the layout descriptor.
+func (s *Sharded) Manifest() Manifest { return s.man }
+
+// Dim returns the indexed dimensionality.
+func (s *Sharded) Dim() int { return s.man.Dim }
+
+// Count returns the total number of indexed vectors across shards.
+func (s *Sharded) Count() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.total
+}
+
+// DeletedCount sums the shards' deletion marks.
+func (s *Sharded) DeletedCount() int {
+	var n int
+	for _, ix := range s.shards {
+		n += ix.DeletedCount()
+	}
+	return n
+}
+
+// SizeOnDisk sums the shards' index files.
+func (s *Sharded) SizeOnDisk() int64 {
+	var total int64
+	for _, ix := range s.shards {
+		total += ix.SizeOnDisk()
+	}
+	return total
+}
+
+// ShardInfos returns the per-shard breakdown, in shard order.
+func (s *Sharded) ShardInfos() []Info {
+	out := make([]Info, len(s.shards))
+	for i, ix := range s.shards {
+		out[i] = Info{ID: i, Count: ix.Count(), Deleted: ix.DeletedCount(), SizeOnDisk: ix.SizeOnDisk()}
+	}
+	return out
+}
+
+// Insert appends one vector, routing it to the shard that owns the
+// smallest unassigned global id. With balanced shard counts that is
+// exactly "total mod N" round-robin; after a crash that persisted some
+// shards' tails and not others', it refills the lost ids first, so the
+// layout self-heals instead of refusing to open — the same semantics
+// as the legacy layout, where ids of unflushed inserts are reused. The
+// sub-index provides the same in-place durability as the single-index
+// layout; callers wanting the write on disk call Flush, as with core.
+func (s *Sharded) Insert(vec []float32) (uint64, error) {
+	if len(vec) != s.man.Dim {
+		return 0, fmt.Errorf("shard: vector has %d dims, index has %d", len(vec), s.man.Dim)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.numShards()
+	sh := 0
+	next := s.shards[0].Count() * n
+	for i := 1; i < len(s.shards); i++ {
+		if cand := s.shards[i].Count()*n + uint64(i); cand < next {
+			sh, next = i, cand
+		}
+	}
+	local, err := s.shards[sh].Insert(vec)
+	if err != nil {
+		return 0, err
+	}
+	id := s.globalID(sh, local)
+	if id != next {
+		// The sub-index disagrees about its own length — id ownership
+		// can no longer be trusted, so fail loudly rather than hand out
+		// a global id that may collide.
+		return 0, fmt.Errorf("shard: shard %d assigned global id %d, routing expected %d", sh, id, next)
+	}
+	s.dirty[sh] = true
+	s.total++
+	return id, nil
+}
+
+// Delete marks global id as deleted on its owning shard. The mark is
+// persisted by the shard before Delete returns (core's write-fsync-
+// rename discipline), so it survives a crash.
+func (s *Sharded) Delete(id uint64) error {
+	sh, local, err := s.route("delete", id)
+	if err != nil {
+		return err
+	}
+	return s.shards[sh].Delete(local)
+}
+
+// Undelete removes a deletion mark.
+func (s *Sharded) Undelete(id uint64) error {
+	sh, local, err := s.route("undelete", id)
+	if err != nil {
+		return err
+	}
+	return s.shards[sh].Undelete(local)
+}
+
+// route validates a global id and returns its owner. The bound is the
+// owning shard's own length, not the sum: after a crash-induced ragged
+// tail the id space may briefly have holes, and only the owner knows
+// whether its stripe reaches id. The check happens here so the error
+// reports the global id, not a confusing per-shard local one.
+func (s *Sharded) route(op string, id uint64) (shard int, local uint64, err error) {
+	shard, local = s.ownerOf(id)
+	if count := s.shards[shard].Count(); local >= count {
+		return 0, 0, fmt.Errorf("%w: %s of id %d (shard %d holds ids below %d)",
+			core.ErrUnknownID, op, id, shard, count*s.numShards()+uint64(shard))
+	}
+	return shard, local, nil
+}

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke snapshot snapshot-sharded fmt fmt-check vet check serve clean
+.PHONY: build test race bench bench-smoke bench-compare snapshot snapshot-sharded fmt fmt-check vet check serve clean
 
 build:
 	$(GO) build ./...
@@ -12,7 +12,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/server/... ./internal/shard/... ./internal/fanout/...
+	$(GO) test -race ./internal/core/... ./internal/server/... ./internal/shard/... ./internal/fanout/... ./internal/pager/... ./internal/vecstore/...
 
 # Full benchmark suite (the paper's tables/figures at reduced scale).
 bench:
@@ -30,11 +30,20 @@ SNAPSHOT_OUT ?= bench-snapshot.json
 snapshot:
 	$(GO) run ./cmd/hdbench -snapshot $(SNAPSHOT_OUT) -scale 0.1 -queries 20 -k 20
 
-# Sharded counterpart (the committed baseline is BENCH_PR2.json):
-#   make snapshot-sharded SNAPSHOT_SHARDED_OUT=BENCH_PR2.json
+# Sharded counterpart (the committed baseline is BENCH_PR3.json):
+#   make snapshot-sharded SNAPSHOT_SHARDED_OUT=BENCH_PR3.json
 SNAPSHOT_SHARDED_OUT ?= bench-snapshot-sharded.json
 snapshot-sharded:
 	$(GO) run ./cmd/hdbench -shards 4 -snapshot $(SNAPSHOT_SHARDED_OUT) -scale 0.1 -queries 20 -k 20
+
+# Report-only perf diff: regenerate a sharded snapshot with the
+# baseline's config and print per-dataset deltas (mean_query_us,
+# batch_qps, parallel_qps, page_reads_per_query, hit_ratio, quality)
+# against the newest committed BENCH_PR*.json (override with
+# BASELINE=...). Never fails on a regression — it makes one visible.
+BASELINE ?= $(shell ls BENCH_PR*.json 2>/dev/null | sort -V | tail -1)
+bench-compare: snapshot-sharded
+	$(GO) run ./cmd/benchcompare $(BASELINE) $(SNAPSHOT_SHARDED_OUT)
 
 fmt:
 	gofmt -l -w .

@@ -1,0 +1,118 @@
+// Command benchcompare diffs two hdbench -snapshot JSON files and
+// prints per-dataset deltas for the serving-relevant metrics — the
+// report CI attaches next to each fresh snapshot so a perf regression
+// (or win) against the committed BENCH_PR*.json baseline is visible
+// without downloading artifacts and diffing by hand.
+//
+// Usage:
+//
+//	benchcompare BASELINE.json NEW.json
+//
+// The comparison is report-only: the exit status reflects only whether
+// the inputs could be read, never the direction of the deltas.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"github.com/hd-index/hdindex/internal/bench"
+)
+
+func load(path string) (*bench.Snapshot, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s bench.Snapshot
+	if err := json.Unmarshal(buf, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// metric is one compared field; higherBetter flips the sign annotation,
+// not the arithmetic.
+type metric struct {
+	name         string
+	get          func(bench.DatasetResult) float64
+	higherBetter bool
+}
+
+var metrics = []metric{
+	{"build_ms", func(d bench.DatasetResult) float64 { return d.BuildMS }, false},
+	{"mean_query_us", func(d bench.DatasetResult) float64 { return d.MeanQueryUS }, false},
+	{"batch_qps", func(d bench.DatasetResult) float64 { return d.BatchQPS }, true},
+	{"parallel_qps", func(d bench.DatasetResult) float64 { return d.ParallelQPS }, true},
+	{"page_reads_per_query", func(d bench.DatasetResult) float64 { return d.PageReadsPerQuery }, false},
+	{"hit_ratio", func(d bench.DatasetResult) float64 { return d.HitRatio }, true},
+	{"recall", func(d bench.DatasetResult) float64 { return d.Recall }, true},
+	{"map", func(d bench.DatasetResult) float64 { return d.MAP }, true},
+	{"mean_ratio", func(d bench.DatasetResult) float64 { return d.MeanRatio }, false},
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchcompare BASELINE.json NEW.json")
+		os.Exit(2)
+	}
+	base, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcompare: %v\n", err)
+		os.Exit(1)
+	}
+	fresh, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcompare: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("baseline: %s (%s)\n", os.Args[1], base.GoVersion)
+	fmt.Printf("new:      %s (%s)\n", os.Args[2], fresh.GoVersion)
+	// Compare only the workload knobs: ParallelClients is absent from
+	// pre-PR3 baselines and doesn't change the sequential numbers.
+	bc, fc := base.Config, fresh.Config
+	bc.ParallelClients, fc.ParallelClients = 0, 0
+	if bc != fc {
+		fmt.Printf("note: configs differ (baseline %+v, new %+v) — deltas are indicative only\n",
+			base.Config, fresh.Config)
+	}
+
+	byName := make(map[string]bench.DatasetResult, len(base.Datasets))
+	for _, d := range base.Datasets {
+		byName[d.Dataset] = d
+	}
+	for _, nw := range fresh.Datasets {
+		old, ok := byName[nw.Dataset]
+		if !ok {
+			fmt.Printf("\n%s: not in baseline, skipping\n", nw.Dataset)
+			continue
+		}
+		fmt.Printf("\n%s (n=%d, dim=%d)\n", nw.Dataset, nw.N, nw.Dim)
+		fmt.Printf("  %-22s %14s %14s %10s\n", "metric", "baseline", "new", "delta")
+		for _, m := range metrics {
+			ov, nv := m.get(old), m.get(nw)
+			arrow := ""
+			switch {
+			case ov == 0 && nv != 0:
+				fmt.Printf("  %-22s %14s %14.4g %10s\n", m.name, "n/a", nv, "new")
+				continue
+			case ov == 0 && nv == 0:
+				continue
+			}
+			delta := (nv - ov) / ov * 100
+			improved := delta < 0
+			if m.higherBetter {
+				improved = delta > 0
+			}
+			if delta != 0 {
+				if improved {
+					arrow = "better"
+				} else {
+					arrow = "worse"
+				}
+			}
+			fmt.Printf("  %-22s %14.4g %14.4g %+9.1f%% %s\n", m.name, ov, nv, delta, arrow)
+		}
+	}
+}

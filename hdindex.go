@@ -29,6 +29,7 @@ import (
 	"context"
 
 	"github.com/hd-index/hdindex/internal/core"
+	"github.com/hd-index/hdindex/internal/pager"
 	"github.com/hd-index/hdindex/internal/shard"
 )
 
@@ -79,8 +80,14 @@ var ErrUnknownID = core.ErrUnknownID
 type Result = core.Result
 
 // Stats reports per-query work: candidates refined, leaf entries
-// fetched, and physical page reads.
+// fetched, physical page reads, and buffer-pool hits/misses.
 type Stats = core.QueryStats
+
+// PoolStats aggregates the buffer-pool and I/O counters of every file
+// backing the index (all trees and the vector store; every shard on a
+// sharded layout) since open or the last reset. Hits/Misses expose the
+// cache behaviour of the refinement step's page-ordered fetch.
+type PoolStats = pager.Stats
 
 // backend is the method set the facade needs from an index layout.
 // Both *core.Index (the legacy single-index layout) and *shard.Sharded
@@ -98,6 +105,7 @@ type backend interface {
 	Dim() int
 	DeletedCount() int
 	SizeOnDisk() int64
+	IOStats() pager.Stats
 	Flush() error
 	Close() error
 }
@@ -240,6 +248,10 @@ func (i *Index) SizeOnDisk() int64 { return i.ix.SizeOnDisk() }
 
 // DeletedCount returns the number of deletion marks.
 func (i *Index) DeletedCount() int { return i.ix.DeletedCount() }
+
+// IOStats returns the cumulative pager counters across all index files;
+// PoolStats.HitRatio summarises buffer-pool effectiveness.
+func (i *Index) IOStats() PoolStats { return i.ix.IOStats() }
 
 // NumShards returns the number of shards in the on-disk layout; a
 // legacy single-index layout counts as 1.

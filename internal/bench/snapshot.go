@@ -6,6 +6,7 @@ import (
 	"io"
 	"path/filepath"
 	"runtime"
+	"sync"
 	"time"
 
 	"github.com/hd-index/hdindex/internal/core"
@@ -27,13 +28,19 @@ type Snapshot struct {
 	Datasets  []DatasetResult `json:"datasets"`
 }
 
+// snapshotParallelClients is the fixed concurrent-client count of the
+// parallel-throughput measurement: fixed (rather than GOMAXPROCS) so
+// snapshots from different machines stay comparable.
+const snapshotParallelClients = 8
+
 // SnapshotConfig records the knobs the numbers depend on.
 type SnapshotConfig struct {
-	Scale   float64 `json:"scale"`
-	Queries int     `json:"queries"`
-	K       int     `json:"k"`
-	Seed    int64   `json:"seed"`
-	Shards  int     `json:"shards"` // 0 = legacy single-index layout
+	Scale           float64 `json:"scale"`
+	Queries         int     `json:"queries"`
+	K               int     `json:"k"`
+	Seed            int64   `json:"seed"`
+	Shards          int     `json:"shards"` // 0 = legacy single-index layout
+	ParallelClients int     `json:"parallel_clients"`
 }
 
 // DatasetResult is one dataset's row of the snapshot.
@@ -49,6 +56,13 @@ type DatasetResult struct {
 	Recall            float64 `json:"recall"` // recall@k vs. brute-force ground truth
 	MeanRatio         float64 `json:"mean_ratio"`
 	PageReadsPerQuery float64 `json:"page_reads_per_query"`
+	// HitRatio is buffer-pool hits/(hits+misses) over the single-query
+	// phase: the observable effect of the page-ordered candidate fetch.
+	HitRatio float64 `json:"hit_ratio"`
+	// ParallelQPS is throughput with snapshotParallelClients goroutines
+	// each issuing single queries concurrently — the serving-shaped
+	// number the sharded buffer pool exists to scale.
+	ParallelQPS float64 `json:"parallel_qps"`
 }
 
 // RunSnapshot builds HD-Index over the named datasets (nil/empty = a
@@ -65,7 +79,7 @@ func RunSnapshot(cfg Config, datasets []string) (*Snapshot, error) {
 		GOARCH:    runtime.GOARCH,
 		Config: SnapshotConfig{
 			Scale: cfg.Scale, Queries: cfg.Queries, K: cfg.K, Seed: cfg.Seed,
-			Shards: cfg.Shards,
+			Shards: cfg.Shards, ParallelClients: snapshotParallelClients,
 		},
 	}
 	for _, name := range datasets {
@@ -143,7 +157,7 @@ func snapshotDataset(spec DataSpec, cfg Config) (DatasetResult, error) {
 	// timed — metric bookkeeping must not inflate the baseline.
 	var got [][]uint64
 	var ratioSum float64
-	var reads uint64
+	var reads, hits, misses uint64
 	var elapsed time.Duration
 	for qi, q := range w.Queries {
 		t := time.Now()
@@ -161,6 +175,8 @@ func snapshotDataset(spec DataSpec, cfg Config) (DatasetResult, error) {
 		got = append(got, ids)
 		ratioSum += metrics.Ratio(dists, w.TruthDs[qi])
 		reads += st.PageReads
+		hits += st.PageHits
+		misses += st.PageMisses
 	}
 	nq := len(w.Queries)
 	out.MeanQueryUS = float64(elapsed.Microseconds()) / float64(nq)
@@ -168,6 +184,9 @@ func snapshotDataset(spec DataSpec, cfg Config) (DatasetResult, error) {
 	out.Recall = metrics.MeanRecall(got, w.TruthIDs, w.K)
 	out.MeanRatio = ratioSum / float64(nq)
 	out.PageReadsPerQuery = float64(reads) / float64(nq)
+	if total := hits + misses; total > 0 {
+		out.HitRatio = float64(hits) / float64(total)
+	}
 
 	// Batch throughput through the bounded worker pool.
 	t0 = time.Now()
@@ -176,6 +195,37 @@ func snapshotDataset(spec DataSpec, cfg Config) (DatasetResult, error) {
 	}
 	if d := time.Since(t0).Seconds(); d > 0 {
 		out.BatchQPS = float64(nq) / d
+	}
+
+	// Concurrent-clients throughput: independent goroutines issuing
+	// single queries, the access pattern the lock-striped buffer pool
+	// serves. Each client replays the query set once, phase-shifted so
+	// clients do not march over the same pages in lockstep.
+	errs := make([]error, snapshotParallelClients)
+	var wg sync.WaitGroup
+	t0 = time.Now()
+	for c := 0; c < snapshotParallelClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for qi := range w.Queries {
+				q := w.Queries[(qi+c)%nq]
+				if _, _, err := ix.SearchWithStats(q, w.K); err != nil {
+					errs[c] = err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	parallelD := time.Since(t0).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	if parallelD > 0 {
+		out.ParallelQPS = float64(snapshotParallelClients*nq) / parallelD
 	}
 	return out, nil
 }

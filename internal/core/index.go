@@ -495,21 +495,11 @@ func (ix *Index) IOStats() pager.Stats {
 	var s pager.Stats
 	for _, pgr := range ix.treePagers {
 		if pgr != nil {
-			st := pgr.Stats()
-			s.Reads += st.Reads
-			s.Writes += st.Writes
-			s.Hits += st.Hits
-			s.Misses += st.Misses
-			s.Allocs += st.Allocs
+			s.Add(pgr.Stats())
 		}
 	}
 	if ix.vecPager != nil {
-		st := ix.vecPager.Stats()
-		s.Reads += st.Reads
-		s.Writes += st.Writes
-		s.Hits += st.Hits
-		s.Misses += st.Misses
-		s.Allocs += st.Allocs
+		s.Add(ix.vecPager.Stats())
 	}
 	return s
 }

@@ -17,14 +17,37 @@ import (
 
 // searchScratch is the per-query state of SearchWithStatsContext.
 type searchScratch struct {
-	qdist      []float64
-	vec        []float32
-	perTree    [][]uint64
-	fetched    []int
-	errs       []error
+	qdist   []float64
+	vec     []float32
+	perTree [][]uint64
+	// treeIDs holds one reusable id buffer per tree: searchTree appends
+	// its surviving ids into treeIDs[t][:0] and the (possibly regrown)
+	// slice lands in perTree[t]; putSearchScratch reclaims the grown
+	// capacity back into treeIDs for the next query.
+	treeIDs [][]uint64
+	fetched []int
+	errs    []error
+	// stamp is the candidate-dedup structure: a dense epoch-stamped
+	// array indexed by object id. stamp[id] == epoch means "seen this
+	// query"; bumping epoch invalidates every entry at once, so unlike
+	// a hash map there are no hash operations on the hot path and
+	// nothing to clear between queries. It is bounded by
+	// stampMaxObjects; stores beyond that (and ids a corrupted tree
+	// hands out past the store's count) dedup through the seen map
+	// instead, so memory stays O(min(n, cap)) rather than O(dataset).
+	stamp      []uint32
+	epoch      uint32
 	seen       map[uint64]struct{}
 	candidates []uint64
+	best       *topk.List
+	items      []topk.Item
 }
+
+// stampMaxObjects caps the dense dedup array at 8 MiB per pooled
+// scratch. Every pooled scratch (≈ one per concurrent searcher) holds
+// one, so the cap keeps dedup memory from scaling with the dataset;
+// larger stores fall back to the map, which costs O(candidates).
+const stampMaxObjects = 1 << 21
 
 var searchPool = sync.Pool{New: func() any { return new(searchScratch) }}
 
@@ -47,6 +70,9 @@ func (ix *Index) getSearchScratch() *searchScratch {
 	if cap(s.perTree) < p.Tau {
 		s.perTree = make([][]uint64, p.Tau)
 	}
+	if cap(s.treeIDs) < p.Tau {
+		s.treeIDs = make([][]uint64, p.Tau)
+	}
 	if cap(s.fetched) < p.Tau {
 		s.fetched = make([]int, p.Tau)
 	}
@@ -54,21 +80,91 @@ func (ix *Index) getSearchScratch() *searchScratch {
 		s.errs = make([]error, p.Tau)
 	}
 	s.perTree = s.perTree[:p.Tau]
+	s.treeIDs = s.treeIDs[:p.Tau]
 	s.fetched = s.fetched[:p.Tau]
 	s.errs = s.errs[:p.Tau]
 	for t := 0; t < p.Tau; t++ {
 		s.perTree[t], s.fetched[t], s.errs[t] = nil, 0, nil
 	}
-	if s.seen == nil {
-		s.seen = make(map[uint64]struct{}, p.Gamma*p.Tau)
-	} else {
-		clear(s.seen)
-	}
+	s.resetDedup(ix.vectors.Count())
 	s.candidates = s.candidates[:0]
 	return s
 }
 
-func putSearchScratch(s *searchScratch) { searchPool.Put(s) }
+// resetDedup prepares candidate dedup for a store of n objects: a dense
+// stamp array up to stampMaxObjects, the map beyond. Growing the array
+// allocates zeroed memory, so the epoch restarts at 1; on the (rare)
+// uint32 wraparound the array is cleared once rather than colliding
+// with stamps from 2^32 queries ago.
+func (s *searchScratch) resetDedup(n uint64) {
+	if len(s.seen) > 0 {
+		clear(s.seen)
+	}
+	if n > stampMaxObjects {
+		s.stamp = s.stamp[:0] // every id takes the map path
+		return
+	}
+	if uint64(cap(s.stamp)) < n {
+		s.stamp = make([]uint32, n)
+		s.epoch = 0
+	}
+	s.stamp = s.stamp[:n]
+	s.epoch++
+	if s.epoch == 0 {
+		// The whole capacity, not just [:n]: a smaller index may be
+		// resliced back up within capacity by a later query, and stale
+		// stamps beyond n would then collide with small post-wrap
+		// epochs.
+		clear(s.stamp[:cap(s.stamp)])
+		s.epoch = 1
+	}
+}
+
+// markSeen records id for the current query, reporting whether it was
+// already seen. Ids beyond the stamp's range — a store larger than
+// stampMaxObjects, or a corrupted tree handing out ids the store never
+// assigned — dedup through the map instead, never by growing the
+// array (a garbage id near 2^63 must not become a huge allocation);
+// out-of-range ids still reach refinement, which surfaces ErrBadID.
+func (s *searchScratch) markSeen(id uint64) bool {
+	if id < uint64(len(s.stamp)) {
+		if s.stamp[id] == s.epoch {
+			return true
+		}
+		s.stamp[id] = s.epoch
+		return false
+	}
+	if s.seen == nil {
+		s.seen = make(map[uint64]struct{}, 64)
+	}
+	if _, ok := s.seen[id]; ok {
+		return true
+	}
+	s.seen[id] = struct{}{}
+	return false
+}
+
+// bestFor returns the pooled top-k list, reallocating only when k
+// changes between queries.
+func (s *searchScratch) bestFor(k int) *topk.List {
+	if s.best == nil || s.best.K() != k {
+		s.best = topk.New(k)
+	} else {
+		s.best.Reset()
+	}
+	return s.best
+}
+
+func putSearchScratch(s *searchScratch) {
+	// Reclaim the per-tree id buffers grown inside searchTree so their
+	// capacity carries over to the next query.
+	for t, ids := range s.perTree {
+		if ids != nil {
+			s.treeIDs[t] = ids[:0]
+		}
+	}
+	searchPool.Put(s)
+}
 
 // treeScratch is the per-tree state of searchTree: the Hilbert key, the
 // α fetched entries (backed by one flat refDists arena), and the filter

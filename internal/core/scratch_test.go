@@ -1,0 +1,67 @@
+package core
+
+import "testing"
+
+// A corrupted tree can hand out ids far past the store's count; dedup
+// must route them through the map instead of growing the dense stamp
+// array toward the garbage id (a near-2^63 id must not become a huge
+// allocation). They still dedup correctly and reach refinement, which
+// surfaces ErrBadID.
+func TestMarkSeenCorruptIDDoesNotGrowStamp(t *testing.T) {
+	s := new(searchScratch)
+	s.resetDedup(10)
+	if s.markSeen(5) {
+		t.Fatal("first sighting reported as seen")
+	}
+	if !s.markSeen(5) {
+		t.Fatal("second sighting not deduped")
+	}
+	huge := uint64(1) << 62
+	if s.markSeen(huge) {
+		t.Fatal("first corrupt id reported as seen")
+	}
+	if !s.markSeen(huge) {
+		t.Fatal("corrupt id not deduped")
+	}
+	if len(s.stamp) != 10 {
+		t.Fatalf("stamp grew to %d entries chasing a corrupt id", len(s.stamp))
+	}
+}
+
+// Stores beyond stampMaxObjects dedup through the map so per-scratch
+// memory stays O(candidates), not O(dataset).
+func TestResetDedupLargeStoreUsesMap(t *testing.T) {
+	s := new(searchScratch)
+	s.resetDedup(stampMaxObjects + 1)
+	if len(s.stamp) != 0 {
+		t.Fatalf("dense stamp sized %d for an over-cap store", len(s.stamp))
+	}
+	if s.markSeen(123) || !s.markSeen(123) {
+		t.Fatal("map-mode dedup broken")
+	}
+	// Dropping back to a small store must not leak previous marks.
+	s.resetDedup(1000)
+	if s.markSeen(123) {
+		t.Fatal("stale mark survived resetDedup")
+	}
+	if !s.markSeen(123) {
+		t.Fatal("dense-mode dedup broken after mode switch")
+	}
+}
+
+// Epoch wraparound must clear the array instead of colliding with
+// stamps from 2^32 queries ago.
+func TestResetDedupEpochWraparound(t *testing.T) {
+	s := new(searchScratch)
+	s.resetDedup(8)
+	s.markSeen(3)
+	s.epoch = ^uint32(0) // force the wrap on the next reset
+	s.stamp[3] = s.epoch
+	s.resetDedup(8)
+	if s.epoch != 1 {
+		t.Fatalf("epoch after wrap = %d, want 1", s.epoch)
+	}
+	if s.markSeen(3) {
+		t.Fatal("stale stamp treated as seen after wraparound")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"slices"
 	"sync"
 
 	"github.com/hd-index/hdindex/internal/topk"
@@ -24,8 +25,17 @@ type QueryStats struct {
 	// this query: exact when queries run one at a time (the paper's
 	// measurement protocol), best-effort under concurrent searches,
 	// whose reads land in whichever windows overlap them.
-	PageReads      uint64
-	ExactDistances int // full ν-dimensional distance computations
+	PageReads uint64
+	// PageHits/PageMisses split the buffer-pool traffic over the same
+	// window (same best-effort caveat), exposing the cache behaviour of
+	// the page-ordered candidate fetch.
+	PageHits   uint64
+	PageMisses uint64
+	// ExactDistances counts candidate distance evaluations. Early
+	// abandonment may cut an evaluation short once its partial sum
+	// clears the current top-k bound, but the candidate still counts:
+	// the figure tracks the paper's κ, not FLOPs.
+	ExactDistances int
 }
 
 // refineCheckEvery is how many exact refinements happen between context
@@ -85,7 +95,7 @@ func (ix *Index) SearchWithStatsContext(ctx context.Context, q []float32, k int)
 
 	// Per-tree candidate retrieval and filtering (lines 1-10).
 	run := func(t int) {
-		sc.perTree[t], sc.fetched[t], sc.errs[t] = ix.searchTree(ctx, t, q, qdist)
+		sc.perTree[t], sc.fetched[t], sc.errs[t] = ix.searchTree(ctx, t, q, qdist, sc.treeIDs[t][:0])
 	}
 	if p.Parallel && p.Tau > 1 {
 		var wg sync.WaitGroup
@@ -111,23 +121,31 @@ func (ix *Index) SearchWithStatsContext(ctx context.Context, q []float32, k int)
 		}
 	}
 
-	// Union of candidates (line 11): γ <= κ <= τ·γ.
-	seen := sc.seen
+	// Union of candidates (line 11): γ <= κ <= τ·γ, deduplicated by
+	// stamping the dense epoch array — no map operations, no clearing.
 	candidates := sc.candidates
 	for _, ids := range sc.perTree {
 		for _, id := range ids {
-			if _, ok := seen[id]; !ok {
-				seen[id] = struct{}{}
+			if !sc.markSeen(id) {
 				candidates = append(candidates, id)
 			}
 		}
 	}
 	sc.candidates = candidates // keep the grown buffer for reuse
 
+	// Page-ordered fetch: vector records are packed in id order, so
+	// sorting the candidate ids sorts their owning pages, turning the
+	// refinement step's random accesses into mostly-sequential buffer
+	// pool hits. The top-k list orders by (Dist, ID), so the retained
+	// set is unchanged by the reordering.
+	slices.Sort(candidates)
+
 	// Exact refinement (lines 12-15): fetch each candidate's vector and
-	// compute the true distance. Deleted objects (§3.6) are skipped here
-	// — they stay in the trees but are never returned.
-	best := topk.New(k)
+	// compute the true distance — zero-copy out of the buffer pool when
+	// the record sits in one page, early-abandoning the accumulation
+	// once it exceeds the current k-th best. Deleted objects (§3.6) are
+	// skipped here — they stay in the trees but are never returned.
+	best := sc.bestFor(k)
 	vec := sc.vec
 	refined := 0
 	for ci, id := range candidates {
@@ -139,15 +157,30 @@ func (ix *Index) SearchWithStatsContext(ctx context.Context, q []float32, k int)
 		if ix.deleted.has(id) {
 			continue
 		}
-		v, err := ix.vectors.Get(id, vec)
-		if err != nil {
-			return nil, nil, err
+		bound := math.Inf(1)
+		if b, ok := best.Bound(); ok {
+			bound = b
 		}
-		best.Push(id, vecmath.DistSq(q, v))
+		var d float64
+		var full bool
+		if view, ok := ix.vectors.GetView(id); ok {
+			d, full = vecmath.DistSqBound(q, view.Vec, bound)
+			view.Release()
+		} else {
+			v, err := ix.vectors.Get(id, vec)
+			if err != nil {
+				return nil, nil, err
+			}
+			d, full = vecmath.DistSqBound(q, v, bound)
+		}
+		if full {
+			best.Push(id, d)
+		}
 		refined++
 	}
 
-	items := best.Items()
+	items := best.ItemsInto(sc.items)
+	sc.items = items
 	out := make([]Result, len(items))
 	for i, it := range items {
 		out[i] = Result{ID: it.ID, Dist: math.Sqrt(it.Dist)}
@@ -157,6 +190,8 @@ func (ix *Index) SearchWithStatsContext(ctx context.Context, q []float32, k int)
 		Candidates:     len(candidates),
 		ExactDistances: refined, // deleted-skipped candidates do no work
 		PageReads:      ioAfter.Reads - ioBefore.Reads,
+		PageHits:       ioAfter.Hits - ioBefore.Hits,
+		PageMisses:     ioAfter.Misses - ioBefore.Misses,
 	}
 	for _, f := range sc.fetched {
 		stats.TreeEntries += f
@@ -166,8 +201,9 @@ func (ix *Index) SearchWithStatsContext(ctx context.Context, q []float32, k int)
 
 // searchTree performs Algorithm 2 lines 2-10 for one partition: Hilbert
 // key, α nearest leaf entries, triangular filter, optional Ptolemaic
-// filter, returning the surviving γ object ids.
-func (ix *Index) searchTree(ctx context.Context, t int, q []float32, qdist []float64) ([]uint64, int, error) {
+// filter, appending the surviving γ object ids into ids (a per-tree
+// scratch buffer owned by the caller for the query's duration).
+func (ix *Index) searchTree(ctx context.Context, t int, q []float32, qdist []float64, ids []uint64) ([]uint64, int, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, 0, err
 	}
@@ -203,9 +239,8 @@ func (ix *Index) searchTree(ctx context.Context, t int, q []float32, qdist []flo
 	tri = topk.SelectK(tri, narrowTo)
 
 	if !p.UsePtolemaic {
-		ids := make([]uint64, len(tri))
-		for i, it := range tri {
-			ids[i] = entries[it.ID].ID
+		for _, it := range tri {
+			ids = append(ids, entries[it.ID].ID)
 		}
 		return ids, fetched, nil
 	}
@@ -220,9 +255,8 @@ func (ix *Index) searchTree(ctx context.Context, t int, q []float32, qdist []flo
 	}
 	ts.pto = pto
 	pto = topk.SelectK(pto, p.Gamma)
-	ids := make([]uint64, len(pto))
-	for i, it := range pto {
-		ids[i] = entries[it.ID].ID
+	for _, it := range pto {
+		ids = append(ids, entries[it.ID].ID)
 	}
 	return ids, fetched, nil
 }

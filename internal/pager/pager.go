@@ -7,6 +7,13 @@
 // the number of random disk accesses, and §5.2.5 argues the Ptolemaic
 // filter is free in I/O terms. The counters here are what let the
 // benchmarks report those numbers on any hardware.
+//
+// The buffer pool is sharded into lock-striped LRU segments keyed by
+// page id, so concurrent searches touching different pages never
+// contend on one global mutex; aggregate Stats stay exact by summing
+// the per-shard counters. Callers on the read hot path can borrow a
+// pinned frame zero-copy via View instead of going through Get's
+// heap-allocated Page handle.
 package pager
 
 import (
@@ -16,22 +23,24 @@ import (
 	"hash/fnv"
 	"os"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultPageSize is the disk page size used throughout the paper.
 const DefaultPageSize = 4096
 
 const (
-	magic         = "HDIXPAGE"
-	version       = 1
-	headerLen     = 36 // magic(8) + version(4) + pageSize(4) + pageCount(8) + checksum(8) + metaLen(4)
-	offVersion    = 8
-	offPageSize   = 12
-	offPageCount  = 16
-	offChecksum   = 24
-	offMetaLen    = 32
-	offMeta       = 36
-	defaultFrames = 256
+	magic             = "HDIXPAGE"
+	version           = 1
+	headerLen         = 36 // magic(8) + version(4) + pageSize(4) + pageCount(8) + checksum(8) + metaLen(4)
+	offVersion        = 8
+	offPageSize       = 12
+	offPageCount      = 16
+	offChecksum       = 24
+	offMetaLen        = 32
+	offMeta           = 36
+	defaultFrames     = 256
+	defaultPoolShards = 8
 )
 
 // Errors returned by the pager.
@@ -57,10 +66,29 @@ type Stats struct {
 	Allocs uint64 // pages allocated
 }
 
+// Add accumulates o into s; aggregators (multi-file indexes, sharded
+// layouts) sum per-file stats with it.
+func (s *Stats) Add(o Stats) {
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Allocs += o.Allocs
+}
+
+// HitRatio returns Hits/(Hits+Misses), or 0 before any pool traffic.
+func (s Stats) HitRatio() float64 {
+	if total := s.Hits + s.Misses; total > 0 {
+		return float64(s.Hits) / float64(total)
+	}
+	return 0
+}
+
 // Options configures Open.
 type Options struct {
 	PageSize   int  // bytes per page; DefaultPageSize if zero
 	PoolPages  int  // buffer pool capacity in pages; 256 if zero
+	PoolShards int  // lock-striped pool segments; 0 picks a default, rounded down to a power of two and clamped to PoolPages
 	Create     bool // create (truncate) instead of opening existing
 	ReadOnly   bool // open without write permission
 	DisableLRU bool // bypass caching entirely: every Get is a disk read (paper's "caching off" mode)
@@ -77,14 +105,30 @@ type Page struct {
 
 // MarkDirty records that Data was modified and must reach disk.
 func (p *Page) MarkDirty() {
-	p.pgr.mu.Lock()
+	sh := p.pgr.shardOf(p.frame.id)
+	sh.mu.Lock()
 	p.frame.dirty = true
-	p.pgr.mu.Unlock()
+	sh.mu.Unlock()
 }
 
 // Release unpins the page. The Page must not be used afterwards.
 func (p *Page) Release() {
 	p.pgr.release(p.frame)
+}
+
+// View is a pinned zero-copy borrow of a page's pool frame: the read
+// hot path's alternative to Get, with no per-call heap allocation (View
+// is a value, not a pointer). Data is the frame's buffer itself — valid
+// only until Release, and must not be written through.
+type View struct {
+	Data []byte
+	fr   *frame
+	pgr  *Pager
+}
+
+// Release unpins the viewed frame. The View must not be used afterwards.
+func (v View) Release() {
+	v.pgr.release(v.fr)
 }
 
 type frame struct {
@@ -96,22 +140,71 @@ type frame struct {
 	next  *frame
 }
 
-// Pager manages one page file. It is safe for concurrent use.
+// counters is one stripe's share of the I/O statistics. The fields are
+// atomics so Stats() — called twice per query for the QueryStats deltas
+// — never touches the stripe mutexes: a stats sweep must not contend
+// with a getFrame holding a stripe lock across a disk read.
+type counters struct {
+	reads, writes, hits, misses, allocs atomic.Uint64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Reads:  c.reads.Load(),
+		Writes: c.writes.Load(),
+		Hits:   c.hits.Load(),
+		Misses: c.misses.Load(),
+		Allocs: c.allocs.Load(),
+	}
+}
+
+func (c *counters) reset() {
+	c.reads.Store(0)
+	c.writes.Store(0)
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.allocs.Store(0)
+}
+
+// poolShard is one lock stripe of the buffer pool: its own frame map,
+// LRU list, capacity share, and I/O counters. A page id always maps to
+// the same shard, so per-page state never straddles stripes.
+type poolShard struct {
+	mu      sync.Mutex
+	cap     int
+	frames  map[PageID]*frame
+	lruHead *frame // most recently used unpinned
+	lruTail *frame
+	lruLen  int
+	stats   counters
+}
+
+// Pager manages one page file. It is safe for concurrent use: readers
+// of distinct pool shards proceed in parallel; only the superblock and
+// metadata share a mutex.
 type Pager struct {
-	mu        sync.Mutex
-	f         *os.File
-	pageSize  int
-	poolCap   int
-	noCache   bool
-	readOnly  bool
-	closed    bool
-	pageCount uint64 // includes superblock
-	meta      []byte
-	frames    map[PageID]*frame
-	lruHead   *frame // most recently used unpinned
-	lruTail   *frame // least recently used unpinned
-	lruLen    int
-	stats     Stats
+	f        *os.File
+	pageSize int
+	noCache  bool
+	readOnly bool
+
+	pageCount atomic.Uint64 // includes superblock
+	closed    atomic.Bool
+
+	// allocMu serialises Allocs with each other and with Flush/Close.
+	// Two invariants hang off it: pageCount is published only after the
+	// new frame is admitted (so a Get that passes the range check always
+	// finds the frame instead of reading past EOF), and the superblock
+	// never records a count covering a frame the flush didn't see.
+	// Get/View never touch it — allocation is off the read hot path.
+	allocMu sync.Mutex
+
+	state      sync.Mutex // guards meta, superblock I/O, close
+	meta       []byte
+	superStats counters // superblock traffic (page 0 never enters the shards)
+
+	shards []poolShard
+	mask   uint64 // len(shards)-1; len is a power of two
 }
 
 // Open creates or opens the page file at path.
@@ -139,39 +232,79 @@ func Open(path string, opts Options) (*Pager, error) {
 	p := &Pager{
 		f:        f,
 		pageSize: opts.PageSize,
-		poolCap:  opts.PoolPages,
 		noCache:  opts.DisableLRU,
 		readOnly: opts.ReadOnly,
-		frames:   make(map[PageID]*frame),
 	}
 	if opts.Create {
-		p.pageCount = 1
-		if err := p.writeSuperblock(); err != nil {
+		p.pageCount.Store(1)
+		if err := p.writeSuperblockLocked(1); err != nil {
 			f.Close()
 			return nil, err
 		}
-		return p, nil
+	} else {
+		if err := p.readSuperblock(); err != nil {
+			f.Close()
+			return nil, err
+		}
 	}
-	if err := p.readSuperblock(); err != nil {
-		f.Close()
-		return nil, err
-	}
+	p.initShards(opts.PoolShards, opts.PoolPages)
 	return p, nil
 }
 
-func (p *Pager) writeSuperblock() error {
+// initShards sizes the lock stripes: a power-of-two count no larger
+// than the pool itself, each owning an equal share of the capacity.
+func (p *Pager) initShards(n, poolPages int) {
+	if n <= 0 {
+		n = defaultPoolShards
+	}
+	if n > poolPages {
+		n = poolPages
+	}
+	// Round down to a power of two so shardOf is a mask, not a modulo.
+	pow := 1
+	for pow*2 <= n {
+		pow *= 2
+	}
+	n = pow
+	p.shards = make([]poolShard, n)
+	p.mask = uint64(n - 1)
+	// Distribute the capacity exactly: the first poolPages%n stripes
+	// take one extra frame, so the aggregate equals PoolPages rather
+	// than silently rounding down.
+	perShard, extra := poolPages/n, poolPages%n
+	for i := range p.shards {
+		p.shards[i].cap = perShard
+		if i < extra {
+			p.shards[i].cap++
+		}
+		p.shards[i].frames = make(map[PageID]*frame)
+	}
+}
+
+func (p *Pager) shardOf(id PageID) *poolShard {
+	return &p.shards[uint64(id)&p.mask]
+}
+
+// NumPoolShards returns the number of lock stripes in the buffer pool.
+func (p *Pager) NumPoolShards() int { return len(p.shards) }
+
+// writeSuperblockLocked writes the superblock recording count pages;
+// caller holds p.state (or has exclusive access, as during Open) and
+// must have captured count under allocMu, so it never exceeds the set
+// of pages whose frames were admitted when the pool was flushed.
+func (p *Pager) writeSuperblockLocked(count uint64) error {
 	buf := make([]byte, p.pageSize)
 	copy(buf, magic)
 	binary.BigEndian.PutUint32(buf[offVersion:], version)
 	binary.BigEndian.PutUint32(buf[offPageSize:], uint32(p.pageSize))
-	binary.BigEndian.PutUint64(buf[offPageCount:], p.pageCount)
+	binary.BigEndian.PutUint64(buf[offPageCount:], count)
 	binary.BigEndian.PutUint32(buf[offMetaLen:], uint32(len(p.meta)))
 	copy(buf[offMeta:], p.meta)
 	binary.BigEndian.PutUint64(buf[offChecksum:], superChecksum(buf))
 	if _, err := p.f.WriteAt(buf, 0); err != nil {
 		return fmt.Errorf("pager: write superblock: %w", err)
 	}
-	p.stats.Writes++
+	p.superStats.writes.Add(1)
 	return nil
 }
 
@@ -197,12 +330,12 @@ func (p *Pager) readSuperblock() error {
 	if _, err := p.f.ReadAt(buf, 0); err != nil {
 		return fmt.Errorf("pager: read superblock: %w", err)
 	}
-	p.stats.Reads++
+	p.superStats.reads.Add(1)
 	want := binary.BigEndian.Uint64(buf[offChecksum:])
 	if superChecksum(buf) != want {
 		return ErrBadChecksum
 	}
-	p.pageCount = binary.BigEndian.Uint64(buf[offPageCount:])
+	p.pageCount.Store(binary.BigEndian.Uint64(buf[offPageCount:]))
 	metaLen := int(binary.BigEndian.Uint32(buf[offMetaLen:]))
 	if metaLen > p.pageSize-offMeta {
 		return ErrBadChecksum
@@ -226,23 +359,21 @@ func (p *Pager) PageSize() int { return p.pageSize }
 
 // PageCount returns the number of pages, including the superblock.
 func (p *Pager) PageCount() uint64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.pageCount
+	return p.pageCount.Load()
 }
 
 // Meta returns a copy of the user metadata stored in the superblock.
 func (p *Pager) Meta() []byte {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.state.Lock()
+	defer p.state.Unlock()
 	return append([]byte(nil), p.meta...)
 }
 
 // SetMeta stores user metadata (tree headers etc.) in the superblock.
 // It is persisted on the next Flush or Close.
 func (p *Pager) SetMeta(meta []byte) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.state.Lock()
+	defer p.state.Unlock()
 	if len(meta) > p.pageSize-offMeta {
 		return ErrMetaTooLarge
 	}
@@ -250,100 +381,145 @@ func (p *Pager) SetMeta(meta []byte) error {
 	return nil
 }
 
-// Stats returns a snapshot of the I/O counters.
+// Stats returns a snapshot of the I/O counters: the sum of every pool
+// shard's counters plus superblock traffic. The counters are atomics,
+// so the sweep is lock-free — it never contends with a stripe holding
+// its lock across a disk read. Each counter is exact; the snapshot as
+// a whole is taken without a global pause, like the per-query deltas
+// consuming it.
 func (p *Pager) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	var s Stats
+	for i := range p.shards {
+		s.Add(p.shards[i].stats.snapshot())
+	}
+	s.Add(p.superStats.snapshot())
+	return s
 }
 
 // ResetStats zeroes the I/O counters; benchmarks call it per query batch.
 func (p *Pager) ResetStats() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats = Stats{}
+	for i := range p.shards {
+		p.shards[i].stats.reset()
+	}
+	p.superStats.reset()
 }
 
 // Alloc appends a zeroed page to the file and returns it pinned.
 func (p *Pager) Alloc() (*Page, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
-		return nil, ErrClosed
-	}
 	if p.readOnly {
 		return nil, errors.New("pager: alloc on read-only file")
 	}
-	id := PageID(p.pageCount)
-	p.pageCount++
-	p.stats.Allocs++
+	p.allocMu.Lock()
+	defer p.allocMu.Unlock()
+	// An Alloc that loses the lock race to Close fails here; one that
+	// wins it completes fully (admit + publish) before Close can
+	// capture the count and flush, so nothing counted is ever missing.
+	if p.closed.Load() {
+		return nil, ErrClosed
+	}
+	id := PageID(p.pageCount.Load())
 	fr := &frame{id: id, data: make([]byte, p.pageSize), pins: 1, dirty: true}
-	if err := p.admit(fr); err != nil {
+	sh := p.shardOf(id)
+	sh.mu.Lock()
+	sh.stats.allocs.Add(1)
+	err := p.admit(sh, fr)
+	sh.mu.Unlock()
+	if err != nil {
 		return nil, err
 	}
+	// Publish only after the frame is in its shard: a concurrent Get of
+	// this id either fails the range check (not yet published) or finds
+	// the admitted frame — it can never fall through to a disk read of
+	// a page the file doesn't have yet.
+	p.pageCount.Store(uint64(id) + 1)
 	return &Page{ID: id, Data: fr.data, frame: fr, pgr: p}, nil
 }
 
 // Get returns the page with the given id, pinned.
 func (p *Pager) Get(id PageID) (*Page, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
-		return nil, ErrClosed
-	}
-	if id == 0 || uint64(id) >= p.pageCount {
-		return nil, fmt.Errorf("%w: %d (have %d)", ErrPageRange, id, p.pageCount)
-	}
-	if fr, ok := p.frames[id]; ok {
-		p.stats.Hits++
-		if fr.pins == 0 {
-			p.lruRemove(fr)
-		}
-		fr.pins++
-		return &Page{ID: id, Data: fr.data, frame: fr, pgr: p}, nil
-	}
-	p.stats.Misses++
-	data := make([]byte, p.pageSize)
-	if _, err := p.f.ReadAt(data, int64(uint64(id))*int64(p.pageSize)); err != nil {
-		return nil, fmt.Errorf("pager: read page %d: %w", id, err)
-	}
-	p.stats.Reads++
-	fr := &frame{id: id, data: data, pins: 1}
-	if err := p.admit(fr); err != nil {
+	fr, err := p.getFrame(id)
+	if err != nil {
 		return nil, err
 	}
 	return &Page{ID: id, Data: fr.data, frame: fr, pgr: p}, nil
 }
 
-// admit inserts fr into the pool, evicting the LRU unpinned frame if the
-// pool is at capacity. Caller holds p.mu.
-func (p *Pager) admit(fr *frame) error {
-	for len(p.frames) >= p.poolCap && p.lruLen > 0 {
-		victim := p.lruTail
-		p.lruRemove(victim)
-		delete(p.frames, victim.id)
+// View returns a pinned zero-copy view of the page: Get without the
+// Page allocation. The caller must Release it and must not write
+// through Data.
+func (p *Pager) View(id PageID) (View, error) {
+	fr, err := p.getFrame(id)
+	if err != nil {
+		return View{}, err
+	}
+	return View{Data: fr.data, fr: fr, pgr: p}, nil
+}
+
+// getFrame returns the pinned frame for id, reading it from disk on a
+// pool miss. All work — including the disk read — happens under the
+// owning shard's lock, so Close (which cycles every shard lock before
+// closing the file) can never pull the file out from under a read.
+func (p *Pager) getFrame(id PageID) (*frame, error) {
+	sh := p.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if p.closed.Load() {
+		return nil, ErrClosed
+	}
+	if count := p.pageCount.Load(); id == 0 || uint64(id) >= count {
+		return nil, fmt.Errorf("%w: %d (have %d)", ErrPageRange, id, count)
+	}
+	if fr, ok := sh.frames[id]; ok {
+		sh.stats.hits.Add(1)
+		if fr.pins == 0 {
+			sh.lruRemove(fr)
+		}
+		fr.pins++
+		return fr, nil
+	}
+	sh.stats.misses.Add(1)
+	data := make([]byte, p.pageSize)
+	if _, err := p.f.ReadAt(data, int64(uint64(id))*int64(p.pageSize)); err != nil {
+		return nil, fmt.Errorf("pager: read page %d: %w", id, err)
+	}
+	sh.stats.reads.Add(1)
+	fr := &frame{id: id, data: data, pins: 1}
+	if err := p.admit(sh, fr); err != nil {
+		return nil, err
+	}
+	return fr, nil
+}
+
+// admit inserts fr into its shard, evicting the LRU unpinned frame if
+// the shard is at its capacity share. Caller holds sh.mu.
+func (p *Pager) admit(sh *poolShard, fr *frame) error {
+	for len(sh.frames) >= sh.cap && sh.lruLen > 0 {
+		victim := sh.lruTail
+		sh.lruRemove(victim)
+		delete(sh.frames, victim.id)
 		if victim.dirty {
-			if err := p.writeFrame(victim); err != nil {
+			if err := p.writeFrame(sh, victim); err != nil {
 				return err
 			}
 		}
 	}
-	p.frames[fr.id] = fr
+	sh.frames[fr.id] = fr
 	return nil
 }
 
-func (p *Pager) writeFrame(fr *frame) error {
+func (p *Pager) writeFrame(sh *poolShard, fr *frame) error {
 	if _, err := p.f.WriteAt(fr.data, int64(uint64(fr.id))*int64(p.pageSize)); err != nil {
 		return fmt.Errorf("pager: write page %d: %w", fr.id, err)
 	}
 	fr.dirty = false
-	p.stats.Writes++
+	sh.stats.writes.Add(1)
 	return nil
 }
 
 func (p *Pager) release(fr *frame) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	sh := p.shardOf(fr.id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	fr.pins--
 	if fr.pins > 0 {
 		return
@@ -351,61 +527,81 @@ func (p *Pager) release(fr *frame) {
 	if p.noCache {
 		// Caching off (§5 "for fairness, we turn off buffering and
 		// caching"): drop the frame immediately, writing it if dirty.
-		delete(p.frames, fr.id)
+		delete(sh.frames, fr.id)
 		if fr.dirty {
-			p.writeFrame(fr) // error surfaces at Flush/Close via re-write
+			p.writeFrame(sh, fr) // error surfaces at Flush/Close via re-write
 		}
 		return
 	}
-	p.lruPushFront(fr)
+	sh.lruPushFront(fr)
 }
 
-func (p *Pager) lruPushFront(fr *frame) {
+func (sh *poolShard) lruPushFront(fr *frame) {
 	fr.prev = nil
-	fr.next = p.lruHead
-	if p.lruHead != nil {
-		p.lruHead.prev = fr
+	fr.next = sh.lruHead
+	if sh.lruHead != nil {
+		sh.lruHead.prev = fr
 	}
-	p.lruHead = fr
-	if p.lruTail == nil {
-		p.lruTail = fr
+	sh.lruHead = fr
+	if sh.lruTail == nil {
+		sh.lruTail = fr
 	}
-	p.lruLen++
+	sh.lruLen++
 }
 
-func (p *Pager) lruRemove(fr *frame) {
+func (sh *poolShard) lruRemove(fr *frame) {
 	if fr.prev != nil {
 		fr.prev.next = fr.next
 	} else {
-		p.lruHead = fr.next
+		sh.lruHead = fr.next
 	}
 	if fr.next != nil {
 		fr.next.prev = fr.prev
 	} else {
-		p.lruTail = fr.prev
+		sh.lruTail = fr.prev
 	}
 	fr.prev, fr.next = nil, nil
-	p.lruLen--
+	sh.lruLen--
 }
 
-// Flush writes all dirty pages and the superblock to disk.
+// flushShards writes every shard's dirty frames, taking each shard lock
+// in turn.
+func (p *Pager) flushShards() error {
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for _, fr := range sh.frames {
+			if fr.dirty {
+				if err := p.writeFrame(sh, fr); err != nil {
+					sh.mu.Unlock()
+					return err
+				}
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// Flush writes all dirty pages and the superblock to disk. It excludes
+// concurrent Alloc (via allocMu) so the persisted page count is a
+// consistent snapshot: every page it covers had its frame flushed.
 func (p *Pager) Flush() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
+	if p.closed.Load() {
 		return ErrClosed
 	}
 	if p.readOnly {
 		return nil
 	}
-	for _, fr := range p.frames {
-		if fr.dirty {
-			if err := p.writeFrame(fr); err != nil {
-				return err
-			}
-		}
+	p.allocMu.Lock()
+	defer p.allocMu.Unlock()
+	count := p.pageCount.Load()
+	if err := p.flushShards(); err != nil {
+		return err
 	}
-	return p.writeSuperblock()
+	p.state.Lock()
+	defer p.state.Unlock()
+	return p.writeSuperblockLocked(count)
 }
 
 // Sync flushes and fsyncs the file.
@@ -417,27 +613,41 @@ func (p *Pager) Sync() error {
 }
 
 // Close flushes and closes the file. The pager is unusable afterwards.
+// The closed flag is set before the shard locks are cycled, so any read
+// that began under a shard lock finishes against the still-open file
+// and later callers observe ErrClosed.
 func (p *Pager) Close() error {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
+	p.state.Lock()
+	if p.closed.Load() {
+		p.state.Unlock()
 		return nil
 	}
+	p.closed.Store(true)
+	p.state.Unlock()
 	var err error
 	if !p.readOnly {
-		for _, fr := range p.frames {
-			if fr.dirty {
-				if e := p.writeFrame(fr); e != nil && err == nil {
-					err = e
-				}
-			}
-		}
-		if e := p.writeSuperblock(); e != nil && err == nil {
+		// The alloc lock drains in-flight Allocs (their frames are then
+		// admitted and flushable) and holds off later ones, which fail
+		// on the closed flag.
+		p.allocMu.Lock()
+		defer p.allocMu.Unlock()
+		count := p.pageCount.Load()
+		if e := p.flushShards(); e != nil {
 			err = e
 		}
+		p.state.Lock()
+		if e := p.writeSuperblockLocked(count); e != nil && err == nil {
+			err = e
+		}
+		p.state.Unlock()
+	} else {
+		// Cycle the shard locks so in-flight reads drain before the
+		// file handle goes away.
+		for i := range p.shards {
+			p.shards[i].mu.Lock()
+			p.shards[i].mu.Unlock() //nolint:staticcheck // empty critical section is the drain
+		}
 	}
-	p.closed = true
-	p.mu.Unlock()
 	if e := p.f.Close(); e != nil && err == nil {
 		err = e
 	}
@@ -446,7 +656,5 @@ func (p *Pager) Close() error {
 
 // FileSize returns the current size of the backing file in bytes.
 func (p *Pager) FileSize() int64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return int64(p.pageCount) * int64(p.pageSize)
+	return int64(p.pageCount.Load()) * int64(p.pageSize)
 }

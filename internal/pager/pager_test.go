@@ -334,3 +334,142 @@ func BenchmarkGetCached(b *testing.B) {
 		g.Release()
 	}
 }
+
+// View must return the frame's own buffer (zero-copy), pin it, and
+// release cleanly.
+func TestViewZeroCopy(t *testing.T) {
+	p, path := newTemp(t, Options{PoolPages: 8})
+	pg, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(pg.Data, "view me")
+	pg.MarkDirty()
+	id := pg.ID
+	pg.Release()
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := Open(path, Options{PoolPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	v, err := p2.View(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v.Data[:7]) != "view me" {
+		t.Fatalf("view content = %q", v.Data[:7])
+	}
+	// The view and a Get of the same page must share storage: that is
+	// the zero-copy contract.
+	g, err := p2.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &v.Data[0] != &g.Data[0] {
+		t.Fatal("View and Get returned different buffers for one page")
+	}
+	g.Release()
+	v.Release()
+}
+
+// A pinned view must survive pool pressure, like a pinned Page.
+func TestViewPinSurvivesPressure(t *testing.T) {
+	p, _ := newTemp(t, Options{PoolPages: 2, PoolShards: 1})
+	pg, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(pg.Data, "pinned-view")
+	pg.MarkDirty()
+	id := pg.ID
+	pg.Release()
+	v, err := p.View(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		x, err := p.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		x.MarkDirty()
+		x.Release()
+	}
+	if string(v.Data[:11]) != "pinned-view" {
+		t.Fatal("viewed frame content lost under pool pressure")
+	}
+	v.Release()
+}
+
+// The aggregate Stats must be the exact sum of per-shard counters: a
+// known access sequence produces known totals regardless of sharding.
+func TestShardedStatsExact(t *testing.T) {
+	p, path := newTemp(t, Options{PoolPages: 64, PoolShards: 8})
+	const pages = 20
+	ids := make([]PageID, pages)
+	for i := range ids {
+		pg, err := p.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg.MarkDirty()
+		ids[i] = pg.ID
+		pg.Release()
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Open(path, Options{PoolPages: 64, PoolShards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if got := p2.NumPoolShards(); got != 8 {
+		t.Fatalf("NumPoolShards = %d, want 8", got)
+	}
+	p2.ResetStats()
+	for _, id := range ids { // cold: all misses
+		v, err := p2.View(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v.Release()
+	}
+	for _, id := range ids { // warm: all hits
+		v, err := p2.View(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v.Release()
+	}
+	st := p2.Stats()
+	if st.Misses != pages || st.Reads != pages || st.Hits != pages {
+		t.Fatalf("stats = %+v, want %d misses/reads and %d hits", st, pages, pages)
+	}
+	if got := st.HitRatio(); got != 0.5 {
+		t.Fatalf("HitRatio = %v, want 0.5", got)
+	}
+}
+
+// PoolShards is clamped to the pool size and rounded down to a power of
+// two so the shard selector can be a mask.
+func TestPoolShardsClamp(t *testing.T) {
+	cases := []struct{ pages, shards, want int }{
+		{2, 64, 2},  // clamped to pool size
+		{256, 5, 4}, // rounded down to a power of two
+		{256, 0, 8}, // default
+		{1, 0, 1},   // degenerate pool
+	}
+	for _, c := range cases {
+		p, _ := newTemp(t, Options{PoolPages: c.pages, PoolShards: c.shards})
+		if got := p.NumPoolShards(); got != c.want {
+			t.Errorf("PoolPages=%d PoolShards=%d: NumPoolShards = %d, want %d",
+				c.pages, c.shards, got, c.want)
+		}
+		p.Close()
+	}
+}

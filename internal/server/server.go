@@ -216,6 +216,8 @@ type QueryStatsJSON struct {
 	Candidates     int    `json:"candidates"`
 	TreeEntries    int    `json:"tree_entries"`
 	PageReads      uint64 `json:"page_reads"`
+	PageHits       uint64 `json:"page_hits"`
+	PageMisses     uint64 `json:"page_misses"`
 	ExactDistances int    `json:"exact_distances"`
 }
 
@@ -267,6 +269,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) (any, erro
 			Candidates:     st.Candidates,
 			TreeEntries:    st.TreeEntries,
 			PageReads:      st.PageReads,
+			PageHits:       st.PageHits,
+			PageMisses:     st.PageMisses,
 			ExactDistances: st.ExactDistances,
 		}}, nil
 	}
@@ -386,6 +390,18 @@ type ShardStatsJSON struct {
 	SizeOnDisk int64  `json:"size_on_disk"`
 }
 
+// IOStatsJSON is the /stats buffer-pool and I/O block: the cumulative
+// pager counters across every index file since the server opened the
+// index. hit_ratio = hits/(hits+misses) makes the cache behaviour of
+// the page-ordered candidate fetch observable in production.
+type IOStatsJSON struct {
+	Reads    uint64  `json:"reads"`
+	Writes   uint64  `json:"writes"`
+	Hits     uint64  `json:"hits"`
+	Misses   uint64  `json:"misses"`
+	HitRatio float64 `json:"hit_ratio"`
+}
+
 // StatsResponse is the /stats payload.
 type StatsResponse struct {
 	Index struct {
@@ -398,6 +414,7 @@ type StatsResponse struct {
 		// layout, with the per-shard breakdown alongside.
 		Shards   int              `json:"shards"`
 		PerShard []ShardStatsJSON `json:"per_shard"`
+		IO       IOStatsJSON      `json:"io"`
 	} `json:"index"`
 	UptimeSeconds float64                  `json:"uptime_seconds"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
@@ -417,6 +434,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) (any, error
 		resp.Index.PerShard[i] = ShardStatsJSON{
 			ID: sh.ID, Count: sh.Count, Deleted: sh.Deleted, SizeOnDisk: sh.SizeOnDisk,
 		}
+	}
+	io := s.idx.IOStats()
+	resp.Index.IO = IOStatsJSON{
+		Reads: io.Reads, Writes: io.Writes, Hits: io.Hits, Misses: io.Misses,
+		HitRatio: io.HitRatio(),
 	}
 	resp.UptimeSeconds = up.Seconds()
 	resp.Endpoints = map[string]EndpointStats{

@@ -401,3 +401,41 @@ func TestDeleteUnknownIDMessage(t *testing.T) {
 		t.Fatal("no error message")
 	}
 }
+
+// The /stats io block and the per-query page_hits/page_misses counters
+// make the buffer pool's behaviour observable over the wire.
+func TestStatsExposeBufferPoolHitRatio(t *testing.T) {
+	ts, _, ds := newTestServer(t, Config{})
+	queries := ds.PerturbedQueries(5, 0.02, 8)
+	var sr searchResponse
+	for _, q := range queries {
+		if code := post(t, ts.URL+"/search", searchRequest{Query: q, K: 5, Stats: true}, &sr); code != 200 {
+			t.Fatalf("search status %d", code)
+		}
+	}
+	// Refinement touches the vector store, so pool traffic must be
+	// visible per query (hits + misses covers every page touch).
+	if sr.Stats == nil || sr.Stats.PageHits+sr.Stats.PageMisses == 0 {
+		t.Fatalf("per-query pool counters empty: %+v", sr.Stats)
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	io := st.Index.IO
+	if io.Hits+io.Misses == 0 {
+		t.Fatalf("io block empty: %+v", io)
+	}
+	if io.HitRatio < 0 || io.HitRatio > 1 {
+		t.Fatalf("hit_ratio out of range: %v", io.HitRatio)
+	}
+	if want := float64(io.Hits) / float64(io.Hits+io.Misses); io.HitRatio != want {
+		t.Fatalf("hit_ratio = %v, want %v", io.HitRatio, want)
+	}
+}

@@ -70,6 +70,8 @@ func (s *Sharded) SearchWithStatsContext(ctx context.Context, q []float32, k int
 		agg.Candidates += perStats[i].Candidates
 		agg.TreeEntries += perStats[i].TreeEntries
 		agg.PageReads += perStats[i].PageReads
+		agg.PageHits += perStats[i].PageHits
+		agg.PageMisses += perStats[i].PageMisses
 		agg.ExactDistances += perStats[i].ExactDistances
 	}
 	items := best.Items()

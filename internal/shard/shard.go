@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"github.com/hd-index/hdindex/internal/core"
+	"github.com/hd-index/hdindex/internal/pager"
 )
 
 // Sharded is an HD-Index partitioned across N independent core
@@ -148,6 +149,23 @@ func (s *Sharded) SizeOnDisk() int64 {
 		total += ix.SizeOnDisk()
 	}
 	return total
+}
+
+// IOStats sums the pager counters across every shard's files, so the
+// serving layer reports one buffer-pool hit ratio for the whole layout.
+func (s *Sharded) IOStats() pager.Stats {
+	var agg pager.Stats
+	for _, ix := range s.shards {
+		agg.Add(ix.IOStats())
+	}
+	return agg
+}
+
+// ResetIOStats zeroes every shard's pager counters.
+func (s *Sharded) ResetIOStats() {
+	for _, ix := range s.shards {
+		ix.ResetIOStats()
+	}
 }
 
 // ShardInfos returns the per-shard breakdown, in shard order.

@@ -78,6 +78,9 @@ func TestBuildSearchQuality(t *testing.T) {
 		if st.Candidates == 0 || st.TreeEntries == 0 {
 			t.Fatalf("aggregated stats not populated: %+v", st)
 		}
+		if st.PageHits+st.PageMisses == 0 {
+			t.Fatalf("buffer-pool counters not aggregated across shards: %+v", st)
+		}
 		ids := make([]uint64, len(res))
 		for i, r := range res {
 			ids[i] = r.ID

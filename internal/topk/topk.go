@@ -12,11 +12,24 @@ type Item struct {
 	Dist float64
 }
 
-// List is a bounded max-heap keeping the k smallest-distance items seen.
+// List is a bounded max-heap keeping the k smallest items seen, ordered
+// by (Dist, ID) lexicographically. Using the full pair as the key makes
+// the retained set independent of push order even under distance ties —
+// the property that lets callers reorder their candidate streams (e.g.
+// core's page-ordered refinement) without changing the answer.
 // The zero value is unusable; construct with New.
 type List struct {
 	k     int
-	items []Item // max-heap on Dist
+	items []Item // max-heap on (Dist, ID)
+}
+
+// itemLess reports whether x orders strictly before y: nearer first,
+// ties broken by smaller id.
+func itemLess(x, y Item) bool {
+	if x.Dist != y.Dist {
+		return x.Dist < y.Dist
+	}
+	return x.ID < y.ID
 }
 
 // New returns a List that retains the k nearest items pushed into it.
@@ -45,7 +58,10 @@ func (l *List) Bound() (float64, bool) {
 	return l.items[0].Dist, true
 }
 
-// Accepts reports whether an item at distance d would enter the list.
+// Accepts reports whether an item at distance d is guaranteed to enter
+// the list: any strictly smaller distance always does. At exactly the
+// bound distance admission depends on the id tie-break, so Accepts is
+// conservatively false there.
 func (l *List) Accepts(d float64) bool {
 	if len(l.items) < l.k {
 		return true
@@ -53,34 +69,36 @@ func (l *List) Accepts(d float64) bool {
 	return d < l.items[0].Dist
 }
 
-// Push offers an item; it is kept only if it is among the k nearest so far.
-// Returns true if the item was retained.
+// Push offers an item; it is kept only if it is among the k smallest by
+// (Dist, ID). Returns true if the item was retained.
 func (l *List) Push(id uint64, d float64) bool {
+	it := Item{id, d}
 	if len(l.items) < l.k {
-		l.items = append(l.items, Item{id, d})
+		l.items = append(l.items, it)
 		l.up(len(l.items) - 1)
 		return true
 	}
-	if d >= l.items[0].Dist {
+	if !itemLess(it, l.items[0]) {
 		return false
 	}
-	l.items[0] = Item{id, d}
+	l.items[0] = it
 	l.down(0)
 	return true
 }
 
-// Items returns the retained items sorted by ascending distance
-// (ties broken by ascending id, for determinism). The list is unchanged.
+// Items returns the retained items sorted by ascending (Dist, ID).
+// The list is unchanged.
 func (l *List) Items() []Item {
-	out := make([]Item, len(l.items))
-	copy(out, l.items)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Dist != out[j].Dist {
-			return out[i].Dist < out[j].Dist
-		}
-		return out[i].ID < out[j].ID
-	})
-	return out
+	return l.ItemsInto(nil)
+}
+
+// ItemsInto is Items reusing dst's capacity: the hot-path variant for
+// callers that drain the same pooled list every query. The list is
+// unchanged.
+func (l *List) ItemsInto(dst []Item) []Item {
+	dst = append(dst[:0], l.items...)
+	sort.Slice(dst, func(i, j int) bool { return itemLess(dst[i], dst[j]) })
+	return dst
 }
 
 // IDs returns just the ids, nearest first.
@@ -99,7 +117,7 @@ func (l *List) Reset() { l.items = l.items[:0] }
 func (l *List) up(i int) {
 	for i > 0 {
 		p := (i - 1) / 2
-		if l.items[p].Dist >= l.items[i].Dist {
+		if !itemLess(l.items[p], l.items[i]) {
 			break
 		}
 		l.items[p], l.items[i] = l.items[i], l.items[p]
@@ -114,10 +132,10 @@ func (l *List) down(i int) {
 		if c >= n {
 			return
 		}
-		if r := c + 1; r < n && l.items[r].Dist > l.items[c].Dist {
+		if r := c + 1; r < n && itemLess(l.items[c], l.items[r]) {
 			c = r
 		}
-		if l.items[i].Dist >= l.items[c].Dist {
+		if !itemLess(l.items[i], l.items[c]) {
 			return
 		}
 		l.items[i], l.items[c] = l.items[c], l.items[i]

@@ -142,3 +142,60 @@ func BenchmarkPush(b *testing.B) {
 		l.Push(uint64(i), rng.Float64())
 	}
 }
+
+// The retained set must be independent of push order, including under
+// distance ties at the k boundary — the property that lets callers
+// reorder candidate streams (page-ordered refinement) without changing
+// the answer.
+func TestRetainedSetIsPushOrderInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		k := 1 + rng.Intn(6)
+		n := k + rng.Intn(20)
+		items := make([]Item, n)
+		for i := range items {
+			// Coarse distances force frequent ties.
+			items[i] = Item{ID: uint64(i), Dist: float64(rng.Intn(4))}
+		}
+		forward := New(k)
+		for _, it := range items {
+			forward.Push(it.ID, it.Dist)
+		}
+		shuffled := New(k)
+		perm := rng.Perm(n)
+		for _, i := range perm {
+			shuffled.Push(items[i].ID, items[i].Dist)
+		}
+		a, b := forward.Items(), shuffled.Items()
+		if len(a) != len(b) {
+			t.Fatalf("trial %d: lengths differ: %d vs %d", trial, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d: order-dependent retention: %v vs %v", trial, a, b)
+			}
+		}
+	}
+}
+
+// ItemsInto must reuse dst and agree with Items.
+func TestItemsInto(t *testing.T) {
+	l := New(3)
+	for i, d := range []float64{5, 1, 4, 2} {
+		l.Push(uint64(i), d)
+	}
+	buf := make([]Item, 0, 8)
+	got := l.ItemsInto(buf)
+	want := l.Items()
+	if len(got) != len(want) {
+		t.Fatalf("ItemsInto len %d, Items len %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ItemsInto[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("ItemsInto did not reuse dst's backing array")
+	}
+}

@@ -2,6 +2,7 @@ package vecmath
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math"
 	"math/rand"
 	"testing"
@@ -148,16 +149,116 @@ func TestQuickTriangleInequality(t *testing.T) {
 	}
 }
 
-func BenchmarkDistSq128(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
-	x := make([]float32, 128)
-	y := make([]float32, 128)
-	for i := range x {
-		x[i] = rng.Float32()
-		y[i] = rng.Float32()
+// distSqScalar is the plain reference implementation the shipped kernel
+// is checked against bit-for-bit.
+func distSqScalar(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		DistSq(x, y)
+	return s
+}
+
+func randVecs(rng *rand.Rand, n int) (a, b []float32) {
+	a = make([]float32, n)
+	b = make([]float32, n)
+	for i := range a {
+		a[i] = rng.Float32()*20 - 10
+		b[i] = rng.Float32()*20 - 10
 	}
+	return a, b
+}
+
+// DistSq must match the straightforward reference bit-for-bit at every
+// length: downstream equivalence guarantees (naive vs optimized search
+// paths) assume the kernel's accumulation order is the sequential one.
+func TestDistSqMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for n := 0; n <= 67; n++ {
+		a, b := randVecs(rng, n)
+		got, want := DistSq(a, b), distSqScalar(a, b)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("n=%d: DistSq = %v, reference = %v", n, got, want)
+		}
+	}
+}
+
+func TestDotMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for n := 0; n <= 67; n++ {
+		a, b := randVecs(rng, n)
+		var want float64
+		for i := range a {
+			want += float64(a[i]) * float64(b[i])
+		}
+		got := Dot(a, b)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("n=%d: Dot = %v, reference = %v", n, got, want)
+		}
+	}
+}
+
+// checkBoundContract asserts DistSqBound's two guarantees against
+// DistSq: completed => bit-identical; abandoned => the true distance
+// strictly exceeds the bound (so the candidate was truly rejectable).
+func checkBoundContract(t *testing.T, a, b []float32, bound float64) {
+	t.Helper()
+	full := DistSq(a, b)
+	got, ok := DistSqBound(a, b, bound)
+	if ok {
+		if math.Float64bits(got) != math.Float64bits(full) {
+			t.Fatalf("completed DistSqBound = %x, DistSq = %x (n=%d bound=%v)",
+				math.Float64bits(got), math.Float64bits(full), len(a), bound)
+		}
+		return
+	}
+	if !(full > bound) {
+		t.Fatalf("abandoned at partial %v but true distance %v <= bound %v (n=%d)",
+			got, full, bound, len(a))
+	}
+	if got > full {
+		t.Fatalf("partial %v exceeds true distance %v (n=%d)", got, full, len(a))
+	}
+}
+
+func TestDistSqBoundContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for n := 0; n <= 67; n++ {
+		a, b := randVecs(rng, n)
+		full := distSqScalar(a, b)
+		for _, bound := range []float64{math.Inf(1), full * 2, full, full / 2, full / 100, 0, -1} {
+			checkBoundContract(t, a, b, bound)
+		}
+	}
+}
+
+// FuzzDistSqBound hammers the equivalence contract with arbitrary bit
+// patterns (including NaN/Inf components) and bounds.
+func FuzzDistSqBound(f *testing.F) {
+	f.Add([]byte{0, 0, 128, 63, 0, 0, 0, 64, 1, 2, 3, 4, 5, 6, 7, 8}, 1.5)
+	f.Add(bytes.Repeat([]byte{0x40}, 160), 0.0)
+	f.Add(bytes.Repeat([]byte{0xff}, 64), math.Inf(1))
+	f.Fuzz(func(t *testing.T, raw []byte, bound float64) {
+		n := len(raw) / 8 // two float32s per dimension
+		a := make([]float32, n)
+		b := make([]float32, n)
+		for i := 0; i < n; i++ {
+			a[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[8*i:]))
+			b[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[8*i+4:]))
+		}
+		full := DistSq(a, b)
+		got, ok := DistSqBound(a, b, bound)
+		if ok {
+			if math.Float64bits(got) != math.Float64bits(full) {
+				t.Fatalf("completed DistSqBound = %x, DistSq = %x", math.Float64bits(got), math.Float64bits(full))
+			}
+			return
+		}
+		// Abandonment requires partial > bound, and squared terms only
+		// grow, so the completed distance must also clear the bound.
+		if !(full > bound) {
+			t.Fatalf("abandoned (partial %v) but DistSq %v <= bound %v", got, full, bound)
+		}
+	})
 }

@@ -1,0 +1,13 @@
+//go:build !(386 || amd64 || arm || arm64 || loong64 || mips64le || mipsle || ppc64le || riscv64 || wasm)
+
+package vecstore
+
+// Big-endian platforms cannot alias the little-endian on-disk bytes as
+// native float32s; GetView always reports ok=false and callers take the
+// decoding Get path.
+
+func viewable(b []byte) bool { return false }
+
+func castFloat32(b []byte, n int) []float32 {
+	panic("vecstore: zero-copy float32 view is unavailable on this platform")
+}

@@ -1,0 +1,22 @@
+//go:build 386 || amd64 || arm || arm64 || loong64 || mips64le || mipsle || ppc64le || riscv64 || wasm
+
+package vecstore
+
+import "unsafe"
+
+// The store's on-disk format is little-endian float32 (matching every
+// dataset file format the paper uses), so on little-endian CPUs a page
+// slot holding a whole record IS the []float32 — no decode needed.
+
+// viewable reports whether b can be reinterpreted in place as float32s:
+// here only alignment can rule it out (page sizes are multiples of 4 in
+// practice, but the format does not forbid odd ones).
+func viewable(b []byte) bool {
+	return len(b) >= 4 && uintptr(unsafe.Pointer(&b[0]))%4 == 0
+}
+
+// castFloat32 reinterprets b (length >= 4*n, 4-byte aligned) as n
+// float32s sharing b's storage.
+func castFloat32(b []byte, n int) []float32 {
+	return unsafe.Slice((*float32)(unsafe.Pointer(&b[0])), n)
+}

@@ -82,6 +82,52 @@ func (s *Store) recRange(id uint64) (firstPage pager.PageID, firstOff, size int)
 	return pager.PageID(1 + off/ps), int(off % ps), s.recSize()
 }
 
+// PageOf returns the id of the page holding the first byte of record
+// id. Records are packed in id order, so sorting candidate ids sorts
+// their page accesses too — core's refinement step uses this layout
+// fact to turn random reads into mostly-sequential pool hits.
+func (s *Store) PageOf(id uint64) pager.PageID {
+	first, _, _ := s.recRange(id)
+	return first
+}
+
+// VecView is a pinned zero-copy view of one stored vector: Vec aliases
+// the buffer-pool frame itself. It is read-only and valid only until
+// Release.
+type VecView struct {
+	Vec  []float32
+	view pager.View
+}
+
+// Release unpins the underlying page. The view must not be used after.
+func (v VecView) Release() { v.view.Release() }
+
+// GetView returns a pinned zero-copy view of vector id, skipping Get's
+// per-float decode copy. ok is false when the borrow is unavailable —
+// the record spans a page boundary (e.g. Enron's ν=1369), the bytes
+// cannot be reinterpreted in place (big-endian CPU, misaligned page
+// slot), or the page read failed — and the caller must fall back to
+// Get, which handles all record shapes and surfaces I/O errors.
+func (s *Store) GetView(id uint64) (VecView, bool) {
+	if id >= s.count {
+		return VecView{}, false
+	}
+	first, off, size := s.recRange(id)
+	if off+size > s.pgr.PageSize() {
+		return VecView{}, false
+	}
+	pv, err := s.pgr.View(first)
+	if err != nil {
+		return VecView{}, false
+	}
+	seg := pv.Data[off : off+size]
+	if !viewable(seg) {
+		pv.Release()
+		return VecView{}, false
+	}
+	return VecView{Vec: castFloat32(seg, s.dim), view: pv}, true
+}
+
 // Append adds a vector and returns its object id (0-based, dense).
 func (s *Store) Append(vec []float32) (uint64, error) {
 	if len(vec) != s.dim {

@@ -201,3 +201,122 @@ func BenchmarkGet128(b *testing.B) {
 		s.Get(uint64(i%1000), dst)
 	}
 }
+
+// GetView must hand back exactly the bytes Get decodes, zero-copy, for
+// every record that fits in one page.
+func TestGetViewMatchesGet(t *testing.T) {
+	const dim, n = 16, 50 // 64-byte records, 4 per 256-byte page: never spans
+	pgr, err := pager.Open(filepath.Join(t.TempDir(), "v.pg"), pager.Options{Create: true, PageSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pgr.Close()
+	s, err := Create(pgr, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	vecs := make([][]float32, n)
+	for i := range vecs {
+		v := make([]float32, dim)
+		for d := range v {
+			v[d] = rng.Float32()*2 - 1
+		}
+		vecs[i] = v
+	}
+	if err := s.BuildFrom(vecs); err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(0); id < n; id++ {
+		view, ok := s.GetView(id)
+		if !ok {
+			t.Fatalf("GetView(%d) not ok for a non-spanning record", id)
+		}
+		got, err := s.Get(id, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for d := range got {
+			if view.Vec[d] != got[d] {
+				t.Fatalf("id %d dim %d: view %v != get %v", id, d, view.Vec[d], got[d])
+			}
+		}
+		view.Release()
+	}
+	// Out-of-range ids fall back (ok=false) rather than erroring.
+	if _, ok := s.GetView(n); ok {
+		t.Fatal("GetView past count must report ok=false")
+	}
+}
+
+// Records that straddle a page boundary must decline the view and leave
+// the caller on the (correct) copying path.
+func TestGetViewSpanningRecordFallsBack(t *testing.T) {
+	const dim = 60 // 240-byte records in 256-byte pages: most straddle
+	pgr, err := pager.Open(filepath.Join(t.TempDir(), "s.pg"), pager.Options{Create: true, PageSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pgr.Close()
+	s, err := Create(pgr, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := make([][]float32, 10)
+	for i := range vecs {
+		v := make([]float32, dim)
+		for d := range v {
+			v[d] = float32(i*dim + d)
+		}
+		vecs[i] = v
+	}
+	if err := s.BuildFrom(vecs); err != nil {
+		t.Fatal(err)
+	}
+	sawFallback := false
+	for id := uint64(0); id < 10; id++ {
+		view, ok := s.GetView(id)
+		want, err := s.Get(id, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			sawFallback = true
+			continue
+		}
+		for d := range want {
+			if view.Vec[d] != want[d] {
+				t.Fatalf("id %d dim %d: view %v != get %v", id, d, view.Vec[d], want[d])
+			}
+		}
+		view.Release()
+	}
+	if !sawFallback {
+		t.Fatal("expected at least one page-spanning record to decline the view")
+	}
+}
+
+// PageOf must agree with where Get actually reads.
+func TestPageOf(t *testing.T) {
+	const dim = 16 // 64-byte records, 4 per 256-byte page
+	pgr, err := pager.Open(filepath.Join(t.TempDir(), "p.pg"), pager.Options{Create: true, PageSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pgr.Close()
+	s, err := Create(pgr, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, want := range map[uint64]pager.PageID{0: 1, 3: 1, 4: 2, 7: 2, 8: 3} {
+		if got := s.PageOf(id); got != want {
+			t.Errorf("PageOf(%d) = %d, want %d", id, got, want)
+		}
+	}
+	// Monotone in id: the layout fact the page-ordered fetch relies on.
+	for id := uint64(1); id < 100; id++ {
+		if s.PageOf(id) < s.PageOf(id-1) {
+			t.Fatalf("PageOf not monotone at id %d", id)
+		}
+	}
+}

@@ -26,19 +26,22 @@ bench-smoke:
 # Write a perf snapshot to SNAPSHOT_OUT. To refresh the committed
 # baseline, point it at the BENCH_PR<n>.json for the current PR:
 #   make snapshot SNAPSHOT_OUT=BENCH_PR1.json
+# -buildscale 1 adds the build-only rows (build_ms, build_allocs,
+# build_phase_ms at 10× the query-phase scale).
 SNAPSHOT_OUT ?= bench-snapshot.json
 snapshot:
-	$(GO) run ./cmd/hdbench -snapshot $(SNAPSHOT_OUT) -scale 0.1 -queries 20 -k 20
+	$(GO) run ./cmd/hdbench -snapshot $(SNAPSHOT_OUT) -scale 0.1 -queries 20 -k 20 -buildscale 1
 
-# Sharded counterpart (the committed baseline is BENCH_PR3.json):
-#   make snapshot-sharded SNAPSHOT_SHARDED_OUT=BENCH_PR3.json
+# Sharded counterpart (the committed baseline is BENCH_PR4.json):
+#   make snapshot-sharded SNAPSHOT_SHARDED_OUT=BENCH_PR4.json
 SNAPSHOT_SHARDED_OUT ?= bench-snapshot-sharded.json
 snapshot-sharded:
-	$(GO) run ./cmd/hdbench -shards 4 -snapshot $(SNAPSHOT_SHARDED_OUT) -scale 0.1 -queries 20 -k 20
+	$(GO) run ./cmd/hdbench -shards 4 -snapshot $(SNAPSHOT_SHARDED_OUT) -scale 0.1 -queries 20 -k 20 -buildscale 1
 
 # Report-only perf diff: regenerate a sharded snapshot with the
-# baseline's config and print per-dataset deltas (mean_query_us,
-# batch_qps, parallel_qps, page_reads_per_query, hit_ratio, quality)
+# baseline's config and print per-dataset deltas (build_ms,
+# build_allocs, mean_query_us, batch_qps, parallel_qps,
+# page_reads_per_query, hit_ratio, quality — plus the build-only rows)
 # against the newest committed BENCH_PR*.json (override with
 # BASELINE=...). Never fails on a regression — it makes one visible.
 BASELINE ?= $(shell ls BENCH_PR*.json 2>/dev/null | sort -V | tail -1)

@@ -42,6 +42,7 @@ type metric struct {
 
 var metrics = []metric{
 	{"build_ms", func(d bench.DatasetResult) float64 { return d.BuildMS }, false},
+	{"build_allocs", func(d bench.DatasetResult) float64 { return d.BuildAllocs }, false},
 	{"mean_query_us", func(d bench.DatasetResult) float64 { return d.MeanQueryUS }, false},
 	{"batch_qps", func(d bench.DatasetResult) float64 { return d.BatchQPS }, true},
 	{"parallel_qps", func(d bench.DatasetResult) float64 { return d.ParallelQPS }, true},
@@ -70,9 +71,11 @@ func main() {
 	fmt.Printf("baseline: %s (%s)\n", os.Args[1], base.GoVersion)
 	fmt.Printf("new:      %s (%s)\n", os.Args[2], fresh.GoVersion)
 	// Compare only the workload knobs: ParallelClients is absent from
-	// pre-PR3 baselines and doesn't change the sequential numbers.
+	// pre-PR3 baselines and BuildScale from pre-PR4 ones; neither
+	// changes the sequential query numbers.
 	bc, fc := base.Config, fresh.Config
 	bc.ParallelClients, fc.ParallelClients = 0, 0
+	bc.BuildScale, fc.BuildScale = 0, 0
 	if bc != fc {
 		fmt.Printf("note: configs differ (baseline %+v, new %+v) — deltas are indicative only\n",
 			base.Config, fresh.Config)
@@ -91,28 +94,69 @@ func main() {
 		fmt.Printf("\n%s (n=%d, dim=%d)\n", nw.Dataset, nw.N, nw.Dim)
 		fmt.Printf("  %-22s %14s %14s %10s\n", "metric", "baseline", "new", "delta")
 		for _, m := range metrics {
-			ov, nv := m.get(old), m.get(nw)
-			arrow := ""
-			switch {
-			case ov == 0 && nv != 0:
-				fmt.Printf("  %-22s %14s %14.4g %10s\n", m.name, "n/a", nv, "new")
-				continue
-			case ov == 0 && nv == 0:
-				continue
-			}
-			delta := (nv - ov) / ov * 100
-			improved := delta < 0
-			if m.higherBetter {
-				improved = delta > 0
-			}
-			if delta != 0 {
-				if improved {
-					arrow = "better"
-				} else {
-					arrow = "worse"
-				}
-			}
-			fmt.Printf("  %-22s %14.4g %14.4g %+9.1f%% %s\n", m.name, ov, nv, delta, arrow)
+			printDelta(m.name, m.get(old), m.get(nw), m.higherBetter)
 		}
 	}
+
+	// Build-only rows (BuildScale snapshots, PR4+). Older baselines
+	// have none: the fresh rows then print without deltas. Unlike the
+	// query metrics, these rows DO depend on BuildScale — rows measured
+	// at different scales are different workloads, so deltas across
+	// them would be phantom regressions; suppress them instead.
+	if len(fresh.Build) > 0 {
+		buildByName := make(map[string]bench.BuildResult, len(base.Build))
+		if len(base.Build) > 0 && base.Config.BuildScale != fresh.Config.BuildScale {
+			fmt.Printf("\nnote: build scales differ (baseline %g, new %g) — build rows printed without deltas\n",
+				base.Config.BuildScale, fresh.Config.BuildScale)
+		} else {
+			for _, b := range base.Build {
+				buildByName[b.Dataset] = b
+			}
+		}
+		for _, nw := range fresh.Build {
+			fmt.Printf("\n%s build @ scale %.3g (n=%d, dim=%d)\n", nw.Dataset, fresh.Config.BuildScale, nw.N, nw.Dim)
+			fmt.Printf("  %-22s %14s %14s %10s\n", "metric", "baseline", "new", "delta")
+			old := buildByName[nw.Dataset] // zero value when absent: rows print as "new"
+			printDelta("build_ms", old.BuildMS, nw.BuildMS, false)
+			printDelta("build_allocs", float64(old.BuildAllocs), float64(nw.BuildAllocs), false)
+			printDelta("peak_heap_mb", old.PeakHeapMB, nw.PeakHeapMB, false)
+			if nw.Phases != nil {
+				var op bench.BuildPhaseMS
+				if old.Phases != nil {
+					op = *old.Phases
+				}
+				printDelta("phase_refdists_ms", op.RefDists, nw.Phases.RefDists, false)
+				printDelta("phase_encode_ms", op.Encode, nw.Phases.Encode, false)
+				printDelta("phase_sort_ms", op.Sort, nw.Phases.Sort, false)
+				printDelta("phase_bulkload_ms", op.BulkLoad, nw.Phases.BulkLoad, false)
+			}
+		}
+	}
+}
+
+// printDelta renders one metric row; a zero baseline prints "new"
+// (metric absent from the older snapshot format) and equal zeros print
+// nothing.
+func printDelta(name string, ov, nv float64, higherBetter bool) {
+	switch {
+	case ov == 0 && nv != 0:
+		fmt.Printf("  %-22s %14s %14.4g %10s\n", name, "n/a", nv, "new")
+		return
+	case ov == 0 && nv == 0:
+		return
+	}
+	delta := (nv - ov) / ov * 100
+	improved := delta < 0
+	if higherBetter {
+		improved = delta > 0
+	}
+	arrow := ""
+	if delta != 0 {
+		if improved {
+			arrow = "better"
+		} else {
+			arrow = "worse"
+		}
+	}
+	fmt.Printf("  %-22s %14.4g %14.4g %+9.1f%% %s\n", name, ov, nv, delta, arrow)
 }

@@ -22,15 +22,16 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment id (see -list), or 'all'")
-		list     = flag.Bool("list", false, "list available experiments")
-		scale    = flag.Float64("scale", 1.0, "dataset scale multiplier")
-		queries  = flag.Int("queries", 50, "queries per dataset")
-		k        = flag.Int("k", 100, "neighbours for MAP@k experiments")
-		workdir  = flag.String("workdir", "", "scratch directory for on-disk indexes")
-		seed     = flag.Int64("seed", 42, "random seed")
-		snapshot = flag.String("snapshot", "", "write a machine-readable HD-Index perf snapshot (JSON) to this file and exit")
-		shards   = flag.Int("shards", 0, "build the snapshot index as a sharded layout with N shards (0 = single index)")
+		exp        = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		list       = flag.Bool("list", false, "list available experiments")
+		scale      = flag.Float64("scale", 1.0, "dataset scale multiplier")
+		queries    = flag.Int("queries", 50, "queries per dataset")
+		k          = flag.Int("k", 100, "neighbours for MAP@k experiments")
+		workdir    = flag.String("workdir", "", "scratch directory for on-disk indexes")
+		seed       = flag.Int64("seed", 42, "random seed")
+		snapshot   = flag.String("snapshot", "", "write a machine-readable HD-Index perf snapshot (JSON) to this file and exit")
+		shards     = flag.Int("shards", 0, "build the snapshot index as a sharded layout with N shards (0 = single index)")
+		buildscale = flag.Float64("buildscale", 0, "add build-only rows to the snapshot at this dataset scale (0 = none; 1 = full harness size)")
 	)
 	flag.Parse()
 
@@ -43,12 +44,13 @@ func main() {
 		return
 	}
 	cfg := bench.Config{
-		Scale:   *scale,
-		Queries: *queries,
-		K:       *k,
-		WorkDir: *workdir,
-		Seed:    *seed,
-		Shards:  *shards,
+		Scale:      *scale,
+		Queries:    *queries,
+		K:          *k,
+		WorkDir:    *workdir,
+		Seed:       *seed,
+		Shards:     *shards,
+		BuildScale: *buildscale,
 	}
 
 	// The experiment runners always measure the monolithic index (they
@@ -61,6 +63,14 @@ func main() {
 	}
 	if *shards > 0 && *snapshot == "" {
 		fmt.Fprintln(os.Stderr, "hdbench: -shards only applies to -snapshot")
+		os.Exit(2)
+	}
+	if *buildscale < 0 {
+		fmt.Fprintln(os.Stderr, "hdbench: -buildscale must be >= 0")
+		os.Exit(2)
+	}
+	if *buildscale > 0 && *snapshot == "" {
+		fmt.Fprintln(os.Stderr, "hdbench: -buildscale only applies to -snapshot")
 		os.Exit(2)
 	}
 	if *snapshot != "" {

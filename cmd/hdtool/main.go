@@ -9,9 +9,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	hdindex "github.com/hd-index/hdindex"
@@ -65,13 +67,24 @@ func runBuild(args []string) error {
 	if *dataPath == "" || *indexDir == "" {
 		return fmt.Errorf("build: -data and -index are required")
 	}
-	vectors, err := data.ReadFvecs(*dataPath)
+	// The flat reader keeps the dataset in one backing array — at
+	// million-vector scale that halves load-time heap overhead vs one
+	// slice per vector; Rows only adds aliasing headers.
+	flat, dim, err := data.ReadFvecsFlat(*dataPath)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("read %d vectors of %d dims\n", len(vectors), len(vectors[0]))
+	if len(flat) == 0 {
+		return fmt.Errorf("build: %s holds no vectors", *dataPath)
+	}
+	vectors := data.Rows(flat, dim)
+	fmt.Printf("read %d vectors of %d dims\n", len(vectors), dim)
+	// Ctrl-C cancels the build cleanly: no commit point is written, so
+	// a later Open rejects the partial directory instead of serving it.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	t0 := time.Now()
-	ix, err := hdindex.Build(*indexDir, vectors, hdindex.Options{
+	ix, err := hdindex.BuildContext(ctx, *indexDir, vectors, hdindex.Options{
 		Tau: *tau, Omega: *omega, M: *m,
 		Alpha: *alpha, Gamma: *gamma, UsePtolemaic: *pto, Seed: *seed,
 		Shards: *shards,
@@ -85,6 +98,10 @@ func runBuild(args []string) error {
 		layout = fmt.Sprintf("%d shards", *shards)
 	}
 	fmt.Printf("built %s in %v, %d bytes on disk\n", layout, time.Since(t0).Round(time.Millisecond), ix.SizeOnDisk())
+	if bs := ix.BuildStats(); bs != nil {
+		fmt.Printf("build phases (ms): refdists=%.1f encode=%.1f sort=%.1f bulkload=%.1f (total %.1f, %d allocs)\n",
+			bs.RefDistsMS, bs.EncodeMS, bs.SortMS, bs.BulkLoadMS, bs.TotalMS, bs.Allocs)
+	}
 	return nil
 }
 
@@ -104,10 +121,14 @@ func runQuery(args []string) error {
 		return err
 	}
 	defer ix.Close()
-	queries, err := data.ReadFvecs(*queriesPath)
+	qflat, qdim, err := data.ReadFvecsFlat(*queriesPath)
 	if err != nil {
 		return err
 	}
+	if len(qflat) == 0 {
+		return fmt.Errorf("query: %s holds no vectors", *queriesPath)
+	}
+	queries := data.Rows(qflat, qdim)
 	results := make([][]uint64, len(queries))
 	t0 := time.Now()
 	for qi, q := range queries {

@@ -68,8 +68,11 @@ type Options struct {
 	// single-index layout. Open ignores this field: it auto-detects the
 	// layout from the directory, so existing indexes keep working.
 	Shards int
-	// BuildWorkers bounds how many shards build concurrently when
-	// Shards > 0 (0 = GOMAXPROCS).
+	// BuildWorkers is the total construction-parallelism budget
+	// (0 = GOMAXPROCS): one bound shared by concurrently building
+	// shards, the τ tree builds inside each index, and the chunked
+	// Hilbert-encode workers inside each tree, so nested build
+	// parallelism never oversubscribes the machine.
 	BuildWorkers int
 }
 
@@ -106,6 +109,7 @@ type backend interface {
 	DeletedCount() int
 	SizeOnDisk() int64
 	IOStats() pager.Stats
+	BuildStats() *core.BuildStats
 	Flush() error
 	Close() error
 }
@@ -125,11 +129,62 @@ type ShardInfo struct {
 	SizeOnDisk int64
 }
 
+// BuildStats is the construction cost breakdown of a freshly built
+// index: per-phase milliseconds (reference distances, Hilbert encode,
+// radix sort, bulk load), heap allocations, and the observed peak heap.
+// On a sharded layout the phase times and allocations are summed across
+// shards while TotalMS stays wall clock.
+type BuildStats = core.BuildStats
+
+// Info is a point-in-time descriptive summary of an index: size,
+// layout, and — when this process built it — the construction cost
+// breakdown.
+type Info struct {
+	Count      uint64
+	Dim        int
+	Deleted    int
+	SizeOnDisk int64
+	NumShards  int
+	Shards     []ShardInfo
+	// Build is the construction cost of this index when it was built
+	// by this process; nil after Open.
+	Build *BuildStats
+}
+
+// Info returns the index's descriptive summary. Build statistics are
+// only available on the handle returned by Build — an Opened index
+// reports Build == nil.
+func (i *Index) Info() Info {
+	return Info{
+		Count:      i.Count(),
+		Dim:        i.Dim(),
+		Deleted:    i.DeletedCount(),
+		SizeOnDisk: i.SizeOnDisk(),
+		NumShards:  i.NumShards(),
+		Shards:     i.Shards(),
+		Build:      i.ix.BuildStats(),
+	}
+}
+
+// BuildStats returns the construction cost breakdown when this handle
+// built the index, nil otherwise. Shorthand for Info().Build.
+func (i *Index) BuildStats() *BuildStats { return i.ix.BuildStats() }
+
 // Build constructs an HD-Index over vectors in the directory dir.
 // All vectors must share the same dimensionality. Options.Shards
 // selects the on-disk layout: 0 writes the legacy single-index layout,
 // N >= 1 a manifest-backed layout of N concurrently built shards.
 func Build(dir string, vectors [][]float32, o Options) (*Index, error) {
+	return BuildContext(context.Background(), dir, vectors, o)
+}
+
+// BuildContext is Build honouring ctx: construction checks for
+// cancellation between work chunks (reference distances, per-tree
+// Hilbert encoding, shard fan-out) and returns promptly with ctx's
+// error. A cancelled build never writes the layout's commit point
+// (meta.json or manifest.json), so Open rejects the directory instead
+// of serving a half-built index.
+func BuildContext(ctx context.Context, dir string, vectors [][]float32, o Options) (*Index, error) {
 	p := core.Params{
 		Tau:          o.Tau,
 		Omega:        o.Omega,
@@ -140,12 +195,13 @@ func Build(dir string, vectors [][]float32, o Options) (*Index, error) {
 		UsePtolemaic: o.UsePtolemaic,
 		Parallel:     o.Parallel,
 		BatchWorkers: o.BatchWorkers,
+		BuildWorkers: o.BuildWorkers,
 		DisableCache: o.DisableCache,
 		PageSize:     o.PageSize,
 		Seed:         o.Seed,
 	}
 	if o.Shards > 0 {
-		sh, err := shard.Build(dir, vectors, shard.Params{
+		sh, err := shard.BuildContext(ctx, dir, vectors, shard.Params{
 			Params: p, Shards: o.Shards, BuildWorkers: o.BuildWorkers,
 		})
 		if err != nil {
@@ -160,7 +216,7 @@ func Build(dir string, vectors [][]float32, o Options) (*Index, error) {
 	if err := shard.ClearLayout(dir); err != nil {
 		return nil, err
 	}
-	ix, err := core.Build(dir, vectors, p)
+	ix, err := core.BuildContext(ctx, dir, vectors, p)
 	if err != nil {
 		return nil, err
 	}

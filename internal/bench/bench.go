@@ -43,6 +43,11 @@ type Config struct {
 	// index). Only the snapshot runner consults it; the paper's
 	// experiment runners always measure the monolithic index.
 	Shards int
+	// BuildScale > 0 adds build-only rows to the snapshot: each
+	// dataset built once at this scale purely for construction-cost
+	// measurement (see Snapshot.Build). Only the snapshot runner
+	// consults it.
+	BuildScale float64
 }
 
 func (c *Config) defaults() {

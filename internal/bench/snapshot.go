@@ -26,6 +26,9 @@ type Snapshot struct {
 	GOARCH    string          `json:"goarch"`
 	Config    SnapshotConfig  `json:"config"`
 	Datasets  []DatasetResult `json:"datasets"`
+	// Build holds the build-only rows measured at Config.BuildScale;
+	// absent when BuildScale is 0.
+	Build []BuildResult `json:"build,omitempty"`
 }
 
 // snapshotParallelClients is the fixed concurrent-client count of the
@@ -41,6 +44,48 @@ type SnapshotConfig struct {
 	Seed            int64   `json:"seed"`
 	Shards          int     `json:"shards"` // 0 = legacy single-index layout
 	ParallelClients int     `json:"parallel_clients"`
+	// BuildScale > 0 adds the build-only rows: each dataset built once
+	// at this scale (typically 1, i.e. 10× the query-phase scale 0.1)
+	// purely to measure construction cost at a size where the sort and
+	// encode phases dominate.
+	BuildScale float64 `json:"build_scale,omitempty"`
+}
+
+// BuildPhaseMS is the per-phase construction cost breakdown mirrored
+// from core.BuildStats. Encode/sort/bulkload are summed across τ trees
+// (and shards), so they can exceed wall-clock total on multi-core.
+type BuildPhaseMS struct {
+	RefDists float64 `json:"refdists"`
+	Encode   float64 `json:"encode"`
+	Sort     float64 `json:"sort"`
+	BulkLoad float64 `json:"bulkload"`
+	Total    float64 `json:"total"`
+}
+
+func phaseMS(bs *core.BuildStats) *BuildPhaseMS {
+	if bs == nil {
+		return nil
+	}
+	return &BuildPhaseMS{
+		RefDists: bs.RefDistsMS,
+		Encode:   bs.EncodeMS,
+		Sort:     bs.SortMS,
+		BulkLoad: bs.BulkLoadMS,
+		Total:    bs.TotalMS,
+	}
+}
+
+// BuildResult is one dataset's build-only row, measured at
+// Config.BuildScale.
+type BuildResult struct {
+	Dataset     string        `json:"dataset"`
+	N           int           `json:"n"`
+	Dim         int           `json:"dim"`
+	BuildMS     float64       `json:"build_ms"`
+	BuildAllocs uint64        `json:"build_allocs"`
+	PeakHeapMB  float64       `json:"peak_heap_mb"`
+	IndexBytes  int64         `json:"index_bytes"`
+	Phases      *BuildPhaseMS `json:"build_phase_ms,omitempty"`
 }
 
 // DatasetResult is one dataset's row of the snapshot.
@@ -63,6 +108,10 @@ type DatasetResult struct {
 	// each issuing single queries concurrently — the serving-shaped
 	// number the sharded buffer pool exists to scale.
 	ParallelQPS float64 `json:"parallel_qps"`
+	// BuildAllocs counts heap allocations during the build whose wall
+	// clock BuildMS reports; BuildPhases breaks that build down.
+	BuildAllocs float64       `json:"build_allocs,omitempty"`
+	BuildPhases *BuildPhaseMS `json:"build_phase_ms,omitempty"`
 }
 
 // RunSnapshot builds HD-Index over the named datasets (nil/empty = a
@@ -80,6 +129,7 @@ func RunSnapshot(cfg Config, datasets []string) (*Snapshot, error) {
 		Config: SnapshotConfig{
 			Scale: cfg.Scale, Queries: cfg.Queries, K: cfg.K, Seed: cfg.Seed,
 			Shards: cfg.Shards, ParallelClients: snapshotParallelClients,
+			BuildScale: cfg.BuildScale,
 		},
 	}
 	for _, name := range datasets {
@@ -93,7 +143,61 @@ func RunSnapshot(cfg Config, datasets []string) (*Snapshot, error) {
 		}
 		snap.Datasets = append(snap.Datasets, res)
 	}
+	// The build-only rows run strictly after every query measurement:
+	// a scale-BuildScale build churns tens of MB of heap, and running
+	// one between two datasets' query phases measurably inflates the
+	// later dataset's latencies (GC pressure), which the query numbers
+	// must not absorb.
+	if cfg.BuildScale > 0 {
+		for _, name := range datasets {
+			spec, _ := SpecByName(name)
+			row, err := snapshotBuild(spec, cfg)
+			if err != nil {
+				return nil, err
+			}
+			snap.Build = append(snap.Build, row)
+		}
+	}
 	return snap, nil
+}
+
+// snapshotBuild measures construction only, at cfg.BuildScale: no
+// queries, no ground truth — the row exists to watch build wall clock,
+// allocations, and the phase split at a size where they matter.
+func snapshotBuild(spec DataSpec, cfg Config) (BuildResult, error) {
+	n := int(float64(spec.BaseN) * cfg.BuildScale)
+	if n < 300 {
+		n = 300
+	}
+	ds := spec.Gen(n, cfg.Seed+int64(len(spec.Name)))
+	out := BuildResult{Dataset: spec.Name, N: n, Dim: ds.Dim}
+
+	dir := filepath.Join(cfg.WorkDir, "snapshot-build", spec.Name)
+	p := HDParams(spec, n)
+	p.Seed = cfg.Seed
+
+	var built snapIndex
+	var err error
+	t0 := time.Now()
+	if cfg.Shards > 0 {
+		built, err = shard.Build(dir, ds.Vectors, shard.Params{Params: p, Shards: cfg.Shards})
+	} else {
+		if cerr := shard.ClearLayout(dir); cerr != nil {
+			return out, cerr
+		}
+		built, err = core.Build(dir, ds.Vectors, p)
+	}
+	if err != nil {
+		return out, err
+	}
+	out.BuildMS = float64(time.Since(t0).Microseconds()) / 1e3
+	if bs := built.BuildStats(); bs != nil {
+		out.BuildAllocs = bs.Allocs
+		out.PeakHeapMB = float64(bs.PeakHeapBytes) / (1 << 20)
+		out.Phases = phaseMS(bs)
+	}
+	out.IndexBytes = built.SizeOnDisk()
+	return out, built.Close()
 }
 
 // snapIndex is the slice of the index surface the snapshot measures —
@@ -103,6 +207,7 @@ type snapIndex interface {
 	SearchWithStats(q []float32, k int) ([]core.Result, *core.QueryStats, error)
 	SearchBatch(queries [][]float32, k int) ([][]core.Result, error)
 	SizeOnDisk() int64
+	BuildStats() *core.BuildStats
 	Close() error
 }
 
@@ -139,6 +244,10 @@ func snapshotDataset(spec DataSpec, cfg Config) (DatasetResult, error) {
 		return out, err
 	}
 	out.BuildMS = float64(time.Since(t0).Microseconds()) / 1e3
+	if bs := built.BuildStats(); bs != nil {
+		out.BuildAllocs = float64(bs.Allocs)
+		out.BuildPhases = phaseMS(bs)
+	}
 
 	// Reopen before measuring: querying the just-built index would hit
 	// a buffer pool still warm from construction and report zero page

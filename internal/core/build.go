@@ -1,0 +1,431 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/hd-index/hdindex/internal/pager"
+	"github.com/hd-index/hdindex/internal/radix"
+	"github.com/hd-index/hdindex/internal/rdbtree"
+	"github.com/hd-index/hdindex/internal/refsel"
+	"github.com/hd-index/hdindex/internal/vecmath"
+	"github.com/hd-index/hdindex/internal/vecstore"
+)
+
+// BuildStats records what one Build spent and where. The four phase
+// timers cover the construction pipeline of Algorithm 1; Encode, Sort
+// and BulkLoad are summed across the τ trees, so with Tau trees
+// building concurrently they can exceed wall-clock time — TotalMS is
+// the wall-clock figure. Allocs and PeakHeapBytes come from
+// runtime.MemStats deltas sampled at phase boundaries, so PeakHeapBytes
+// is a lower bound on the true peak.
+type BuildStats struct {
+	RefDistsMS float64 `json:"refdists_ms"`
+	EncodeMS   float64 `json:"encode_ms"`
+	SortMS     float64 `json:"sort_ms"`
+	BulkLoadMS float64 `json:"bulkload_ms"`
+	TotalMS    float64 `json:"total_ms"`
+	// Allocs is the number of heap allocations the build performed
+	// (runtime.MemStats.Mallocs delta; includes allocations by
+	// concurrent goroutines of the same process).
+	Allocs uint64 `json:"allocs"`
+	// PeakHeapBytes is the largest HeapAlloc observed at a phase
+	// boundary during the build.
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
+}
+
+// Add accumulates other's phase and total times into s and takes the
+// max of the peaks. Allocs is deliberately NOT summed: each build's
+// Allocs is a process-wide runtime.MemStats delta over its own window,
+// so summing overlapping windows (concurrent shard builds) would count
+// every allocation once per concurrent builder — the sharded layout
+// measures one window around the whole fan-out instead (MemProbe).
+func (s *BuildStats) Add(other BuildStats) {
+	s.RefDistsMS += other.RefDistsMS
+	s.EncodeMS += other.EncodeMS
+	s.SortMS += other.SortMS
+	s.BulkLoadMS += other.BulkLoadMS
+	s.TotalMS += other.TotalMS
+	if other.PeakHeapBytes > s.PeakHeapBytes {
+		s.PeakHeapBytes = other.PeakHeapBytes
+	}
+}
+
+// phaseAccum sums per-tree phase durations without locks; trees build
+// concurrently.
+type phaseAccum struct {
+	encodeNS, sortNS, bulkNS atomic.Int64
+}
+
+// MemProbe measures process-wide allocation counters across a window:
+// Sample records the start on first call and tracks the peak heap seen,
+// Finish returns the Mallocs delta and the peak. Because the counters
+// are process-wide, windows must not be summed when they can overlap —
+// the sharded build opens ONE probe around its whole shard fan-out for
+// exactly that reason.
+type MemProbe struct {
+	started      bool
+	startMallocs uint64
+	peakHeap     uint64
+}
+
+// Sample records the window start on first call and updates the
+// observed peak heap on every call.
+func (m *MemProbe) Sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if !m.started {
+		m.started = true
+		m.startMallocs = ms.Mallocs
+	}
+	if ms.HeapAlloc > m.peakHeap {
+		m.peakHeap = ms.HeapAlloc
+	}
+}
+
+// Finish closes the window and returns the allocation count and the
+// largest HeapAlloc observed at any Sample or Finish call.
+func (m *MemProbe) Finish() (allocs, peak uint64) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > m.peakHeap {
+		m.peakHeap = ms.HeapAlloc
+	}
+	return ms.Mallocs - m.startMallocs, m.peakHeap
+}
+
+// Build constructs an HD-Index over vectors in directory dir
+// (Algorithm 1). The directory is created; existing index files in it
+// are overwritten.
+func Build(dir string, vectors [][]float32, p Params) (*Index, error) {
+	return BuildContext(context.Background(), dir, vectors, p)
+}
+
+// BuildContext is Build honouring ctx: construction checks for
+// cancellation between work chunks and returns ctx's error promptly. A
+// cancelled build leaves no meta.json (the layout's commit point), so
+// Open rejects the directory instead of serving a half-built index.
+func BuildContext(ctx context.Context, dir string, vectors [][]float32, p Params) (*Index, error) {
+	if len(vectors) == 0 {
+		return nil, fmt.Errorf("core: empty dataset")
+	}
+	nu := len(vectors[0])
+	p.SetDefaults(nu, len(vectors))
+	if err := p.Validate(nu); err != nil {
+		return nil, err
+	}
+	if p.M > len(vectors) {
+		return nil, fmt.Errorf("core: m = %d exceeds dataset size %d", p.M, len(vectors))
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: mkdir %s: %w", dir, err)
+	}
+	if err := RemoveIndexFiles(dir); err != nil {
+		return nil, err
+	}
+
+	buildStart := time.Now()
+	var probe MemProbe
+	probe.Sample()
+
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	// Algorithm 1 line 1: choose reference objects.
+	var sel *refsel.Result
+	var err error
+	switch p.RefSelection {
+	case RefRandom:
+		sel, err = refsel.Random(vectors, p.M, rng)
+	case RefSSSDyn:
+		sel, err = refsel.SSSDyn(vectors, p.M, p.SSSFraction, 64, rng)
+	default:
+		sel, err = refsel.SSS(vectors, p.M, p.SSSFraction, rng)
+	}
+	if err != nil {
+		return nil, err
+	}
+	refs := make([][]float32, p.M)
+	for i, v := range sel.Vectors {
+		refs[i] = vecmath.Copy(v)
+	}
+
+	// The build-parallelism budget: every concurrently running worker —
+	// across trees and the chunked phases inside each — holds one slot,
+	// so τ × chunk workers never oversubscribe the configured bound.
+	budget := p.BuildWorkers
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+
+	// Algorithm 1 line 2: distances of every object to every reference,
+	// written into one flat n×m matrix (row i at rdist[i*m:(i+1)*m]) —
+	// a single allocation the trees' bulk loads later stream from
+	// directly.
+	t0 := time.Now()
+	rdist, err := computeRefDists(ctx, vectors, refs, budget)
+	if err != nil {
+		return nil, err
+	}
+	var stats BuildStats
+	stats.RefDistsMS = msSince(t0)
+	probe.Sample()
+
+	lo, hi := vecmath.MinMax(vectors, nu)
+
+	ix := &Index{
+		dir:     dir,
+		params:  p,
+		nu:      nu,
+		eta:     nu / p.Tau,
+		refs:    refs,
+		lo:      lo,
+		hi:      hi,
+		deleted: newDeleteSet(),
+	}
+	ix.refCross = crossDistances(refs)
+	if err := ix.initCurves(); err != nil {
+		return nil, err
+	}
+
+	// Algorithm 1 lines 5-10: one RDB-tree per partition. Trees share
+	// the budget semaphore with their own encode workers: a tree
+	// goroutine holds one slot for its serial phases (sort, bulk load)
+	// and lends the spare slots to whichever tree is in its encode
+	// phase.
+	var phases phaseAccum
+	ix.trees = make([]*rdbtree.Tree, p.Tau)
+	ix.treePagers = make([]*pager.Pager, p.Tau)
+	errs := make([]error, p.Tau)
+	sem := make(chan struct{}, budget)
+	var wg sync.WaitGroup
+	for t := 0; t < p.Tau; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[t] = ix.buildTree(ctx, t, vectors, rdist, sem, &phases)
+		}(t)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			ix.Close()
+			return nil, e
+		}
+	}
+	stats.EncodeMS = msOf(phases.encodeNS.Load())
+	stats.SortMS = msOf(phases.sortNS.Load())
+	stats.BulkLoadMS = msOf(phases.bulkNS.Load())
+	probe.Sample()
+
+	if err := ctx.Err(); err != nil {
+		ix.Close()
+		return nil, err
+	}
+
+	// The pointer target: raw vectors in a paged store.
+	vp, err := pager.Open(filepath.Join(dir, "vectors.pg"), pager.Options{
+		Create: true, PageSize: p.PageSize, PoolPages: p.PoolPages, DisableLRU: p.DisableCache,
+	})
+	if err != nil {
+		ix.Close()
+		return nil, err
+	}
+	vs, err := vecstore.Create(vp, nu)
+	if err != nil {
+		vp.Close()
+		ix.Close()
+		return nil, err
+	}
+	if err := vs.BuildFrom(vectors); err != nil {
+		vp.Close()
+		ix.Close()
+		return nil, err
+	}
+	if err := vs.Flush(); err != nil {
+		vp.Close()
+		ix.Close()
+		return nil, err
+	}
+	ix.vectors = vs
+	ix.vecPager = vp
+
+	if err := ix.writeMeta(); err != nil {
+		ix.Close()
+		return nil, err
+	}
+	stats.TotalMS = msSince(buildStart)
+	stats.Allocs, stats.PeakHeapBytes = probe.Finish()
+	ix.buildStats = &stats
+	return ix, nil
+}
+
+// encodeChunk is how many vectors one encode work unit covers: large
+// enough that chunk hand-off (one atomic add) is noise, small enough
+// that τ=8 trees over a 10k-vector partition still split into enough
+// chunks to occupy spare workers.
+const encodeChunk = 512
+
+// buildTree constructs RDB-tree t: Hilbert keys for partition t encoded
+// into a flat n×KeyLen arena by chunked workers drawn from the shared
+// budget, a radix-sorted []uint32 permutation over the arena, and an
+// arena bulk load — no per-record allocation anywhere on the path.
+func (ix *Index) buildTree(ctx context.Context, t int, vectors [][]float32, rdist []float32, sem chan struct{}, phases *phaseAccum) error {
+	p := ix.params
+	q := ix.quants[t]
+	curve := ix.curves[t]
+	start := t * ix.eta
+	n := len(vectors)
+	kl := curve.KeyLen()
+
+	// ---- encode phase ----
+	t0 := time.Now()
+	keys := make([]byte, n*kl)
+	nChunks := (n + encodeChunk - 1) / encodeChunk
+	var next atomic.Int64
+	worker := func() {
+		coords := make([]uint32, encodeChunk*ix.eta)
+		for {
+			ci := int(next.Add(1) - 1)
+			if ci >= nChunks || ctx.Err() != nil {
+				return
+			}
+			lo := ci * encodeChunk
+			hi := lo + encodeChunk
+			if hi > n {
+				hi = n
+			}
+			rows := hi - lo
+			for i := lo; i < hi; i++ {
+				q.Coords(coords[(i-lo)*ix.eta:(i-lo+1)*ix.eta], vectors[i][start:start+ix.eta])
+			}
+			curve.EncodeAll(keys[lo*kl:hi*kl], coords[:rows*ix.eta], ix.eta)
+		}
+	}
+	// The tree goroutine always encodes (it already holds a budget
+	// slot); spare slots are borrowed opportunistically for extra
+	// workers, so encoding parallelises inside a single tree whenever
+	// τ < budget without ever oversubscribing. Keys land at fixed
+	// offsets, so worker count and scheduling cannot change the output.
+	var wg sync.WaitGroup
+acquire:
+	for i := 1; i < nChunks; i++ {
+		select {
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				worker()
+			}()
+		default:
+			break acquire
+		}
+	}
+	worker()
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	phases.encodeNS.Add(int64(time.Since(t0)))
+
+	// ---- sort phase ----
+	// A stable MSD radix sort over the fixed-width keys moves 4-byte
+	// row numbers instead of 40-byte records and never calls a
+	// comparator; ties keep id order, which the determinism tests pin.
+	t0 = time.Now()
+	perm := make([]uint32, n)
+	for i := range perm {
+		perm[i] = uint32(i)
+	}
+	radix.Sort(keys, kl, perm)
+	phases.sortNS.Add(int64(time.Since(t0)))
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	// ---- bulk-load phase ----
+	t0 = time.Now()
+	pgr, err := pager.Open(ix.treePath(t), pager.Options{
+		Create: true, PageSize: p.PageSize, PoolPages: p.PoolPages, DisableLRU: p.DisableCache,
+	})
+	if err != nil {
+		return err
+	}
+	tree, err := rdbtree.Create(pgr, rdbtree.Config{Eta: ix.eta, Omega: p.Omega, M: p.M})
+	if err != nil {
+		pgr.Close()
+		return err
+	}
+	if err := tree.BulkLoadArena(keys, perm, nil, rdist); err != nil {
+		pgr.Close()
+		return err
+	}
+	if err := tree.Flush(); err != nil {
+		pgr.Close()
+		return err
+	}
+	ix.trees[t] = tree
+	ix.treePagers[t] = pgr
+	phases.bulkNS.Add(int64(time.Since(t0)))
+	return nil
+}
+
+// computeRefDists fills the flat n×m reference-distance matrix on up to
+// `workers` goroutines. Rows are written at fixed offsets, so the
+// result is independent of scheduling.
+func computeRefDists(ctx context.Context, vectors, refs [][]float32, workers int) ([]float32, error) {
+	n, m := len(vectors), len(refs)
+	rdist := make([]float32, n*m)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		loI, hiI := w*chunk, (w+1)*chunk
+		if hiI > n {
+			hiI = n
+		}
+		if loI >= hiI {
+			break
+		}
+		wg.Add(1)
+		go func(loI, hiI int) {
+			defer wg.Done()
+			for i := loI; i < hiI; i++ {
+				if i%1024 == 0 && ctx.Err() != nil {
+					return
+				}
+				row := rdist[i*m : (i+1)*m]
+				for r, rv := range refs {
+					row[r] = float32(vecmath.Dist(vectors[i], rv))
+				}
+			}
+		}(loI, hiI)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return rdist, nil
+}
+
+func msSince(t time.Time) float64 { return msOf(int64(time.Since(t))) }
+
+func msOf(ns int64) float64 { return float64(ns) / 1e6 }
+
+// BuildStats returns the construction cost breakdown of a freshly
+// built index, or nil when the index was Opened from disk.
+func (ix *Index) BuildStats() *BuildStats { return ix.buildStats }

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"testing"
+
+	"github.com/hd-index/hdindex/internal/pager"
+	"github.com/hd-index/hdindex/internal/rdbtree"
+)
+
+// sortRecords is the seed build's comparison sort, made deterministic
+// under key ties by falling back to id order — the same tie rule the
+// stable radix sort inherits from an identity input permutation.
+func sortRecords(records []rdbtree.Record) {
+	sort.Slice(records, func(i, j int) bool {
+		if c := bytes.Compare(records[i].Key, records[j].Key); c != 0 {
+			return c < 0
+		}
+		return records[i].ID < records[j].ID
+	})
+}
+
+// buildReferenceTree reconstructs tree t of ix the way the seed
+// implementation did — per-record Encode, Record structs, comparison
+// sort, record bulk load — into its own pager file, and returns that
+// file's bytes.
+func buildReferenceTree(t *testing.T, ix *Index, tr int, vectors [][]float32, rdist []float32, path string) []byte {
+	t.Helper()
+	p := ix.params
+	q := ix.quants[tr]
+	curve := ix.curves[tr]
+	start := tr * ix.eta
+	m := p.M
+
+	records := make([]rdbtree.Record, len(vectors))
+	coords := make([]uint32, ix.eta)
+	for id, v := range vectors {
+		q.Coords(coords, v[start:start+ix.eta])
+		records[id] = rdbtree.Record{
+			Key:      curve.Encode(nil, coords),
+			ID:       uint64(id),
+			RefDists: rdist[id*m : (id+1)*m],
+		}
+	}
+	sortRecords(records)
+
+	pgr, err := pager.Open(path, pager.Options{
+		Create: true, PageSize: p.PageSize, PoolPages: p.PoolPages, DisableLRU: p.DisableCache,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := rdbtree.Create(pgr, rdbtree.Config{Eta: ix.eta, Omega: p.Omega, M: p.M})
+	if err != nil {
+		pgr.Close()
+		t.Fatal(err)
+	}
+	if err := tree.BulkLoad(records); err != nil {
+		pgr.Close()
+		t.Fatal(err)
+	}
+	if err := tree.Flush(); err != nil {
+		pgr.Close()
+		t.Fatal(err)
+	}
+	pgr.Close()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestBuildEquivalentToComparisonSortPath is the PR's core equivalence
+// claim: the flat-arena + radix-sort build writes bit-identical tree
+// files to the seed per-record comparison-sort path, for a fixed seed —
+// and therefore returns bit-identical search results.
+func TestBuildEquivalentToComparisonSortPath(t *testing.T) {
+	vectors := testVectorsFlatTie(4000, 32, 9)
+	p := Params{Tau: 8, Omega: 8, M: 6, Alpha: 256, Seed: 7}
+	dir := t.TempDir()
+	ix, err := Build(dir, vectors, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+
+	rdist, err := computeRefDists(context.Background(), vectors, ix.refs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDir := t.TempDir()
+	for tr := 0; tr < ix.params.Tau; tr++ {
+		want := buildReferenceTree(t, ix, tr, vectors, rdist, filepath.Join(refDir, "ref.pg"))
+		got, err := os.ReadFile(ix.treePath(tr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("tree %d: arena build differs from comparison-sort reference (%d vs %d bytes)", tr, len(got), len(want))
+		}
+	}
+
+	// Belt and braces: search through the real index equals search over
+	// an index whose trees are the reference files.
+	refIxDir := t.TempDir()
+	copyDir(t, dir, refIxDir)
+	for tr := 0; tr < ix.params.Tau; tr++ {
+		b := buildReferenceTree(t, ix, tr, vectors, rdist, filepath.Join(refDir, "ref.pg"))
+		if err := os.WriteFile(filepath.Join(refIxDir, filepath.Base(ix.treePath(tr))), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refIx, err := Open(refIxDir, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer refIx.Close()
+	rng := rand.New(rand.NewSource(99))
+	for qi := 0; qi < 20; qi++ {
+		q := vectors[rng.Intn(len(vectors))]
+		a, err := ix.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := refIx.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("query %d: %d vs %d results", qi, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("query %d result %d: %+v vs %+v", qi, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// testVectorsFlatTie generates vectors over a coarse integer grid so
+// Hilbert-key ties actually occur — the case where only a *stable*
+// sort keeps the build deterministic.
+func testVectorsFlatTie(n, dim int, seed int64) [][]float32 {
+	rng := rand.New(rand.NewSource(seed))
+	vs := make([][]float32, n)
+	for i := range vs {
+		v := make([]float32, dim)
+		for d := range v {
+			v[d] = float32(rng.Intn(8)) // 8 distinct values/dim: many collisions
+		}
+		vs[i] = v
+	}
+	return vs
+}
+
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// hashDirFiles returns every file's bytes keyed by name, for
+// bit-identical comparisons.
+func dirFiles(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		out[rel] = b
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func assertSameFiles(t *testing.T, a, b map[string][]byte, skip func(string) bool) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("file sets differ: %d vs %d files", len(a), len(b))
+	}
+	for name, ab := range a {
+		if skip != nil && skip(name) {
+			continue
+		}
+		bb, ok := b[name]
+		if !ok {
+			t.Fatalf("file %s missing from second build", name)
+		}
+		if !bytes.Equal(ab, bb) {
+			t.Fatalf("file %s differs between builds (%d vs %d bytes)", name, len(ab), len(bb))
+		}
+	}
+}
+
+// TestBuildDeterministicAcrossGOMAXPROCS pins core-level build
+// determinism: one worker vs eight produce bit-identical index files
+// and search results. Chunked encoding writes at fixed offsets and the
+// radix sort is stable, so parallelism must not leak into the output.
+func TestBuildDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	vectors := testVectorsFlatTie(3000, 32, 10)
+	p := Params{Tau: 8, Omega: 8, M: 5, Alpha: 128, Seed: 3}
+
+	build := func(dir string, procs int) {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		ix, err := Build(dir, vectors, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix.Close()
+	}
+	dir1, dir8 := t.TempDir(), t.TempDir()
+	build(dir1, 1)
+	build(dir8, 8)
+	assertSameFiles(t, dirFiles(t, dir1), dirFiles(t, dir8), nil)
+
+	// And explicit BuildWorkers budgets agree too (1 vs 8), since the
+	// budget is excluded from meta.json.
+	p1, p8 := p, p
+	p1.BuildWorkers, p8.BuildWorkers = 1, 8
+	dw1, dw8 := t.TempDir(), t.TempDir()
+	ix1, err := Build(dw1, vectors, p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix1.Close()
+	ix8, err := Build(dw8, vectors, p8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix8.Close()
+	assertSameFiles(t, dirFiles(t, dw1), dirFiles(t, dw8), nil)
+}
+
+// TestBuildContextCancelled checks the cancellation contract: the build
+// returns ctx's error and leaves a directory Open rejects (no commit
+// point), not a half-index.
+func TestBuildContextCancelled(t *testing.T) {
+	vectors := testVectorsFlatTie(2000, 32, 11)
+	dir := t.TempDir()
+	// Seed the directory with a complete index first, so the test also
+	// proves a cancelled rebuild invalidates the old layout rather than
+	// leaving it half-served.
+	ix, err := Build(dir, vectors, Params{Tau: 8, Omega: 8, M: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the build begins
+	if _, err := BuildContext(ctx, dir, vectors, Params{Tau: 8, Omega: 8, M: 4, Seed: 1}); err == nil {
+		t.Fatal("cancelled build must fail")
+	}
+	if _, err := Open(dir, OpenOptions{}); err == nil {
+		t.Fatal("Open must reject the directory a cancelled build left behind")
+	}
+}
+
+// TestBuildStatsPopulated checks the Info surface: a fresh build
+// reports its phase breakdown, an opened index reports nil.
+func TestBuildStatsPopulated(t *testing.T) {
+	vectors := testVectorsFlatTie(1000, 16, 12)
+	dir := t.TempDir()
+	ix, err := Build(dir, vectors, Params{Tau: 4, Omega: 8, M: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := ix.BuildStats()
+	if bs == nil {
+		t.Fatal("fresh build must report BuildStats")
+	}
+	if bs.TotalMS <= 0 || bs.Allocs == 0 || bs.PeakHeapBytes == 0 {
+		t.Fatalf("implausible stats: %+v", bs)
+	}
+	if bs.EncodeMS < 0 || bs.SortMS < 0 || bs.BulkLoadMS < 0 || bs.RefDistsMS < 0 {
+		t.Fatalf("negative phase time: %+v", bs)
+	}
+	ix.Close()
+
+	re, err := Open(dir, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.BuildStats() != nil {
+		t.Fatal("opened index must not report BuildStats")
+	}
+}

@@ -3,17 +3,13 @@ package core
 import (
 	"encoding/json"
 	"fmt"
-	"math/rand"
 	"os"
 	"path/filepath"
-	"runtime"
-	"sort"
 	"sync"
 
 	"github.com/hd-index/hdindex/internal/hilbert"
 	"github.com/hd-index/hdindex/internal/pager"
 	"github.com/hd-index/hdindex/internal/rdbtree"
-	"github.com/hd-index/hdindex/internal/refsel"
 	"github.com/hd-index/hdindex/internal/vecmath"
 	"github.com/hd-index/hdindex/internal/vecstore"
 )
@@ -43,6 +39,10 @@ type Index struct {
 	curves  []hilbert.Curve      // one per partition
 	quants  []*hilbert.Quantizer // one per partition
 	deleted *deleteSet           // §3.6 deletion marks
+
+	// buildStats is the construction cost breakdown; set by Build,
+	// nil on an Opened index.
+	buildStats *BuildStats
 }
 
 // metaJSON is the serialised index descriptor.
@@ -53,172 +53,6 @@ type metaJSON struct {
 	Refs   [][]float32 `json:"refs"`
 	Lo     []float32   `json:"lo"`
 	Hi     []float32   `json:"hi"`
-}
-
-// Build constructs an HD-Index over vectors in directory dir
-// (Algorithm 1). The directory is created; existing index files in it are
-// overwritten.
-func Build(dir string, vectors [][]float32, p Params) (*Index, error) {
-	if len(vectors) == 0 {
-		return nil, fmt.Errorf("core: empty dataset")
-	}
-	nu := len(vectors[0])
-	p.SetDefaults(nu, len(vectors))
-	if err := p.Validate(nu); err != nil {
-		return nil, err
-	}
-	if p.M > len(vectors) {
-		return nil, fmt.Errorf("core: m = %d exceeds dataset size %d", p.M, len(vectors))
-	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("core: mkdir %s: %w", dir, err)
-	}
-	if err := RemoveIndexFiles(dir); err != nil {
-		return nil, err
-	}
-
-	rng := rand.New(rand.NewSource(p.Seed))
-
-	// Algorithm 1 line 1: choose reference objects.
-	var sel *refsel.Result
-	var err error
-	switch p.RefSelection {
-	case RefRandom:
-		sel, err = refsel.Random(vectors, p.M, rng)
-	case RefSSSDyn:
-		sel, err = refsel.SSSDyn(vectors, p.M, p.SSSFraction, 64, rng)
-	default:
-		sel, err = refsel.SSS(vectors, p.M, p.SSSFraction, rng)
-	}
-	if err != nil {
-		return nil, err
-	}
-	refs := make([][]float32, p.M)
-	for i, v := range sel.Vectors {
-		refs[i] = vecmath.Copy(v)
-	}
-
-	// Algorithm 1 line 2: distances of every object to every reference.
-	rdist := computeRefDists(vectors, refs)
-
-	lo, hi := vecmath.MinMax(vectors, nu)
-
-	ix := &Index{
-		dir:     dir,
-		params:  p,
-		nu:      nu,
-		eta:     nu / p.Tau,
-		refs:    refs,
-		lo:      lo,
-		hi:      hi,
-		deleted: newDeleteSet(),
-	}
-	ix.refCross = crossDistances(refs)
-	if err := ix.initCurves(); err != nil {
-		return nil, err
-	}
-
-	// Algorithm 1 lines 5-10: one RDB-tree per partition.
-	ix.trees = make([]*rdbtree.Tree, p.Tau)
-	ix.treePagers = make([]*pager.Pager, p.Tau)
-	errs := make([]error, p.Tau)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for t := 0; t < p.Tau; t++ {
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			errs[t] = ix.buildTree(t, vectors, rdist)
-		}(t)
-	}
-	wg.Wait()
-	for _, e := range errs {
-		if e != nil {
-			ix.Close()
-			return nil, e
-		}
-	}
-
-	// The pointer target: raw vectors in a paged store.
-	vp, err := pager.Open(filepath.Join(dir, "vectors.pg"), pager.Options{
-		Create: true, PageSize: p.PageSize, PoolPages: p.PoolPages, DisableLRU: p.DisableCache,
-	})
-	if err != nil {
-		ix.Close()
-		return nil, err
-	}
-	vs, err := vecstore.Create(vp, nu)
-	if err != nil {
-		vp.Close()
-		ix.Close()
-		return nil, err
-	}
-	if err := vs.BuildFrom(vectors); err != nil {
-		vp.Close()
-		ix.Close()
-		return nil, err
-	}
-	if err := vs.Flush(); err != nil {
-		vp.Close()
-		ix.Close()
-		return nil, err
-	}
-	ix.vectors = vs
-	ix.vecPager = vp
-
-	if err := ix.writeMeta(); err != nil {
-		ix.Close()
-		return nil, err
-	}
-	return ix, nil
-}
-
-// buildTree constructs RDB-tree t: Hilbert keys for partition t, sorted,
-// bulk-loaded with (key, id, refdists).
-func (ix *Index) buildTree(t int, vectors [][]float32, rdist [][]float32) error {
-	p := ix.params
-	q := ix.quants[t]
-	curve := ix.curves[t]
-	start := t * ix.eta
-
-	records := make([]rdbtree.Record, len(vectors))
-	coords := make([]uint32, ix.eta)
-	for id, v := range vectors {
-		q.Coords(coords, v[start:start+ix.eta])
-		records[id] = rdbtree.Record{
-			Key:      curve.Encode(nil, coords),
-			ID:       uint64(id),
-			RefDists: rdist[id],
-		}
-	}
-	sort.Slice(records, func(i, j int) bool {
-		return compareBytes(records[i].Key, records[j].Key) < 0
-	})
-
-	pgr, err := pager.Open(ix.treePath(t), pager.Options{
-		Create: true, PageSize: p.PageSize, PoolPages: p.PoolPages, DisableLRU: p.DisableCache,
-	})
-	if err != nil {
-		return err
-	}
-	tree, err := rdbtree.Create(pgr, rdbtree.Config{Eta: ix.eta, Omega: p.Omega, M: p.M})
-	if err != nil {
-		pgr.Close()
-		return err
-	}
-	if err := tree.BulkLoad(records); err != nil {
-		pgr.Close()
-		return err
-	}
-	if err := tree.Flush(); err != nil {
-		pgr.Close()
-		return err
-	}
-	ix.trees[t] = tree
-	ix.treePagers[t] = pgr
-	return nil
 }
 
 func (ix *Index) treePath(t int) string {
@@ -274,35 +108,6 @@ func (ix *Index) initCurves() error {
 	return nil
 }
 
-func computeRefDists(vectors, refs [][]float32) [][]float32 {
-	rdist := make([][]float32, len(vectors))
-	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	chunk := (len(vectors) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		loI, hiI := w*chunk, (w+1)*chunk
-		if hiI > len(vectors) {
-			hiI = len(vectors)
-		}
-		if loI >= hiI {
-			break
-		}
-		wg.Add(1)
-		go func(loI, hiI int) {
-			defer wg.Done()
-			for i := loI; i < hiI; i++ {
-				d := make([]float32, len(refs))
-				for r, rv := range refs {
-					d[r] = float32(vecmath.Dist(vectors[i], rv))
-				}
-				rdist[i] = d
-			}
-		}(loI, hiI)
-	}
-	wg.Wait()
-	return rdist
-}
-
 func crossDistances(refs [][]float32) [][]float64 {
 	m := len(refs)
 	cross := make([][]float64, m)
@@ -315,18 +120,6 @@ func crossDistances(refs [][]float32) [][]float64 {
 		}
 	}
 	return cross
-}
-
-func compareBytes(a, b []byte) int {
-	for i := range a {
-		switch {
-		case a[i] < b[i]:
-			return -1
-		case a[i] > b[i]:
-			return 1
-		}
-	}
-	return 0
 }
 
 func (ix *Index) writeMeta() error {

@@ -60,6 +60,16 @@ type Params struct {
 	// queries run concurrently. 0 means GOMAXPROCS.
 	BatchWorkers int
 
+	// BuildWorkers is the construction-parallelism budget: the total
+	// number of concurrently working goroutines across the τ tree
+	// builds and the chunked encode workers inside each (a sharded
+	// layout divides its budget among concurrently building shards).
+	// 0 means GOMAXPROCS at build time. Deliberately not baked into
+	// SetDefaults and excluded from serialisation: a build-time knob in
+	// meta.json would make index bytes depend on the building machine's
+	// core count, breaking bit-identical builds.
+	BuildWorkers int `json:"-"`
+
 	Seed int64
 }
 
@@ -130,6 +140,9 @@ func (p *Params) Validate(nu int) error {
 	}
 	if p.BatchWorkers < 0 {
 		return fmt.Errorf("core: batch workers must be >= 0, got %d", p.BatchWorkers)
+	}
+	if p.BuildWorkers < 0 {
+		return fmt.Errorf("core: build workers must be >= 0, got %d", p.BuildWorkers)
 	}
 	if p.Alpha < 1 || p.Beta < 1 || p.Gamma < 1 {
 		return fmt.Errorf("core: alpha/beta/gamma must be >= 1, got %d/%d/%d", p.Alpha, p.Beta, p.Gamma)

@@ -1,0 +1,107 @@
+package data
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestReadFvecsFlatMatchesReadFvecs pins the flat reader to the
+// row-per-slice one on a round-tripped file.
+func TestReadFvecsFlatMatchesReadFvecs(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const n, dim = 137, 19
+	vectors := make([][]float32, n)
+	for i := range vectors {
+		vectors[i] = make([]float32, dim)
+		for d := range vectors[i] {
+			vectors[i][d] = rng.Float32()*200 - 100
+		}
+	}
+	path := filepath.Join(t.TempDir(), "v.fvecs")
+	if err := WriteFvecs(path, vectors); err != nil {
+		t.Fatal(err)
+	}
+	flat, gotDim, err := ReadFvecsFlat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotDim != dim {
+		t.Fatalf("dim = %d, want %d", gotDim, dim)
+	}
+	if len(flat) != n*dim {
+		t.Fatalf("flat length = %d, want %d", len(flat), n*dim)
+	}
+	rows := Rows(flat, dim)
+	for i := range vectors {
+		for d := range vectors[i] {
+			if rows[i][d] != vectors[i][d] {
+				t.Fatalf("vector %d dim %d: %v != %v", i, d, rows[i][d], vectors[i][d])
+			}
+		}
+	}
+	// Rows must alias, not copy: mutating the flat array shows through.
+	flat[0] = 42
+	if rows[0][0] != 42 {
+		t.Fatal("Rows must alias the flat matrix")
+	}
+}
+
+func TestReadFvecsFlatErrors(t *testing.T) {
+	if _, _, err := ReadFvecsFlat(filepath.Join(t.TempDir(), "missing.fvecs")); err == nil {
+		t.Fatal("missing file must fail")
+	}
+	dir := t.TempDir()
+
+	// Truncated record: header promises 4 floats, data stops short.
+	short := filepath.Join(dir, "short.fvecs")
+	if err := os.WriteFile(short, []byte{4, 0, 0, 0, 1, 2, 3}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadFvecsFlat(short); err == nil {
+		t.Fatal("truncated file must fail")
+	}
+
+	// Bad dimension.
+	bad := filepath.Join(dir, "bad.fvecs")
+	if err := os.WriteFile(bad, []byte{0xff, 0xff, 0xff, 0xff}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadFvecsFlat(bad); err == nil {
+		t.Fatal("negative dimension must fail")
+	}
+
+	// Mixed dimensions: two records with different headers but sizes
+	// that still sum to a multiple of the first record size.
+	mixed := filepath.Join(dir, "mixed.fvecs")
+	buf := []byte{
+		1, 0, 0, 0, 0, 0, 0, 0, // dim 1, one float
+		2, 0, 0, 0, 0, 0, 0, 0, // claims dim 2 — mismatch
+	}
+	if err := os.WriteFile(mixed, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadFvecsFlat(mixed); err == nil {
+		t.Fatal("mixed dimensions must fail")
+	}
+
+	// Empty file: zero vectors, no error.
+	empty := filepath.Join(dir, "empty.fvecs")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	flat, dim, err := ReadFvecsFlat(empty)
+	if err != nil || len(flat) != 0 || dim != 0 {
+		t.Fatalf("empty file: flat=%v dim=%d err=%v", flat, dim, err)
+	}
+}
+
+func TestRowsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Rows must panic on a ragged flat length")
+		}
+	}()
+	Rows(make([]float32, 7), 2)
+}

@@ -47,6 +47,29 @@ func (z *ZOrder) Encode(dst []byte, coords []uint32) []byte {
 	return packTransposed(dst, coords, z.dims, z.order)
 }
 
+// EncodeAll encodes len(coords)/stride points into dst, KeyLen() bytes
+// each; see Curve.EncodeAll. Morton keys need no transpose, so the
+// batch form only hoists validation and the append bookkeeping.
+func (z *ZOrder) EncodeAll(dst []byte, coords []uint32, stride int) {
+	if stride < z.dims {
+		panic("zorder: stride below dimensionality")
+	}
+	n := len(coords) / stride
+	if len(dst) < n*z.keyLen {
+		panic("zorder: destination too short")
+	}
+	maxv := maxCoord(z.order)
+	for i := 0; i < n; i++ {
+		row := coords[i*stride : i*stride+z.dims]
+		for _, c := range row {
+			if c > maxv {
+				panic("zorder: coordinate exceeds order")
+			}
+		}
+		packTransposedInto(dst[i*z.keyLen:(i+1)*z.keyLen], row, z.dims, z.order)
+	}
+}
+
 // Decode writes the grid coordinates of key into coords.
 func (z *ZOrder) Decode(key []byte, coords []uint32) {
 	if len(coords) != z.dims {

@@ -1,0 +1,186 @@
+package radix
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refSort is the comparison-sort oracle: stable sort of the identity
+// permutation by key, the exact semantics Sort promises.
+func refSort(keys []byte, width int, n int) []uint32 {
+	perm := make([]uint32, n)
+	for i := range perm {
+		perm[i] = uint32(i)
+	}
+	sort.SliceStable(perm, func(i, j int) bool {
+		a := keys[int(perm[i])*width : int(perm[i])*width+width]
+		b := keys[int(perm[j])*width : int(perm[j])*width+width]
+		return bytes.Compare(a, b) < 0
+	})
+	return perm
+}
+
+func identity(n int) []uint32 {
+	perm := make([]uint32, n)
+	for i := range perm {
+		perm[i] = uint32(i)
+	}
+	return perm
+}
+
+func checkAgainstRef(t *testing.T, keys []byte, width, n int) {
+	t.Helper()
+	got := identity(n)
+	Sort(keys, width, got)
+	want := refSort(keys, width, n)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("width=%d n=%d: perm[%d] = %d, want %d (stable order violated)", width, n, i, got[i], want[i])
+		}
+	}
+}
+
+func TestSortMatchesStableReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, width := range []int{1, 2, 7, 16, 32} {
+		for _, n := range []int{0, 1, 2, 3, msdCutoff, msdCutoff + 1, 500, 4096} {
+			keys := make([]byte, n*width)
+			rng.Read(keys)
+			checkAgainstRef(t, keys, width, n)
+		}
+	}
+}
+
+func TestSortHeavyDuplicates(t *testing.T) {
+	// Few distinct values per byte forces deep recursion and exercises
+	// the all-equal tail-call shortcut and the stability of ties.
+	rng := rand.New(rand.NewSource(2))
+	const width, n = 16, 3000
+	keys := make([]byte, n*width)
+	for i := range keys {
+		keys[i] = byte(rng.Intn(2)) // only 0x00/0x01 bytes
+	}
+	checkAgainstRef(t, keys, width, n)
+}
+
+func TestSortAllEqual(t *testing.T) {
+	const width, n = 8, 1000
+	keys := make([]byte, n*width)
+	perm := identity(n)
+	Sort(keys, width, perm)
+	for i := range perm {
+		if perm[i] != uint32(i) {
+			t.Fatalf("equal keys must keep input order: perm[%d] = %d", i, perm[i])
+		}
+	}
+}
+
+func TestSortAlreadySortedAndReversed(t *testing.T) {
+	const width, n = 4, 2000
+	keys := make([]byte, n*width)
+	for i := 0; i < n; i++ {
+		keys[i*width+2] = byte(i >> 8)
+		keys[i*width+3] = byte(i)
+	}
+	checkAgainstRef(t, keys, width, n)
+
+	perm := make([]uint32, n)
+	for i := range perm {
+		perm[i] = uint32(n - 1 - i)
+	}
+	Sort(keys, width, perm)
+	for i := range perm {
+		if perm[i] != uint32(i) {
+			t.Fatalf("reversed input: perm[%d] = %d", i, perm[i])
+		}
+	}
+}
+
+func TestSortZeroWidth(t *testing.T) {
+	perm := identity(100)
+	Sort(nil, 0, perm) // must not touch perm or panic
+	for i := range perm {
+		if perm[i] != uint32(i) {
+			t.Fatalf("zero width must be a no-op")
+		}
+	}
+}
+
+func TestSortWithScratchReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	scratch := make([]uint32, 0, 512)
+	for round := 0; round < 5; round++ {
+		width := 1 + rng.Intn(20)
+		n := rng.Intn(512)
+		keys := make([]byte, n*width)
+		rng.Read(keys)
+		got := identity(n)
+		SortWithScratch(keys, width, got, scratch)
+		want := refSort(keys, width, n)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round %d: perm[%d] = %d, want %d", round, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// FuzzSort cross-checks the radix sort against sort.SliceStable on
+// arbitrary arenas; the width is derived from the data so the corpus
+// explores many geometries.
+func FuzzSort(f *testing.F) {
+	f.Add([]byte{3, 1, 2, 0}, uint8(1))
+	f.Add([]byte{0xff, 0x00, 0x00, 0xff, 0x00, 0xff}, uint8(2))
+	f.Add(make([]byte, 64), uint8(16))
+	f.Fuzz(func(t *testing.T, data []byte, w uint8) {
+		width := int(w)%32 + 1
+		n := len(data) / width
+		if n > 1<<12 {
+			n = 1 << 12
+		}
+		keys := data[:n*width]
+		got := identity(n)
+		Sort(keys, width, got)
+		want := refSort(keys, width, n)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("width=%d n=%d: perm[%d] = %d, want %d", width, n, i, got[i], want[i])
+			}
+		}
+	})
+}
+
+func BenchmarkSort(b *testing.B) {
+	const width, n = 16, 10000
+	keys := make([]byte, n*width)
+	rand.New(rand.NewSource(4)).Read(keys)
+	perm := make([]uint32, n)
+	scratch := make([]uint32, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range perm {
+			perm[j] = uint32(j)
+		}
+		SortWithScratch(keys, width, perm, scratch)
+	}
+}
+
+func BenchmarkSortSliceReference(b *testing.B) {
+	const width, n = 16, 10000
+	keys := make([]byte, n*width)
+	rand.New(rand.NewSource(4)).Read(keys)
+	perm := make([]uint32, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range perm {
+			perm[j] = uint32(j)
+		}
+		sort.Slice(perm, func(x, y int) bool {
+			a := keys[int(perm[x])*width : int(perm[x])*width+width]
+			c := keys[int(perm[y])*width : int(perm[y])*width+width]
+			return bytes.Compare(a, c) < 0
+		})
+	}
+}

@@ -18,6 +18,7 @@
 package rdbtree
 
 import (
+	"bytes"
 	"context"
 	"encoding/binary"
 	"fmt"
@@ -61,6 +62,11 @@ type Entry struct {
 type Tree struct {
 	bt  *bptree.Tree
 	cfg Config
+	// valBuf is Insert's value-encoding scratch, reused across calls so
+	// the single-object write path allocates nothing. Insert already
+	// requires external serialisation (core holds its write lock), so
+	// the shared buffer adds no new constraint.
+	valBuf []byte
 }
 
 // Create initialises an empty RDB-tree in a fresh pager file.
@@ -141,10 +147,6 @@ func (t *Tree) encodeValue(dst []byte, id uint64, refDists []float32) {
 	}
 }
 
-func (t *Tree) decodeValue(v []byte) Entry {
-	return t.decodeValueInto(v, make([]float32, t.cfg.M))
-}
-
 // decodeValueInto decodes into caller-provided RefDists storage (len m).
 func (t *Tree) decodeValueInto(v []byte, rd []float32) Entry {
 	e := Entry{
@@ -194,14 +196,71 @@ func (s *recordSource) Next() (key, value []byte, ok bool) {
 	return r.Key, s.buf, true
 }
 
-// Insert adds a single object (§3.6 updates).
+// BulkLoadArena builds the tree from flat construction arenas — the
+// zero-copy counterpart of BulkLoad that the radix-sorted build path
+// streams from. keys holds one KeyLen()-wide row per object in object
+// order (never reordered; row r is keys[r*KeyLen():(r+1)*KeyLen()]),
+// rdist the matching M-wide float32 rows, and perm lists row numbers in
+// ascending key order (radix.Sort's output). ids maps a row number to
+// its object id; nil means the row number is the id, which is exactly
+// the shape core's build produces. Nothing is allocated per record: the
+// leaf writer copies straight out of the arenas through one reused
+// value buffer.
+func (t *Tree) BulkLoadArena(keys []byte, perm []uint32, ids []uint64, rdist []float32) error {
+	n := len(perm)
+	kl, m := t.cfg.KeyLen(), t.cfg.M
+	if len(keys) != n*kl {
+		return fmt.Errorf("rdbtree: key arena holds %d bytes, want %d rows × %d", len(keys), n, kl)
+	}
+	if len(rdist) != n*m {
+		return fmt.Errorf("rdbtree: refdist arena holds %d floats, want %d rows × %d", len(rdist), n, m)
+	}
+	if ids != nil && len(ids) != n {
+		return fmt.Errorf("rdbtree: got %d ids for %d rows", len(ids), n)
+	}
+	src := &arenaSource{
+		t: t, keys: keys, perm: perm, ids: ids, rdist: rdist,
+		buf: make([]byte, t.cfg.ValLen()),
+	}
+	return t.bt.BulkLoad(src)
+}
+
+type arenaSource struct {
+	t     *Tree
+	keys  []byte
+	perm  []uint32
+	ids   []uint64
+	rdist []float32
+	buf   []byte
+	i     int
+}
+
+func (s *arenaSource) Next() (key, value []byte, ok bool) {
+	if s.i >= len(s.perm) {
+		return nil, nil, false
+	}
+	row := int(s.perm[s.i])
+	s.i++
+	kl, m := s.t.cfg.KeyLen(), s.t.cfg.M
+	id := uint64(row)
+	if s.ids != nil {
+		id = s.ids[row]
+	}
+	s.t.encodeValue(s.buf, id, s.rdist[row*m:(row+1)*m])
+	return s.keys[row*kl : (row+1)*kl], s.buf, true
+}
+
+// Insert adds a single object (§3.6 updates). Not safe for concurrent
+// use with itself (callers already serialise writes).
 func (t *Tree) Insert(key []byte, id uint64, refDists []float32) error {
 	if len(refDists) != t.cfg.M {
 		return fmt.Errorf("rdbtree: got %d reference distances, want %d", len(refDists), t.cfg.M)
 	}
-	buf := make([]byte, t.cfg.ValLen())
-	t.encodeValue(buf, id, refDists)
-	return t.bt.Insert(key, buf)
+	if t.valBuf == nil {
+		t.valBuf = make([]byte, t.cfg.ValLen())
+	}
+	t.encodeValue(t.valBuf, id, refDists)
+	return t.bt.Insert(key, t.valBuf)
 }
 
 // SearchNearest returns up to alpha entries whose Hilbert keys are
@@ -291,7 +350,7 @@ func (t *Tree) SearchNearestInto(ctx context.Context, key []byte, alpha int, dst
 			hilbert.KeyDelta(dr, key, right.Key())
 			// Ties go right: keys >= the query key are preferred, the
 			// same convention a forward range scan would use.
-			takeRight = compareBytes(dr, dl) <= 0
+			takeRight = bytes.Compare(dr, dl) <= 0
 		}
 		if takeRight {
 			take(right.Value())
@@ -308,22 +367,12 @@ func (t *Tree) SearchNearestInto(ctx context.Context, key []byte, alpha int, dst
 	return out, arena, nil
 }
 
-func compareBytes(a, b []byte) int {
-	for i := range a {
-		switch {
-		case a[i] < b[i]:
-			return -1
-		case a[i] > b[i]:
-			return 1
-		}
-	}
-	return 0
-}
-
 // ScanAll invokes fn for every entry in key order; used by integrity
-// checks and tests.
+// checks and tests. The Entry's RefDists alias one scratch slice reused
+// across callbacks — valid only for the duration of fn; copy to retain.
 func (t *Tree) ScanAll(fn func(key []byte, e Entry) bool) error {
+	rd := make([]float32, t.cfg.M)
 	return t.bt.Scan(nil, nil, func(k, v []byte) bool {
-		return fn(k, t.decodeValue(v))
+		return fn(k, t.decodeValueInto(v, rd))
 	})
 }

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"github.com/hd-index/hdindex/internal/core"
 	"github.com/hd-index/hdindex/internal/fanout"
@@ -21,9 +23,11 @@ type Params struct {
 	// concurrency and later PRs rebalance or place shards elsewhere.
 	Shards int
 
-	// BuildWorkers bounds how many shards build concurrently
-	// (0 = GOMAXPROCS). Each shard build is itself internally parallel,
-	// so the useful ceiling is small.
+	// BuildWorkers is the total construction-parallelism budget
+	// (0 = GOMAXPROCS): it bounds how many shards build concurrently
+	// AND is divided among them as each shard's core.Params.BuildWorkers,
+	// so shard × tree × encode-chunk workers never oversubscribe the
+	// machine however the three layers nest.
 	BuildWorkers int
 }
 
@@ -32,6 +36,14 @@ type Params struct {
 // concurrently on a bounded worker pool, and commits the layout by
 // writing the manifest last.
 func Build(dir string, vectors [][]float32, p Params) (*Sharded, error) {
+	return BuildContext(context.Background(), dir, vectors, p)
+}
+
+// BuildContext is Build honouring ctx: per-shard builds check for
+// cancellation between work chunks, remaining shards are not started,
+// and the manifest (the layout's commit point) is never written — a
+// cancelled directory fails Open rather than serving a partial layout.
+func BuildContext(ctx context.Context, dir string, vectors [][]float32, p Params) (*Sharded, error) {
 	if p.Shards == 0 {
 		p.Shards = 1
 	}
@@ -85,15 +97,51 @@ func Build(dir string, vectors [][]float32, p Params) (*Sharded, error) {
 		batchWorkers: p.BatchWorkers,
 	}
 
+	// One budget across all layers: at most shardConc shards build at
+	// once, each internally limited to perShard workers, so the total
+	// worker count stays at (or just under) the budget.
+	budget := p.BuildWorkers
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	shardConc := budget
+	if shardConc > n {
+		shardConc = n
+	}
+	perShard := budget / shardConc
+	if perShard < 1 {
+		perShard = 1
+	}
+	// Distribute the remainder: the first budget%shardConc shards get
+	// one extra worker, so no requested slot idles (e.g. budget 7 over
+	// 4 shards splits 2+2+2+1, not 1+1+1+1). At most shardConc shards
+	// run at once and rem < shardConc, so the concurrent total never
+	// exceeds the budget; worker count never affects output bytes.
+	rem := 0
+	if perShard*shardConc < budget {
+		rem = budget - perShard*shardConc
+	}
+
+	buildStart := time.Now()
+	// One allocation window around the whole fan-out: per-shard Allocs
+	// deltas are process-wide counters over overlapping windows when
+	// shards build concurrently, so summing them would multiply-count.
+	var probe core.MemProbe
+	probe.Sample()
 	// The bounded fan-out also stops scheduling further shard builds as
-	// soon as one fails, instead of burning CPU on a doomed layout.
-	err := fanout.Run(context.Background(), n, p.BuildWorkers, func(_ context.Context, i int) error {
+	// soon as one fails (or ctx is cancelled), instead of burning CPU
+	// on a doomed layout.
+	err := fanout.Run(ctx, n, shardConc, func(ctx context.Context, i int) error {
 		sp := p.Params
 		// Derive per-shard seeds so shards don't sample identical
 		// reference candidates; shard 0 keeps the caller's seed, so
 		// a 1-shard build is bit-identical to the monolithic layout.
 		sp.Seed = p.Seed + int64(i)
-		ix, err := core.Build(shardDir(dir, i), stripes[i], sp)
+		sp.BuildWorkers = perShard
+		if i < rem {
+			sp.BuildWorkers++
+		}
+		ix, err := core.BuildContext(ctx, shardDir(dir, i), stripes[i], sp)
 		if err != nil {
 			return fmt.Errorf("shard: build shard %d: %w", i, err)
 		}
@@ -104,6 +152,20 @@ func Build(dir string, vectors [][]float32, p Params) (*Sharded, error) {
 		s.Close()
 		return nil, err
 	}
+
+	// Aggregate the per-shard construction costs: phase times sum (with
+	// shards building concurrently the sums exceed wall clock), peak
+	// heap takes the max, while TotalMS and Allocs are measured here,
+	// across the whole fan-out, wall clock and one allocation window.
+	agg := &core.BuildStats{}
+	for _, ix := range s.shards {
+		if bs := ix.BuildStats(); bs != nil {
+			agg.Add(*bs)
+		}
+	}
+	agg.TotalMS = float64(time.Since(buildStart).Microseconds()) / 1e3
+	agg.Allocs, agg.PeakHeapBytes = probe.Finish()
+	s.buildStats = agg
 
 	// Commit point: a crash before this line leaves a directory Open
 	// rejects (no manifest) instead of a silently short layout.

@@ -29,6 +29,10 @@ type Sharded struct {
 	dirty []bool
 
 	batchWorkers int
+
+	// buildStats aggregates the shards' construction costs; set by
+	// Build, nil on an Opened layout.
+	buildStats *core.BuildStats
 }
 
 // Info is one shard's row of the layout breakdown exposed through
@@ -119,6 +123,12 @@ func (s *Sharded) Flush() error {
 
 // NumShards returns the shard count N.
 func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// BuildStats returns the aggregated construction cost breakdown of a
+// freshly built layout (phase times and allocations summed across
+// shards, TotalMS the build's wall clock), or nil when the layout was
+// Opened from disk.
+func (s *Sharded) BuildStats() *core.BuildStats { return s.buildStats }
 
 // Manifest returns a copy of the layout descriptor.
 func (s *Sharded) Manifest() Manifest { return s.man }

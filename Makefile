@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-compare snapshot snapshot-sharded fmt fmt-check vet check serve clean
+.PHONY: build test race bench bench-smoke bench-compare snapshot snapshot-sharded sweep fmt fmt-check vet check serve clean
 
 build:
 	$(GO) build ./...
@@ -32,11 +32,20 @@ SNAPSHOT_OUT ?= bench-snapshot.json
 snapshot:
 	$(GO) run ./cmd/hdbench -snapshot $(SNAPSHOT_OUT) -scale 0.1 -queries 20 -k 20 -buildscale 1
 
-# Sharded counterpart (the committed baseline is BENCH_PR4.json):
-#   make snapshot-sharded SNAPSHOT_SHARDED_OUT=BENCH_PR4.json
+# Sharded counterpart (the committed baseline is BENCH_PR5.json):
+#   make snapshot-sharded SNAPSHOT_SHARDED_OUT=BENCH_PR5.json
+# -sweep adds the recall/latency frontier rows: the same built index
+# queried at several per-query alpha operating points.
 SNAPSHOT_SHARDED_OUT ?= bench-snapshot-sharded.json
+SWEEP ?= alpha=128,512,2048
 snapshot-sharded:
-	$(GO) run ./cmd/hdbench -shards 4 -snapshot $(SNAPSHOT_SHARDED_OUT) -scale 0.1 -queries 20 -k 20 -buildscale 1
+	$(GO) run ./cmd/hdbench -shards 4 -snapshot $(SNAPSHOT_SHARDED_OUT) -scale 0.1 -queries 20 -k 20 -buildscale 1 -sweep $(SWEEP)
+
+# Walk the recall/latency frontier on one built index (per-query alpha
+# overrides; no rebuild between points) and print the rows. Override
+# the spec with SWEEP=alpha=... or SWEEP=gamma=...
+sweep:
+	$(GO) run ./cmd/hdbench -snapshot sweep-snapshot.json -scale 0.1 -queries 20 -k 20 -sweep $(SWEEP)
 
 # Report-only perf diff: regenerate a sharded snapshot with the
 # baseline's config and print per-dataset deltas (build_ms,
@@ -71,4 +80,4 @@ serve:
 	$(GO) run ./cmd/hdserve -index /tmp/hdserve-demo.index
 
 clean:
-	rm -f bench-smoke.txt bench-core.txt bench-snapshot.json
+	rm -f bench-smoke.txt bench-core.txt bench-snapshot.json sweep-snapshot.json

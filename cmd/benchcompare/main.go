@@ -71,11 +71,13 @@ func main() {
 	fmt.Printf("baseline: %s (%s)\n", os.Args[1], base.GoVersion)
 	fmt.Printf("new:      %s (%s)\n", os.Args[2], fresh.GoVersion)
 	// Compare only the workload knobs: ParallelClients is absent from
-	// pre-PR3 baselines and BuildScale from pre-PR4 ones; neither
-	// changes the sequential query numbers.
+	// pre-PR3 baselines, BuildScale from pre-PR4 ones, and Sweep from
+	// pre-PR5 ones; none of them changes the sequential query numbers
+	// (the sweep runs strictly after every baseline measurement).
 	bc, fc := base.Config, fresh.Config
 	bc.ParallelClients, fc.ParallelClients = 0, 0
 	bc.BuildScale, fc.BuildScale = 0, 0
+	bc.Sweep, fc.Sweep = "", ""
 	if bc != fc {
 		fmt.Printf("note: configs differ (baseline %+v, new %+v) — deltas are indicative only\n",
 			base.Config, fresh.Config)
@@ -130,6 +132,27 @@ func main() {
 				printDelta("phase_sort_ms", op.Sort, nw.Phases.Sort, false)
 				printDelta("phase_bulkload_ms", op.BulkLoad, nw.Phases.BulkLoad, false)
 			}
+		}
+	}
+
+	// Frontier rows (per-query sweep snapshots, PR5+), matched on
+	// (dataset, param, value). Points only one side measured print
+	// without deltas — a changed sweep spec is different operating
+	// points, not a regression.
+	if len(fresh.Sweep) > 0 {
+		sweepByKey := make(map[string]bench.SweepRow, len(base.Sweep))
+		for _, row := range base.Sweep {
+			sweepByKey[fmt.Sprintf("%s/%s=%d", row.Dataset, row.Param, row.Value)] = row
+		}
+		for _, nw := range fresh.Sweep {
+			fmt.Printf("\n%s sweep %s=%d\n", nw.Dataset, nw.Param, nw.Value)
+			fmt.Printf("  %-22s %14s %14s %10s\n", "metric", "baseline", "new", "delta")
+			old := sweepByKey[fmt.Sprintf("%s/%s=%d", nw.Dataset, nw.Param, nw.Value)]
+			printDelta("mean_query_us", old.MeanQueryUS, nw.MeanQueryUS, false)
+			printDelta("recall", old.Recall, nw.Recall, true)
+			printDelta("map", old.MAP, nw.MAP, true)
+			printDelta("candidates_per_query", old.CandidatesPerQuery, nw.CandidatesPerQuery, false)
+			printDelta("page_reads_per_query", old.PageReadsPerQuery, nw.PageReadsPerQuery, false)
 		}
 	}
 }

@@ -4,6 +4,7 @@
 //
 //	hdbench -exp fig8 -scale 1 -queries 50
 //	hdbench -exp all
+//	hdbench -snapshot out.json -sweep alpha=512,1024,2048
 //	hdbench -list
 //
 // Each experiment prints the same rows/series the corresponding table or
@@ -32,6 +33,7 @@ func main() {
 		snapshot   = flag.String("snapshot", "", "write a machine-readable HD-Index perf snapshot (JSON) to this file and exit")
 		shards     = flag.Int("shards", 0, "build the snapshot index as a sharded layout with N shards (0 = single index)")
 		buildscale = flag.Float64("buildscale", 0, "add build-only rows to the snapshot at this dataset scale (0 = none; 1 = full harness size)")
+		sweep      = flag.String("sweep", "", "walk a per-query knob over the built index and add recall/latency frontier rows to the snapshot (alpha=a1,a2,... or gamma=g1,g2,...)")
 	)
 	flag.Parse()
 
@@ -73,6 +75,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hdbench: -buildscale only applies to -snapshot")
 		os.Exit(2)
 	}
+	if *sweep != "" {
+		if *snapshot == "" {
+			fmt.Fprintln(os.Stderr, "hdbench: -sweep only applies to -snapshot")
+			os.Exit(2)
+		}
+		spec, err := bench.ParseSweep(*sweep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hdbench: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Sweep = spec
+	}
 	if *snapshot != "" {
 		if *exp != "" {
 			fmt.Fprintln(os.Stderr, "hdbench: -snapshot and -exp are mutually exclusive")
@@ -97,6 +111,18 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *snapshot)
+		// The frontier rows also print to stdout: the point of a sweep
+		// is to read the curve, not to open a JSON file.
+		if len(snap.Sweep) > 0 {
+			fmt.Printf("\nrecall/latency frontier (%s, one built index, per-query overrides):\n", snap.Config.Sweep)
+			fmt.Printf("  %-10s %-6s %8s %12s %8s %8s %12s %12s\n",
+				"dataset", "param", "value", "query_us", "recall", "map", "candidates", "page_reads")
+			for _, row := range snap.Sweep {
+				fmt.Printf("  %-10s %-6s %8d %12.1f %8.4f %8.4f %12.1f %12.1f\n",
+					row.Dataset, row.Param, row.Value, row.MeanQueryUS, row.Recall, row.MAP,
+					row.CandidatesPerQuery, row.PageReadsPerQuery)
+			}
+		}
 		return
 	}
 	if *exp == "" {

@@ -48,6 +48,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   hdtool build -data vectors.fvecs -index DIR [-shards N] [-tau N -omega N -m N -alpha N -gamma N -ptolemaic]
   hdtool query -index DIR -queries q.fvecs -k K [-out results.ivecs] [-parallel]
+               [-alpha N -gamma N -ptolemaic=BOOL -stats]
   hdtool info  -index DIR`)
 }
 
@@ -112,9 +113,37 @@ func runQuery(args []string) error {
 	k := fs.Int("k", 10, "neighbours to return")
 	out := fs.String("out", "", "optional ivecs output of result ids")
 	parallel := fs.Bool("parallel", false, "search trees in parallel")
+	alpha := fs.Int("alpha", 0, "per-query override of the leaf candidates per tree (0 = built default)")
+	gamma := fs.Int("gamma", 0, "per-query override of the filter survivors per tree (0 = built default)")
+	pto := fs.Bool("ptolemaic", false, "per-query Ptolemaic filter override (only applied when the flag is given)")
+	stats := fs.Bool("stats", false, "print per-query work counters (candidates, page reads, hit ratio)")
 	fs.Parse(args)
 	if *indexDir == "" || *queriesPath == "" {
 		return fmt.Errorf("query: -index and -queries are required")
+	}
+	// Negative knobs are an explicit error everywhere else (server,
+	// library); the CLI must not silently read them as "unset".
+	if *alpha < 0 || *gamma < 0 {
+		return fmt.Errorf("query: -alpha and -gamma must be >= 0, got %d/%d", *alpha, *gamma)
+	}
+	// A bool flag cannot distinguish "absent" from "false" by value, and
+	// -ptolemaic=false (forcing the filter OFF on an index built with
+	// it) is a meaningful request — so flag presence is what arms the
+	// override.
+	var opts []hdindex.QueryOption
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "ptolemaic" {
+			opts = append(opts, hdindex.WithPtolemaic(*pto))
+		}
+	})
+	if *alpha > 0 {
+		opts = append(opts, hdindex.WithAlpha(*alpha))
+	}
+	if *gamma > 0 {
+		opts = append(opts, hdindex.WithGamma(*gamma))
+	}
+	if *stats {
+		opts = append(opts, hdindex.WithStats())
 	}
 	ix, err := hdindex.Open(*indexDir, hdindex.Options{Parallel: *parallel})
 	if err != nil {
@@ -129,22 +158,44 @@ func runQuery(args []string) error {
 		return fmt.Errorf("query: %s holds no vectors", *queriesPath)
 	}
 	queries := data.Rows(qflat, qdim)
+	ctx := context.Background()
 	results := make([][]uint64, len(queries))
+	var candidates, treeEntries, pageReads, pageHits, pageMisses uint64
+	var effective *hdindex.Stats
 	t0 := time.Now()
 	for qi, q := range queries {
-		res, err := ix.Search(q, *k)
+		resp, err := ix.Query(ctx, q, *k, opts...)
 		if err != nil {
 			return err
 		}
-		ids := make([]uint64, len(res))
-		for i, r := range res {
+		ids := make([]uint64, len(resp.Results))
+		for i, r := range resp.Results {
 			ids[i] = r.ID
 		}
 		results[qi] = ids
+		if resp.Stats != nil {
+			candidates += uint64(resp.Stats.Candidates)
+			treeEntries += uint64(resp.Stats.TreeEntries)
+			pageReads += resp.Stats.PageReads
+			pageHits += resp.Stats.PageHits
+			pageMisses += resp.Stats.PageMisses
+			effective = resp.Stats
+		}
 	}
 	elapsed := time.Since(t0)
 	fmt.Printf("%d queries, k=%d: %.3f ms/query\n",
 		len(queries), *k, float64(elapsed.Microseconds())/1000/float64(len(queries)))
+	if *stats && effective != nil {
+		nq := float64(len(queries))
+		fmt.Printf("effective cascade: alpha=%d beta=%d gamma=%d ptolemaic=%v\n",
+			effective.Alpha, effective.Beta, effective.Gamma, effective.Ptolemaic)
+		hitRatio := 0.0
+		if total := pageHits + pageMisses; total > 0 {
+			hitRatio = float64(pageHits) / float64(total)
+		}
+		fmt.Printf("per query: %.1f candidates, %.1f tree entries, %.1f page reads, hit ratio %.3f\n",
+			float64(candidates)/nq, float64(treeEntries)/nq, float64(pageReads)/nq, hitRatio)
+	}
 	for qi, ids := range results {
 		if qi >= 5 {
 			fmt.Printf("... (%d more)\n", len(results)-5)

@@ -45,6 +45,27 @@ func TestBuildQueryInfoPipeline(t *testing.T) {
 	if len(rows) != 4 || len(rows[0]) != 5 {
 		t.Fatalf("results shape = %dx%d", len(rows), len(rows[0]))
 	}
+
+	// Per-query tuning flags share the new options plumbing: the
+	// override must be accepted on the already-built index, -stats must
+	// print the work counters, and an inconsistent cascade must fail.
+	if err := runQuery([]string{
+		"-index", indexDir, "-queries", qPath, "-k", "5",
+		"-alpha", "128", "-gamma", "32", "-ptolemaic", "-stats",
+	}); err != nil {
+		t.Fatalf("tuned query: %v", err)
+	}
+	if err := runQuery([]string{
+		"-index", indexDir, "-queries", qPath, "-k", "5",
+		"-alpha", "16", "-gamma", "64",
+	}); err == nil {
+		t.Fatal("widening cascade must fail")
+	}
+	if err := runQuery([]string{
+		"-index", indexDir, "-queries", qPath, "-k", "5", "-alpha", "-5",
+	}); err == nil {
+		t.Fatal("negative -alpha must fail, not silently read as unset")
+	}
 }
 
 // The same pipeline must work against a sharded layout: build with

@@ -1,6 +1,7 @@
 package hdindex_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -36,6 +37,49 @@ func Example() {
 	// Output:
 	// indexed 2000 vectors of 128 dims
 	// got 3 neighbours; nearest is id 42 at distance 0
+}
+
+// ExampleIndex_Query demonstrates per-query tuning: the same built
+// index serves different recall/latency operating points by overriding
+// the filter cascade per request — no rebuild between them.
+func ExampleIndex_Query() {
+	ds := data.SIFTLike(2000, 1)
+	dir := filepath.Join(os.TempDir(), "hdindex-example-query")
+	defer os.RemoveAll(dir)
+
+	idx, err := hdindex.Build(dir, ds.Vectors, hdindex.Options{
+		Omega: 8, Alpha: 512, Gamma: 128, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer idx.Close()
+
+	ctx := context.Background()
+	query := ds.Vectors[42]
+
+	// A cheap query: small cascade, little I/O.
+	cheap, err := idx.Query(ctx, query, 3,
+		hdindex.WithAlpha(64), hdindex.WithStats())
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A thorough query on the SAME index: the built defaults, Ptolemaic
+	// filtering on top.
+	thorough, err := idx.Query(ctx, query, 3,
+		hdindex.WithPtolemaic(true), hdindex.WithStats())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cheap:    alpha=%d, nearest id %d\n", cheap.Stats.Alpha, cheap.Results[0].ID)
+	fmt.Printf("thorough: alpha=%d ptolemaic=%v, nearest id %d\n",
+		thorough.Stats.Alpha, thorough.Stats.Ptolemaic, thorough.Results[0].ID)
+	fmt.Printf("thorough fetched more leaf entries: %v\n",
+		thorough.Stats.TreeEntries > cheap.Stats.TreeEntries)
+	// Output:
+	// cheap:    alpha=64, nearest id 42
+	// thorough: alpha=512 ptolemaic=true, nearest id 42
+	// thorough fetched more leaf entries: true
 }
 
 // Example_updates demonstrates §3.6: inserting and deleting objects in a

@@ -1,9 +1,16 @@
 // Tuning: walk the paper's §5.2 parameter studies on a small dataset —
 // the m, τ, α and γ knobs and the filter choice — and print how MAP and
 // query time respond, mirroring Figures 4-6.
+//
+// m and τ shape the index itself, so each point rebuilds. α, γ and the
+// Ptolemaic filter govern only the query cascade: those studies run as
+// per-query overrides on ONE built index (hdindex.WithAlpha & co),
+// which is exactly how the recall/latency frontier is meant to be
+// explored in production.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -19,6 +26,25 @@ func main() {
 	ds := data.SIFTLike(8000, 3)
 	queries := ds.PerturbedQueries(15, 0.01, 4)
 	truthIDs, _ := data.GroundTruth(ds.Vectors, queries, 10)
+	ctx := context.Background()
+
+	evalQueries := func(idx *hdindex.Index, opts ...hdindex.QueryOption) (float64, float64) {
+		got := make([][]uint64, len(queries))
+		t0 := time.Now()
+		for qi, q := range queries {
+			resp, err := idx.Query(ctx, q, 10, opts...)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ids := make([]uint64, len(resp.Results))
+			for i, r := range resp.Results {
+				ids[i] = r.ID
+			}
+			got[qi] = ids
+		}
+		ms := float64(time.Since(t0).Microseconds()) / 1000 / float64(len(queries))
+		return metrics.MAP(got, truthIDs, 10), ms
+	}
 
 	evalIndex := func(o hdindex.Options) (float64, float64) {
 		dir := filepath.Join(os.TempDir(), fmt.Sprintf("hdindex-tuning-%d", time.Now().UnixNano()))
@@ -28,26 +54,12 @@ func main() {
 			log.Fatal(err)
 		}
 		defer idx.Close()
-		got := make([][]uint64, len(queries))
-		t0 := time.Now()
-		for qi, q := range queries {
-			res, err := idx.Search(q, 10)
-			if err != nil {
-				log.Fatal(err)
-			}
-			ids := make([]uint64, len(res))
-			for i, r := range res {
-				ids[i] = r.ID
-			}
-			got[qi] = ids
-		}
-		ms := float64(time.Since(t0).Microseconds()) / 1000 / float64(len(queries))
-		return metrics.MAP(got, truthIDs, 10), ms
+		return evalQueries(idx)
 	}
 
 	base := hdindex.Options{Omega: 8, Alpha: 1024, Gamma: 256, Seed: 9}
 
-	fmt.Println("— reference objects m (paper: saturates at 10, Fig. 4a-d) —")
+	fmt.Println("— reference objects m (paper: saturates at 10, Fig. 4a-d; rebuild per point) —")
 	for _, m := range []int{2, 5, 10, 15} {
 		o := base
 		o.M = m
@@ -55,7 +67,7 @@ func main() {
 		fmt.Printf("  m=%-3d MAP@10=%.3f  %.2f ms/query\n", m, mapv, ms)
 	}
 
-	fmt.Println("— trees tau (paper: saturates at 8, Fig. 4e-h) —")
+	fmt.Println("— trees tau (paper: saturates at 8, Fig. 4e-h; rebuild per point) —")
 	for _, tau := range []int{2, 4, 8, 16} {
 		o := base
 		o.Tau = tau
@@ -63,22 +75,28 @@ func main() {
 		fmt.Printf("  tau=%-3d MAP@10=%.3f  %.2f ms/query\n", tau, mapv, ms)
 	}
 
-	fmt.Println("— candidates alpha at alpha/gamma=4 (paper: saturates at 4096, Fig. 6) —")
+	// One index serves every remaining study: the cascade knobs are
+	// per-query options, so there is nothing left to rebuild.
+	dir := filepath.Join(os.TempDir(), fmt.Sprintf("hdindex-tuning-base-%d", time.Now().UnixNano()))
+	defer os.RemoveAll(dir)
+	o := base
+	o.Alpha, o.Beta, o.Gamma = 4096, 4096, 1024 // widest cascade the sweep touches
+	idx, err := hdindex.Build(dir, ds.Vectors, o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer idx.Close()
+
+	fmt.Println("— candidates alpha at alpha/gamma=4 (paper: saturates at 4096, Fig. 6; one index, per-query) —")
 	for _, alpha := range []int{256, 1024, 4096} {
-		o := base
-		o.Alpha, o.Gamma = alpha, alpha/4
-		mapv, ms := evalIndex(o)
+		mapv, ms := evalQueries(idx, hdindex.WithAlpha(alpha), hdindex.WithGamma(alpha/4))
 		fmt.Printf("  alpha=%-5d MAP@10=%.3f  %.2f ms/query\n", alpha, mapv, ms)
 	}
 
-	fmt.Println("— filters (paper §5.2.5: Ptolemaic buys MAP, costs CPU) —")
+	fmt.Println("— filters (paper §5.2.5: Ptolemaic buys MAP, costs CPU; one index, per-query) —")
 	for _, pto := range []bool{false, true} {
-		o := base
-		o.UsePtolemaic = pto
-		if pto {
-			o.Beta = o.Alpha
-		}
-		mapv, ms := evalIndex(o)
+		mapv, ms := evalQueries(idx,
+			hdindex.WithAlpha(1024), hdindex.WithGamma(256), hdindex.WithPtolemaic(pto))
 		name := "triangular     "
 		if pto {
 			name = "tri + ptolemaic"

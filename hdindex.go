@@ -18,7 +18,19 @@
 //
 //	idx, err := hdindex.Build("my.index", vectors, hdindex.Options{})
 //	...
-//	results, err := idx.Search(query, 10)
+//	resp, err := idx.Query(ctx, query, 10)
+//
+// Query is the single search entry point. The knobs that govern the
+// accuracy-scalability boundary — α, β, γ, the Ptolemaic filter — are
+// per-query options, so one built index serves every operating point of
+// the recall/latency frontier:
+//
+//	resp, err := idx.Query(ctx, query, 10,
+//	    hdindex.WithAlpha(8192), hdindex.WithStats())
+//
+// The older Search/SearchWithStats/SearchBatch (×Context) method matrix
+// is deprecated; each method is a thin wrapper over Query/QueryBatch
+// with zero options and returns bit-identical results.
 //
 // The package is a thin facade over internal/core; see DESIGN.md for the
 // full system inventory and EXPERIMENTS.md for the reproduction of the
@@ -96,11 +108,12 @@ type PoolStats = pager.Stats
 // Both *core.Index (the legacy single-index layout) and *shard.Sharded
 // (the manifest-backed sharded layout) implement it, which is what lets
 // every caller above this file — server, tools, examples — stay
-// layout-agnostic.
+// layout-agnostic. Query/QueryBatch are the only search entry points:
+// every facade search method, legacy or not, funnels through them, so
+// the per-query options path is the only path there is.
 type backend interface {
-	SearchContext(ctx context.Context, q []float32, k int) ([]core.Result, error)
-	SearchWithStatsContext(ctx context.Context, q []float32, k int) ([]core.Result, *core.QueryStats, error)
-	SearchBatchContext(ctx context.Context, queries [][]float32, k int) ([][]core.Result, error)
+	Query(ctx context.Context, q []float32, k int, o core.SearchOptions) ([]core.Result, *core.QueryStats, error)
+	QueryBatch(ctx context.Context, queries [][]float32, k int, o core.SearchOptions) ([][]core.Result, []*core.QueryStats, error)
 	Insert(vec []float32) (uint64, error)
 	Delete(id uint64) error
 	Undelete(id uint64) error
@@ -247,38 +260,56 @@ func Open(dir string, o Options) (*Index, error) {
 }
 
 // Search returns the approximate k nearest neighbours of q.
+//
+// Deprecated: use Query, which subsumes the whole Search* method matrix
+// (context, stats, and per-query tuning). Search(q, k) is exactly
+// Query(context.Background(), q, k) and stays bit-identical to it.
 func (i *Index) Search(q []float32, k int) ([]Result, error) {
-	return i.ix.SearchContext(context.Background(), q, k)
+	res, _, err := i.ix.Query(context.Background(), q, k, core.SearchOptions{})
+	return res, err
 }
 
 // SearchContext is Search honouring ctx: the query returns early with
 // ctx.Err() when ctx is cancelled or its deadline expires.
+//
+// Deprecated: use Query.
 func (i *Index) SearchContext(ctx context.Context, q []float32, k int) ([]Result, error) {
-	return i.ix.SearchContext(ctx, q, k)
+	res, _, err := i.ix.Query(ctx, q, k, core.SearchOptions{})
+	return res, err
 }
 
 // SearchWithStats is Search plus work counters. On a sharded index the
 // counters are summed across shards; see Shards for the breakdown.
+//
+// Deprecated: use Query with WithStats.
 func (i *Index) SearchWithStats(q []float32, k int) ([]Result, *Stats, error) {
-	return i.ix.SearchWithStatsContext(context.Background(), q, k)
+	return i.ix.Query(context.Background(), q, k, core.SearchOptions{})
 }
 
 // SearchWithStatsContext is SearchContext plus work counters.
+//
+// Deprecated: use Query with WithStats.
 func (i *Index) SearchWithStatsContext(ctx context.Context, q []float32, k int) ([]Result, *Stats, error) {
-	return i.ix.SearchWithStatsContext(ctx, q, k)
+	return i.ix.Query(ctx, q, k, core.SearchOptions{})
 }
 
 // SearchBatch answers many queries concurrently, preserving input order
 // — the natural shape for multi-descriptor workloads like §5.5's image
 // search.
+//
+// Deprecated: use QueryBatch.
 func (i *Index) SearchBatch(queries [][]float32, k int) ([][]Result, error) {
-	return i.ix.SearchBatchContext(context.Background(), queries, k)
+	res, _, err := i.ix.QueryBatch(context.Background(), queries, k, core.SearchOptions{})
+	return res, err
 }
 
 // SearchBatchContext is SearchBatch honouring ctx: remaining queries are
 // abandoned promptly on cancellation and ctx.Err() is returned.
+//
+// Deprecated: use QueryBatch.
 func (i *Index) SearchBatchContext(ctx context.Context, queries [][]float32, k int) ([][]Result, error) {
-	return i.ix.SearchBatchContext(ctx, queries, k)
+	res, _, err := i.ix.QueryBatch(ctx, queries, k, core.SearchOptions{})
+	return res, err
 }
 
 // Insert adds a vector to the index (§3.6) and returns its id.

@@ -48,6 +48,11 @@ type Config struct {
 	// measurement (see Snapshot.Build). Only the snapshot runner
 	// consults it.
 	BuildScale float64
+	// Sweep, when set, walks one per-query knob (alpha or gamma)
+	// across its values on each dataset's already-built index and adds
+	// the recall/latency frontier rows to the snapshot (see
+	// Snapshot.Sweep). Only the snapshot runner consults it.
+	Sweep *SweepSpec
 }
 
 func (c *Config) defaults() {

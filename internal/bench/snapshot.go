@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -29,6 +30,11 @@ type Snapshot struct {
 	// Build holds the build-only rows measured at Config.BuildScale;
 	// absent when BuildScale is 0.
 	Build []BuildResult `json:"build,omitempty"`
+	// Sweep holds the recall/latency frontier rows: one per
+	// (dataset, swept value), measured with per-query overrides on the
+	// same built index the dataset row measured. Absent when
+	// Config.Sweep is empty.
+	Sweep []SweepRow `json:"sweep,omitempty"`
 }
 
 // snapshotParallelClients is the fixed concurrent-client count of the
@@ -49,6 +55,9 @@ type SnapshotConfig struct {
 	// purely to measure construction cost at a size where the sort and
 	// encode phases dominate.
 	BuildScale float64 `json:"build_scale,omitempty"`
+	// Sweep records the -sweep spec ("alpha=512,2048,...") whose
+	// frontier rows Snapshot.Sweep holds; empty when no sweep ran.
+	Sweep string `json:"sweep,omitempty"`
 }
 
 // BuildPhaseMS is the per-phase construction cost breakdown mirrored
@@ -129,7 +138,7 @@ func RunSnapshot(cfg Config, datasets []string) (*Snapshot, error) {
 		Config: SnapshotConfig{
 			Scale: cfg.Scale, Queries: cfg.Queries, K: cfg.K, Seed: cfg.Seed,
 			Shards: cfg.Shards, ParallelClients: snapshotParallelClients,
-			BuildScale: cfg.BuildScale,
+			BuildScale: cfg.BuildScale, Sweep: cfg.Sweep.String(),
 		},
 	}
 	for _, name := range datasets {
@@ -137,11 +146,12 @@ func RunSnapshot(cfg Config, datasets []string) (*Snapshot, error) {
 		if !ok {
 			return nil, fmt.Errorf("bench: unknown dataset %q", name)
 		}
-		res, err := snapshotDataset(spec, cfg)
+		res, sweep, err := snapshotDataset(spec, cfg)
 		if err != nil {
 			return nil, err
 		}
 		snap.Datasets = append(snap.Datasets, res)
+		snap.Sweep = append(snap.Sweep, sweep...)
 	}
 	// The build-only rows run strictly after every query measurement:
 	// a scale-BuildScale build churns tens of MB of heap, and running
@@ -206,12 +216,13 @@ func snapshotBuild(spec DataSpec, cfg Config) (BuildResult, error) {
 type snapIndex interface {
 	SearchWithStats(q []float32, k int) ([]core.Result, *core.QueryStats, error)
 	SearchBatch(queries [][]float32, k int) ([][]core.Result, error)
+	Query(ctx context.Context, q []float32, k int, o core.SearchOptions) ([]core.Result, *core.QueryStats, error)
 	SizeOnDisk() int64
 	BuildStats() *core.BuildStats
 	Close() error
 }
 
-func snapshotDataset(spec DataSpec, cfg Config) (DatasetResult, error) {
+func snapshotDataset(spec DataSpec, cfg Config) (DatasetResult, []SweepRow, error) {
 	w := MakeWorkload(spec, cfg)
 	n := len(w.Data.Vectors)
 	out := DatasetResult{Dataset: spec.Name, N: n, Dim: w.Data.Dim}
@@ -241,7 +252,7 @@ func snapshotDataset(spec DataSpec, cfg Config) (DatasetResult, error) {
 	t0 := time.Now()
 	built, err := build()
 	if err != nil {
-		return out, err
+		return out, nil, err
 	}
 	out.BuildMS = float64(time.Since(t0).Microseconds()) / 1e3
 	if bs := built.BuildStats(); bs != nil {
@@ -253,11 +264,11 @@ func snapshotDataset(spec DataSpec, cfg Config) (DatasetResult, error) {
 	// a buffer pool still warm from construction and report zero page
 	// reads, hiding any I/O regression the snapshot exists to catch.
 	if err := built.Close(); err != nil {
-		return out, err
+		return out, nil, err
 	}
 	ix, err := open()
 	if err != nil {
-		return out, err
+		return out, nil, err
 	}
 	defer ix.Close()
 	out.IndexBytes = ix.SizeOnDisk()
@@ -273,7 +284,7 @@ func snapshotDataset(spec DataSpec, cfg Config) (DatasetResult, error) {
 		res, st, err := ix.SearchWithStats(q, w.K)
 		elapsed += time.Since(t)
 		if err != nil {
-			return out, err
+			return out, nil, err
 		}
 		ids := make([]uint64, len(res))
 		dists := make([]float64, len(res))
@@ -300,7 +311,7 @@ func snapshotDataset(spec DataSpec, cfg Config) (DatasetResult, error) {
 	// Batch throughput through the bounded worker pool.
 	t0 = time.Now()
 	if _, err := ix.SearchBatch(w.Queries, w.K); err != nil {
-		return out, err
+		return out, nil, err
 	}
 	if d := time.Since(t0).Seconds(); d > 0 {
 		out.BatchQPS = float64(nq) / d
@@ -330,13 +341,24 @@ func snapshotDataset(spec DataSpec, cfg Config) (DatasetResult, error) {
 	parallelD := time.Since(t0).Seconds()
 	for _, err := range errs {
 		if err != nil {
-			return out, err
+			return out, nil, err
 		}
 	}
 	if parallelD > 0 {
 		out.ParallelQPS = float64(snapshotParallelClients*nq) / parallelD
 	}
-	return out, nil
+
+	// The frontier sweep runs last, after every baseline measurement,
+	// reusing the same open index: each point is the same query set
+	// under a different per-query override — the rows exist to show the
+	// knob moving recall/candidates with zero rebuilds.
+	var sweep []SweepRow
+	if cfg.Sweep != nil {
+		if sweep, err = sweepDataset(ix, w, cfg.Sweep); err != nil {
+			return out, nil, err
+		}
+	}
+	return out, sweep, nil
 }
 
 // WriteJSON renders the snapshot, indented for a stable committed diff.

@@ -1,0 +1,92 @@
+package bench
+
+import "testing"
+
+func TestParseSweep(t *testing.T) {
+	spec, err := ParseSweep("alpha=512, 128,2048")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Param != "alpha" {
+		t.Fatalf("param %q", spec.Param)
+	}
+	// Values sort ascending so the frontier reads as a cost curve.
+	want := []int{128, 512, 2048}
+	if len(spec.Values) != len(want) {
+		t.Fatalf("values %v", spec.Values)
+	}
+	for i, v := range want {
+		if spec.Values[i] != v {
+			t.Fatalf("values %v, want %v", spec.Values, want)
+		}
+	}
+	if s := spec.String(); s != "alpha=128,512,2048" {
+		t.Fatalf("String() = %q", s)
+	}
+
+	for _, bad := range []string{"", "alpha", "beta=1,2", "alpha=", "alpha=x", "alpha=0", "alpha=-4", "alpha=8,8"} {
+		if _, err := ParseSweep(bad); err == nil {
+			t.Errorf("ParseSweep(%q) accepted", bad)
+		}
+	}
+}
+
+// The snapshot's sweep rows are the acceptance check of the per-query
+// tuning API: one built index, several alpha operating points, page
+// reads strictly responding to the knob — no rebuild between rows.
+func TestRunSnapshotSweep(t *testing.T) {
+	spec, err := ParseSweep("alpha=64,512")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Scale: 0.05, Queries: 5, K: 10, WorkDir: t.TempDir(), Seed: 42, Sweep: spec}
+	snap, err := RunSnapshot(cfg, []string{"SIFT10K"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Config.Sweep != "alpha=64,512" {
+		t.Fatalf("config sweep %q", snap.Config.Sweep)
+	}
+	if len(snap.Sweep) != 2 {
+		t.Fatalf("%d sweep rows, want 2", len(snap.Sweep))
+	}
+	lo, hi := snap.Sweep[0], snap.Sweep[1]
+	if lo.Value != 64 || hi.Value != 512 || lo.Param != "alpha" || lo.Dataset != "SIFT10K" {
+		t.Fatalf("rows %+v / %+v", lo, hi)
+	}
+	for _, row := range snap.Sweep {
+		if row.CandidatesPerQuery <= 0 || row.MeanQueryUS <= 0 {
+			t.Fatalf("row not measured: %+v", row)
+		}
+		if row.Recall <= 0 || row.Recall > 1 {
+			t.Fatalf("recall out of range: %+v", row)
+		}
+	}
+	// More leaf candidates per tree can only grow per-query I/O; recall
+	// must not degrade as the cascade widens.
+	if hi.PageReadsPerQuery < lo.PageReadsPerQuery {
+		t.Fatalf("alpha=512 read %v pages/query, alpha=64 read %v", hi.PageReadsPerQuery, lo.PageReadsPerQuery)
+	}
+	if hi.Recall < lo.Recall {
+		t.Fatalf("alpha=512 recall %v < alpha=64 recall %v", hi.Recall, lo.Recall)
+	}
+}
+
+// The sweep must also run over a sharded layout (the CI smoke does).
+func TestRunSnapshotSweepSharded(t *testing.T) {
+	spec, err := ParseSweep("gamma=16,64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Scale: 0.05, Queries: 5, K: 10, WorkDir: t.TempDir(), Seed: 42, Shards: 4, Sweep: spec}
+	snap, err := RunSnapshot(cfg, []string{"SIFT10K"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Sweep) != 2 {
+		t.Fatalf("%d sweep rows, want 2", len(snap.Sweep))
+	}
+	if snap.Sweep[0].CandidatesPerQuery > snap.Sweep[1].CandidatesPerQuery {
+		t.Fatalf("gamma=16 refined more than gamma=64: %+v", snap.Sweep)
+	}
+}

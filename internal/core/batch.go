@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 
 	"github.com/hd-index/hdindex/internal/fanout"
 )
@@ -19,20 +20,42 @@ func (ix *Index) SearchBatch(queries [][]float32, k int) ([][]Result, error) {
 // huge batch cannot monopolise the scheduler; cancellation or the first
 // per-query error stops the remaining work promptly and is returned.
 func (ix *Index) SearchBatchContext(ctx context.Context, queries [][]float32, k int) ([][]Result, error) {
+	res, _, err := ix.QueryBatch(ctx, queries, k, SearchOptions{})
+	return res, err
+}
+
+// QueryBatch is SearchBatchContext with per-query cascade overrides and
+// per-query work counters: the same options apply to every query in the
+// batch and are resolved and validated once, up front — a bad option
+// set fails before any query runs. Results and stats are returned in
+// input order.
+func (ix *Index) QueryBatch(ctx context.Context, queries [][]float32, k int, o SearchOptions) ([][]Result, []*QueryStats, error) {
 	if len(queries) == 0 {
-		return nil, nil
+		return nil, nil, nil
+	}
+	// Validate once for the whole batch: options (fail fast, before any
+	// tree walk) and dimensionality (so a malformed query deep in the
+	// batch cannot waste the fan-out ahead of it).
+	if _, err := ix.planFor(k, o); err != nil {
+		return nil, nil, err
+	}
+	for i, q := range queries {
+		if len(q) != ix.nu {
+			return nil, nil, fmt.Errorf("%w: query %d has %d dims, index has %d", ErrDimMismatch, i, len(q), ix.nu)
+		}
 	}
 	out := make([][]Result, len(queries))
+	stats := make([]*QueryStats, len(queries))
 	err := fanout.Run(ctx, len(queries), ix.params.BatchWorkers, func(ctx context.Context, qi int) error {
-		res, err := ix.SearchContext(ctx, queries[qi], k)
+		res, st, err := ix.Query(ctx, queries[qi], k, o)
 		if err != nil {
 			return err
 		}
-		out[qi] = res
+		out[qi], stats[qi] = res, st
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return out, nil
+	return out, stats, nil
 }

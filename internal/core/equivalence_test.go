@@ -19,6 +19,10 @@ import (
 // return bit-identical Results and the same candidate count.
 func naiveSearch(t *testing.T, ix *Index, q []float32, k int) ([]Result, int) {
 	t.Helper()
+	plan, err := ix.planFor(k, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	qdist := make([]float64, ix.params.M)
 	for r, rv := range ix.refs {
 		qdist[r] = vecmath.Dist(q, rv)
@@ -26,7 +30,7 @@ func naiveSearch(t *testing.T, ix *Index, q []float32, k int) ([]Result, int) {
 	seen := make(map[uint64]struct{})
 	var candidates []uint64
 	for tr := 0; tr < ix.params.Tau; tr++ {
-		ids, _, err := ix.searchTree(context.Background(), tr, q, qdist, nil)
+		ids, _, err := ix.searchTree(context.Background(), tr, q, qdist, nil, plan)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -314,7 +314,7 @@ func (ix *Index) ResetIOStats() {
 // RDB-tree. The reference set is not recomputed.
 func (ix *Index) Insert(vec []float32) (uint64, error) {
 	if len(vec) != ix.nu {
-		return 0, fmt.Errorf("core: vector has %d dims, index has %d", len(vec), ix.nu)
+		return 0, fmt.Errorf("%w: vector has %d dims, index has %d", ErrDimMismatch, len(vec), ix.nu)
 	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()

@@ -17,10 +17,19 @@ type Result struct {
 	Dist float64
 }
 
-// QueryStats reports the work one query did.
+// QueryStats reports the work one query did, plus the effective filter
+// cascade it ran with — with per-query overrides (SearchOptions) the
+// knobs are no longer implied by the built Params, so the stats echo
+// them back.
 type QueryStats struct {
 	Candidates  int // κ = |C|, distinct candidate ids (before the deleted-mark skip)
 	TreeEntries int // total α entries fetched across trees
+	// Alpha/Beta/Gamma/Ptolemaic are the resolved cascade this query
+	// ran with: the built defaults unless overridden per query. On a
+	// sharded layout every shard runs the same cascade, so the
+	// aggregated stats carry it unchanged.
+	Alpha, Beta, Gamma int
+	Ptolemaic          bool
 	// PageReads is the delta of the index-wide pager counters across
 	// this query: exact when queries run one at a time (the paper's
 	// measurement protocol), best-effort under concurrent searches,
@@ -45,32 +54,41 @@ const refineCheckEvery = 64
 
 // Search answers a kANN query (Algorithm 2).
 func (ix *Index) Search(q []float32, k int) ([]Result, error) {
-	res, _, err := ix.SearchWithStatsContext(context.Background(), q, k)
+	res, _, err := ix.Query(context.Background(), q, k, SearchOptions{})
 	return res, err
 }
 
 // SearchContext is Search honouring ctx: the query returns early with
 // ctx.Err() on cancellation or deadline expiry.
 func (ix *Index) SearchContext(ctx context.Context, q []float32, k int) ([]Result, error) {
-	res, _, err := ix.SearchWithStatsContext(ctx, q, k)
+	res, _, err := ix.Query(ctx, q, k, SearchOptions{})
 	return res, err
 }
 
 // SearchWithStats is Search plus per-query work counters.
 func (ix *Index) SearchWithStats(q []float32, k int) ([]Result, *QueryStats, error) {
-	return ix.SearchWithStatsContext(context.Background(), q, k)
+	return ix.Query(context.Background(), q, k, SearchOptions{})
 }
 
-// SearchWithStatsContext is the full query entry point: Algorithm 2 with
-// work counters and cooperative cancellation. The context is checked
-// between pipeline stages (per tree when sequential) and every
-// refineCheckEvery candidate refinements.
+// SearchWithStatsContext is SearchContext plus per-query work counters.
 func (ix *Index) SearchWithStatsContext(ctx context.Context, q []float32, k int) ([]Result, *QueryStats, error) {
+	return ix.Query(ctx, q, k, SearchOptions{})
+}
+
+// Query is the full query entry point: Algorithm 2 with per-query
+// filter-cascade overrides, work counters, and cooperative
+// cancellation. Options are resolved against the built Params and
+// validated once, before any tree is touched; the zero SearchOptions
+// runs exactly the built defaults, bit-identical to the legacy Search*
+// methods. The context is checked between pipeline stages (per tree
+// when sequential) and every refineCheckEvery candidate refinements.
+func (ix *Index) Query(ctx context.Context, q []float32, k int, o SearchOptions) ([]Result, *QueryStats, error) {
 	if len(q) != ix.nu {
-		return nil, nil, fmt.Errorf("core: query has %d dims, index has %d", len(q), ix.nu)
+		return nil, nil, fmt.Errorf("%w: query has %d dims, index has %d", ErrDimMismatch, len(q), ix.nu)
 	}
-	if k < 1 {
-		return nil, nil, fmt.Errorf("core: k must be >= 1, got %d", k)
+	plan, err := ix.planFor(k, o)
+	if err != nil {
+		return nil, nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
@@ -95,7 +113,7 @@ func (ix *Index) SearchWithStatsContext(ctx context.Context, q []float32, k int)
 
 	// Per-tree candidate retrieval and filtering (lines 1-10).
 	run := func(t int) {
-		sc.perTree[t], sc.fetched[t], sc.errs[t] = ix.searchTree(ctx, t, q, qdist, sc.treeIDs[t][:0])
+		sc.perTree[t], sc.fetched[t], sc.errs[t] = ix.searchTree(ctx, t, q, qdist, sc.treeIDs[t][:0], plan)
 	}
 	if p.Parallel && p.Tau > 1 {
 		var wg sync.WaitGroup
@@ -132,6 +150,14 @@ func (ix *Index) SearchWithStatsContext(ctx context.Context, q []float32, k int)
 		}
 	}
 	sc.candidates = candidates // keep the grown buffer for reuse
+
+	// The κ cap (WithMaxCandidates) truncates before the page-order
+	// sort, while candidates still sit in per-tree filter rank order —
+	// so the cap drops the weakest-ranked survivors of the later trees,
+	// not whichever ids happen to sort last.
+	if plan.maxCandidates > 0 && len(candidates) > plan.maxCandidates {
+		candidates = candidates[:plan.maxCandidates]
+	}
 
 	// Page-ordered fetch: vector records are packed in id order, so
 	// sorting the candidate ids sorts their owning pages, turning the
@@ -192,6 +218,10 @@ func (ix *Index) SearchWithStatsContext(ctx context.Context, q []float32, k int)
 		PageReads:      ioAfter.Reads - ioBefore.Reads,
 		PageHits:       ioAfter.Hits - ioBefore.Hits,
 		PageMisses:     ioAfter.Misses - ioBefore.Misses,
+		Alpha:          plan.alpha,
+		Beta:           plan.beta,
+		Gamma:          plan.gamma,
+		Ptolemaic:      plan.ptolemaic,
 	}
 	for _, f := range sc.fetched {
 		stats.TreeEntries += f
@@ -202,12 +232,13 @@ func (ix *Index) SearchWithStatsContext(ctx context.Context, q []float32, k int)
 // searchTree performs Algorithm 2 lines 2-10 for one partition: Hilbert
 // key, α nearest leaf entries, triangular filter, optional Ptolemaic
 // filter, appending the surviving γ object ids into ids (a per-tree
-// scratch buffer owned by the caller for the query's duration).
-func (ix *Index) searchTree(ctx context.Context, t int, q []float32, qdist []float64, ids []uint64) ([]uint64, int, error) {
+// scratch buffer owned by the caller for the query's duration). The
+// cascade sizes come from plan, not Params: per-query overrides land
+// here without the index noticing.
+func (ix *Index) searchTree(ctx context.Context, t int, q []float32, qdist []float64, ids []uint64, plan searchPlan) ([]uint64, int, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, 0, err
 	}
-	p := ix.params
 	ts := ix.getTreeScratch()
 	defer putTreeScratch(ts)
 
@@ -215,7 +246,7 @@ func (ix *Index) searchTree(ctx context.Context, t int, q []float32, qdist []flo
 	ix.quants[t].Coords(ts.coords, q[start:start+ix.eta])
 	ts.key = ix.curves[t].Encode(ts.key[:0], ts.coords)
 
-	entries, arena, err := ix.trees[t].SearchNearestInto(ctx, ts.key, p.Alpha, ts.entries, ts.arena)
+	entries, arena, err := ix.trees[t].SearchNearestInto(ctx, ts.key, plan.alpha, ts.entries, ts.arena)
 	ts.entries, ts.arena = entries, arena // keep the grown buffers for reuse
 	if err != nil {
 		return nil, 0, err
@@ -227,9 +258,9 @@ func (ix *Index) searchTree(ctx context.Context, t int, q []float32, qdist []flo
 
 	// Triangular inequality (Eq. 5): keep the β (or γ, if Ptolemaic is
 	// off) smallest lower bounds.
-	narrowTo := p.Gamma
-	if p.UsePtolemaic {
-		narrowTo = p.Beta
+	narrowTo := plan.gamma
+	if plan.ptolemaic {
+		narrowTo = plan.beta
 	}
 	tri := ts.tri[:0]
 	for i := range entries {
@@ -238,7 +269,7 @@ func (ix *Index) searchTree(ctx context.Context, t int, q []float32, qdist []flo
 	ts.tri = tri
 	tri = topk.SelectK(tri, narrowTo)
 
-	if !p.UsePtolemaic {
+	if !plan.ptolemaic {
 		for _, it := range tri {
 			ids = append(ids, entries[it.ID].ID)
 		}
@@ -254,7 +285,7 @@ func (ix *Index) searchTree(ctx context.Context, t int, q []float32, qdist []flo
 		pto = append(pto, topk.Item{ID: it.ID, Dist: ix.ptolemaicLB(qdist, entries[it.ID].RefDists)})
 	}
 	ts.pto = pto
-	pto = topk.SelectK(pto, p.Gamma)
+	pto = topk.SelectK(pto, plan.gamma)
 	for _, it := range pto {
 		ids = append(ids, entries[it.ID].ID)
 	}

@@ -12,6 +12,14 @@
 //	POST /delete      {"id": n, "undelete": false}     -> {"deleted": n}
 //	GET  /stats                                        -> index + per-endpoint counters
 //	GET  /healthz                                      -> {"status": "ok"}
+//
+// /search and /searchbatch accept per-request tuning fields — "alpha",
+// "gamma", "ptolemaic", "max_candidates" — overriding the index's
+// built filter cascade for that request only (per-tenant quality tiers
+// on one index). "stats": true returns the work counters with the
+// effective cascade echoed back. Out-of-range knobs are a 400 with a
+// structured {"error", "code"} body; values above the server's
+// MaxAlpha cap are clamped, not rejected.
 package server
 
 import (
@@ -40,6 +48,11 @@ type Config struct {
 	// MaxBodyBytes caps the request body size before decoding (default
 	// 64 MiB), bounding memory per request ahead of any validation.
 	MaxBodyBytes int64
+	// MaxAlpha caps the per-request "alpha"/"gamma"/"max_candidates"
+	// tuning knobs (default 1 << 20). Requests above the cap are
+	// clamped to it — a tenant asking for "as much recall as allowed"
+	// gets the ceiling, not an error.
+	MaxAlpha int
 	// ReadOnly disables /insert and /delete.
 	ReadOnly bool
 	// NoFlushOnWrite skips the index flush after each /insert. The
@@ -58,6 +71,9 @@ func (c *Config) defaults() {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
+	}
+	if c.MaxAlpha <= 0 {
+		c.MaxAlpha = 1 << 20
 	}
 }
 
@@ -96,10 +112,12 @@ func (s *Server) Shutdown() error { return s.idx.Flush() }
 // an httpError/plain error.
 type handlerFunc func(w http.ResponseWriter, r *http.Request) (any, error)
 
-// httpError carries a status code chosen by the handler.
+// httpError carries a status code (and an optional machine-readable
+// error class) chosen by the handler.
 type httpError struct {
-	code int
-	msg  string
+	code    int
+	errCode string // "code" field of the structured error body; may be empty
+	msg     string
 }
 
 func (e *httpError) Error() string { return e.msg }
@@ -107,6 +125,12 @@ func (e *httpError) Error() string { return e.msg }
 func badRequest(format string, args ...any) error {
 	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
 }
+
+// Machine-readable error classes of the structured error body.
+const (
+	codeDimMismatch = "dim_mismatch"
+	codeBadOptions  = "bad_options"
+)
 
 // instrument wraps a handler with a body-size cap, metrics, and uniform
 // JSON rendering.
@@ -132,19 +156,32 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// errorBody is the structured error response: a human-readable message
+// plus, for the client-error classes a caller can act on, a stable
+// machine-readable code.
+type errorBody struct {
+	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}
+
 func writeError(w http.ResponseWriter, r *http.Request, err error) {
+	body := errorBody{Error: err.Error()}
 	code := http.StatusInternalServerError
 	var he *httpError
 	switch {
 	case errors.As(err, &he):
-		code = he.code
+		code, body.Code = he.code, he.errCode
+	case errors.Is(err, hdindex.ErrDimMismatch):
+		code, body.Code = http.StatusBadRequest, codeDimMismatch
+	case errors.Is(err, hdindex.ErrBadOptions):
+		code, body.Code = http.StatusBadRequest, codeBadOptions
 	case errors.Is(err, context.DeadlineExceeded):
 		code = http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		// The client went away; the status is for the log line only.
 		code = StatusClientClosedRequest
 	}
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+	writeJSON(w, code, body)
 }
 
 // StatusClientClosedRequest is nginx's non-standard 499, used when the
@@ -203,15 +240,61 @@ func toResultJSON(res []hdindex.Result) []ResultJSON {
 	return out
 }
 
+// tuningFields are the per-request filter-cascade overrides shared by
+// /search and /searchbatch. Zero values inherit the index's built
+// parameters; "ptolemaic" is a JSON tri-state (absent = built default).
+type tuningFields struct {
+	Alpha         int   `json:"alpha"`
+	Gamma         int   `json:"gamma"`
+	MaxCandidates int   `json:"max_candidates"`
+	Ptolemaic     *bool `json:"ptolemaic"`
+}
+
+// options converts the request's tuning fields into query options:
+// negative knobs are a coded 400, values above the server's MaxAlpha
+// cap are clamped to it.
+func (t tuningFields) options(cfg Config, withStats bool) ([]hdindex.QueryOption, error) {
+	for _, f := range []struct {
+		name string
+		v    int
+	}{{"alpha", t.Alpha}, {"gamma", t.Gamma}, {"max_candidates", t.MaxCandidates}} {
+		if f.v < 0 {
+			return nil, &httpError{code: http.StatusBadRequest, errCode: codeBadOptions,
+				msg: fmt.Sprintf("%s must be >= 0, got %d", f.name, f.v)}
+		}
+	}
+	var opts []hdindex.QueryOption
+	if v := min(t.Alpha, cfg.MaxAlpha); v > 0 {
+		opts = append(opts, hdindex.WithAlpha(v))
+	}
+	if v := min(t.Gamma, cfg.MaxAlpha); v > 0 {
+		opts = append(opts, hdindex.WithGamma(v))
+	}
+	if v := min(t.MaxCandidates, cfg.MaxAlpha); v > 0 {
+		opts = append(opts, hdindex.WithMaxCandidates(v))
+	}
+	if t.Ptolemaic != nil {
+		opts = append(opts, hdindex.WithPtolemaic(*t.Ptolemaic))
+	}
+	if withStats {
+		opts = append(opts, hdindex.WithStats())
+	}
+	return opts, nil
+}
+
 type searchRequest struct {
 	Query     []float32 `json:"query"`
 	K         int       `json:"k"`
 	TimeoutMs int       `json:"timeout_ms"`
 	Stats     bool      `json:"stats"`
+	tuningFields
 }
 
 // QueryStatsJSON mirrors hdindex.Stats with stable snake_case keys, so
-// the wire format stays put if the internal struct evolves.
+// the wire format stays put if the internal struct evolves. Alongside
+// the work counters it echoes the effective filter cascade the query
+// ran with — with per-request overrides the knobs are no longer implied
+// by the built index.
 type QueryStatsJSON struct {
 	Candidates     int    `json:"candidates"`
 	TreeEntries    int    `json:"tree_entries"`
@@ -219,6 +302,28 @@ type QueryStatsJSON struct {
 	PageHits       uint64 `json:"page_hits"`
 	PageMisses     uint64 `json:"page_misses"`
 	ExactDistances int    `json:"exact_distances"`
+	Alpha          int    `json:"alpha"`
+	Beta           int    `json:"beta"`
+	Gamma          int    `json:"gamma"`
+	Ptolemaic      bool   `json:"ptolemaic"`
+}
+
+func toStatsJSON(st *hdindex.Stats) *QueryStatsJSON {
+	if st == nil {
+		return nil
+	}
+	return &QueryStatsJSON{
+		Candidates:     st.Candidates,
+		TreeEntries:    st.TreeEntries,
+		PageReads:      st.PageReads,
+		PageHits:       st.PageHits,
+		PageMisses:     st.PageMisses,
+		ExactDistances: st.ExactDistances,
+		Alpha:          st.Alpha,
+		Beta:           st.Beta,
+		Gamma:          st.Gamma,
+		Ptolemaic:      st.Ptolemaic,
+	}
 }
 
 type searchResponse struct {
@@ -231,7 +336,8 @@ func (s *Server) validateQuery(name string, q []float32) error {
 		return badRequest("%s must be non-empty", name)
 	}
 	if len(q) != s.idx.Dim() {
-		return badRequest("%s has %d dims, index has %d", name, len(q), s.idx.Dim())
+		return &httpError{code: http.StatusBadRequest, errCode: codeDimMismatch,
+			msg: fmt.Sprintf("%s has %d dims, index has %d", name, len(q), s.idx.Dim())}
 	}
 	return nil
 }
@@ -257,38 +363,33 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) (any, erro
 	if err := s.validateK(req.K); err != nil {
 		return nil, err
 	}
-	ctx, cancel := s.queryContext(r, req.TimeoutMs)
-	defer cancel()
-
-	if req.Stats {
-		res, st, err := s.idx.SearchWithStatsContext(ctx, req.Query, req.K)
-		if err != nil {
-			return nil, err
-		}
-		return searchResponse{Results: toResultJSON(res), Stats: &QueryStatsJSON{
-			Candidates:     st.Candidates,
-			TreeEntries:    st.TreeEntries,
-			PageReads:      st.PageReads,
-			PageHits:       st.PageHits,
-			PageMisses:     st.PageMisses,
-			ExactDistances: st.ExactDistances,
-		}}, nil
-	}
-	res, err := s.idx.SearchContext(ctx, req.Query, req.K)
+	opts, err := req.tuningFields.options(s.cfg, req.Stats)
 	if err != nil {
 		return nil, err
 	}
-	return searchResponse{Results: toResultJSON(res)}, nil
+	ctx, cancel := s.queryContext(r, req.TimeoutMs)
+	defer cancel()
+
+	resp, err := s.idx.Query(ctx, req.Query, req.K, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return searchResponse{Results: toResultJSON(resp.Results), Stats: toStatsJSON(resp.Stats)}, nil
 }
 
 type searchBatchRequest struct {
 	Queries   [][]float32 `json:"queries"`
 	K         int         `json:"k"`
 	TimeoutMs int         `json:"timeout_ms"`
+	Stats     bool        `json:"stats"`
+	tuningFields
 }
 
 type searchBatchResponse struct {
 	Results [][]ResultJSON `json:"results"`
+	// Stats holds one entry per query, in input order, when the request
+	// set "stats": true.
+	Stats []*QueryStatsJSON `json:"stats,omitempty"`
 }
 
 func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) (any, error) {
@@ -309,24 +410,35 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) (any,
 			return nil, badRequest("queries[%d] must be non-empty", i)
 		}
 		if len(q) != s.idx.Dim() {
-			return nil, badRequest("queries[%d] has %d dims, index has %d", i, len(q), s.idx.Dim())
+			return nil, &httpError{code: http.StatusBadRequest, errCode: codeDimMismatch,
+				msg: fmt.Sprintf("queries[%d] has %d dims, index has %d", i, len(q), s.idx.Dim())}
 		}
 	}
 	if err := s.validateK(req.K); err != nil {
 		return nil, err
 	}
-	ctx, cancel := s.queryContext(r, req.TimeoutMs)
-	defer cancel()
-
-	res, err := s.idx.SearchBatchContext(ctx, req.Queries, req.K)
+	opts, err := req.tuningFields.options(s.cfg, req.Stats)
 	if err != nil {
 		return nil, err
 	}
-	out := make([][]ResultJSON, len(res))
-	for i, rs := range res {
-		out[i] = toResultJSON(rs)
+	ctx, cancel := s.queryContext(r, req.TimeoutMs)
+	defer cancel()
+
+	res, err := s.idx.QueryBatch(ctx, req.Queries, req.K, opts...)
+	if err != nil {
+		return nil, err
 	}
-	return searchBatchResponse{Results: out}, nil
+	out := searchBatchResponse{Results: make([][]ResultJSON, len(res))}
+	if req.Stats {
+		out.Stats = make([]*QueryStatsJSON, len(res))
+	}
+	for i, rs := range res {
+		out.Results[i] = toResultJSON(rs.Results)
+		if req.Stats {
+			out.Stats[i] = toStatsJSON(rs.Stats)
+		}
+	}
+	return out, nil
 }
 
 type insertRequest struct {

@@ -16,20 +16,30 @@ func (s *Sharded) Search(q []float32, k int) ([]core.Result, error) {
 
 // SearchContext is Search honouring ctx.
 func (s *Sharded) SearchContext(ctx context.Context, q []float32, k int) ([]core.Result, error) {
-	res, _, err := s.SearchWithStatsContext(ctx, q, k)
+	res, _, err := s.Query(ctx, q, k, core.SearchOptions{})
 	return res, err
 }
 
 // SearchWithStats is Search plus work counters summed across shards.
 func (s *Sharded) SearchWithStats(q []float32, k int) ([]core.Result, *core.QueryStats, error) {
-	return s.SearchWithStatsContext(context.Background(), q, k)
+	return s.Query(context.Background(), q, k, core.SearchOptions{})
 }
 
-// SearchWithStatsContext scatter-gathers the query: every shard answers
-// its local top-k concurrently, local ids are mapped back to global
-// ids, and the N·k candidates are merged through one bounded top-k
-// heap. Cancellation propagates into each shard's query loop, and the
-// first shard error cancels the remaining fan-out.
+// SearchWithStatsContext is SearchContext plus work counters summed
+// across shards.
+func (s *Sharded) SearchWithStatsContext(ctx context.Context, q []float32, k int) ([]core.Result, *core.QueryStats, error) {
+	return s.Query(ctx, q, k, core.SearchOptions{})
+}
+
+// Query scatter-gathers the query with per-query cascade overrides:
+// the same options apply to every shard (the cascade is a per-query
+// property, not a per-shard one), every shard answers its local top-k
+// concurrently, local ids are mapped back to global ids, and the N·k
+// candidates are merged through one bounded top-k heap. Work counters
+// are summed across shards; the echoed cascade knobs are identical on
+// every shard and carried through unchanged. Cancellation propagates
+// into each shard's query loop, and the first shard error cancels the
+// remaining fan-out.
 //
 // Because each shard's answer is exact over the candidates it refined,
 // merging per-shard top-k lists loses nothing: the global k nearest of
@@ -37,20 +47,32 @@ func (s *Sharded) SearchWithStats(q []float32, k int) ([]core.Result, *core.Quer
 // top-k. A 1-shard layout therefore returns exactly what the monolithic
 // layout would, and with exhaustive filter parameters an N-shard layout
 // returns the exact global kNN.
-func (s *Sharded) SearchWithStatsContext(ctx context.Context, q []float32, k int) ([]core.Result, *core.QueryStats, error) {
+func (s *Sharded) Query(ctx context.Context, q []float32, k int, o core.SearchOptions) ([]core.Result, *core.QueryStats, error) {
 	n := len(s.shards)
 	if n == 1 {
 		// Global and local ids coincide; skip the merge entirely.
-		return s.shards[0].SearchWithStatsContext(ctx, q, k)
+		return s.shards[0].Query(ctx, q, k, o)
 	}
 	if len(q) != s.man.Dim {
-		return nil, nil, fmt.Errorf("shard: query has %d dims, index has %d", len(q), s.man.Dim)
+		return nil, nil, fmt.Errorf("%w: query has %d dims, index has %d", core.ErrDimMismatch, len(q), s.man.Dim)
+	}
+	if o.MaxCandidates > 0 {
+		// The κ cap is a per-QUERY refinement budget: split it across
+		// the scatter so N shards cannot multiply the caller's ceiling
+		// by N. Floor division keeps the sum within the budget; each
+		// shard keeps at least k so the merge still sees a full local
+		// top-k. The k check runs here because the floored per-shard
+		// cap would otherwise silently legalise a cap < k.
+		if o.MaxCandidates < k {
+			return nil, nil, fmt.Errorf("%w: max_candidates=%d < k=%d", core.ErrBadOptions, o.MaxCandidates, k)
+		}
+		o.MaxCandidates = max(k, o.MaxCandidates/n)
 	}
 
 	perShard := make([][]core.Result, n)
 	perStats := make([]*core.QueryStats, n)
 	err := fanout.Run(ctx, n, n, func(ctx context.Context, i int) error {
-		res, st, err := s.shards[i].SearchWithStatsContext(ctx, q, k)
+		res, st, err := s.shards[i].Query(ctx, q, k, o)
 		if err != nil {
 			return err
 		}
@@ -74,6 +96,12 @@ func (s *Sharded) SearchWithStatsContext(ctx context.Context, q []float32, k int
 		agg.PageMisses += perStats[i].PageMisses
 		agg.ExactDistances += perStats[i].ExactDistances
 	}
+	// Every shard resolved the same options against the same built
+	// params, so the effective cascade is whichever shard's echo.
+	agg.Alpha = perStats[0].Alpha
+	agg.Beta = perStats[0].Beta
+	agg.Gamma = perStats[0].Gamma
+	agg.Ptolemaic = perStats[0].Ptolemaic
 	items := best.Items()
 	out := make([]core.Result, len(items))
 	for i, it := range items {
@@ -92,20 +120,41 @@ func (s *Sharded) SearchBatch(queries [][]float32, k int) ([][]core.Result, erro
 // scatter-gathers across shards. Cancellation or the first error stops
 // the remaining queries promptly.
 func (s *Sharded) SearchBatchContext(ctx context.Context, queries [][]float32, k int) ([][]core.Result, error) {
+	res, _, err := s.QueryBatch(ctx, queries, k, core.SearchOptions{})
+	return res, err
+}
+
+// QueryBatch is SearchBatchContext with per-query cascade overrides
+// (one option set shared by the whole batch) and per-query work
+// counters in input order. Options and dimensionalities are validated
+// up front, mirroring core.QueryBatch, so a bad option set or a
+// malformed query deep in the batch never burns the fan-out ahead of
+// it.
+func (s *Sharded) QueryBatch(ctx context.Context, queries [][]float32, k int, o core.SearchOptions) ([][]core.Result, []*core.QueryStats, error) {
 	if len(queries) == 0 {
-		return nil, nil
+		return nil, nil, nil
+	}
+	// Every shard shares the built params, so shard 0 validates for all.
+	if err := s.shards[0].ValidateOptions(k, o); err != nil {
+		return nil, nil, err
+	}
+	for i, q := range queries {
+		if len(q) != s.man.Dim {
+			return nil, nil, fmt.Errorf("%w: query %d has %d dims, index has %d", core.ErrDimMismatch, i, len(q), s.man.Dim)
+		}
 	}
 	out := make([][]core.Result, len(queries))
+	stats := make([]*core.QueryStats, len(queries))
 	err := fanout.Run(ctx, len(queries), s.batchWorkers, func(ctx context.Context, qi int) error {
-		res, err := s.SearchContext(ctx, queries[qi], k)
+		res, st, err := s.Query(ctx, queries[qi], k, o)
 		if err != nil {
 			return err
 		}
-		out[qi] = res
+		out[qi], stats[qi] = res, st
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return out, nil
+	return out, stats, nil
 }

@@ -197,7 +197,7 @@ func (s *Sharded) ShardInfos() []Info {
 // layout; callers wanting the write on disk call Flush, as with core.
 func (s *Sharded) Insert(vec []float32) (uint64, error) {
 	if len(vec) != s.man.Dim {
-		return 0, fmt.Errorf("shard: vector has %d dims, index has %d", len(vec), s.man.Dim)
+		return 0, fmt.Errorf("%w: vector has %d dims, index has %d", core.ErrDimMismatch, len(vec), s.man.Dim)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -1,0 +1,211 @@
+package hdindex
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"github.com/hd-index/hdindex/internal/data"
+)
+
+// buildLayout builds the same dataset under one of the facade's three
+// on-disk layouts: legacy (Shards 0), 1-shard manifest, 4-shard
+// manifest.
+func buildLayout(t *testing.T, shards int) (*Index, [][]float32) {
+	t.Helper()
+	ds := data.Generate(data.Config{Name: "q", N: 1600, Dim: 32, Clusters: 6, Lo: 0, Hi: 1, Seed: 33})
+	queries := ds.PerturbedQueries(8, 0.02, 34)
+	idx, err := Build(filepath.Join(t.TempDir(), "ix"), ds.Vectors,
+		Options{Tau: 4, Omega: 8, M: 5, Alpha: 256, Gamma: 64, Seed: 3, Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { idx.Close() })
+	return idx, queries
+}
+
+func requireBitIdentical(t *testing.T, label string, got, want []Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID || math.Float64bits(got[i].Dist) != math.Float64bits(want[i].Dist) {
+			t.Fatalf("%s rank %d: got (%d, %v), want (%d, %v)",
+				label, i, got[i].ID, got[i].Dist, want[i].ID, want[i].Dist)
+		}
+	}
+}
+
+// Query with zero options must be bit-identical to every method of the
+// deprecated Search matrix, on every layout the facade can write. This
+// is the contract that lets callers migrate mechanically.
+func TestQueryEquivalentToLegacyMatrix(t *testing.T) {
+	for _, shards := range []int{0, 1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			idx, queries := buildLayout(t, shards)
+			ctx := context.Background()
+			for qi, q := range queries {
+				resp, err := idx.Query(ctx, q, 10, WithStats())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if resp.Stats == nil || resp.Stats.Candidates < 1 {
+					t.Fatalf("query %d: stats not populated: %+v", qi, resp.Stats)
+				}
+
+				fromSearch, err := idx.Search(q, 10)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireBitIdentical(t, "Search", resp.Results, fromSearch)
+
+				fromCtx, err := idx.SearchContext(ctx, q, 10)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireBitIdentical(t, "SearchContext", resp.Results, fromCtx)
+
+				fromStats, st, err := idx.SearchWithStats(q, 10)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireBitIdentical(t, "SearchWithStats", resp.Results, fromStats)
+				if st.Candidates != resp.Stats.Candidates || st.TreeEntries != resp.Stats.TreeEntries {
+					t.Fatalf("query %d: stats diverge: Query %+v vs SearchWithStats %+v", qi, resp.Stats, st)
+				}
+
+				fromStatsCtx, stCtx, err := idx.SearchWithStatsContext(ctx, q, 10)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireBitIdentical(t, "SearchWithStatsContext", resp.Results, fromStatsCtx)
+				if stCtx.Candidates != resp.Stats.Candidates {
+					t.Fatalf("query %d: context stats diverge", qi)
+				}
+			}
+
+			// The batch pair.
+			batch, err := idx.QueryBatch(ctx, queries, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fromBatch, err := idx.SearchBatch(queries, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fromBatchCtx, err := idx.SearchBatchContext(ctx, queries, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(batch) != len(queries) {
+				t.Fatalf("QueryBatch returned %d responses", len(batch))
+			}
+			for qi := range queries {
+				requireBitIdentical(t, "SearchBatch", batch[qi].Results, fromBatch[qi])
+				requireBitIdentical(t, "SearchBatchContext", batch[qi].Results, fromBatchCtx[qi])
+				if batch[qi].Stats != nil {
+					t.Fatal("QueryBatch without WithStats must not return stats")
+				}
+			}
+		})
+	}
+}
+
+// Per-query overrides change the work done — on the same built index,
+// with no rebuild — and the stats echo the cascade actually run.
+func TestQueryOverridesOnEveryLayout(t *testing.T) {
+	for _, shards := range []int{0, 1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			idx, queries := buildLayout(t, shards)
+			ctx := context.Background()
+			prev := -1
+			for _, gamma := range []int{16, 32, 64} {
+				var total int
+				for _, q := range queries {
+					resp, err := idx.Query(ctx, q, 10, WithGamma(gamma), WithStats())
+					if err != nil {
+						t.Fatal(err)
+					}
+					if resp.Stats.Gamma != gamma {
+						t.Fatalf("gamma=%d: stats echo %+v", gamma, resp.Stats)
+					}
+					total += resp.Stats.Candidates
+				}
+				if total < prev {
+					t.Fatalf("gamma=%d: candidates %d < previous %d — override not applied", gamma, total, prev)
+				}
+				prev = total
+			}
+
+			// WithAlpha moves the fetched tree entries.
+			low, err := idx.Query(ctx, queries[0], 10, WithAlpha(32), WithStats())
+			if err != nil {
+				t.Fatal(err)
+			}
+			high, err := idx.Query(ctx, queries[0], 10, WithAlpha(256), WithStats())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if low.Stats.TreeEntries >= high.Stats.TreeEntries {
+				t.Fatalf("alpha 32 fetched %d entries, alpha 256 fetched %d",
+					low.Stats.TreeEntries, high.Stats.TreeEntries)
+			}
+			if low.Stats.Alpha != 32 || high.Stats.Alpha != 256 {
+				t.Fatalf("alpha echo: %d / %d", low.Stats.Alpha, high.Stats.Alpha)
+			}
+
+			// WithPtolemaic(true) on an index built without it.
+			pto, err := idx.Query(ctx, queries[0], 10, WithPtolemaic(true), WithStats())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !pto.Stats.Ptolemaic {
+				t.Fatal("WithPtolemaic(true) not echoed")
+			}
+
+			// QueryBatch applies one option set to every query.
+			batch, err := idx.QueryBatch(ctx, queries, 10, WithGamma(32), WithStats())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for qi := range queries {
+				if batch[qi].Stats == nil || batch[qi].Stats.Gamma != 32 {
+					t.Fatalf("batch query %d: stats %+v", qi, batch[qi].Stats)
+				}
+			}
+		})
+	}
+}
+
+// The typed errors must surface through the facade on every layout.
+func TestQueryTypedErrors(t *testing.T) {
+	for _, shards := range []int{0, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			idx, queries := buildLayout(t, shards)
+			ctx := context.Background()
+
+			if _, err := idx.Query(ctx, make([]float32, 5), 10); !errors.Is(err, ErrDimMismatch) {
+				t.Fatalf("query dim err = %v, want ErrDimMismatch", err)
+			}
+			if _, err := idx.QueryBatch(ctx, [][]float32{make([]float32, 5)}, 10); !errors.Is(err, ErrDimMismatch) {
+				t.Fatalf("batch dim err = %v, want ErrDimMismatch", err)
+			}
+			if _, err := idx.Insert(make([]float32, 5)); !errors.Is(err, ErrDimMismatch) {
+				t.Fatalf("insert dim err = %v, want ErrDimMismatch", err)
+			}
+			if _, err := idx.Query(ctx, queries[0], 10, WithAlpha(16), WithGamma(64)); !errors.Is(err, ErrBadOptions) {
+				t.Fatalf("widening cascade err = %v, want ErrBadOptions", err)
+			}
+			if _, err := idx.Query(ctx, queries[0], 10, WithAlpha(-3)); !errors.Is(err, ErrBadOptions) {
+				t.Fatalf("negative alpha err = %v, want ErrBadOptions", err)
+			}
+			if _, err := idx.QueryBatch(ctx, queries, 10, WithGamma(4)); !errors.Is(err, ErrBadOptions) {
+				t.Fatalf("batch gamma<k err = %v, want ErrBadOptions", err)
+			}
+		})
+	}
+}

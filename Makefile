@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-compare snapshot snapshot-sharded sweep fmt fmt-check vet check serve clean
+.PHONY: build test race crash staticcheck bench bench-smoke bench-compare snapshot snapshot-sharded sweep fmt fmt-check vet check serve clean
 
 build:
 	$(GO) build ./...
@@ -12,7 +12,18 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/server/... ./internal/shard/... ./internal/fanout/... ./internal/pager/... ./internal/vecstore/...
+	$(GO) test -race ./internal/wal/... ./internal/core/... ./internal/server/... ./internal/shard/... ./internal/fanout/... ./internal/pager/... ./internal/vecstore/...
+
+# SIGKILL a live hdserve mid-insert-storm and prove recovery loses no
+# acknowledged write (the crash-recovery CI job). Rounds default to 3;
+# raise with HD_CRASH_ROUNDS=8.
+crash:
+	$(GO) test -v -timeout 15m ./internal/crash/
+
+# Requires staticcheck on PATH (CI installs it; there is no vendored
+# copy). Configured by staticcheck.conf.
+staticcheck:
+	staticcheck ./...
 
 # Full benchmark suite (the paper's tables/figures at reduced scale).
 bench:
@@ -32,14 +43,17 @@ SNAPSHOT_OUT ?= bench-snapshot.json
 snapshot:
 	$(GO) run ./cmd/hdbench -snapshot $(SNAPSHOT_OUT) -scale 0.1 -queries 20 -k 20 -buildscale 1
 
-# Sharded counterpart (the committed baseline is BENCH_PR5.json):
-#   make snapshot-sharded SNAPSHOT_SHARDED_OUT=BENCH_PR5.json
+# Sharded counterpart (the committed baseline is BENCH_PR6.json):
+#   make snapshot-sharded SNAPSHOT_SHARDED_OUT=BENCH_PR6.json
 # -sweep adds the recall/latency frontier rows: the same built index
-# queried at several per-query alpha operating points.
+# queried at several per-query alpha operating points. -ingest adds the
+# mixed insert/search rows (WAL write throughput vs flush-per-insert,
+# read latency under writes).
 SNAPSHOT_SHARDED_OUT ?= bench-snapshot-sharded.json
 SWEEP ?= alpha=128,512,2048
+INGEST ?= 2000
 snapshot-sharded:
-	$(GO) run ./cmd/hdbench -shards 4 -snapshot $(SNAPSHOT_SHARDED_OUT) -scale 0.1 -queries 20 -k 20 -buildscale 1 -sweep $(SWEEP)
+	$(GO) run ./cmd/hdbench -shards 4 -snapshot $(SNAPSHOT_SHARDED_OUT) -scale 0.1 -queries 20 -k 20 -buildscale 1 -sweep $(SWEEP) -ingest $(INGEST)
 
 # Walk the recall/latency frontier on one built index (per-query alpha
 # overrides; no rebuild between points) and print the rows. Override
@@ -52,10 +66,12 @@ sweep:
 # build_allocs, mean_query_us, batch_qps, parallel_qps,
 # page_reads_per_query, hit_ratio, quality — plus the build-only rows)
 # against the newest committed BENCH_PR*.json (override with
-# BASELINE=...). Never fails on a regression — it makes one visible.
+# BASELINE=...). -gate makes the exit status reflect >15% regressions
+# in mean_query_us/batch_qps; CI runs it under continue-on-error so the
+# gate stays report-only there.
 BASELINE ?= $(shell ls BENCH_PR*.json 2>/dev/null | sort -V | tail -1)
 bench-compare: snapshot-sharded
-	$(GO) run ./cmd/benchcompare $(BASELINE) $(SNAPSHOT_SHARDED_OUT)
+	$(GO) run ./cmd/benchcompare -gate $(BASELINE) $(SNAPSHOT_SHARDED_OUT)
 
 fmt:
 	gofmt -l -w .

@@ -6,14 +6,20 @@
 //
 // Usage:
 //
-//	benchcompare BASELINE.json NEW.json
+//	benchcompare [-gate [-threshold PCT]] BASELINE.json NEW.json
 //
-// The comparison is report-only: the exit status reflects only whether
-// the inputs could be read, never the direction of the deltas.
+// By default the comparison is report-only: the exit status reflects
+// only whether the inputs could be read, never the direction of the
+// deltas. With -gate, the exit status becomes a soft regression gate:
+// non-zero when mean_query_us or batch_qps regresses by more than
+// -threshold percent (default 15) on any dataset both snapshots
+// measured. The two gated metrics are the least noisy of the snapshot;
+// the threshold absorbs shared-runner jitter.
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 
@@ -54,34 +60,45 @@ var metrics = []metric{
 }
 
 func main() {
-	if len(os.Args) != 3 {
-		fmt.Fprintln(os.Stderr, "usage: benchcompare BASELINE.json NEW.json")
+	gate := flag.Bool("gate", false, "exit non-zero when a gated metric (mean_query_us, batch_qps) regresses past -threshold on any shared dataset")
+	threshold := flag.Float64("threshold", 15, "regression percentage the -gate tolerates")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcompare [-gate [-threshold PCT]] BASELINE.json NEW.json")
 		os.Exit(2)
 	}
-	base, err := load(os.Args[1])
+	base, err := load(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchcompare: %v\n", err)
 		os.Exit(1)
 	}
-	fresh, err := load(os.Args[2])
+	fresh, err := load(flag.Arg(1))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchcompare: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("baseline: %s (%s)\n", os.Args[1], base.GoVersion)
-	fmt.Printf("new:      %s (%s)\n", os.Args[2], fresh.GoVersion)
+	fmt.Printf("baseline: %s (%s)\n", flag.Arg(0), base.GoVersion)
+	fmt.Printf("new:      %s (%s)\n", flag.Arg(1), fresh.GoVersion)
 	// Compare only the workload knobs: ParallelClients is absent from
-	// pre-PR3 baselines, BuildScale from pre-PR4 ones, and Sweep from
-	// pre-PR5 ones; none of them changes the sequential query numbers
-	// (the sweep runs strictly after every baseline measurement).
+	// pre-PR3 baselines, BuildScale from pre-PR4 ones, Sweep from
+	// pre-PR5 ones, and Ingest from pre-PR6 ones; none of them changes
+	// the sequential query numbers (the sweep and ingest phases run
+	// strictly after every baseline measurement).
 	bc, fc := base.Config, fresh.Config
 	bc.ParallelClients, fc.ParallelClients = 0, 0
 	bc.BuildScale, fc.BuildScale = 0, 0
 	bc.Sweep, fc.Sweep = "", ""
+	bc.Ingest, fc.Ingest = 0, 0
 	if bc != fc {
 		fmt.Printf("note: configs differ (baseline %+v, new %+v) — deltas are indicative only\n",
 			base.Config, fresh.Config)
 	}
+
+	// The gate watches the two steadiest serving metrics; the other rows
+	// stay informational (build times and alloc counts swing too much on
+	// shared runners to block on).
+	gated := map[string]bool{"mean_query_us": true, "batch_qps": true}
+	var regressions []string
 
 	byName := make(map[string]bench.DatasetResult, len(base.Datasets))
 	for _, d := range base.Datasets {
@@ -96,7 +113,20 @@ func main() {
 		fmt.Printf("\n%s (n=%d, dim=%d)\n", nw.Dataset, nw.N, nw.Dim)
 		fmt.Printf("  %-22s %14s %14s %10s\n", "metric", "baseline", "new", "delta")
 		for _, m := range metrics {
-			printDelta(m.name, m.get(old), m.get(nw), m.higherBetter)
+			ov, nv := m.get(old), m.get(nw)
+			printDelta(m.name, ov, nv, m.higherBetter)
+			if !*gate || !gated[m.name] || ov == 0 {
+				continue
+			}
+			delta := (nv - ov) / ov * 100
+			worse := delta
+			if m.higherBetter {
+				worse = -delta
+			}
+			if worse > *threshold {
+				regressions = append(regressions,
+					fmt.Sprintf("%s %s: %.4g -> %.4g (%+.1f%%)", nw.Dataset, m.name, ov, nv, delta))
+			}
 		}
 	}
 
@@ -154,6 +184,17 @@ func main() {
 			printDelta("candidates_per_query", old.CandidatesPerQuery, nw.CandidatesPerQuery, false)
 			printDelta("page_reads_per_query", old.PageReadsPerQuery, nw.PageReadsPerQuery, false)
 		}
+	}
+
+	if *gate {
+		if len(regressions) > 0 {
+			fmt.Printf("\nGATE: %d metric(s) regressed more than %g%%:\n", len(regressions), *threshold)
+			for _, r := range regressions {
+				fmt.Printf("  %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("\nGATE: ok (no gated metric regressed more than %g%%)\n", *threshold)
 	}
 }
 

@@ -34,6 +34,7 @@ func main() {
 		shards     = flag.Int("shards", 0, "build the snapshot index as a sharded layout with N shards (0 = single index)")
 		buildscale = flag.Float64("buildscale", 0, "add build-only rows to the snapshot at this dataset scale (0 = none; 1 = full harness size)")
 		sweep      = flag.String("sweep", "", "walk a per-query knob over the built index and add recall/latency frontier rows to the snapshot (alpha=a1,a2,... or gamma=g1,g2,...)")
+		ingest     = flag.Int("ingest", 0, "add mixed insert/search rows to the snapshot: this many concurrent WAL-durable inserts per dataset, with the flush-per-insert comparison (0 = none)")
 	)
 	flag.Parse()
 
@@ -53,6 +54,7 @@ func main() {
 		Seed:       *seed,
 		Shards:     *shards,
 		BuildScale: *buildscale,
+		Ingest:     *ingest,
 	}
 
 	// The experiment runners always measure the monolithic index (they
@@ -73,6 +75,14 @@ func main() {
 	}
 	if *buildscale > 0 && *snapshot == "" {
 		fmt.Fprintln(os.Stderr, "hdbench: -buildscale only applies to -snapshot")
+		os.Exit(2)
+	}
+	if *ingest < 0 {
+		fmt.Fprintln(os.Stderr, "hdbench: -ingest must be >= 0")
+		os.Exit(2)
+	}
+	if *ingest > 0 && *snapshot == "" {
+		fmt.Fprintln(os.Stderr, "hdbench: -ingest only applies to -snapshot")
 		os.Exit(2)
 	}
 	if *sweep != "" {
@@ -122,6 +132,9 @@ func main() {
 					row.Dataset, row.Param, row.Value, row.MeanQueryUS, row.Recall, row.MAP,
 					row.CandidatesPerQuery, row.PageReadsPerQuery)
 			}
+		}
+		if len(snap.Ingest) > 0 {
+			bench.PrintIngest(snap.Ingest)
 		}
 		return
 	}

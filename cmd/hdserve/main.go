@@ -41,7 +41,9 @@ func main() {
 		maxK         = flag.Int("max-k", 1000, "largest accepted k")
 		maxBatch     = flag.Int("max-batch", 4096, "largest accepted /searchbatch size")
 		readOnly     = flag.Bool("readonly", false, "reject /insert and /delete")
-		noFlush      = flag.Bool("no-flush-on-write", false, "skip the durability flush after each /insert (faster bulk loads, crash loses recent inserts)")
+		noFlush      = flag.Bool("no-flush-on-write", false, "deprecated no-op: inserts are WAL-durable; tune with -wal-sync")
+		walSync      = flag.Duration("wal-sync", 0, "WAL fsync cadence: 0 group-commits every write, >0 acks after the page-cache write and fsyncs on this interval")
+		memtableMax  = flag.Int("memtable-max", 0, "memtable vectors before a background compaction folds them into the trees (0 = 4096)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "shutdown grace period for in-flight requests")
 	)
 	flag.Parse()
@@ -49,9 +51,15 @@ func main() {
 		log.Fatal("hdserve: -index is required")
 	}
 
+	if *noFlush {
+		log.Print("hdserve: -no-flush-on-write is deprecated and ignored (inserts are WAL-durable; see -wal-sync)")
+	}
+
 	idx, err := hdindex.Open(*indexDir, hdindex.Options{
-		Parallel:     *parallel,
-		BatchWorkers: *batchWorkers,
+		Parallel:           *parallel,
+		BatchWorkers:       *batchWorkers,
+		WALSyncInterval:    *walSync,
+		MemtableMaxVectors: *memtableMax,
 	})
 	if err != nil {
 		log.Fatalf("hdserve: open index: %v", err)
@@ -60,6 +68,12 @@ func main() {
 	// closed explicitly after the drain.
 	log.Printf("hdserve: opened %s: %d vectors, %d dims, %.1f MB on disk",
 		*indexDir, idx.Count(), idx.Dim(), float64(idx.SizeOnDisk())/(1<<20))
+	// Replay happens on any open with an uncompacted WAL tail — after a
+	// crash, but also after a clean shutdown whose memtable had not hit
+	// the compaction threshold yet. Both are normal.
+	if ist := idx.IngestStats(); ist.Replayed > 0 {
+		log.Printf("hdserve: replayed %d write-ahead-log records into the memtable", ist.Replayed)
+	}
 	if n := idx.NumShards(); n > 1 {
 		for _, sh := range idx.Shards() {
 			log.Printf("hdserve: shard %02d/%d: %d vectors, %d deleted", sh.ID, n, sh.Count, sh.Deleted)
@@ -67,11 +81,10 @@ func main() {
 	}
 
 	srv := server.New(idx, server.Config{
-		QueryTimeout:   *queryTimeout,
-		MaxK:           *maxK,
-		MaxBatch:       *maxBatch,
-		ReadOnly:       *readOnly,
-		NoFlushOnWrite: *noFlush,
+		QueryTimeout: *queryTimeout,
+		MaxK:         *maxK,
+		MaxBatch:     *maxBatch,
+		ReadOnly:     *readOnly,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -10,6 +10,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -66,7 +67,7 @@ func runBuild(args []string) error {
 	shards := fs.Int("shards", 0, "split the index into N concurrently built shards (0 = single index)")
 	fs.Parse(args)
 	if *dataPath == "" || *indexDir == "" {
-		return fmt.Errorf("build: -data and -index are required")
+		return errors.New("build: -data and -index are required")
 	}
 	// The flat reader keeps the dataset in one backing array — at
 	// million-vector scale that halves load-time heap overhead vs one
@@ -119,7 +120,7 @@ func runQuery(args []string) error {
 	stats := fs.Bool("stats", false, "print per-query work counters (candidates, page reads, hit ratio)")
 	fs.Parse(args)
 	if *indexDir == "" || *queriesPath == "" {
-		return fmt.Errorf("query: -index and -queries are required")
+		return errors.New("query: -index and -queries are required")
 	}
 	// Negative knobs are an explicit error everywhere else (server,
 	// library); the CLI must not silently read them as "unset".
@@ -217,7 +218,7 @@ func runInfo(args []string) error {
 	indexDir := fs.String("index", "", "index directory")
 	fs.Parse(args)
 	if *indexDir == "" {
-		return fmt.Errorf("info: -index is required")
+		return errors.New("info: -index is required")
 	}
 	ix, err := hdindex.Open(*indexDir, hdindex.Options{})
 	if err != nil {

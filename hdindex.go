@@ -39,6 +39,7 @@ package hdindex
 
 import (
 	"context"
+	"time"
 
 	"github.com/hd-index/hdindex/internal/core"
 	"github.com/hd-index/hdindex/internal/pager"
@@ -86,10 +87,27 @@ type Options struct {
 	// Hilbert-encode workers inside each tree, so nested build
 	// parallelism never oversubscribes the machine.
 	BuildWorkers int
+	// WALSyncInterval selects the write-ahead log's durability
+	// discipline for live inserts and deletes. 0 (the default)
+	// group-commits: every acknowledged mutation is fsynced, batched
+	// across concurrent writers. > 0 acknowledges after the page-cache
+	// write and fsyncs on this cadence — acknowledged writes survive a
+	// process crash but the last interval may be lost on power failure.
+	// Both Build and Open honour it.
+	WALSyncInterval time.Duration
+	// MemtableMaxVectors is the number of live-inserted vectors held in
+	// memory before a background compaction folds them into the trees
+	// (0 = 4096). It bounds both queries' brute-force memtable scan and
+	// WAL replay time after a crash. Both Build and Open honour it.
+	MemtableMaxVectors int
 }
 
 // ErrUnknownID reports a Delete of an id the index never assigned.
 var ErrUnknownID = core.ErrUnknownID
+
+// ErrPurged reports an Undelete of an id whose deletion a compaction
+// already reclaimed: the vector's tree entries are gone for good.
+var ErrPurged = core.ErrPurged
 
 // Result is one returned neighbour, nearest first.
 type Result = core.Result
@@ -117,6 +135,8 @@ type backend interface {
 	Insert(vec []float32) (uint64, error)
 	Delete(id uint64) error
 	Undelete(id uint64) error
+	Compact(ctx context.Context) error
+	IngestStats() core.IngestStats
 	Count() uint64
 	Dim() int
 	DeletedCount() int
@@ -212,6 +232,9 @@ func BuildContext(ctx context.Context, dir string, vectors [][]float32, o Option
 		DisableCache: o.DisableCache,
 		PageSize:     o.PageSize,
 		Seed:         o.Seed,
+
+		WALSyncInterval:    o.WALSyncInterval,
+		MemtableMaxVectors: o.MemtableMaxVectors,
 	}
 	if o.Shards > 0 {
 		sh, err := shard.BuildContext(ctx, dir, vectors, shard.Params{
@@ -244,6 +267,9 @@ func Open(dir string, o Options) (*Index, error) {
 		DisableCache: o.DisableCache,
 		Parallel:     o.Parallel,
 		BatchWorkers: o.BatchWorkers,
+
+		WALSyncInterval:    o.WALSyncInterval,
+		MemtableMaxVectors: o.MemtableMaxVectors,
 	}
 	if shard.IsSharded(dir) {
 		sh, err := shard.Open(dir, opts)
@@ -312,17 +338,39 @@ func (i *Index) SearchBatchContext(ctx context.Context, queries [][]float32, k i
 	return res, err
 }
 
-// Insert adds a vector to the index (§3.6) and returns its id.
+// Insert adds a vector to the index (§3.6) and returns its id. The
+// insert is appended to a write-ahead log before Insert returns (see
+// Options.WALSyncInterval for the exact durability guarantee), lands in
+// an in-memory memtable that queries scan exactly, and is folded into
+// the index structure by a background compaction.
 func (i *Index) Insert(vec []float32) (uint64, error) {
 	return i.ix.Insert(vec)
 }
 
 // Delete marks an object as deleted (§3.6); it will no longer be
-// returned by Search. The mark persists with the index.
+// returned by Search. The mark is WAL-logged before Delete returns.
 func (i *Index) Delete(id uint64) error { return i.ix.Delete(id) }
 
-// Undelete removes a deletion mark.
+// Undelete removes a deletion mark. It fails with ErrPurged when a
+// compaction has already reclaimed the deletion.
 func (i *Index) Undelete(id uint64) error { return i.ix.Undelete(id) }
+
+// Compact synchronously folds any memtable-resident inserts into the
+// index trees and truncates the write-ahead log. Normally the
+// background compactor does this when the memtable crosses
+// Options.MemtableMaxVectors; Compact forces it — useful before
+// benchmarking reads or snapshotting the directory. No-op when the
+// memtable is empty.
+func (i *Index) Compact(ctx context.Context) error { return i.ix.Compact(ctx) }
+
+// IngestStats is a point-in-time snapshot of the live-ingest machinery:
+// memtable occupancy, WAL size and sync counts, records replayed at
+// open, and compaction history. On a sharded layout counters are summed
+// across shards.
+type IngestStats = core.IngestStats
+
+// IngestStats returns the live-ingest counters.
+func (i *Index) IngestStats() IngestStats { return i.ix.IngestStats() }
 
 // Count returns the number of indexed vectors.
 func (i *Index) Count() uint64 { return i.ix.Count() }

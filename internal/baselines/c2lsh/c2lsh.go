@@ -7,6 +7,7 @@
 package c2lsh
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -48,7 +49,7 @@ type Index struct {
 // Build constructs the index.
 func Build(vectors [][]float32, p Params) (*Index, error) {
 	if len(vectors) == 0 {
-		return nil, fmt.Errorf("c2lsh: empty dataset")
+		return nil, errors.New("c2lsh: empty dataset")
 	}
 	n := len(vectors)
 	if p.C <= 1 {
@@ -150,7 +151,7 @@ func (ix *Index) Search(q []float32, k int) ([]baselines.Result, error) {
 		return nil, fmt.Errorf("c2lsh: query has %d dims, index has %d", len(q), ix.dim)
 	}
 	if k < 1 {
-		return nil, fmt.Errorf("c2lsh: k must be >= 1")
+		return nil, errors.New("c2lsh: k must be >= 1")
 	}
 	n := len(ix.vectors)
 	p := ix.params

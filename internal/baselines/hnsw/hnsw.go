@@ -6,6 +6,7 @@
 package hnsw
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -42,7 +43,7 @@ type Index struct {
 // Build constructs the graph by sequential insertion.
 func Build(vectors [][]float32, p Params) (*Index, error) {
 	if len(vectors) == 0 {
-		return nil, fmt.Errorf("hnsw: empty dataset")
+		return nil, errors.New("hnsw: empty dataset")
 	}
 	if p.M <= 1 {
 		p.M = 10
@@ -267,7 +268,7 @@ func (ix *Index) Search(q []float32, k int) ([]baselines.Result, error) {
 		return nil, fmt.Errorf("hnsw: query has %d dims, index has %d", len(q), ix.dim)
 	}
 	if k < 1 {
-		return nil, fmt.Errorf("hnsw: k must be >= 1")
+		return nil, errors.New("hnsw: k must be >= 1")
 	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()

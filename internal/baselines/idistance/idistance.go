@@ -10,6 +10,7 @@ package idistance
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -55,7 +56,7 @@ const keyLen = 12 // [4B partition][8B sortable float distance]
 // Build constructs the index in dir.
 func Build(dir string, vectors [][]float32, p Params) (*Index, error) {
 	if len(vectors) == 0 {
-		return nil, fmt.Errorf("idistance: empty dataset")
+		return nil, errors.New("idistance: empty dataset")
 	}
 	if p.Clusters <= 0 {
 		c := int(math.Sqrt(float64(len(vectors)))) / 2
@@ -178,7 +179,7 @@ func (ix *Index) Search(q []float32, k int) ([]baselines.Result, error) {
 		return nil, fmt.Errorf("idistance: query has %d dims, index has %d", len(q), ix.dim)
 	}
 	if k < 1 {
-		return nil, fmt.Errorf("idistance: k must be >= 1")
+		return nil, errors.New("idistance: k must be >= 1")
 	}
 	nc := len(ix.centers)
 	qdist := make([]float64, nc)

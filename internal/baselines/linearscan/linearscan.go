@@ -6,6 +6,7 @@
 package linearscan
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -23,7 +24,7 @@ type Scan struct {
 // New returns a scanner over vectors.
 func New(vectors [][]float32) (*Scan, error) {
 	if len(vectors) == 0 {
-		return nil, fmt.Errorf("linearscan: empty dataset")
+		return nil, errors.New("linearscan: empty dataset")
 	}
 	return &Scan{vectors: vectors, dim: len(vectors[0])}, nil
 }
@@ -37,7 +38,7 @@ func (s *Scan) Search(q []float32, k int) ([]baselines.Result, error) {
 		return nil, fmt.Errorf("linearscan: query has %d dims, data has %d", len(q), s.dim)
 	}
 	if k < 1 {
-		return nil, fmt.Errorf("linearscan: k must be >= 1")
+		return nil, errors.New("linearscan: k must be >= 1")
 	}
 	best := topk.New(k)
 	for id, v := range s.vectors {

@@ -11,6 +11,7 @@ package multicurves
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"os"
@@ -53,7 +54,7 @@ type Index struct {
 // Build constructs the index in dir.
 func Build(dir string, vectors [][]float32, p Params) (*Index, error) {
 	if len(vectors) == 0 {
-		return nil, fmt.Errorf("multicurves: empty dataset")
+		return nil, errors.New("multicurves: empty dataset")
 	}
 	dim := len(vectors[0])
 	if p.Tau <= 0 {
@@ -179,7 +180,7 @@ func (ix *Index) Search(q []float32, k int) ([]baselines.Result, error) {
 		return nil, fmt.Errorf("multicurves: query has %d dims, index has %d", len(q), ix.dim)
 	}
 	if k < 1 {
-		return nil, fmt.Errorf("multicurves: k must be >= 1")
+		return nil, errors.New("multicurves: k must be >= 1")
 	}
 	p := ix.params
 	type treeOut struct {

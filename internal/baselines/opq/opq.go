@@ -11,6 +11,7 @@
 package opq
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -49,7 +50,7 @@ type Index struct {
 // and encodes all vectors.
 func Build(vectors [][]float32, p Params) (*Index, error) {
 	if len(vectors) == 0 {
-		return nil, fmt.Errorf("opq: empty dataset")
+		return nil, errors.New("opq: empty dataset")
 	}
 	dim := len(vectors[0])
 	if p.M <= 0 {
@@ -220,7 +221,7 @@ func (ix *Index) Search(q []float32, k int) ([]baselines.Result, error) {
 		return nil, fmt.Errorf("opq: query has %d dims, index has %d", len(q), ix.dim)
 	}
 	if k < 1 {
-		return nil, fmt.Errorf("opq: k must be >= 1")
+		return nil, errors.New("opq: k must be >= 1")
 	}
 	rq := rotateOne(ix.rotation, q)
 

@@ -7,6 +7,7 @@
 package qalsh
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -46,7 +47,7 @@ type Index struct {
 // Build constructs the index.
 func Build(vectors [][]float32, p Params) (*Index, error) {
 	if len(vectors) == 0 {
-		return nil, fmt.Errorf("qalsh: empty dataset")
+		return nil, errors.New("qalsh: empty dataset")
 	}
 	n := len(vectors)
 	if p.C <= 1 {
@@ -135,7 +136,7 @@ func (ix *Index) Search(q []float32, k int) ([]baselines.Result, error) {
 		return nil, fmt.Errorf("qalsh: query has %d dims, index has %d", len(q), ix.dim)
 	}
 	if k < 1 {
-		return nil, fmt.Errorf("qalsh: k must be >= 1")
+		return nil, errors.New("qalsh: k must be >= 1")
 	}
 	n := len(ix.vectors)
 	p := ix.params

@@ -9,6 +9,7 @@
 package srs
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -41,7 +42,7 @@ type Index struct {
 // Build constructs the index.
 func Build(vectors [][]float32, p Params) (*Index, error) {
 	if len(vectors) == 0 {
-		return nil, fmt.Errorf("srs: empty dataset")
+		return nil, errors.New("srs: empty dataset")
 	}
 	if p.Projections <= 0 {
 		p.Projections = 6
@@ -96,7 +97,7 @@ func (ix *Index) Search(q []float32, k int) ([]baselines.Result, error) {
 		return nil, fmt.Errorf("srs: query has %d dims, index has %d", len(q), ix.dim)
 	}
 	if k < 1 {
-		return nil, fmt.Errorf("srs: k must be >= 1")
+		return nil, errors.New("srs: k must be >= 1")
 	}
 	p := ix.params
 	pq := ix.project(q)

@@ -53,6 +53,11 @@ type Config struct {
 	// the recall/latency frontier rows to the snapshot (see
 	// Snapshot.Sweep). Only the snapshot runner consults it.
 	Sweep *SweepSpec
+	// Ingest > 0 adds the mixed insert/search rows to the snapshot:
+	// this many concurrent WAL-durable inserts per dataset with readers
+	// alongside, plus the flush-per-insert comparison (see
+	// Snapshot.Ingest). Only the snapshot runner consults it.
+	Ingest int
 }
 
 func (c *Config) defaults() {

@@ -35,6 +35,10 @@ type Snapshot struct {
 	// same built index the dataset row measured. Absent when
 	// Config.Sweep is empty.
 	Sweep []SweepRow `json:"sweep,omitempty"`
+	// Ingest holds the mixed insert/search rows — WAL write throughput
+	// vs the flush-per-insert path, read latency under writes, memtable
+	// staleness peak. Absent when Config.Ingest is 0.
+	Ingest []IngestResult `json:"ingest,omitempty"`
 }
 
 // snapshotParallelClients is the fixed concurrent-client count of the
@@ -58,6 +62,9 @@ type SnapshotConfig struct {
 	// Sweep records the -sweep spec ("alpha=512,2048,...") whose
 	// frontier rows Snapshot.Sweep holds; empty when no sweep ran.
 	Sweep string `json:"sweep,omitempty"`
+	// Ingest records the mixed-phase insert count behind
+	// Snapshot.Ingest; 0 when the phase did not run.
+	Ingest int `json:"ingest,omitempty"`
 }
 
 // BuildPhaseMS is the per-phase construction cost breakdown mirrored
@@ -139,6 +146,7 @@ func RunSnapshot(cfg Config, datasets []string) (*Snapshot, error) {
 			Scale: cfg.Scale, Queries: cfg.Queries, K: cfg.K, Seed: cfg.Seed,
 			Shards: cfg.Shards, ParallelClients: snapshotParallelClients,
 			BuildScale: cfg.BuildScale, Sweep: cfg.Sweep.String(),
+			Ingest: cfg.Ingest,
 		},
 	}
 	for _, name := range datasets {
@@ -166,6 +174,19 @@ func RunSnapshot(cfg Config, datasets []string) (*Snapshot, error) {
 				return nil, err
 			}
 			snap.Build = append(snap.Build, row)
+		}
+	}
+	// The mixed insert/search phase also runs after the query phases:
+	// its storm churns the heap and the page cache, and its own numbers
+	// (throughput over thousands of writes) are robust to that.
+	if cfg.Ingest > 0 {
+		for _, name := range datasets {
+			spec, _ := SpecByName(name)
+			row, err := snapshotIngest(spec, cfg)
+			if err != nil {
+				return nil, err
+			}
+			snap.Ingest = append(snap.Ingest, row)
 		}
 	}
 	return snap, nil

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -17,6 +18,7 @@ import (
 	"github.com/hd-index/hdindex/internal/refsel"
 	"github.com/hd-index/hdindex/internal/vecmath"
 	"github.com/hd-index/hdindex/internal/vecstore"
+	"github.com/hd-index/hdindex/internal/wal"
 )
 
 // BuildStats records what one Build spent and where. The four phase
@@ -114,7 +116,7 @@ func Build(dir string, vectors [][]float32, p Params) (*Index, error) {
 // Open rejects the directory instead of serving a half-built index.
 func BuildContext(ctx context.Context, dir string, vectors [][]float32, p Params) (*Index, error) {
 	if len(vectors) == 0 {
-		return nil, fmt.Errorf("core: empty dataset")
+		return nil, errors.New("core: empty dataset")
 	}
 	nu := len(vectors[0])
 	p.SetDefaults(nu, len(vectors))
@@ -262,6 +264,15 @@ func BuildContext(ctx context.Context, dir string, vectors [][]float32, p Params
 		ix.Close()
 		return nil, err
 	}
+	// The meta commit makes the build generation-0-complete; the fresh
+	// (empty) WAL and its compactor make the index live for ingest.
+	w, err := wal.Open(filepath.Join(dir, walFile), wal.Options{SyncInterval: p.WALSyncInterval}, nil)
+	if err != nil {
+		ix.Close()
+		return nil, err
+	}
+	ix.wal = w
+	ix.startCompactor()
 	stats.TotalMS = msSince(buildStart)
 	stats.Allocs, stats.PeakHeapBytes = probe.Finish()
 	ix.buildStats = &stats

@@ -9,30 +9,44 @@ import (
 	"sync"
 
 	"github.com/hd-index/hdindex/internal/atomicfile"
+	"github.com/hd-index/hdindex/internal/wal"
 )
 
 // §3.6: "deletions can be handled by simply marking the object as
-// 'deleted' and not returning it as an answer." The mark set lives in a
-// side file (deleted.bin: a count followed by raw ids) and is consulted
-// during the exact-refinement step, so no tree surgery is ever needed.
+// 'deleted' and not returning it as an answer." Marks are made durable
+// the same way inserts are — a WAL record acknowledged through the
+// group commit — and consulted during the exact-refinement step, so no
+// tree surgery happens on the request path. Compaction is where the
+// physical reclaim lives: it drops marked entries from the rebuilt
+// trees and moves their marks into the purged set, persisted in the
+// side file (deleted.bin) together with the live marks.
 
 const deletedFile = "deleted.bin"
+
+// deletedMagicV2 tags the two-section deleted.bin layout (marks +
+// purged ids). It cannot collide with a v1 file, whose first 8 bytes
+// are a count bounded by the file's own length.
+const deletedMagicV2 = 0xFFFFFFFF00000002
 
 // ErrUnknownID reports a Delete of an id the index has never assigned.
 var ErrUnknownID = errors.New("core: unknown id")
 
+// ErrPurged reports an Undelete of an id whose deletion was made
+// physical by compaction: its tree entries are gone, so the mark can
+// no longer be lifted.
+var ErrPurged = errors.New("core: id was deleted and reclaimed by compaction")
+
 type deleteSet struct {
 	mu  sync.RWMutex
 	ids map[uint64]struct{}
-	// saveMu serialises the whole mutate-then-persist sequence of
-	// Delete/Undelete: a mark observed while HOLDING saveMu is always
-	// persisted, because a failed write rolls the mark back before
-	// saveMu is released — that is what makes Delete's already-marked
-	// short-circuit sound. has() deliberately takes only mu, so an
-	// in-flight Delete's mark is visible to searches before (and, on a
-	// failed write, briefly without) persistence — an acceptable read
-	// anomaly that keeps disk I/O off the search hot path. saveMu is
-	// also separate from Index.mu so deletes never stall searches.
+	// purged holds ids whose marked deletion compaction made physical:
+	// their tree entries were dropped during a rebuild, so the mark is
+	// permanent. has() covers both sets; Undelete refuses purged ids.
+	purged map[uint64]struct{}
+	// saveMu serialises deleted.bin writers (compaction's reclaim,
+	// Open's prune, Flush) so a stale snapshot can never overwrite a
+	// newer one. It is separate from Index.mu because the save also
+	// runs outside the index lock.
 	saveMu sync.Mutex
 }
 
@@ -41,6 +55,9 @@ type deleteSet struct {
 func (d *deleteSet) has(id uint64) bool {
 	d.mu.RLock()
 	_, ok := d.ids[id]
+	if !ok {
+		_, ok = d.purged[id]
+	}
 	d.mu.RUnlock()
 	return ok
 }
@@ -48,85 +65,158 @@ func (d *deleteSet) has(id uint64) bool {
 func (d *deleteSet) len() int {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	return len(d.ids)
+	return len(d.ids) + len(d.purged)
+}
+
+// mark adds a deletion mark unless the id is already purged (a purged
+// id is permanently deleted; WAL replay may legitimately re-deliver
+// its delete record after a crash between deleted.bin and the WAL
+// truncation).
+func (d *deleteSet) mark(id uint64) {
+	d.mu.Lock()
+	if _, gone := d.purged[id]; !gone {
+		d.ids[id] = struct{}{}
+	}
+	d.mu.Unlock()
+}
+
+func (d *deleteSet) unmark(id uint64) {
+	d.mu.Lock()
+	delete(d.ids, id)
+	d.mu.Unlock()
+}
+
+// marksBelow snapshots the marked (not purged) ids under limit — the
+// set a compaction covering ids [0, limit) will reclaim.
+func (d *deleteSet) marksBelow(limit uint64) map[uint64]struct{} {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make(map[uint64]struct{})
+	for id := range d.ids {
+		if id < limit {
+			out[id] = struct{}{}
+		}
+	}
+	return out
+}
+
+// purge moves ids from the mark set to the purged set. Ids unmarked in
+// the window since the snapshot stay unmarked (their Undelete won) but
+// still purge: their tree entries are gone either way.
+func (d *deleteSet) purge(ids map[uint64]struct{}) {
+	if len(ids) == 0 {
+		return
+	}
+	d.mu.Lock()
+	for id := range ids {
+		delete(d.ids, id)
+		d.purged[id] = struct{}{}
+	}
+	d.mu.Unlock()
 }
 
 // Delete marks object id as deleted; it will no longer be returned by
-// Search. Deleting an unknown id is an error; deleting twice is a no-op.
+// searches. The mark is durable when Delete returns — a WAL record
+// acknowledged through the same group commit as inserts. Deleting an
+// unknown id is an error; deleting twice (or deleting a purged id) is
+// a no-op.
 func (ix *Index) Delete(id uint64) error {
-	ix.mu.RLock()
-	count := ix.vectors.Count()
-	ix.mu.RUnlock()
-	if id >= count {
-		return fmt.Errorf("%w: delete of id %d (have %d)", ErrUnknownID, id, count)
-	}
 	d := ix.deleted
-	d.saveMu.Lock()
-	defer d.saveMu.Unlock()
-	d.mu.Lock()
-	_, already := d.ids[id]
-	d.ids[id] = struct{}{}
-	d.mu.Unlock()
-	if already {
-		return nil // mark unchanged, already persisted
+	ix.mu.Lock()
+	if ix.wal == nil {
+		ix.mu.Unlock()
+		return errors.New("core: index is closed")
 	}
-	if err := ix.saveDeleteSetLocked(); err != nil {
-		// Roll back so memory stays consistent with disk and a retry
-		// attempts the persist again instead of short-circuiting.
-		d.mu.Lock()
-		delete(d.ids, id)
-		d.mu.Unlock()
+	total := ix.vectors.Count() + uint64(len(ix.mem))
+	if id >= total {
+		ix.mu.Unlock()
+		return fmt.Errorf("%w: delete of id %d (have %d)", ErrUnknownID, id, total)
+	}
+	if d.has(id) {
+		ix.mu.Unlock()
+		return nil // already deleted (marked or purged); already durable
+	}
+	off, err := ix.wal.AppendNoSync(wal.Record{Op: wal.OpDelete, ID: id})
+	if err != nil {
+		ix.mu.Unlock()
 		return err
 	}
-	return nil
+	d.mark(id)
+	ix.mu.Unlock()
+	return ix.wal.WaitDurable(off)
 }
 
 // Undelete removes the deletion mark from id. Undeleting an unmarked
-// (but known) id is a no-op; an unknown id is an error.
+// (but known) id is a no-op; an unknown id is an error; an id whose
+// deletion compaction already reclaimed is ErrPurged — its tree
+// entries no longer exist, so the object cannot come back.
 func (ix *Index) Undelete(id uint64) error {
-	ix.mu.RLock()
-	count := ix.vectors.Count()
-	ix.mu.RUnlock()
-	if id >= count {
-		return fmt.Errorf("%w: undelete of id %d (have %d)", ErrUnknownID, id, count)
-	}
 	d := ix.deleted
-	d.saveMu.Lock()
-	defer d.saveMu.Unlock()
-	d.mu.Lock()
+	ix.mu.Lock()
+	if ix.wal == nil {
+		ix.mu.Unlock()
+		return errors.New("core: index is closed")
+	}
+	total := ix.vectors.Count() + uint64(len(ix.mem))
+	if id >= total {
+		ix.mu.Unlock()
+		return fmt.Errorf("%w: undelete of id %d (have %d)", ErrUnknownID, id, total)
+	}
+	d.mu.RLock()
+	_, gone := d.purged[id]
 	_, marked := d.ids[id]
-	delete(d.ids, id)
-	d.mu.Unlock()
+	d.mu.RUnlock()
+	if gone {
+		ix.mu.Unlock()
+		return fmt.Errorf("%w: undelete of id %d", ErrPurged, id)
+	}
 	if !marked {
+		ix.mu.Unlock()
 		return nil
 	}
-	if err := ix.saveDeleteSetLocked(); err != nil {
-		d.mu.Lock()
-		d.ids[id] = struct{}{}
-		d.mu.Unlock()
+	off, err := ix.wal.AppendNoSync(wal.Record{Op: wal.OpUndelete, ID: id})
+	if err != nil {
+		ix.mu.Unlock()
 		return err
 	}
-	return nil
+	d.unmark(id)
+	ix.mu.Unlock()
+	return ix.wal.WaitDurable(off)
 }
 
-// DeletedCount returns the number of marked objects.
+// DeletedCount returns the number of deleted objects (marked plus
+// purged).
 func (ix *Index) DeletedCount() int { return ix.deleted.len() }
 
 func newDeleteSet() *deleteSet {
-	return &deleteSet{ids: make(map[uint64]struct{})}
+	return &deleteSet{ids: make(map[uint64]struct{}), purged: make(map[uint64]struct{})}
 }
 
-// saveDeleteSetLocked snapshots and writes the mark file. Callers hold
-// d.saveMu, which both serialises the writes and guarantees they land
-// in the order their snapshots were taken — a stale snapshot can never
-// overwrite a newer one.
+// saveDeleteSet persists the mark file under saveMu.
+func (ix *Index) saveDeleteSet() error {
+	ix.deleted.saveMu.Lock()
+	defer ix.deleted.saveMu.Unlock()
+	return ix.saveDeleteSetLocked()
+}
+
+// saveDeleteSetLocked snapshots and writes the mark file (v2 layout:
+// magic, marks, purged ids). Callers hold d.saveMu, which serialises
+// writers so a stale snapshot can never overwrite a newer one.
 func (ix *Index) saveDeleteSetLocked() error {
 	d := ix.deleted
 	d.mu.RLock()
-	buf := make([]byte, 8+8*len(d.ids))
-	binary.BigEndian.PutUint64(buf, uint64(len(d.ids)))
+	buf := make([]byte, 8+8+8*len(d.ids)+8+8*len(d.purged))
+	binary.BigEndian.PutUint64(buf, deletedMagicV2)
 	off := 8
+	binary.BigEndian.PutUint64(buf[off:], uint64(len(d.ids)))
+	off += 8
 	for id := range d.ids {
+		binary.BigEndian.PutUint64(buf[off:], id)
+		off += 8
+	}
+	binary.BigEndian.PutUint64(buf[off:], uint64(len(d.purged)))
+	off += 8
+	for id := range d.purged {
 		binary.BigEndian.PutUint64(buf[off:], id)
 		off += 8
 	}
@@ -137,6 +227,10 @@ func (ix *Index) saveDeleteSetLocked() error {
 	return atomicfile.WriteFile(ix.dir, deletedFile, buf)
 }
 
+// loadDeleteSet reads deleted.bin (either layout) into memory. It does
+// not prune: stale marks can only be judged against the total id space,
+// which Open knows only after the WAL replay — pruneDeleteMarks runs
+// then.
 func (ix *Index) loadDeleteSet() error {
 	buf, err := os.ReadFile(filepath.Join(ix.dir, deletedFile))
 	if os.IsNotExist(err) {
@@ -148,6 +242,29 @@ func (ix *Index) loadDeleteSet() error {
 	if len(buf) < 8 {
 		return fmt.Errorf("core: corrupt %s", deletedFile)
 	}
+	if binary.BigEndian.Uint64(buf) == deletedMagicV2 {
+		rest := buf[8:]
+		readSection := func(into map[uint64]struct{}) error {
+			if len(rest) < 8 {
+				return fmt.Errorf("core: truncated %s", deletedFile)
+			}
+			n := binary.BigEndian.Uint64(rest)
+			rest = rest[8:]
+			if n > uint64(len(rest))/8 {
+				return fmt.Errorf("core: truncated %s", deletedFile)
+			}
+			for i := uint64(0); i < n; i++ {
+				into[binary.BigEndian.Uint64(rest[8*i:])] = struct{}{}
+			}
+			rest = rest[8*n:]
+			return nil
+		}
+		if err := readSection(ix.deleted.ids); err != nil {
+			return err
+		}
+		return readSection(ix.deleted.purged)
+	}
+	// v1 layout (pre-WAL indexes): one count, then mark ids.
 	n := binary.BigEndian.Uint64(buf)
 	// Divide rather than multiply: 8+8*n overflows for a corrupt count.
 	if n > uint64(len(buf)-8)/8 {
@@ -156,23 +273,36 @@ func (ix *Index) loadDeleteSet() error {
 	for i := uint64(0); i < n; i++ {
 		ix.deleted.ids[binary.BigEndian.Uint64(buf[8+8*i:])] = struct{}{}
 	}
-	// Prune marks for ids beyond the vector store: an insert whose
-	// append never flushed before a crash but was deleted in the same
-	// window persists the mark without the vector. The id will be
-	// reassigned to a future insert, which must not be born deleted —
-	// rewrite the file so the stale mark cannot outlive this Open.
+	return nil
+}
+
+// pruneDeleteMarks drops marks for ids beyond the replayed id space: a
+// legacy index whose insert never flushed before a crash but was
+// deleted in the same window persists the mark without the vector. The
+// id will be reassigned to a future insert, which must not be born
+// deleted — rewrite the file so the stale mark cannot outlive this
+// Open. Runs after WAL replay, when the total id space (committed +
+// memtable) is known.
+func (ix *Index) pruneDeleteMarks() error {
+	total := ix.vectors.Count() + uint64(len(ix.mem))
+	d := ix.deleted
 	pruned := false
-	count := ix.vectors.Count()
-	for id := range ix.deleted.ids {
-		if id >= count {
-			delete(ix.deleted.ids, id)
+	d.mu.Lock()
+	for id := range d.ids {
+		if id >= total {
+			delete(d.ids, id)
 			pruned = true
 		}
 	}
+	for id := range d.purged {
+		if id >= total {
+			delete(d.purged, id)
+			pruned = true
+		}
+	}
+	d.mu.Unlock()
 	if pruned {
-		ix.deleted.saveMu.Lock()
-		defer ix.deleted.saveMu.Unlock()
-		return ix.saveDeleteSetLocked()
+		return ix.saveDeleteSet()
 	}
 	return nil
 }

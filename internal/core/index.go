@@ -1,25 +1,31 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
+	"github.com/hd-index/hdindex/internal/atomicfile"
 	"github.com/hd-index/hdindex/internal/hilbert"
 	"github.com/hd-index/hdindex/internal/pager"
 	"github.com/hd-index/hdindex/internal/rdbtree"
 	"github.com/hd-index/hdindex/internal/vecmath"
 	"github.com/hd-index/hdindex/internal/vecstore"
+	"github.com/hd-index/hdindex/internal/wal"
 )
 
 const metaFile = "meta.json"
 
-// Index is an HD-Index on disk: τ RDB-trees plus the raw vector store.
-// Searches may run concurrently with each other; mu serialises them
-// against Insert/Delete/Flush, which mutate the trees and the vector
-// store in place.
+// Index is an HD-Index on disk: τ RDB-trees plus the raw vector store,
+// fronted by a write-ahead log and an in-memory memtable of fresh
+// vectors (ingest.go). Searches may run concurrently with each other;
+// mu serialises them against the memtable/WAL mutations of
+// Insert/Delete and against the compaction commit, which swaps the
+// tree generation.
 type Index struct {
 	mu     sync.RWMutex
 	dir    string
@@ -40,16 +46,43 @@ type Index struct {
 	quants  []*hilbert.Quantizer // one per partition
 	deleted *deleteSet           // §3.6 deletion marks
 
+	// Live-ingest state (ingest.go). mem holds acknowledged inserts not
+	// yet compacted into the trees, in id order: entry i is id
+	// vectors.Count()+i. gen numbers the current tree generation — the
+	// compaction commit bumps it atomically through meta.json. All
+	// guarded by mu; wal serialises its own file internally.
+	wal      *wal.Log
+	mem      [][]float32
+	gen      uint64
+	replayed int // WAL records replayed by Open
+
+	// Background compactor plumbing; compactMu serialises Compact.
+	compactMu     sync.Mutex
+	compactCancel context.CancelFunc
+	compactDone   chan struct{}
+	compactWake   chan struct{}
+	compactions   uint64
+	lastCompactMS float64
+	lastCompactN  int
+
 	// buildStats is the construction cost breakdown; set by Build,
 	// nil on an Opened index.
 	buildStats *BuildStats
 }
 
-// metaJSON is the serialised index descriptor.
+// metaJSON is the serialised index descriptor. Count and Gen together
+// are the ingest commit point: Count is the id watermark below which
+// objects live in the vector store and the trees of generation Gen;
+// WAL replay skips insert records under it. Both move only via the
+// atomic meta.json replace in the compaction commit (or Flush), so a
+// crash leaves a consistent (Gen, Count) pair. Gen is omitempty: a
+// fresh build is generation 0 and its meta stays byte-identical to the
+// pre-ingest layout.
 type metaJSON struct {
 	Params Params      `json:"params"`
 	Nu     int         `json:"nu"`
 	Count  uint64      `json:"count"`
+	Gen    uint64      `json:"gen,omitempty"`
 	Refs   [][]float32 `json:"refs"`
 	Lo     []float32   `json:"lo"`
 	Hi     []float32   `json:"hi"`
@@ -72,10 +105,17 @@ func RemoveIndexFiles(dir string) error {
 	if err != nil {
 		return err
 	}
+	// Crash leftovers of the WAL's atomic rewrite.
+	walTmp, err := filepath.Glob(filepath.Join(dir, walFile+".tmp*"))
+	if err != nil {
+		return err
+	}
+	trees = append(trees, walTmp...)
 	victims := []string{
 		filepath.Join(dir, metaFile),
 		filepath.Join(dir, deletedFile),
 		filepath.Join(dir, "vectors.pg"),
+		filepath.Join(dir, walFile),
 	}
 	for _, p := range append(victims, trees...) {
 		if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
@@ -122,11 +162,16 @@ func crossDistances(refs [][]float32) [][]float64 {
 	return cross
 }
 
+// writeMeta atomically replaces meta.json — it is the ingest commit
+// point (Count + Gen), so a torn write must be impossible: the
+// write-fsync-rename-dirsync discipline leaves either the old complete
+// descriptor or the new one.
 func (ix *Index) writeMeta() error {
 	m := metaJSON{
 		Params: ix.params,
 		Nu:     ix.nu,
 		Count:  ix.vectors.Count(),
+		Gen:    ix.gen,
 		Refs:   ix.refs,
 		Lo:     ix.lo,
 		Hi:     ix.hi,
@@ -135,7 +180,7 @@ func (ix *Index) writeMeta() error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(ix.dir, metaFile), buf, 0o644)
+	return atomicfile.WriteFile(ix.dir, metaFile, buf)
 }
 
 // OpenOptions tunes how an existing index is opened.
@@ -144,9 +189,25 @@ type OpenOptions struct {
 	DisableCache bool // paper's caching-off protocol
 	Parallel     bool // search trees concurrently
 	BatchWorkers int  // SearchBatch fan-out bound; 0 = GOMAXPROCS
+
+	// WALSyncInterval selects the ingest durability discipline: 0 group-
+	// commits every insert/delete (acknowledged = fsynced); > 0
+	// acknowledges after the page-cache write and fsyncs on this cadence
+	// (safe against process crash, a bounded window against power loss).
+	WALSyncInterval time.Duration
+	// MemtableMaxVectors is the compaction threshold: once this many
+	// acknowledged inserts sit in the memtable the background compactor
+	// merges them into the trees. 0 means the default (4096).
+	MemtableMaxVectors int
+	// MemtableMaxAge additionally compacts a non-empty memtable on this
+	// cadence, bounding tree staleness under trickle writes. 0 disables
+	// the timer (size-triggered only — deterministic for tests).
+	MemtableMaxAge time.Duration
 }
 
-// Open loads an HD-Index previously written by Build.
+// Open loads an HD-Index previously written by Build, replaying any
+// surviving WAL tail into the memtable so the index recovers to the
+// last acknowledged write.
 func Open(dir string, opts OpenOptions) (*Index, error) {
 	buf, err := os.ReadFile(filepath.Join(dir, metaFile))
 	if err != nil {
@@ -163,6 +224,9 @@ func Open(dir string, opts OpenOptions) (*Index, error) {
 	p.DisableCache = opts.DisableCache
 	p.Parallel = opts.Parallel
 	p.BatchWorkers = opts.BatchWorkers
+	p.WALSyncInterval = opts.WALSyncInterval
+	p.MemtableMaxVectors = opts.MemtableMaxVectors
+	p.MemtableMaxAge = opts.MemtableMaxAge
 
 	ix := &Index{
 		dir:     dir,
@@ -172,6 +236,7 @@ func Open(dir string, opts OpenOptions) (*Index, error) {
 		refs:    m.Refs,
 		lo:      m.Lo,
 		hi:      m.Hi,
+		gen:     m.Gen,
 		deleted: newDeleteSet(),
 	}
 	ix.refCross = crossDistances(m.Refs)
@@ -179,10 +244,18 @@ func Open(dir string, opts OpenOptions) (*Index, error) {
 		return nil, err
 	}
 
+	// A crash inside a compaction (before its meta commit) or right
+	// after one (before old-generation cleanup) leaves tree files of
+	// generations other than m.Gen — remove them so they cannot collide
+	// with a future compaction reusing the generation number.
+	if err := removeStaleGenerations(dir, p.Tau, m.Gen); err != nil {
+		return nil, err
+	}
+
 	ix.trees = make([]*rdbtree.Tree, p.Tau)
 	ix.treePagers = make([]*pager.Pager, p.Tau)
 	for t := 0; t < p.Tau; t++ {
-		pgr, err := pager.Open(ix.treePath(t), pager.Options{
+		pgr, err := pager.Open(ix.treeGenPath(t, m.Gen), pager.Options{
 			PoolPages: p.PoolPages, DisableLRU: p.DisableCache,
 		})
 		if err != nil {
@@ -211,21 +284,96 @@ func Open(dir string, opts OpenOptions) (*Index, error) {
 		return nil, err
 	}
 	ix.vectors = vs
+
+	// Reconcile the vector store against the meta commit point. With a
+	// WAL present, meta.Count is authoritative: a count beyond it is a
+	// compaction commit that crashed before meta.json landed — rewind
+	// it; the WAL still holds those inserts and replays them below. A
+	// pre-WAL directory has no such discipline: its vector-store header
+	// is the historical truth, so adopt it (and persist the adoption
+	// before the WAL file starts marking the new discipline).
+	walPath := filepath.Join(dir, walFile)
+	_, statErr := os.Stat(walPath)
+	walExisted := statErr == nil
+	if walExisted {
+		switch {
+		case vs.Count() > m.Count:
+			if err := vs.ResetCount(m.Count); err != nil {
+				ix.Close()
+				return nil, err
+			}
+		case vs.Count() < m.Count:
+			ix.Close()
+			return nil, fmt.Errorf("core: vector store holds %d vectors, meta commits %d", vs.Count(), m.Count)
+		}
+	} else if vs.Count() != m.Count {
+		if err := ix.writeMeta(); err != nil {
+			ix.Close()
+			return nil, err
+		}
+	}
+
 	if err := ix.loadDeleteSet(); err != nil {
 		ix.Close()
 		return nil, err
 	}
+	ix.wal, err = wal.Open(walPath, wal.Options{SyncInterval: p.WALSyncInterval}, ix.replayRecord)
+	if err != nil {
+		ix.Close()
+		return nil, fmt.Errorf("core: wal recovery: %w", err)
+	}
+	if err := ix.pruneDeleteMarks(); err != nil {
+		ix.Close()
+		return nil, err
+	}
+	ix.startCompactor()
 	return ix, nil
 }
 
-// Close releases all file handles. Safe to call more than once. Taking
-// the write lock makes Close wait out in-flight searches instead of
+// removeStaleGenerations deletes tree files whose name does not belong
+// to the committed generation.
+func removeStaleGenerations(dir string, tau int, gen uint64) error {
+	matches, err := filepath.Glob(filepath.Join(dir, "tree_*.pg"))
+	if err != nil {
+		return err
+	}
+	keep := make(map[string]bool, tau)
+	for t := 0; t < tau; t++ {
+		name := fmt.Sprintf("tree_%02d.pg", t)
+		if gen > 0 {
+			name = fmt.Sprintf("tree_%02d.g%d.pg", t, gen)
+		}
+		keep[filepath.Join(dir, name)] = true
+	}
+	for _, path := range matches {
+		if !keep[path] {
+			if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Close stops the background compactor, syncs and closes the WAL, and
+// releases all file handles. Safe to call more than once. Taking the
+// write lock makes Close wait out in-flight searches instead of
 // closing pagers under them (searches bound their own lifetime via
-// context deadlines).
+// context deadlines). The memtable is NOT force-compacted: its entries
+// live in the WAL and replay on the next Open.
 func (ix *Index) Close() error {
+	// Outside the index lock: an in-flight compaction takes ix.mu for
+	// its commit section.
+	ix.stopCompactor()
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	var first error
+	if ix.wal != nil {
+		if err := ix.wal.Close(); err != nil && first == nil {
+			first = err
+		}
+		ix.wal = nil
+	}
 	for _, pgr := range ix.treePagers {
 		if pgr != nil {
 			if err := pgr.Close(); err != nil && first == nil {
@@ -247,17 +395,19 @@ func (ix *Index) Params() Params { return ix.params }
 // Dim returns the indexed dimensionality ν.
 func (ix *Index) Dim() int { return ix.nu }
 
-// Count returns the number of indexed objects.
+// Count returns the number of indexed objects: the committed vector
+// store plus the memtable's acknowledged-but-uncompacted inserts.
 func (ix *Index) Count() uint64 {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return ix.vectors.Count()
+	return ix.vectors.Count() + uint64(len(ix.mem))
 }
 
 // References returns the reference vectors (not copies).
 func (ix *Index) References() [][]float32 { return ix.refs }
 
-// SizeOnDisk returns the total bytes of all index files.
+// SizeOnDisk returns the total bytes of all index files, including the
+// write-ahead log.
 func (ix *Index) SizeOnDisk() int64 {
 	var total int64
 	for _, pgr := range ix.treePagers {
@@ -267,6 +417,9 @@ func (ix *Index) SizeOnDisk() int64 {
 	}
 	if ix.vecPager != nil {
 		total += ix.vecPager.FileSize()
+	}
+	if ix.wal != nil {
+		total += ix.wal.Size()
 	}
 	return total
 }
@@ -309,50 +462,38 @@ func (ix *Index) ResetIOStats() {
 	}
 }
 
-// Insert adds one vector to the index (§3.6): append to the vector store,
-// compute its reference distances and Hilbert keys, insert into each
-// RDB-tree. The reference set is not recomputed.
-func (ix *Index) Insert(vec []float32) (uint64, error) {
-	if len(vec) != ix.nu {
-		return 0, fmt.Errorf("%w: vector has %d dims, index has %d", ErrDimMismatch, len(vec), ix.nu)
-	}
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	id, err := ix.vectors.Append(vec)
-	if err != nil {
-		return 0, err
-	}
-	rd := make([]float32, ix.params.M)
-	for r, rv := range ix.refs {
-		rd[r] = float32(vecmath.Dist(vec, rv))
-	}
-	coords := make([]uint32, ix.eta)
-	for t := 0; t < ix.params.Tau; t++ {
-		start := t * ix.eta
-		ix.quants[t].Coords(coords, vec[start:start+ix.eta])
-		key := ix.curves[t].Encode(nil, coords)
-		if err := ix.trees[t].Insert(key, id, rd); err != nil {
-			return 0, err
-		}
-	}
-	return id, nil
-}
-
-// Flush persists all dirty state to disk.
+// Flush persists all dirty state to disk: tree and vector-store pages,
+// the meta descriptor, the deletion marks, and an fsync of the WAL.
+// The ingest path does not need it for durability (acknowledged writes
+// are WAL-durable already); it remains the explicit writeback for
+// test-path tree mutations and a convenient full-sync barrier.
 func (ix *Index) Flush() error {
 	ix.mu.Lock()
-	defer ix.mu.Unlock()
 	for _, tr := range ix.trees {
 		if tr != nil {
 			if err := tr.Flush(); err != nil {
+				ix.mu.Unlock()
 				return err
 			}
 		}
 	}
 	if ix.vectors != nil {
 		if err := ix.vectors.Flush(); err != nil {
+			ix.mu.Unlock()
 			return err
 		}
 	}
-	return ix.writeMeta()
+	if err := ix.writeMeta(); err != nil {
+		ix.mu.Unlock()
+		return err
+	}
+	w := ix.wal
+	ix.mu.Unlock()
+	if err := ix.saveDeleteSet(); err != nil {
+		return err
+	}
+	if w != nil {
+		return w.Sync()
+	}
+	return nil
 }

@@ -1,0 +1,510 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"github.com/hd-index/hdindex/internal/pager"
+	"github.com/hd-index/hdindex/internal/radix"
+	"github.com/hd-index/hdindex/internal/rdbtree"
+	"github.com/hd-index/hdindex/internal/vecmath"
+	"github.com/hd-index/hdindex/internal/wal"
+)
+
+// The live-ingest layer (log-structured, §3.6 turned durable): an
+// insert appends one record to the write-ahead log and lands in the
+// in-memory memtable; the acknowledgement rides the WAL's group
+// commit, never a tree or vector-store flush. Queries brute-force the
+// memtable (it is small by construction — MemtableMaxVectors bounds
+// it) and merge those exact hits into the tree candidates' refinement
+// heap, so acknowledged writes are immediately visible. A background
+// compactor drains the memtable into the RDB-trees through the same
+// flat-arena bulk load the build uses, committing the new tree
+// generation with one atomic meta.json replace and truncating the WAL
+// to the surviving tail.
+
+const walFile = "wal.log"
+
+// defaultMemtableMaxVectors is the compaction threshold when the caller
+// sets none: large enough to amortise a tree rebuild over thousands of
+// inserts, small enough that the per-query memtable scan (one exact
+// distance per entry, early-abandoning) stays well under a single
+// tree's α leaf walk.
+const defaultMemtableMaxVectors = 4096
+
+// IngestStats is a point-in-time summary of the write path, surfaced
+// through /stats as the "wal" block.
+type IngestStats struct {
+	// MemtableVectors is the current number of acknowledged inserts not
+	// yet compacted into the trees — the staleness bound is
+	// MemtableVectors ≤ max(MemtableMaxVectors, burst in flight).
+	MemtableVectors int `json:"memtable_vectors"`
+	// WALBytes / WALRecords describe the current log file.
+	WALBytes   int64 `json:"wal_bytes"`
+	WALRecords int64 `json:"wal_records"`
+	// WALSyncs counts fsyncs since open; inserts/fsync is the group
+	// commit's batching factor.
+	WALSyncs int64 `json:"wal_syncs"`
+	// Replayed is the number of WAL records replayed by Open — 0 after
+	// a clean shutdown, >0 after crash recovery.
+	Replayed int `json:"replayed"`
+	// Compactions counts completed memtable merges since open.
+	Compactions uint64 `json:"compactions"`
+	// LastCompactionMS / LastCompactionVectors describe the most recent
+	// merge: wall-clock cost and how many memtable vectors it drained.
+	LastCompactionMS      float64 `json:"last_compaction_ms"`
+	LastCompactionVectors int     `json:"last_compaction_vectors"`
+}
+
+// Add accumulates other into s (the sharded layout sums its shards;
+// LastCompactionMS keeps the max, one slowest-merge figure).
+func (s *IngestStats) Add(other IngestStats) {
+	s.MemtableVectors += other.MemtableVectors
+	s.WALBytes += other.WALBytes
+	s.WALRecords += other.WALRecords
+	s.WALSyncs += other.WALSyncs
+	s.Replayed += other.Replayed
+	s.Compactions += other.Compactions
+	if other.LastCompactionMS > s.LastCompactionMS {
+		s.LastCompactionMS = other.LastCompactionMS
+	}
+	s.LastCompactionVectors += other.LastCompactionVectors
+}
+
+// IngestStats returns the write-path summary.
+func (ix *Index) IngestStats() IngestStats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	st := IngestStats{
+		MemtableVectors:       len(ix.mem),
+		Replayed:              ix.replayed,
+		Compactions:           ix.compactions,
+		LastCompactionMS:      ix.lastCompactMS,
+		LastCompactionVectors: ix.lastCompactN,
+	}
+	if ix.wal != nil {
+		ws := ix.wal.Stats()
+		st.WALBytes = ws.Bytes
+		st.WALRecords = ws.Records
+		st.WALSyncs = ws.Syncs
+	}
+	return st
+}
+
+// memtableMax resolves the compaction threshold.
+func (ix *Index) memtableMax() int {
+	if ix.params.MemtableMaxVectors > 0 {
+		return ix.params.MemtableMaxVectors
+	}
+	return defaultMemtableMaxVectors
+}
+
+// Insert adds one vector: WAL append under the index lock (so log
+// order matches id order), memtable append, then the group-commit wait
+// outside the lock. The id is durable and searchable when Insert
+// returns; no tree page or vector-store write happens on this path.
+func (ix *Index) Insert(vec []float32) (uint64, error) {
+	if len(vec) != ix.nu {
+		return 0, fmt.Errorf("%w: vector has %d dims, index has %d", ErrDimMismatch, len(vec), ix.nu)
+	}
+	cp := vecmath.Copy(vec)
+	ix.mu.Lock()
+	if ix.wal == nil {
+		ix.mu.Unlock()
+		return 0, errors.New("core: index is closed")
+	}
+	id := ix.vectors.Count() + uint64(len(ix.mem))
+	off, err := ix.wal.AppendNoSync(wal.Record{Op: wal.OpInsert, ID: id, Vec: cp})
+	if err != nil {
+		ix.mu.Unlock()
+		return 0, err
+	}
+	ix.mem = append(ix.mem, cp)
+	memLen := len(ix.mem)
+	ix.mu.Unlock()
+	if err := ix.wal.WaitDurable(off); err != nil {
+		return 0, err
+	}
+	if memLen >= ix.memtableMax() {
+		ix.wakeCompactor()
+	}
+	return id, nil
+}
+
+// insertDirect is the pre-WAL insert path — vector-store append plus
+// one in-place tree insert per partition — kept for the equivalence
+// tests, which pin the ingest pipeline (Insert + Compact) against it.
+// It bypasses the WAL and the memtable entirely, so it must only run
+// on an index with an empty memtable and requires an explicit Flush
+// for durability, exactly like the old API.
+func (ix *Index) insertDirect(vec []float32) (uint64, error) {
+	if len(vec) != ix.nu {
+		return 0, fmt.Errorf("%w: vector has %d dims, index has %d", ErrDimMismatch, len(vec), ix.nu)
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if len(ix.mem) > 0 {
+		return 0, errors.New("core: insertDirect with non-empty memtable")
+	}
+	id, err := ix.vectors.Append(vec)
+	if err != nil {
+		return 0, err
+	}
+	rd := make([]float32, ix.params.M)
+	for r, rv := range ix.refs {
+		rd[r] = float32(vecmath.Dist(vec, rv))
+	}
+	coords := make([]uint32, ix.eta)
+	for t := 0; t < ix.params.Tau; t++ {
+		start := t * ix.eta
+		ix.quants[t].Coords(coords, vec[start:start+ix.eta])
+		key := ix.curves[t].Encode(nil, coords)
+		if err := ix.trees[t].Insert(key, id, rd); err != nil {
+			return 0, err
+		}
+	}
+	return id, nil
+}
+
+// replayRecord rebuilds the in-memory ingest state from one WAL record
+// during Open. Insert records below the committed count were already
+// compacted (the crash hit between the meta commit and the WAL
+// truncation) and replay idempotently skips them.
+func (ix *Index) replayRecord(r wal.Record) error {
+	switch r.Op {
+	case wal.OpInsert:
+		committed := ix.vectors.Count()
+		if r.ID < committed {
+			return nil
+		}
+		if next := committed + uint64(len(ix.mem)); r.ID != next {
+			return fmt.Errorf("core: wal replay: insert id %d, expected %d", r.ID, next)
+		}
+		if len(r.Vec) != ix.nu {
+			return fmt.Errorf("core: wal replay: insert id %d has %d dims, index has %d", r.ID, len(r.Vec), ix.nu)
+		}
+		ix.mem = append(ix.mem, r.Vec)
+	case wal.OpDelete:
+		if r.ID < ix.vectors.Count()+uint64(len(ix.mem)) {
+			ix.deleted.mark(r.ID)
+		}
+	case wal.OpUndelete:
+		ix.deleted.unmark(r.ID)
+	default:
+		return fmt.Errorf("core: wal replay: unknown op %d", r.Op)
+	}
+	ix.replayed++
+	return nil
+}
+
+// startCompactor launches the background merge goroutine. It wakes on
+// demand (Insert crossing the memtable threshold) and, when
+// MemtableMaxAge is set, on that cadence — the age bound turns "fewer
+// than MemtableMaxVectors inserts then silence" into bounded staleness
+// for the trees themselves (queries see memtable entries either way).
+func (ix *Index) startCompactor() {
+	ctx, cancel := context.WithCancel(context.Background())
+	ix.compactCancel = cancel
+	ix.compactDone = make(chan struct{})
+	ix.compactWake = make(chan struct{}, 1)
+	maxAge := ix.params.MemtableMaxAge
+	go func() {
+		defer close(ix.compactDone)
+		var tickC <-chan time.Time
+		if maxAge > 0 {
+			t := time.NewTicker(maxAge)
+			defer t.Stop()
+			tickC = t.C
+		}
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ix.compactWake:
+			case <-tickC:
+			}
+			if ctx.Err() != nil {
+				return
+			}
+			// Telemetry-only failure: a cancelled or failed merge leaves
+			// the WAL + memtable state fully intact (Compact commits all
+			// or nothing), so the worst case is retrying on next wake.
+			_ = ix.Compact(ctx)
+		}
+	}()
+}
+
+func (ix *Index) wakeCompactor() {
+	if ix.compactWake == nil {
+		return
+	}
+	select {
+	case ix.compactWake <- struct{}{}:
+	default:
+	}
+}
+
+// stopCompactor cancels the background merge and waits it out. Safe to
+// call repeatedly and on an index whose compactor never started.
+func (ix *Index) stopCompactor() {
+	if ix.compactCancel == nil {
+		return
+	}
+	ix.compactCancel()
+	<-ix.compactDone
+	ix.compactCancel = nil
+}
+
+func (ix *Index) treeGenPath(t int, gen uint64) string {
+	if gen == 0 {
+		return ix.treePath(t)
+	}
+	return filepath.Join(ix.dir, fmt.Sprintf("tree_%02d.g%d.pg", t, gen))
+}
+
+// Compact drains the current memtable into the RDB-trees: reference
+// distances and Hilbert keys for the batch, a merge of each tree's
+// existing entries with the radix-sorted batch into a fresh
+// tree-generation file via the flat-arena bulk load, then one commit
+// section under the index write lock — vector-store append (data
+// fsynced before its count header), atomic meta.json replace carrying
+// the new generation and count (THE commit point), tree swap, delete-
+// mark reclamation, WAL truncation to the surviving tail. A crash on
+// either side of the meta replace recovers cleanly: before it, the old
+// generation plus a full WAL replay; after it, the new generation with
+// replay skipping the already-committed prefix.
+//
+// Entries whose id carries a deletion mark are dropped from the
+// rebuilt trees and their marks move to the purged set (§3.6's marks,
+// physically reclaimed). Compact is a no-op on an empty memtable and
+// serialises against itself, so the background compactor and manual
+// calls can overlap freely.
+func (ix *Index) Compact(ctx context.Context) error {
+	ix.compactMu.Lock()
+	defer ix.compactMu.Unlock()
+	start := time.Now()
+
+	// Snapshot the batch: the memtable is append-only between
+	// compactions and vector slices are immutable after insert, so a
+	// prefix copy of the slice headers is a consistent snapshot.
+	ix.mu.RLock()
+	n := len(ix.mem)
+	if n == 0 || ix.vectors == nil {
+		ix.mu.RUnlock()
+		return nil
+	}
+	batch := make([][]float32, n)
+	copy(batch, ix.mem[:n])
+	oldCount := ix.vectors.Count()
+	oldGen := ix.gen
+	ix.mu.RUnlock()
+
+	workers := ix.params.BuildWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rdist, err := computeRefDists(ctx, batch, ix.refs, workers)
+	if err != nil {
+		return err
+	}
+
+	// Marks to reclaim: every marked id the rebuilt trees would cover.
+	// Marks set after this snapshot keep their WAL records or land in
+	// the deleted.bin written below, so nothing acknowledged is lost.
+	drop := ix.deleted.marksBelow(oldCount + uint64(n))
+
+	newGen := oldGen + 1
+	p := ix.params
+	newTrees := make([]*rdbtree.Tree, p.Tau)
+	newPagers := make([]*pager.Pager, p.Tau)
+	abort := func() {
+		for t, pgr := range newPagers {
+			if pgr != nil {
+				pgr.Close()
+				os.Remove(ix.treeGenPath(t, newGen))
+			}
+		}
+	}
+	for t := 0; t < p.Tau; t++ {
+		if err := ctx.Err(); err != nil {
+			abort()
+			return err
+		}
+		tree, pgr, err := ix.compactTree(ctx, t, batch, rdist, oldCount, newGen, drop)
+		if err != nil {
+			abort()
+			return err
+		}
+		newTrees[t], newPagers[t] = tree, pgr
+	}
+
+	// ---- commit ----
+	ix.mu.Lock()
+	if err := ix.vectors.AppendAll(batch); err != nil {
+		ix.mu.Unlock()
+		abort()
+		return err
+	}
+	ix.gen = newGen
+	if err := ix.writeMeta(); err != nil {
+		// Roll the staged state back so the in-process index stays
+		// consistent; the next Open reconciles the disk (the vector
+		// store's advanced count exceeds the still-old meta count and is
+		// rewound, with the WAL re-covering the batch).
+		ix.gen = oldGen
+		_ = ix.vectors.ResetCount(oldCount)
+		ix.mu.Unlock()
+		abort()
+		return err
+	}
+	oldPagers := ix.treePagers
+	ix.trees, ix.treePagers = newTrees, newPagers
+	// Reclaim the delete marks the rebuild dropped, and persist the
+	// mark file before the WAL truncation drops its delete records — a
+	// crash between the two replays the records onto the saved marks,
+	// which is idempotent.
+	ix.deleted.purge(drop)
+	if err := ix.saveDeleteSet(); err != nil {
+		ix.mu.Unlock()
+		for _, pgr := range oldPagers {
+			if pgr != nil {
+				pgr.Close()
+			}
+		}
+		return err
+	}
+	rest := make([][]float32, len(ix.mem)-n)
+	copy(rest, ix.mem[n:])
+	ix.mem = rest
+	newCount := ix.vectors.Count()
+	tail := make([]wal.Record, len(rest))
+	for i, v := range rest {
+		tail[i] = wal.Record{Op: wal.OpInsert, ID: newCount + uint64(i), Vec: v}
+	}
+	walErr := ix.wal.RewriteWith(tail)
+	ix.compactions++
+	ix.lastCompactMS = msSince(start)
+	ix.lastCompactN = n
+	ix.mu.Unlock()
+
+	for t, pgr := range oldPagers {
+		if pgr != nil {
+			pgr.Close()
+		}
+		os.Remove(ix.treeGenPath(t, oldGen))
+	}
+	return walErr
+}
+
+// compactTree builds tree t's next generation: the existing entries
+// (already in key order, minus the dropped ids) merged with the
+// radix-sorted batch, streamed through the flat-arena bulk load. Ties
+// keep old-before-new order, which equals id order because batch ids
+// are always larger than committed ids.
+func (ix *Index) compactTree(ctx context.Context, t int, batch [][]float32, rdistB []float32, oldCount, newGen uint64, drop map[uint64]struct{}) (*rdbtree.Tree, *pager.Pager, error) {
+	p := ix.params
+	curve := ix.curves[t]
+	kl := curve.KeyLen()
+	m := p.M
+	nB := len(batch)
+	startDim := t * ix.eta
+
+	// Encode + sort the batch for this partition.
+	keysB := make([]byte, nB*kl)
+	coords := make([]uint32, nB*ix.eta)
+	for i, v := range batch {
+		ix.quants[t].Coords(coords[i*ix.eta:(i+1)*ix.eta], v[startDim:startDim+ix.eta])
+	}
+	curve.EncodeAll(keysB, coords, ix.eta)
+	permB := make([]uint32, nB)
+	for i := range permB {
+		permB[i] = uint32(i)
+	}
+	radix.Sort(keysB, kl, permB)
+
+	// Merge into flat arenas. Reading the old tree without the index
+	// lock is safe: only compaction replaces trees, and Compact
+	// serialises against itself via compactMu.
+	oldN := int(ix.trees[t].Count())
+	capN := oldN + nB
+	keys := make([]byte, 0, capN*kl)
+	ids := make([]uint64, 0, capN)
+	rd := make([]float32, 0, capN*m)
+	j := 0
+	emitBatchBelow := func(bound []byte) {
+		for j < nB {
+			row := int(permB[j])
+			bk := keysB[row*kl : (row+1)*kl]
+			if bound != nil && bytes.Compare(bk, bound) >= 0 {
+				return
+			}
+			j++
+			id := oldCount + uint64(row)
+			if _, dead := drop[id]; dead {
+				continue
+			}
+			keys = append(keys, bk...)
+			ids = append(ids, id)
+			rd = append(rd, rdistB[row*m:(row+1)*m]...)
+		}
+	}
+	scanned := 0
+	var scanErr error
+	err := ix.trees[t].ScanAll(func(k []byte, e rdbtree.Entry) bool {
+		if scanned%4096 == 0 && ctx.Err() != nil {
+			scanErr = ctx.Err()
+			return false
+		}
+		scanned++
+		emitBatchBelow(k)
+		if _, dead := drop[e.ID]; !dead {
+			keys = append(keys, k...)
+			ids = append(ids, e.ID)
+			rd = append(rd, e.RefDists...) // RefDists alias a scratch; append copies
+		}
+		return true
+	})
+	if err == nil {
+		err = scanErr
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	emitBatchBelow(nil)
+
+	pgr, err := pager.Open(ix.treeGenPath(t, newGen), pager.Options{
+		Create: true, PageSize: p.PageSize, PoolPages: p.PoolPages, DisableLRU: p.DisableCache,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	tree, err := rdbtree.Create(pgr, rdbtree.Config{Eta: ix.eta, Omega: p.Omega, M: p.M})
+	if err != nil {
+		pgr.Close()
+		return nil, nil, err
+	}
+	perm := make([]uint32, len(ids))
+	for i := range perm {
+		perm[i] = uint32(i)
+	}
+	if err := tree.BulkLoadArena(keys, perm, ids, rd); err != nil {
+		pgr.Close()
+		return nil, nil, err
+	}
+	// Fully durable before the commit point references this generation.
+	if err := tree.Flush(); err != nil {
+		pgr.Close()
+		return nil, nil, err
+	}
+	if err := pgr.Sync(); err != nil {
+		pgr.Close()
+		return nil, nil, err
+	}
+	return tree, pgr, nil
+}

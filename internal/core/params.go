@@ -4,7 +4,10 @@
 // reference objects.
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Curve selects the space-filling curve used for the one-dimensional
 // ordering. The paper uses Hilbert ([37]: "most appropriate for
@@ -69,6 +72,21 @@ type Params struct {
 	// meta.json would make index bytes depend on the building machine's
 	// core count, breaking bit-identical builds.
 	BuildWorkers int `json:"-"`
+
+	// Live-ingest knobs (ingest.go). Runtime-only like BuildWorkers —
+	// excluded from meta.json so the on-disk descriptor never depends
+	// on a deployment's durability tuning.
+	//
+	// WALSyncInterval selects the write-ahead log's durability
+	// discipline: 0 group-commits every mutation (acknowledged =
+	// fsynced), > 0 acknowledges after the page-cache write and fsyncs
+	// on this cadence.
+	WALSyncInterval time.Duration `json:"-"`
+	// MemtableMaxVectors is the compaction threshold (0 = 4096).
+	MemtableMaxVectors int `json:"-"`
+	// MemtableMaxAge additionally compacts a non-empty memtable on this
+	// cadence; 0 disables the timer.
+	MemtableMaxAge time.Duration `json:"-"`
 
 	Seed int64
 }
@@ -143,6 +161,15 @@ func (p *Params) Validate(nu int) error {
 	}
 	if p.BuildWorkers < 0 {
 		return fmt.Errorf("core: build workers must be >= 0, got %d", p.BuildWorkers)
+	}
+	if p.WALSyncInterval < 0 {
+		return fmt.Errorf("core: wal sync interval must be >= 0, got %v", p.WALSyncInterval)
+	}
+	if p.MemtableMaxVectors < 0 {
+		return fmt.Errorf("core: memtable max vectors must be >= 0, got %d", p.MemtableMaxVectors)
+	}
+	if p.MemtableMaxAge < 0 {
+		return fmt.Errorf("core: memtable max age must be >= 0, got %v", p.MemtableMaxAge)
 	}
 	if p.Alpha < 1 || p.Beta < 1 || p.Gamma < 1 {
 		return fmt.Errorf("core: alpha/beta/gamma must be >= 1, got %d/%d/%d", p.Alpha, p.Beta, p.Gamma)

@@ -45,6 +45,12 @@ type QueryStats struct {
 	// clears the current top-k bound, but the candidate still counts:
 	// the figure tracks the paper's κ, not FLOPs.
 	ExactDistances int
+	// MemtableScanned counts the acknowledged-but-uncompacted inserts
+	// this query brute-forced (exact, early-abandoning distances) and
+	// merged into the top-k — the live-ingest visibility path. 0 when
+	// the memtable is empty, which is the steady state between write
+	// bursts.
+	MemtableScanned int
 }
 
 // refineCheckEvery is how many exact refinements happen between context
@@ -205,6 +211,36 @@ func (ix *Index) Query(ctx context.Context, q []float32, k int, o SearchOptions)
 		refined++
 	}
 
+	// Memtable merge: acknowledged inserts not yet compacted into the
+	// trees are brute-forced with the same early-abandoning exact
+	// distance and pushed into the same top-k heap — no tree I/O, and
+	// the (Dist, ID) ordering makes the merge order-independent. Still
+	// under the read lock, so the memtable/vector-store boundary is the
+	// same one the tree candidates saw.
+	memScanned := 0
+	if len(ix.mem) > 0 {
+		base := ix.vectors.Count()
+		for i, mv := range ix.mem {
+			if i%refineCheckEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, nil, err
+				}
+			}
+			id := base + uint64(i)
+			if ix.deleted.has(id) {
+				continue
+			}
+			bound := math.Inf(1)
+			if b, ok := best.Bound(); ok {
+				bound = b
+			}
+			if d, full := vecmath.DistSqBound(q, mv, bound); full {
+				best.Push(id, d)
+			}
+			memScanned++
+		}
+	}
+
 	items := best.ItemsInto(sc.items)
 	sc.items = items
 	out := make([]Result, len(items))
@@ -213,15 +249,16 @@ func (ix *Index) Query(ctx context.Context, q []float32, k int, o SearchOptions)
 	}
 	ioAfter := ix.IOStats()
 	stats := &QueryStats{
-		Candidates:     len(candidates),
-		ExactDistances: refined, // deleted-skipped candidates do no work
-		PageReads:      ioAfter.Reads - ioBefore.Reads,
-		PageHits:       ioAfter.Hits - ioBefore.Hits,
-		PageMisses:     ioAfter.Misses - ioBefore.Misses,
-		Alpha:          plan.alpha,
-		Beta:           plan.beta,
-		Gamma:          plan.gamma,
-		Ptolemaic:      plan.ptolemaic,
+		Candidates:      len(candidates),
+		ExactDistances:  refined, // deleted-skipped candidates do no work
+		MemtableScanned: memScanned,
+		PageReads:       ioAfter.Reads - ioBefore.Reads,
+		PageHits:        ioAfter.Hits - ioBefore.Hits,
+		PageMisses:      ioAfter.Misses - ioBefore.Misses,
+		Alpha:           plan.alpha,
+		Beta:            plan.beta,
+		Gamma:           plan.gamma,
+		Ptolemaic:       plan.ptolemaic,
 	}
 	for _, f := range sc.fetched {
 		stats.TreeEntries += f

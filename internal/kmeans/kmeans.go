@@ -6,6 +6,7 @@
 package kmeans
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -27,7 +28,7 @@ func Run(vectors [][]float32, k, maxIters int, rng *rand.Rand) (*Result, error) 
 		return nil, fmt.Errorf("kmeans: k must be >= 1, got %d", k)
 	}
 	if n == 0 {
-		return nil, fmt.Errorf("kmeans: empty input")
+		return nil, errors.New("kmeans: empty input")
 	}
 	if k > n {
 		k = n

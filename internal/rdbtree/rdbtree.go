@@ -21,6 +21,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 
@@ -104,7 +105,7 @@ func Open(pgr *pager.Pager) (*Tree, error) {
 	}
 	extra := bt.Extra()
 	if len(extra) < 12 {
-		return nil, fmt.Errorf("rdbtree: missing config metadata")
+		return nil, errors.New("rdbtree: missing config metadata")
 	}
 	cfg := Config{
 		Eta:   int(binary.BigEndian.Uint32(extra[0:])),
@@ -112,7 +113,7 @@ func Open(pgr *pager.Pager) (*Tree, error) {
 		M:     int(binary.BigEndian.Uint32(extra[8:])),
 	}
 	if cfg.KeyLen() != bt.KeyLen() || cfg.ValLen() != bt.ValLen() {
-		return nil, fmt.Errorf("rdbtree: config/tree geometry mismatch")
+		return nil, errors.New("rdbtree: config/tree geometry mismatch")
 	}
 	return &Tree{bt: bt, cfg: cfg}, nil
 }

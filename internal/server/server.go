@@ -55,10 +55,11 @@ type Config struct {
 	MaxAlpha int
 	// ReadOnly disables /insert and /delete.
 	ReadOnly bool
-	// NoFlushOnWrite skips the index flush after each /insert. The
-	// default (flush) makes an acknowledged insert durable at the cost
-	// of serialising with in-flight searches; disable it for bulk
-	// loading where a crash losing recent inserts is acceptable.
+	// NoFlushOnWrite is a no-op kept for configuration compatibility.
+	// It used to skip the full index flush /insert once paid for
+	// durability; inserts are now write-ahead logged by the index
+	// itself, so every acknowledged /insert is durable and no endpoint
+	// flushes (tune the guarantee with hdserve's -wal-sync instead).
 	NoFlushOnWrite bool
 }
 
@@ -296,16 +297,17 @@ type searchRequest struct {
 // ran with — with per-request overrides the knobs are no longer implied
 // by the built index.
 type QueryStatsJSON struct {
-	Candidates     int    `json:"candidates"`
-	TreeEntries    int    `json:"tree_entries"`
-	PageReads      uint64 `json:"page_reads"`
-	PageHits       uint64 `json:"page_hits"`
-	PageMisses     uint64 `json:"page_misses"`
-	ExactDistances int    `json:"exact_distances"`
-	Alpha          int    `json:"alpha"`
-	Beta           int    `json:"beta"`
-	Gamma          int    `json:"gamma"`
-	Ptolemaic      bool   `json:"ptolemaic"`
+	Candidates      int    `json:"candidates"`
+	TreeEntries     int    `json:"tree_entries"`
+	PageReads       uint64 `json:"page_reads"`
+	PageHits        uint64 `json:"page_hits"`
+	PageMisses      uint64 `json:"page_misses"`
+	ExactDistances  int    `json:"exact_distances"`
+	MemtableScanned int    `json:"memtable_scanned"`
+	Alpha           int    `json:"alpha"`
+	Beta            int    `json:"beta"`
+	Gamma           int    `json:"gamma"`
+	Ptolemaic       bool   `json:"ptolemaic"`
 }
 
 func toStatsJSON(st *hdindex.Stats) *QueryStatsJSON {
@@ -313,16 +315,17 @@ func toStatsJSON(st *hdindex.Stats) *QueryStatsJSON {
 		return nil
 	}
 	return &QueryStatsJSON{
-		Candidates:     st.Candidates,
-		TreeEntries:    st.TreeEntries,
-		PageReads:      st.PageReads,
-		PageHits:       st.PageHits,
-		PageMisses:     st.PageMisses,
-		ExactDistances: st.ExactDistances,
-		Alpha:          st.Alpha,
-		Beta:           st.Beta,
-		Gamma:          st.Gamma,
-		Ptolemaic:      st.Ptolemaic,
+		Candidates:      st.Candidates,
+		TreeEntries:     st.TreeEntries,
+		PageReads:       st.PageReads,
+		PageHits:        st.PageHits,
+		PageMisses:      st.PageMisses,
+		ExactDistances:  st.ExactDistances,
+		MemtableScanned: st.MemtableScanned,
+		Alpha:           st.Alpha,
+		Beta:            st.Beta,
+		Gamma:           st.Gamma,
+		Ptolemaic:       st.Ptolemaic,
 	}
 }
 
@@ -456,14 +459,12 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) (any, erro
 	if err := s.validateQuery("vector", req.Vector); err != nil {
 		return nil, err
 	}
+	// Insert is durable when it returns — the index WAL-logs it — so no
+	// flush here: the old flush-per-insert path serialised every write
+	// against in-flight searches and rewrote whole pages per vector.
 	id, err := s.idx.Insert(req.Vector)
 	if err != nil {
 		return nil, err
-	}
-	if !s.cfg.NoFlushOnWrite {
-		if err := s.idx.Flush(); err != nil {
-			return nil, fmt.Errorf("inserted id %d but flush failed: %w", id, err)
-		}
 	}
 	return map[string]uint64{"id": id}, nil
 }
@@ -527,6 +528,11 @@ type StatsResponse struct {
 		Shards   int              `json:"shards"`
 		PerShard []ShardStatsJSON `json:"per_shard"`
 		IO       IOStatsJSON      `json:"io"`
+		// WAL is the live-ingest block: memtable occupancy (the query
+		// staleness bound), WAL size and group-commit counters, records
+		// replayed at open (>0 means the server recovered from a crash),
+		// and compaction history. Summed across shards.
+		WAL hdindex.IngestStats `json:"wal"`
 	} `json:"index"`
 	UptimeSeconds float64                  `json:"uptime_seconds"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
@@ -552,6 +558,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) (any, error
 		Reads: io.Reads, Writes: io.Writes, Hits: io.Hits, Misses: io.Misses,
 		HitRatio: io.HitRatio(),
 	}
+	resp.Index.WAL = s.idx.IngestStats()
 	resp.UptimeSeconds = up.Seconds()
 	resp.Endpoints = map[string]EndpointStats{
 		"search":      s.mSearch.snapshot(up),

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
@@ -51,7 +52,7 @@ func BuildContext(ctx context.Context, dir string, vectors [][]float32, p Params
 		return nil, fmt.Errorf("shard: shards must be >= 1, got %d", p.Shards)
 	}
 	if len(vectors) == 0 {
-		return nil, fmt.Errorf("shard: empty dataset")
+		return nil, errors.New("shard: empty dataset")
 	}
 	if p.Shards > len(vectors) {
 		return nil, fmt.Errorf("shard: %d shards exceed dataset size %d", p.Shards, len(vectors))
@@ -92,7 +93,6 @@ func BuildContext(ctx context.Context, dir string, vectors [][]float32, p Params
 			CreatedUnix:   now().Unix(),
 		},
 		shards:       make([]*core.Index, n),
-		dirty:        make([]bool, n),
 		total:        uint64(len(vectors)),
 		batchWorkers: p.BatchWorkers,
 	}

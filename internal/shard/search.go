@@ -95,6 +95,7 @@ func (s *Sharded) Query(ctx context.Context, q []float32, k int, o core.SearchOp
 		agg.PageHits += perStats[i].PageHits
 		agg.PageMisses += perStats[i].PageMisses
 		agg.ExactDistances += perStats[i].ExactDistances
+		agg.MemtableScanned += perStats[i].MemtableScanned
 	}
 	// Every shard resolved the same options against the same built
 	// params, so the effective cascade is whichever shard's echo.

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -22,11 +23,6 @@ type Sharded struct {
 	man    Manifest
 	shards []*core.Index
 	total  uint64 // sum of shard counts; maintained by Insert
-	// dirty[i] marks shard i as holding unflushed inserts, so Flush —
-	// on the server's per-insert durability path — pays one shard's
-	// writeback instead of N. Deletes persist synchronously and never
-	// set it. Guarded by mu.
-	dirty []bool
 
 	batchWorkers int
 
@@ -70,7 +66,6 @@ func Open(dir string, opts core.OpenOptions) (*Sharded, error) {
 		dir:          dir,
 		man:          *man,
 		shards:       make([]*core.Index, man.Shards),
-		dirty:        make([]bool, man.Shards),
 		batchWorkers: opts.BatchWorkers,
 	}
 	for i := range s.shards {
@@ -103,22 +98,39 @@ func (s *Sharded) Close() error {
 	return first
 }
 
-// Flush persists the shards holding unflushed inserts. On the server's
-// flush-per-insert durability path only the shard the insert routed to
-// pays the writeback, however many shards the layout has.
+// Flush writes back every shard's dirty pages and meta. Inserts and
+// deletes are already durable when they return (each shard's WAL), so
+// Flush is only needed before copying the directory around.
 func (s *Sharded) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for i, ix := range s.shards {
-		if !s.dirty[i] {
-			continue
-		}
+	for _, ix := range s.shards {
 		if err := ix.Flush(); err != nil {
 			return err
 		}
-		s.dirty[i] = false
 	}
 	return nil
+}
+
+// Compact folds every shard's memtable into its trees. Shards compact
+// sequentially; the first error aborts the sweep (already-compacted
+// shards stay compacted).
+func (s *Sharded) Compact(ctx context.Context) error {
+	for i, ix := range s.shards {
+		if err := ix.Compact(ctx); err != nil {
+			return fmt.Errorf("shard: compact shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// IngestStats sums the shards' ingest counters.
+func (s *Sharded) IngestStats() core.IngestStats {
+	var agg core.IngestStats
+	for _, ix := range s.shards {
+		agg.Add(ix.IngestStats())
+	}
+	return agg
 }
 
 // NumShards returns the shard count N.
@@ -193,8 +205,8 @@ func (s *Sharded) ShardInfos() []Info {
 // shards' tails and not others', it refills the lost ids first, so the
 // layout self-heals instead of refusing to open — the same semantics
 // as the legacy layout, where ids of unflushed inserts are reused. The
-// sub-index provides the same in-place durability as the single-index
-// layout; callers wanting the write on disk call Flush, as with core.
+// insert is durable when Insert returns: the owning shard appends it to
+// its write-ahead log before acknowledging, as with core.
 func (s *Sharded) Insert(vec []float32) (uint64, error) {
 	if len(vec) != s.man.Dim {
 		return 0, fmt.Errorf("%w: vector has %d dims, index has %d", core.ErrDimMismatch, len(vec), s.man.Dim)
@@ -220,14 +232,13 @@ func (s *Sharded) Insert(vec []float32) (uint64, error) {
 		// a global id that may collide.
 		return 0, fmt.Errorf("shard: shard %d assigned global id %d, routing expected %d", sh, id, next)
 	}
-	s.dirty[sh] = true
 	s.total++
 	return id, nil
 }
 
 // Delete marks global id as deleted on its owning shard. The mark is
-// persisted by the shard before Delete returns (core's write-fsync-
-// rename discipline), so it survives a crash.
+// WAL-logged by the shard before Delete returns, so it survives a
+// crash.
 func (s *Sharded) Delete(id uint64) error {
 	sh, local, err := s.route("delete", id)
 	if err != nil {

@@ -164,6 +164,64 @@ func (s *Store) BuildFrom(vecs [][]float32) error {
 	return s.writeHeader()
 }
 
+// AppendAll bulk-appends vecs with crash-safe ordering: every record's
+// bytes are written and fsynced before the count header advances, and
+// the header commit is its own sync. A crash anywhere leaves either the
+// old count (the new bytes are invisible garbage past the end) or the
+// new count with every record durable — never a count that admits torn
+// records. The compaction commit path depends on exactly this.
+func (s *Store) AppendAll(vecs [][]float32) error {
+	if len(vecs) == 0 {
+		return nil
+	}
+	buf := make([]byte, s.recSize())
+	off := int64(s.count) * int64(s.recSize())
+	for _, vec := range vecs {
+		if len(vec) != s.dim {
+			return ErrDim
+		}
+		for i, v := range vec {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+		}
+		if err := s.writeBytes(off, buf); err != nil {
+			return err
+		}
+		off += int64(s.recSize())
+	}
+	// Data first: pages (and the superblock, still carrying the old
+	// count) reach disk before the count that makes them reachable.
+	if err := s.pgr.Sync(); err != nil {
+		return err
+	}
+	s.count += uint64(len(vecs))
+	if err := s.writeHeader(); err != nil {
+		s.count -= uint64(len(vecs))
+		return err
+	}
+	if err := s.pgr.Sync(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ResetCount rewinds the record count to n (n <= Count) and persists
+// the header. Open's crash reconciliation uses it to drop an appended
+// tail whose commit point (the index meta) never landed; the bytes stay
+// in place and are overwritten by the re-run append.
+func (s *Store) ResetCount(n uint64) error {
+	if n > s.count {
+		return fmt.Errorf("vecstore: reset count %d above current %d", n, s.count)
+	}
+	if n == s.count {
+		return nil
+	}
+	s.count = n
+	if err := s.writeHeader(); err != nil {
+		return err
+	}
+	return s.pgr.Flush()
+}
+
 // writeBytes writes buf at the given data-region offset, allocating pages
 // as needed.
 func (s *Store) writeBytes(off int64, buf []byte) error {

@@ -1,0 +1,478 @@
+// Package wal is the write-ahead log behind live ingest: every insert,
+// delete and undelete appends one checksummed record here before it is
+// acknowledged, so the in-memory state it mutates (core's memtable and
+// delete marks) can be rebuilt after a crash by replaying the log.
+//
+// The format is deliberately dumb — a flat sequence of length-prefixed,
+// CRC-guarded records:
+//
+//	┌──────────────┬──────────────┬──────────────────────────────┐
+//	│ len  uint32  │ crc32c       │ payload (len bytes)          │
+//	│ little-endian│ of payload   │ op ┊ id ┊ vector (inserts)   │
+//	└──────────────┴──────────────┴──────────────────────────────┘
+//
+// A crash can only tear the final record (appends are sequential), and
+// a torn record fails its length or checksum test, so Open truncates
+// the file at the first invalid record and replays the prefix — the
+// log never needs a recovery index or segment map.
+//
+// Durability is group-committed: appends land in the OS page cache
+// immediately (surviving process death on their own) and WaitDurable
+// rides the next fsync, with the first waiter acting as leader and
+// syncing on behalf of everyone queued behind it. A SyncInterval > 0
+// trades the power-loss window for latency: WaitDurable then returns
+// without fsyncing and a background ticker syncs the file instead.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Ops recorded in the log.
+const (
+	OpInsert   byte = 1
+	OpDelete   byte = 2
+	OpUndelete byte = 3
+)
+
+// maxPayload bounds a record's declared payload length; anything larger
+// is treated as tail corruption rather than attempted as an allocation.
+const maxPayload = 1 << 28
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed reports use of a closed log.
+var ErrClosed = errors.New("wal: log is closed")
+
+// Record is one logged mutation. Vec is set only for OpInsert.
+type Record struct {
+	Op  byte
+	ID  uint64
+	Vec []float32
+}
+
+// Options tunes a log.
+type Options struct {
+	// SyncInterval selects the durability discipline. 0 (the default)
+	// group-commits: WaitDurable blocks until an fsync covers the
+	// record, with one fsync serving every waiter queued behind the
+	// leader. > 0 acknowledges after the buffered write (safe against
+	// process crash, a bounded window against power loss) and fsyncs on
+	// this cadence in the background.
+	SyncInterval time.Duration
+}
+
+// Stats is a point-in-time summary of the log.
+type Stats struct {
+	Bytes   int64 // current file size
+	Records int64 // records in the file
+	Syncs   int64 // fsyncs issued since open
+}
+
+// Log is an append-only write-ahead log. Append order is the caller's
+// responsibility (core appends while holding its index lock, so log
+// order matches id-assignment order); the log itself only serialises
+// the file writes and the group-commit fsync protocol.
+type Log struct {
+	path string
+	opts Options
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	f    *os.File
+	// size and synced are LOGICAL offsets: monotonically increasing
+	// across RewriteWith, so an offset handed out by AppendNoSync stays
+	// meaningful to WaitDurable even if a compaction truncates the file
+	// underneath the waiter (everything before a rewrite is durable by
+	// construction — either folded into the committed index state or
+	// re-written into the fsynced tail).
+	size     int64
+	synced   int64
+	fileSize int64 // physical length of the current file
+	records  int64
+	syncs    int64
+	syncing  bool  // a group-commit leader is mid-fsync
+	syncErr  error // sticky: an fsync failure poisons the log
+	closed   bool
+
+	tickStop chan struct{}
+	tickDone chan struct{}
+}
+
+// Open opens (creating if absent) the log at path, truncates any torn
+// tail, and invokes replay for every surviving record in append order.
+// Replay stops at the first callback error, which Open returns.
+func Open(path string, opts Options, replay func(Record) error) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	valid, nrec, err := scan(f, replay)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: stat: %w", err)
+	}
+	if fi.Size() > valid {
+		// Torn or corrupt tail: the record was never acknowledged (its
+		// fsync cannot have completed), so dropping it loses nothing.
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: sync after truncate: %w", err)
+		}
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: seek: %w", err)
+	}
+	l := &Log{path: path, opts: opts, f: f, size: valid, synced: valid, fileSize: valid, records: nrec}
+	l.cond = sync.NewCond(&l.mu)
+	if opts.SyncInterval > 0 {
+		l.tickStop = make(chan struct{})
+		l.tickDone = make(chan struct{})
+		go l.syncLoop()
+	}
+	return l, nil
+}
+
+// scan reads records from the start of f, calling replay for each valid
+// one, and returns the byte offset of the first invalid record (= the
+// length of the valid prefix) plus the valid record count.
+func scan(f *os.File, replay func(Record) error) (valid int64, nrec int64, err error) {
+	var hdr [8]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			// io.EOF (clean end) or ErrUnexpectedEOF (torn header):
+			// either way the valid prefix ends here.
+			return valid, nrec, nil
+		}
+		plen := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		if plen < 9 || plen > maxPayload {
+			return valid, nrec, nil
+		}
+		if cap(payload) < int(plen) {
+			payload = make([]byte, plen)
+		}
+		payload = payload[:plen]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return valid, nrec, nil // torn payload
+		}
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return valid, nrec, nil // corrupt record
+		}
+		rec, ok := decodePayload(payload)
+		if !ok {
+			return valid, nrec, nil
+		}
+		if replay != nil {
+			if err := replay(rec); err != nil {
+				return 0, 0, err
+			}
+		}
+		valid += int64(8 + plen)
+		nrec++
+	}
+}
+
+func decodePayload(p []byte) (Record, bool) {
+	rec := Record{Op: p[0], ID: binary.LittleEndian.Uint64(p[1:9])}
+	body := p[9:]
+	switch rec.Op {
+	case OpInsert:
+		if len(body)%4 != 0 {
+			return Record{}, false
+		}
+		rec.Vec = make([]float32, len(body)/4)
+		for i := range rec.Vec {
+			rec.Vec[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[4*i:]))
+		}
+	case OpDelete, OpUndelete:
+		if len(body) != 0 {
+			return Record{}, false
+		}
+	default:
+		return Record{}, false
+	}
+	return rec, true
+}
+
+func encodeRecord(rec Record) []byte {
+	plen := 9 + 4*len(rec.Vec)
+	buf := make([]byte, 8+plen)
+	payload := buf[8:]
+	payload[0] = rec.Op
+	binary.LittleEndian.PutUint64(payload[1:9], rec.ID)
+	for i, v := range rec.Vec {
+		binary.LittleEndian.PutUint32(payload[9+4*i:], math.Float32bits(v))
+	}
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(plen))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
+	return buf
+}
+
+// AppendNoSync appends one record to the log's page-cache image and
+// returns the file offset just past it — the token WaitDurable takes.
+// Callers serialise their appends against their own state mutation (core
+// holds its index lock), which is what keeps log order meaningful.
+func (l *Log) AppendNoSync(rec Record) (int64, error) {
+	buf := encodeRecord(rec)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.syncErr != nil {
+		return 0, l.syncErr
+	}
+	if _, err := l.f.Write(buf); err != nil {
+		// A torn in-cache write would desynchronise size from the file;
+		// poison the log rather than guess.
+		l.syncErr = fmt.Errorf("wal: append: %w", err)
+		l.cond.Broadcast()
+		return 0, l.syncErr
+	}
+	l.size += int64(len(buf))
+	l.fileSize += int64(len(buf))
+	l.records++
+	return l.size, nil
+}
+
+// WaitDurable blocks until the log is durable up to off (an offset
+// returned by AppendNoSync). With SyncInterval == 0 this is the group
+// commit: the first waiter fsyncs on behalf of everyone queued behind
+// it. With SyncInterval > 0 it returns immediately — the record is in
+// the page cache (safe against process death) and the background loop
+// owns the fsync cadence.
+func (l *Log) WaitDurable(off int64) error {
+	if l.opts.SyncInterval > 0 {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		return l.syncErr
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if l.syncErr != nil {
+			return l.syncErr
+		}
+		if l.synced >= off {
+			return nil
+		}
+		if l.closed {
+			return ErrClosed
+		}
+		if !l.syncing {
+			l.leaderSyncLocked()
+			continue
+		}
+		l.cond.Wait()
+	}
+}
+
+// leaderSyncLocked performs one group-commit fsync covering everything
+// appended so far, then wakes the waiters riding on it. Called with
+// l.mu held; the lock is released for the fsync itself so appends keep
+// landing (and queueing into the next commit) while the disk works.
+func (l *Log) leaderSyncLocked() {
+	l.syncing = true
+	target := l.size
+	f := l.f
+	l.mu.Unlock()
+	err := f.Sync()
+	l.mu.Lock()
+	l.syncing = false
+	l.syncs++
+	if err != nil {
+		l.syncErr = fmt.Errorf("wal: fsync: %w", err)
+	} else if target > l.synced {
+		l.synced = target
+	}
+	l.cond.Broadcast()
+}
+
+// Sync forces everything appended so far onto disk.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if l.syncErr != nil {
+			return l.syncErr
+		}
+		if l.closed {
+			return ErrClosed
+		}
+		if l.synced >= l.size {
+			return nil
+		}
+		if !l.syncing {
+			l.leaderSyncLocked()
+			continue
+		}
+		l.cond.Wait()
+	}
+}
+
+func (l *Log) syncLoop() {
+	defer close(l.tickDone)
+	t := time.NewTicker(l.opts.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.tickStop:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if l.closed || l.syncErr != nil {
+				l.mu.Unlock()
+				return
+			}
+			if l.synced < l.size && !l.syncing {
+				l.leaderSyncLocked()
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// RewriteWith atomically replaces the log's contents with recs — the
+// compaction truncation. The new file is written beside the log, fsynced,
+// renamed over it, and the directory entry fsynced, so a crash at any
+// point leaves either the complete old log or the complete new one.
+// The caller must exclude concurrent appends (core holds its index
+// write lock across the compaction commit).
+func (l *Log) RewriteWith(recs []Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.syncErr != nil {
+		return l.syncErr
+	}
+	dir, name := filepath.Split(l.path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, name+".tmp*")
+	if err != nil {
+		return fmt.Errorf("wal: rewrite: %w", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(e error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return e
+	}
+	var size int64
+	for _, rec := range recs {
+		buf := encodeRecord(rec)
+		if _, err := tmp.Write(buf); err != nil {
+			return fail(fmt.Errorf("wal: rewrite: %w", err))
+		}
+		size += int64(len(buf))
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(fmt.Errorf("wal: rewrite sync: %w", err))
+	}
+	if err := os.Rename(tmpName, l.path); err != nil {
+		return fail(fmt.Errorf("wal: rewrite rename: %w", err))
+	}
+	tmp.Close()
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	// Swap the handle: the old descriptor still points at the unlinked
+	// previous file.
+	nf, err := os.OpenFile(l.path, os.O_RDWR, 0o644)
+	if err != nil {
+		l.syncErr = fmt.Errorf("wal: reopen after rewrite: %w", err)
+		l.cond.Broadcast()
+		return l.syncErr
+	}
+	if _, err := nf.Seek(size, io.SeekStart); err != nil {
+		nf.Close()
+		l.syncErr = fmt.Errorf("wal: seek after rewrite: %w", err)
+		l.cond.Broadcast()
+		return l.syncErr
+	}
+	l.f.Close()
+	l.f = nf
+	// Everything appended before the rewrite is durable now (folded into
+	// the caller's committed state or re-written into the fsynced tail),
+	// so logical offsets held by in-flight WaitDurable calls resolve.
+	l.synced = l.size
+	l.fileSize = size
+	l.records = int64(len(recs))
+	l.cond.Broadcast()
+	return nil
+}
+
+// Stats returns the log's size and activity counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{Bytes: l.fileSize, Records: l.records, Syncs: l.syncs}
+}
+
+// Size returns the log file's current length in bytes.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.fileSize
+}
+
+// Close fsyncs outstanding appends and closes the file. Safe to call
+// more than once.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	var syncErr error
+	if l.syncErr == nil && l.synced < l.size && !l.syncing {
+		l.syncing = true
+		f := l.f
+		l.mu.Unlock()
+		syncErr = f.Sync()
+		l.mu.Lock()
+		l.syncing = false
+	}
+	for l.syncing {
+		// An in-flight group-commit leader holds the file; wait it out.
+		l.cond.Wait()
+	}
+	l.closed = true
+	l.cond.Broadcast()
+	f := l.f
+	tickStop, tickDone := l.tickStop, l.tickDone
+	l.mu.Unlock()
+	if tickStop != nil {
+		close(tickStop)
+		<-tickDone
+	}
+	if err := f.Close(); err != nil && syncErr == nil {
+		syncErr = err
+	}
+	return syncErr
+}

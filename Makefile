@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race crash staticcheck bench bench-smoke bench-compare snapshot snapshot-sharded sweep fmt fmt-check vet check serve clean
+.PHONY: build test race crash staticcheck bench bench-smoke bench-compare metrics-smoke snapshot snapshot-sharded sweep fmt fmt-check vet check serve clean
 
 build:
 	$(GO) build ./...
@@ -12,7 +12,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/wal/... ./internal/core/... ./internal/server/... ./internal/shard/... ./internal/fanout/... ./internal/pager/... ./internal/vecstore/...
+	$(GO) test -race ./internal/wal/... ./internal/core/... ./internal/server/... ./internal/shard/... ./internal/fanout/... ./internal/pager/... ./internal/vecstore/... ./internal/telemetry/...
 
 # SIGKILL a live hdserve mid-insert-storm and prove recovery loses no
 # acknowledged write (the crash-recovery CI job). Rounds default to 3;
@@ -33,6 +33,11 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 	$(GO) test -bench=. -benchtime=50x -run='^$$' ./internal/core/
+
+# The observability smoke: the /metrics exposition tests (promlint-style
+# parser over a live scrape) plus the load test's mid-storm scraper.
+metrics-smoke:
+	$(GO) test -race -run 'TestMetricsExposition|TestLoad64Clients' -count=1 ./internal/server/
 
 # Write a perf snapshot to SNAPSHOT_OUT. To refresh the committed
 # baseline, point it at the BENCH_PR<n>.json for the current PR:

@@ -11,10 +11,10 @@
 // By default the comparison is report-only: the exit status reflects
 // only whether the inputs could be read, never the direction of the
 // deltas. With -gate, the exit status becomes a soft regression gate:
-// non-zero when mean_query_us or batch_qps regresses by more than
-// -threshold percent (default 15) on any dataset both snapshots
-// measured. The two gated metrics are the least noisy of the snapshot;
-// the threshold absorbs shared-runner jitter.
+// non-zero when mean_query_us, p99_query_us, or batch_qps regresses by
+// more than -threshold percent (default 15) on any dataset both
+// snapshots measured. The gated metrics are the least noisy of the
+// snapshot; the threshold absorbs shared-runner jitter.
 package main
 
 import (
@@ -50,7 +50,11 @@ var metrics = []metric{
 	{"build_ms", func(d bench.DatasetResult) float64 { return d.BuildMS }, false},
 	{"build_allocs", func(d bench.DatasetResult) float64 { return d.BuildAllocs }, false},
 	{"mean_query_us", func(d bench.DatasetResult) float64 { return d.MeanQueryUS }, false},
+	{"p50_query_us", func(d bench.DatasetResult) float64 { return d.P50QueryUS }, false},
+	{"p95_query_us", func(d bench.DatasetResult) float64 { return d.P95QueryUS }, false},
+	{"p99_query_us", func(d bench.DatasetResult) float64 { return d.P99QueryUS }, false},
 	{"batch_qps", func(d bench.DatasetResult) float64 { return d.BatchQPS }, true},
+	{"batch_p99_us", func(d bench.DatasetResult) float64 { return d.BatchP99US }, false},
 	{"parallel_qps", func(d bench.DatasetResult) float64 { return d.ParallelQPS }, true},
 	{"page_reads_per_query", func(d bench.DatasetResult) float64 { return d.PageReadsPerQuery }, false},
 	{"hit_ratio", func(d bench.DatasetResult) float64 { return d.HitRatio }, true},
@@ -60,7 +64,7 @@ var metrics = []metric{
 }
 
 func main() {
-	gate := flag.Bool("gate", false, "exit non-zero when a gated metric (mean_query_us, batch_qps) regresses past -threshold on any shared dataset")
+	gate := flag.Bool("gate", false, "exit non-zero when a gated metric (mean_query_us, p99_query_us, batch_qps) regresses past -threshold on any shared dataset")
 	threshold := flag.Float64("threshold", 15, "regression percentage the -gate tolerates")
 	flag.Parse()
 	if flag.NArg() != 2 {
@@ -94,10 +98,11 @@ func main() {
 			base.Config, fresh.Config)
 	}
 
-	// The gate watches the two steadiest serving metrics; the other rows
-	// stay informational (build times and alloc counts swing too much on
-	// shared runners to block on).
-	gated := map[string]bool{"mean_query_us": true, "batch_qps": true}
+	// The gate watches the steadiest serving metrics plus the query tail;
+	// the other rows stay informational (build times and alloc counts
+	// swing too much on shared runners to block on; p50/p95 are covered
+	// transitively by the mean and p99).
+	gated := map[string]bool{"mean_query_us": true, "batch_qps": true, "p99_query_us": true}
 	var regressions []string
 
 	byName := make(map[string]bench.DatasetResult, len(base.Datasets))

@@ -11,6 +11,7 @@
 //	POST /insert       add a vector (§3.6)
 //	POST /delete       mark/unmark a vector deleted (§3.6)
 //	GET  /stats        index + per-endpoint latency/QPS counters
+//	GET  /metrics      Prometheus text exposition (histograms in seconds)
 //	GET  /healthz      liveness probe
 //
 // SIGINT/SIGTERM drain in-flight requests, flush the index, and exit.
@@ -45,6 +46,8 @@ func main() {
 		walSync      = flag.Duration("wal-sync", 0, "WAL fsync cadence: 0 group-commits every write, >0 acks after the page-cache write and fsyncs on this interval")
 		memtableMax  = flag.Int("memtable-max", 0, "memtable vectors before a background compaction folds them into the trees (0 = 4096)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "shutdown grace period for in-flight requests")
+		slowQueryMs  = flag.Int("slow-query-ms", 0, "log a structured slow-query record with the per-phase breakdown for searches slower than this (0 = off)")
+		pprofOn      = flag.Bool("pprof", false, "expose net/http/pprof under GET /debug/pprof/")
 	)
 	flag.Parse()
 	if *indexDir == "" {
@@ -81,11 +84,16 @@ func main() {
 	}
 
 	srv := server.New(idx, server.Config{
-		QueryTimeout: *queryTimeout,
-		MaxK:         *maxK,
-		MaxBatch:     *maxBatch,
-		ReadOnly:     *readOnly,
+		QueryTimeout:       *queryTimeout,
+		MaxK:               *maxK,
+		MaxBatch:           *maxBatch,
+		ReadOnly:           *readOnly,
+		SlowQueryThreshold: time.Duration(*slowQueryMs) * time.Millisecond,
+		Pprof:              *pprofOn,
 	})
+	if *pprofOn {
+		log.Print("hdserve: pprof enabled at /debug/pprof/")
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

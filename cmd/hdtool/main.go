@@ -20,6 +20,7 @@ import (
 	hdindex "github.com/hd-index/hdindex"
 	"github.com/hd-index/hdindex/internal/data"
 	"github.com/hd-index/hdindex/internal/shard"
+	"github.com/hd-index/hdindex/internal/telemetry"
 )
 
 func main() {
@@ -117,7 +118,7 @@ func runQuery(args []string) error {
 	alpha := fs.Int("alpha", 0, "per-query override of the leaf candidates per tree (0 = built default)")
 	gamma := fs.Int("gamma", 0, "per-query override of the filter survivors per tree (0 = built default)")
 	pto := fs.Bool("ptolemaic", false, "per-query Ptolemaic filter override (only applied when the flag is given)")
-	stats := fs.Bool("stats", false, "print per-query work counters (candidates, page reads, hit ratio)")
+	stats := fs.Bool("stats", false, "print per-query work counters (candidates, page reads, hit ratio) and the per-phase span breakdown")
 	fs.Parse(args)
 	if *indexDir == "" || *queriesPath == "" {
 		return errors.New("query: -index and -queries are required")
@@ -162,6 +163,7 @@ func runQuery(args []string) error {
 	ctx := context.Background()
 	results := make([][]uint64, len(queries))
 	var candidates, treeEntries, pageReads, pageHits, pageMisses uint64
+	var phases telemetry.PhaseNS
 	var effective *hdindex.Stats
 	t0 := time.Now()
 	for qi, q := range queries {
@@ -180,6 +182,7 @@ func runQuery(args []string) error {
 			pageReads += resp.Stats.PageReads
 			pageHits += resp.Stats.PageHits
 			pageMisses += resp.Stats.PageMisses
+			phases.Add(resp.Stats.Phases)
 			effective = resp.Stats
 		}
 	}
@@ -196,6 +199,15 @@ func runQuery(args []string) error {
 		}
 		fmt.Printf("per query: %.1f candidates, %.1f tree entries, %.1f page reads, hit ratio %.3f\n",
 			float64(candidates)/nq, float64(treeEntries)/nq, float64(pageReads)/nq, hitRatio)
+		if total := phases.Total(); total > 0 {
+			fmt.Printf("phase breakdown (mean per query):\n")
+			for i := range phases {
+				ph := telemetry.Phase(i)
+				ns := phases[i]
+				fmt.Printf("  %-14s %8.1f us  %5.1f%%\n",
+					ph, float64(ns)/1e3/nq, 100*float64(ns)/float64(total))
+			}
+		}
 	}
 	for qi, ids := range results {
 		if qi >= 5 {

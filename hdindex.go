@@ -44,6 +44,7 @@ import (
 	"github.com/hd-index/hdindex/internal/core"
 	"github.com/hd-index/hdindex/internal/pager"
 	"github.com/hd-index/hdindex/internal/shard"
+	"github.com/hd-index/hdindex/internal/telemetry"
 )
 
 // Options configures Build. The zero value uses the paper's recommended
@@ -100,6 +101,12 @@ type Options struct {
 	// (0 = 4096). It bounds both queries' brute-force memtable scan and
 	// WAL replay time after a crash. Both Build and Open honour it.
 	MemtableMaxVectors int
+	// DisableTelemetry turns off the built-in latency histograms and
+	// per-phase query spans (see Telemetry). The default-on telemetry
+	// costs a few clock reads per operation; disabling it zeroes
+	// Stats.Phases and empties Telemetry(). Both Build and Open honour
+	// it.
+	DisableTelemetry bool
 }
 
 // ErrUnknownID reports a Delete of an id the index never assigned.
@@ -143,6 +150,7 @@ type backend interface {
 	SizeOnDisk() int64
 	IOStats() pager.Stats
 	BuildStats() *core.BuildStats
+	Telemetry() telemetry.CollectorSnapshot
 	Flush() error
 	Close() error
 }
@@ -235,6 +243,7 @@ func BuildContext(ctx context.Context, dir string, vectors [][]float32, o Option
 
 		WALSyncInterval:    o.WALSyncInterval,
 		MemtableMaxVectors: o.MemtableMaxVectors,
+		DisableTelemetry:   o.DisableTelemetry,
 	}
 	if o.Shards > 0 {
 		sh, err := shard.BuildContext(ctx, dir, vectors, shard.Params{
@@ -270,6 +279,7 @@ func Open(dir string, o Options) (*Index, error) {
 
 		WALSyncInterval:    o.WALSyncInterval,
 		MemtableMaxVectors: o.MemtableMaxVectors,
+		DisableTelemetry:   o.DisableTelemetry,
 	}
 	if shard.IsSharded(dir) {
 		sh, err := shard.Open(dir, opts)
@@ -387,6 +397,17 @@ func (i *Index) DeletedCount() int { return i.ix.DeletedCount() }
 // IOStats returns the cumulative pager counters across all index files;
 // PoolStats.HitRatio summarises buffer-pool effectiveness.
 func (i *Index) IOStats() PoolStats { return i.ix.IOStats() }
+
+// Telemetry is a point-in-time copy of the index's latency histograms:
+// whole queries, the per-phase breakdown, inserts, compactions, and WAL
+// fsyncs. Histograms are log-bucketed (quantile estimates within 3.125%)
+// with exact counts, sums, and maxima; on a sharded layout the per-shard
+// histograms are bucket-merged, so quantiles reflect the layout-wide
+// distribution. Empty when Options.DisableTelemetry was set.
+type Telemetry = telemetry.CollectorSnapshot
+
+// Telemetry returns the index's latency histogram snapshot.
+func (i *Index) Telemetry() Telemetry { return i.ix.Telemetry() }
 
 // NumShards returns the number of shards in the on-disk layout; a
 // legacy single-index layout counts as 1.

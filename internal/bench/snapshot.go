@@ -5,14 +5,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"path/filepath"
 	"runtime"
+	"slices"
 	"sync"
 	"time"
 
 	"github.com/hd-index/hdindex/internal/core"
 	"github.com/hd-index/hdindex/internal/metrics"
 	"github.com/hd-index/hdindex/internal/shard"
+	"github.com/hd-index/hdindex/internal/telemetry"
 )
 
 // Snapshot is a machine-readable perf baseline: the numbers a CI run (or
@@ -106,13 +109,26 @@ type BuildResult struct {
 
 // DatasetResult is one dataset's row of the snapshot.
 type DatasetResult struct {
-	Dataset           string  `json:"dataset"`
-	N                 int     `json:"n"`
-	Dim               int     `json:"dim"`
-	BuildMS           float64 `json:"build_ms"`
-	IndexBytes        int64   `json:"index_bytes"`
-	MeanQueryUS       float64 `json:"mean_query_us"`
-	BatchQPS          float64 `json:"batch_qps"` // queries/s through SearchBatch
+	Dataset     string  `json:"dataset"`
+	N           int     `json:"n"`
+	Dim         int     `json:"dim"`
+	BuildMS     float64 `json:"build_ms"`
+	IndexBytes  int64   `json:"index_bytes"`
+	MeanQueryUS float64 `json:"mean_query_us"`
+	// P50/P95/P99QueryUS are exact percentiles over the same per-query
+	// wall times MeanQueryUS averages (sorted reference, not histogram
+	// estimates): the tail the mean hides.
+	P50QueryUS float64 `json:"p50_query_us"`
+	P95QueryUS float64 `json:"p95_query_us"`
+	P99QueryUS float64 `json:"p99_query_us"`
+	BatchQPS   float64 `json:"batch_qps"` // queries/s through SearchBatch
+	// BatchP50/P95/P99US are per-query latency percentiles inside the
+	// SearchBatch run, read from the index's own telemetry histograms as
+	// a scrape-window delta (estimates within 3.125%, the histogram's
+	// resolution).
+	BatchP50US        float64 `json:"batch_p50_us,omitempty"`
+	BatchP95US        float64 `json:"batch_p95_us,omitempty"`
+	BatchP99US        float64 `json:"batch_p99_us,omitempty"`
 	MAP               float64 `json:"map"`
 	Recall            float64 `json:"recall"` // recall@k vs. brute-force ground truth
 	MeanRatio         float64 `json:"mean_ratio"`
@@ -240,7 +256,22 @@ type snapIndex interface {
 	Query(ctx context.Context, q []float32, k int, o core.SearchOptions) ([]core.Result, *core.QueryStats, error)
 	SizeOnDisk() int64
 	BuildStats() *core.BuildStats
+	Telemetry() telemetry.CollectorSnapshot
 	Close() error
+}
+
+// exactPercentile returns the nearest-rank q-th percentile of sorted —
+// the k = ceil(q·n)-th smallest value — matching the convention the
+// telemetry histograms estimate.
+func exactPercentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	k := int(math.Ceil(q * float64(len(sorted))))
+	if k < 1 {
+		k = 1
+	}
+	return sorted[k-1]
 }
 
 func snapshotDataset(spec DataSpec, cfg Config) (DatasetResult, []SweepRow, error) {
@@ -300,10 +331,13 @@ func snapshotDataset(spec DataSpec, cfg Config) (DatasetResult, []SweepRow, erro
 	var ratioSum float64
 	var reads, hits, misses uint64
 	var elapsed time.Duration
+	perQuery := make([]time.Duration, 0, len(w.Queries))
 	for qi, q := range w.Queries {
 		t := time.Now()
 		res, st, err := ix.SearchWithStats(q, w.K)
-		elapsed += time.Since(t)
+		d := time.Since(t)
+		elapsed += d
+		perQuery = append(perQuery, d)
 		if err != nil {
 			return out, nil, err
 		}
@@ -321,6 +355,10 @@ func snapshotDataset(spec DataSpec, cfg Config) (DatasetResult, []SweepRow, erro
 	}
 	nq := len(w.Queries)
 	out.MeanQueryUS = float64(elapsed.Microseconds()) / float64(nq)
+	slices.Sort(perQuery)
+	out.P50QueryUS = float64(exactPercentile(perQuery, 0.50).Nanoseconds()) / 1e3
+	out.P95QueryUS = float64(exactPercentile(perQuery, 0.95).Nanoseconds()) / 1e3
+	out.P99QueryUS = float64(exactPercentile(perQuery, 0.99).Nanoseconds()) / 1e3
 	out.MAP = metrics.MAP(got, w.TruthIDs, w.K)
 	out.Recall = metrics.MeanRecall(got, w.TruthIDs, w.K)
 	out.MeanRatio = ratioSum / float64(nq)
@@ -329,13 +367,22 @@ func snapshotDataset(spec DataSpec, cfg Config) (DatasetResult, []SweepRow, erro
 		out.HitRatio = float64(hits) / float64(total)
 	}
 
-	// Batch throughput through the bounded worker pool.
+	// Batch throughput through the bounded worker pool. The per-query
+	// latency percentiles inside the batch come from the index's own
+	// telemetry: snapshot the query histogram around the call and read
+	// the delta — the same windowing a /metrics scraper does.
+	telBefore := ix.Telemetry().Query
 	t0 = time.Now()
 	if _, err := ix.SearchBatch(w.Queries, w.K); err != nil {
 		return out, nil, err
 	}
 	if d := time.Since(t0).Seconds(); d > 0 {
 		out.BatchQPS = float64(nq) / d
+	}
+	if delta := ix.Telemetry().Query.Sub(telBefore); delta.Count > 0 {
+		out.BatchP50US = delta.Quantile(0.50) / 1e3
+		out.BatchP95US = delta.Quantile(0.95) / 1e3
+		out.BatchP99US = delta.Quantile(0.99) / 1e3
 	}
 
 	// Concurrent-clients throughput: independent goroutines issuing

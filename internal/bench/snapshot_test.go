@@ -22,6 +22,17 @@ func TestRunSnapshot(t *testing.T) {
 	if d.BuildMS <= 0 || d.MeanQueryUS <= 0 || d.IndexBytes <= 0 || d.BatchQPS <= 0 {
 		t.Errorf("timings not populated: %+v", d)
 	}
+	// The latency percentiles are exact order statistics over the same
+	// measurements the mean summarizes, so they must be populated and
+	// monotone.
+	if d.P50QueryUS <= 0 || d.P50QueryUS > d.P95QueryUS || d.P95QueryUS > d.P99QueryUS {
+		t.Errorf("query percentiles not monotone: p50=%v p95=%v p99=%v", d.P50QueryUS, d.P95QueryUS, d.P99QueryUS)
+	}
+	// Batch percentiles ride on the index's own telemetry (on by
+	// default), windowed around the SearchBatch call.
+	if d.BatchP50US <= 0 || d.BatchP50US > d.BatchP99US {
+		t.Errorf("batch percentiles not populated: p50=%v p99=%v", d.BatchP50US, d.BatchP99US)
+	}
 	if d.MAP <= 0 || d.MAP > 1 || d.MeanRatio < 1-1e-9 {
 		t.Errorf("quality out of range: MAP=%v ratio=%v", d.MAP, d.MeanRatio)
 	}

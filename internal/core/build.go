@@ -16,6 +16,7 @@ import (
 	"github.com/hd-index/hdindex/internal/radix"
 	"github.com/hd-index/hdindex/internal/rdbtree"
 	"github.com/hd-index/hdindex/internal/refsel"
+	"github.com/hd-index/hdindex/internal/telemetry"
 	"github.com/hd-index/hdindex/internal/vecmath"
 	"github.com/hd-index/hdindex/internal/vecstore"
 	"github.com/hd-index/hdindex/internal/wal"
@@ -192,6 +193,9 @@ func BuildContext(ctx context.Context, dir string, vectors [][]float32, p Params
 		deleted: newDeleteSet(),
 	}
 	ix.refCross = crossDistances(refs)
+	if !p.DisableTelemetry {
+		ix.tel = telemetry.NewCollector()
+	}
 	if err := ix.initCurves(); err != nil {
 		return nil, err
 	}
@@ -266,7 +270,7 @@ func BuildContext(ctx context.Context, dir string, vectors [][]float32, p Params
 	}
 	// The meta commit makes the build generation-0-complete; the fresh
 	// (empty) WAL and its compactor make the index live for ingest.
-	w, err := wal.Open(filepath.Join(dir, walFile), wal.Options{SyncInterval: p.WALSyncInterval}, nil)
+	w, err := wal.Open(filepath.Join(dir, walFile), ix.walOptions(), nil)
 	if err != nil {
 		ix.Close()
 		return nil, err

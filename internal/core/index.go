@@ -13,6 +13,7 @@ import (
 	"github.com/hd-index/hdindex/internal/hilbert"
 	"github.com/hd-index/hdindex/internal/pager"
 	"github.com/hd-index/hdindex/internal/rdbtree"
+	"github.com/hd-index/hdindex/internal/telemetry"
 	"github.com/hd-index/hdindex/internal/vecmath"
 	"github.com/hd-index/hdindex/internal/vecstore"
 	"github.com/hd-index/hdindex/internal/wal"
@@ -68,6 +69,11 @@ type Index struct {
 	// buildStats is the construction cost breakdown; set by Build,
 	// nil on an Opened index.
 	buildStats *BuildStats
+
+	// tel collects operation latency histograms and per-phase query
+	// spans; nil when Params.DisableTelemetry is set (every observation
+	// site is nil-safe).
+	tel *telemetry.Collector
 }
 
 // metaJSON is the serialised index descriptor. Count and Gen together
@@ -203,6 +209,10 @@ type OpenOptions struct {
 	// cadence, bounding tree staleness under trickle writes. 0 disables
 	// the timer (size-triggered only — deterministic for tests).
 	MemtableMaxAge time.Duration
+
+	// DisableTelemetry turns off latency histograms and per-phase query
+	// spans; see Params.DisableTelemetry.
+	DisableTelemetry bool
 }
 
 // Open loads an HD-Index previously written by Build, replaying any
@@ -227,6 +237,7 @@ func Open(dir string, opts OpenOptions) (*Index, error) {
 	p.WALSyncInterval = opts.WALSyncInterval
 	p.MemtableMaxVectors = opts.MemtableMaxVectors
 	p.MemtableMaxAge = opts.MemtableMaxAge
+	p.DisableTelemetry = opts.DisableTelemetry
 
 	ix := &Index{
 		dir:     dir,
@@ -240,6 +251,9 @@ func Open(dir string, opts OpenOptions) (*Index, error) {
 		deleted: newDeleteSet(),
 	}
 	ix.refCross = crossDistances(m.Refs)
+	if !p.DisableTelemetry {
+		ix.tel = telemetry.NewCollector()
+	}
 	if err := ix.initCurves(); err != nil {
 		return nil, err
 	}
@@ -317,7 +331,7 @@ func Open(dir string, opts OpenOptions) (*Index, error) {
 		ix.Close()
 		return nil, err
 	}
-	ix.wal, err = wal.Open(walPath, wal.Options{SyncInterval: p.WALSyncInterval}, ix.replayRecord)
+	ix.wal, err = wal.Open(walPath, ix.walOptions(), ix.replayRecord)
 	if err != nil {
 		ix.Close()
 		return nil, fmt.Errorf("core: wal recovery: %w", err)
@@ -388,6 +402,21 @@ func (ix *Index) Close() error {
 	}
 	return first
 }
+
+// walOptions builds the WAL configuration, wiring fsync durations into
+// the telemetry collector when one is attached.
+func (ix *Index) walOptions() wal.Options {
+	o := wal.Options{SyncInterval: ix.params.WALSyncInterval}
+	if ix.tel != nil {
+		o.OnSync = ix.tel.ObserveWALSync
+	}
+	return o
+}
+
+// Telemetry returns a point-in-time copy of the index's latency
+// histograms (whole queries, per-phase breakdowns, inserts, compactions,
+// WAL fsyncs). Empty when telemetry is disabled.
+func (ix *Index) Telemetry() telemetry.CollectorSnapshot { return ix.tel.Snapshot() }
 
 // Params returns the effective parameters.
 func (ix *Index) Params() Params { return ix.params }

@@ -113,6 +113,10 @@ func (ix *Index) Insert(vec []float32) (uint64, error) {
 	if len(vec) != ix.nu {
 		return 0, fmt.Errorf("%w: vector has %d dims, index has %d", ErrDimMismatch, len(vec), ix.nu)
 	}
+	var telStart time.Time
+	if ix.tel.Enabled() {
+		telStart = time.Now()
+	}
 	cp := vecmath.Copy(vec)
 	ix.mu.Lock()
 	if ix.wal == nil {
@@ -130,6 +134,9 @@ func (ix *Index) Insert(vec []float32) (uint64, error) {
 	ix.mu.Unlock()
 	if err := ix.wal.WaitDurable(off); err != nil {
 		return 0, err
+	}
+	if !telStart.IsZero() {
+		ix.tel.ObserveInsert(time.Since(telStart))
 	}
 	if memLen >= ix.memtableMax() {
 		ix.wakeCompactor()
@@ -392,6 +399,7 @@ func (ix *Index) Compact(ctx context.Context) error {
 	ix.lastCompactMS = msSince(start)
 	ix.lastCompactN = n
 	ix.mu.Unlock()
+	ix.tel.ObserveCompaction(time.Since(start))
 
 	for t, pgr := range oldPagers {
 		if pgr != nil {

@@ -88,6 +88,12 @@ type Params struct {
 	// cadence; 0 disables the timer.
 	MemtableMaxAge time.Duration `json:"-"`
 
+	// DisableTelemetry turns off the latency histograms and per-phase
+	// query spans (internal/telemetry). Runtime-only: a measurement
+	// preference, not an index property. The default (enabled) costs a
+	// handful of clock reads and atomic adds per operation.
+	DisableTelemetry bool `json:"-"`
+
 	Seed int64
 }
 

@@ -6,7 +6,9 @@ import (
 	"math"
 	"slices"
 	"sync"
+	"time"
 
+	"github.com/hd-index/hdindex/internal/telemetry"
 	"github.com/hd-index/hdindex/internal/topk"
 	"github.com/hd-index/hdindex/internal/vecmath"
 )
@@ -51,6 +53,13 @@ type QueryStats struct {
 	// the memtable is empty, which is the steady state between write
 	// bursts.
 	MemtableScanned int
+	// Phases attributes the query's wall time to its pipeline stages
+	// (tree walk, candidate sort, refinement, memtable scan, top-k
+	// merge), in nanoseconds. All zero when telemetry is disabled. A
+	// sharded query sums the per-shard phase times, so the total can
+	// exceed wall time when shards run concurrently — it measures work,
+	// not latency.
+	Phases telemetry.PhaseNS
 }
 
 // refineCheckEvery is how many exact refinements happen between context
@@ -100,10 +109,20 @@ func (ix *Index) Query(ctx context.Context, q []float32, k int, o SearchOptions)
 		return nil, nil, err
 	}
 
+	// Telemetry: the whole-query histogram times from here (including
+	// any wait for the index lock); the span attributes post-lock time
+	// to pipeline phases. Both collapse to no-ops when disabled.
+	telOn := ix.tel.Enabled()
+	var telStart time.Time
+	if telOn {
+		telStart = time.Now()
+	}
+
 	// Searches run concurrently with each other but not with writers
 	// (Insert mutates the trees and the vector store in place).
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
+	span := telemetry.StartSpan(telOn)
 
 	p := ix.params
 	ioBefore := ix.IOStats()
@@ -144,6 +163,7 @@ func (ix *Index) Query(ctx context.Context, q []float32, k int, o SearchOptions)
 			return nil, nil, err
 		}
 	}
+	span.Mark(telemetry.PhaseTreeWalk)
 
 	// Union of candidates (line 11): γ <= κ <= τ·γ, deduplicated by
 	// stamping the dense epoch array — no map operations, no clearing.
@@ -171,6 +191,7 @@ func (ix *Index) Query(ctx context.Context, q []float32, k int, o SearchOptions)
 	// pool hits. The top-k list orders by (Dist, ID), so the retained
 	// set is unchanged by the reordering.
 	slices.Sort(candidates)
+	span.Mark(telemetry.PhaseCandidateSort)
 
 	// Exact refinement (lines 12-15): fetch each candidate's vector and
 	// compute the true distance — zero-copy out of the buffer pool when
@@ -210,6 +231,7 @@ func (ix *Index) Query(ctx context.Context, q []float32, k int, o SearchOptions)
 		}
 		refined++
 	}
+	span.Mark(telemetry.PhaseRefine)
 
 	// Memtable merge: acknowledged inserts not yet compacted into the
 	// trees are brute-forced with the same early-abandoning exact
@@ -239,6 +261,7 @@ func (ix *Index) Query(ctx context.Context, q []float32, k int, o SearchOptions)
 			}
 			memScanned++
 		}
+		span.Mark(telemetry.PhaseMemtableScan)
 	}
 
 	items := best.ItemsInto(sc.items)
@@ -262,6 +285,11 @@ func (ix *Index) Query(ctx context.Context, q []float32, k int, o SearchOptions)
 	}
 	for _, f := range sc.fetched {
 		stats.TreeEntries += f
+	}
+	span.Mark(telemetry.PhaseTopKMerge)
+	stats.Phases = span.NS
+	if telOn {
+		ix.tel.ObserveQuery(time.Since(telStart), span.NS)
 	}
 	return out, stats, nil
 }

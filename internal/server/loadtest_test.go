@@ -68,6 +68,43 @@ func TestLoad64Clients(t *testing.T) {
 		return true
 	}
 
+	// Mid-storm scraper: repeatedly GET /metrics while the clients hammer
+	// the server, and fail the test if any scrape is malformed exposition
+	// — histogram buckets must stay cumulative and +Inf-closed even while
+	// their counters are being bumped concurrently.
+	scrapeDone := make(chan struct{})
+	var scrapes atomic.Int64
+	var scraperWG sync.WaitGroup
+	scraperWG.Add(1)
+	go func() {
+		defer scraperWG.Done()
+		for {
+			select {
+			case <-scrapeDone:
+				return
+			default:
+			}
+			resp, err := client.Get(ts.URL + "/metrics")
+			if err != nil {
+				fail("metrics scrape: %v", err)
+				return
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				fail("metrics scrape read: %v", err)
+				return
+			}
+			if resp.StatusCode != 200 {
+				fail("metrics scrape status %d", resp.StatusCode)
+				return
+			}
+			parsePromText(t, string(body))
+			scrapes.Add(1)
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
 		go func(c int) {
@@ -128,10 +165,15 @@ func TestLoad64Clients(t *testing.T) {
 		}(c)
 	}
 	wg.Wait()
+	close(scrapeDone)
+	scraperWG.Wait()
 	select {
 	case err := <-errCh:
 		t.Fatal(err)
 	default:
+	}
+	if scrapes.Load() == 0 {
+		t.Error("scraper never completed a mid-storm /metrics scrape")
 	}
 
 	// The server's own counters must account for the traffic.

@@ -1,58 +1,107 @@
 package server
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/hd-index/hdindex/internal/telemetry"
 )
 
-// endpointMetrics counts one endpoint's traffic with lock-free atomics:
-// the handlers sit on the query hot path, so the counters must cost a
-// few atomic adds, not a mutex.
+// endpointMetrics counts one endpoint's traffic. The handlers sit on
+// the query hot path, so observe costs a few atomic adds (the histogram
+// is lock-free); the window bookkeeping below is mutex-guarded but only
+// touched by /stats scrapes.
 type endpointMetrics struct {
-	requests  atomic.Uint64
-	errors    atomic.Uint64
-	latencyNs atomic.Uint64 // total across all requests
-	maxNs     atomic.Uint64
+	errors atomic.Uint64
+	hist   telemetry.Histogram
+
+	// Window state for the /stats "since last scrape" view; prev is the
+	// histogram snapshot the previous scrape took. Guarded by mu —
+	// scrapes are cold-path.
+	mu     sync.Mutex
+	prev   telemetry.Snapshot
+	prevAt time.Time
 }
 
 // observe records one finished request.
 func (m *endpointMetrics) observe(d time.Duration, failed bool) {
-	ns := uint64(d.Nanoseconds())
-	m.requests.Add(1)
-	m.latencyNs.Add(ns)
 	if failed {
 		m.errors.Add(1)
 	}
-	for {
-		old := m.maxNs.Load()
-		if ns <= old || m.maxNs.CompareAndSwap(old, ns) {
-			return
-		}
-	}
+	m.hist.ObserveDuration(d)
 }
 
-// EndpointStats is one endpoint's row in the /stats response.
+// EndpointStats is one endpoint's row in the /stats response. The
+// latency quantiles come from a log-bucketed histogram (estimates
+// within 3.125%); the mean and the all-time max are exact.
+// MaxLatencyMs is all-time — one cold-start outlier pins it forever —
+// so Window reports the same figures over the interval since the
+// previous /stats scrape.
 type EndpointStats struct {
 	Requests      uint64  `json:"requests"`
 	Errors        uint64  `json:"errors"`
 	MeanLatencyMs float64 `json:"mean_latency_ms"`
+	P50LatencyMs  float64 `json:"p50_latency_ms"`
+	P95LatencyMs  float64 `json:"p95_latency_ms"`
+	P99LatencyMs  float64 `json:"p99_latency_ms"`
 	MaxLatencyMs  float64 `json:"max_latency_ms"`
 	QPS           float64 `json:"qps"` // requests / server uptime
+	// Window covers the requests since the previous /stats scrape
+	// (since server start on the first one). Absent when the window saw
+	// no requests. Its max is bucket-estimated (≤3.125% high), not
+	// exact: per-window exact maxima are not derivable from deltas.
+	Window *WindowStats `json:"window,omitempty"`
 }
 
-// snapshot renders the counters; uptime scales the QPS figure.
-func (m *endpointMetrics) snapshot(uptime time.Duration) EndpointStats {
-	n := m.requests.Load()
+// WindowStats are latency figures over one /stats scrape interval.
+type WindowStats struct {
+	Seconds       float64 `json:"seconds"`
+	Requests      uint64  `json:"requests"`
+	MeanLatencyMs float64 `json:"mean_latency_ms"`
+	P50LatencyMs  float64 `json:"p50_latency_ms"`
+	P95LatencyMs  float64 `json:"p95_latency_ms"`
+	P99LatencyMs  float64 `json:"p99_latency_ms"`
+	MaxLatencyMs  float64 `json:"max_latency_ms"`
+}
+
+func nsToMs(ns float64) float64 { return ns / 1e6 }
+
+// statsRow renders the endpoint's cumulative figures and advances the
+// scrape window: the delta between this histogram snapshot and the
+// previous scrape's becomes the Window block.
+func (m *endpointMetrics) statsRow(started, now time.Time) EndpointStats {
+	cur := m.hist.Snapshot()
 	s := EndpointStats{
-		Requests:     n,
-		Errors:       m.errors.Load(),
-		MaxLatencyMs: float64(m.maxNs.Load()) / 1e6,
+		Requests:      cur.Count,
+		Errors:        m.errors.Load(),
+		MeanLatencyMs: nsToMs(cur.Mean()),
+		P50LatencyMs:  nsToMs(cur.Quantile(0.50)),
+		P95LatencyMs:  nsToMs(cur.Quantile(0.95)),
+		P99LatencyMs:  nsToMs(cur.Quantile(0.99)),
+		MaxLatencyMs:  nsToMs(float64(cur.Max)),
 	}
-	if n > 0 {
-		s.MeanLatencyMs = float64(m.latencyNs.Load()) / float64(n) / 1e6
+	if sec := now.Sub(started).Seconds(); sec > 0 {
+		s.QPS = float64(cur.Count) / sec
 	}
-	if sec := uptime.Seconds(); sec > 0 {
-		s.QPS = float64(n) / sec
+
+	m.mu.Lock()
+	prev, prevAt := m.prev, m.prevAt
+	m.prev, m.prevAt = cur, now
+	m.mu.Unlock()
+	if prevAt.IsZero() {
+		prevAt = started
+	}
+	if win := cur.Sub(prev); win.Count > 0 {
+		s.Window = &WindowStats{
+			Seconds:       now.Sub(prevAt).Seconds(),
+			Requests:      win.Count,
+			MeanLatencyMs: nsToMs(win.Mean()),
+			P50LatencyMs:  nsToMs(win.Quantile(0.50)),
+			P95LatencyMs:  nsToMs(win.Quantile(0.95)),
+			P99LatencyMs:  nsToMs(win.Quantile(0.99)),
+			MaxLatencyMs:  nsToMs(float64(win.Max)),
+		}
 	}
 	return s
 }

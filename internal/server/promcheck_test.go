@@ -1,0 +1,298 @@
+package server
+
+// promlint-style sanity checker for the Prometheus text exposition
+// format, shared by the /metrics tests. Deliberately in-repo (no
+// client_golang dependency): it validates the framing rules a real
+// scraper and promlint would reject violations of — well-formed HELP/
+// TYPE comments, declared types, parseable sample lines, histogram
+// buckets cumulative with strictly-increasing le boundaries closed by
+// +Inf, and _count consistent with the +Inf bucket.
+
+import (
+	"bufio"
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	sampleRe     = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (\S+)$`)
+	labelRe      = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+)
+
+// promSample is one parsed sample line.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+	line   int
+}
+
+// promFamilies is the parsed exposition: family name -> declared type,
+// plus all samples.
+type promFamilies struct {
+	types   map[string]string
+	samples []promSample
+}
+
+// parsePromText validates text as Prometheus exposition format and
+// returns the parsed families; any violation is reported on t.
+func parsePromText(t *testing.T, text string) *promFamilies {
+	t.Helper()
+	fams := &promFamilies{types: make(map[string]string)}
+	helped := make(map[string]bool)
+	seen := make(map[string]int) // dedup key -> first line
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(parts) != 2 || !metricNameRe.MatchString(parts[0]) || parts[1] == "" {
+				t.Errorf("line %d: malformed HELP: %q", lineNo, line)
+				continue
+			}
+			if helped[parts[0]] {
+				t.Errorf("line %d: duplicate HELP for %s", lineNo, parts[0])
+			}
+			helped[parts[0]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 || !metricNameRe.MatchString(parts[0]) {
+				t.Errorf("line %d: malformed TYPE: %q", lineNo, line)
+				continue
+			}
+			switch parts[1] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Errorf("line %d: unknown metric type %q", lineNo, parts[1])
+			}
+			if _, dup := fams.types[parts[0]]; dup {
+				t.Errorf("line %d: duplicate TYPE for %s", lineNo, parts[0])
+			}
+			fams.types[parts[0]] = parts[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // free-form comment
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("line %d: unparseable sample: %q", lineNo, line)
+			continue
+		}
+		name, rawLabels, rawValue := m[1], m[3], m[4]
+		val, err := parsePromValue(rawValue)
+		if err != nil {
+			t.Errorf("line %d: bad value %q: %v", lineNo, rawValue, err)
+			continue
+		}
+		labels := make(map[string]string)
+		if rawLabels != "" {
+			for _, pair := range splitLabels(rawLabels) {
+				lm := labelRe.FindStringSubmatch(pair)
+				if lm == nil {
+					t.Errorf("line %d: malformed label %q", lineNo, pair)
+					continue
+				}
+				if _, dup := labels[lm[1]]; dup {
+					t.Errorf("line %d: duplicate label %q", lineNo, lm[1])
+				}
+				labels[lm[1]] = lm[2]
+			}
+		}
+		// Samples must belong to a declared family (histogram samples
+		// via their _bucket/_sum/_count suffixes).
+		fam := familyOf(fams.types, name)
+		if fam == "" {
+			t.Errorf("line %d: sample %s has no preceding TYPE declaration", lineNo, name)
+		}
+		key := line[:strings.LastIndex(line, " ")]
+		if first, dup := seen[key]; dup {
+			t.Errorf("line %d: duplicate series %q (first at line %d)", lineNo, key, first)
+		}
+		seen[key] = lineNo
+		fams.samples = append(fams.samples, promSample{name: name, labels: labels, value: val, line: lineNo})
+	}
+	// Errorf, not Fatalf: this runs from scraper goroutines in the load
+	// test, where FailNow is not allowed.
+	if err := sc.Err(); err != nil {
+		t.Errorf("scan: %v", err)
+		return fams
+	}
+	for name := range fams.types {
+		if !helped[name] {
+			t.Errorf("family %s has TYPE but no HELP", name)
+		}
+	}
+	checkHistograms(t, fams)
+	return fams
+}
+
+// familyOf resolves a sample name to its declared family, peeling
+// histogram suffixes.
+func familyOf(types map[string]string, name string) string {
+	if _, ok := types[name]; ok {
+		return name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name && types[base] == "histogram" {
+			return base
+		}
+	}
+	return ""
+}
+
+// splitLabels splits `a="x",b="y"` at top-level commas (quoted commas
+// stay put).
+func splitLabels(s string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	case "NaN":
+		return strconv.ParseFloat("NaN", 64)
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// checkHistograms verifies every histogram family: per label-set, le
+// boundaries strictly increasing, bucket counts cumulative, a +Inf
+// bucket present and equal to _count.
+func checkHistograms(t *testing.T, fams *promFamilies) {
+	t.Helper()
+	type series struct {
+		les    []float64
+		counts []float64
+		count  float64
+		hasCnt bool
+		inf    float64
+		hasInf bool
+	}
+	groups := make(map[string]*series)
+	keyFor := func(fam string, labels map[string]string) string {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k != "le" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		b.WriteString(fam)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "|%s=%s", k, labels[k])
+		}
+		return b.String()
+	}
+	for _, s := range fams.samples {
+		fam := familyOf(fams.types, s.name)
+		if fam == "" || fams.types[fam] != "histogram" {
+			continue
+		}
+		key := keyFor(fam, s.labels)
+		g := groups[key]
+		if g == nil {
+			g = &series{}
+			groups[key] = g
+		}
+		switch {
+		case strings.HasSuffix(s.name, "_bucket"):
+			le, ok := s.labels["le"]
+			if !ok {
+				t.Errorf("line %d: histogram bucket without le label", s.line)
+				continue
+			}
+			if le == "+Inf" {
+				g.inf, g.hasInf = s.value, true
+				continue
+			}
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				t.Errorf("line %d: unparseable le=%q", s.line, le)
+				continue
+			}
+			g.les = append(g.les, bound)
+			g.counts = append(g.counts, s.value)
+		case strings.HasSuffix(s.name, "_count"):
+			g.count, g.hasCnt = s.value, true
+		}
+	}
+	for key, g := range groups {
+		for i := 1; i < len(g.les); i++ {
+			if g.les[i] <= g.les[i-1] {
+				t.Errorf("%s: le boundaries not strictly increasing: %v <= %v", key, g.les[i], g.les[i-1])
+			}
+			if g.counts[i] < g.counts[i-1] {
+				t.Errorf("%s: bucket counts not cumulative: %v < %v at le=%v", key, g.counts[i], g.counts[i-1], g.les[i])
+			}
+		}
+		if !g.hasInf {
+			t.Errorf("%s: missing le=\"+Inf\" bucket", key)
+			continue
+		}
+		if len(g.counts) > 0 && g.inf < g.counts[len(g.counts)-1] {
+			t.Errorf("%s: +Inf bucket %v below last bucket %v", key, g.inf, g.counts[len(g.counts)-1])
+		}
+		if g.hasCnt && g.count != g.inf {
+			t.Errorf("%s: _count %v != +Inf bucket %v", key, g.count, g.inf)
+		}
+	}
+}
+
+// sampleValue returns the first sample matching name and the given
+// label subset, or (0, false).
+func (f *promFamilies) sampleValue(name string, labels map[string]string) (float64, bool) {
+	for _, s := range f.samples {
+		if s.name != name {
+			continue
+		}
+		ok := true
+		for k, v := range labels {
+			if s.labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return s.value, true
+		}
+	}
+	return 0, false
+}

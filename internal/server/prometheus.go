@@ -1,0 +1,168 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/hd-index/hdindex/internal/telemetry"
+)
+
+// handleMetrics serves GET /metrics in the Prometheus text exposition
+// format (version 0.0.4), hand-written: the repo takes no dependency on
+// a client library, and the format is a few framing rules — # HELP and
+// # TYPE per family, one sample per line, histograms as cumulative
+// le-labelled buckets closed by +Inf plus _sum and _count.
+//
+// Latency histograms are exposed in seconds (the Prometheus base unit)
+// at the native log-bucket boundaries, emitting only non-empty buckets:
+// boundaries are data-dependent but always strictly increasing, which
+// every histogram consumer (histogram_quantile included) accepts.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+
+	endpoints := s.endpointsInOrder()
+
+	// Per-endpoint request/error counters and latency histograms.
+	writeHeader(bw, "hdindex_http_requests_total", "counter",
+		"Requests handled, by endpoint.")
+	snaps := make([]telemetry.Snapshot, len(endpoints))
+	for i, ep := range endpoints {
+		snaps[i] = ep.m.hist.Snapshot()
+		fmt.Fprintf(bw, "hdindex_http_requests_total{endpoint=%q} %d\n", ep.name, snaps[i].Count)
+	}
+	writeHeader(bw, "hdindex_http_request_errors_total", "counter",
+		"Requests that returned an error, by endpoint.")
+	for _, ep := range endpoints {
+		fmt.Fprintf(bw, "hdindex_http_request_errors_total{endpoint=%q} %d\n", ep.name, ep.m.errors.Load())
+	}
+	writeHeader(bw, "hdindex_http_request_duration_seconds", "histogram",
+		"Request wall time, by endpoint.")
+	for i, ep := range endpoints {
+		writeHistogram(bw, "hdindex_http_request_duration_seconds",
+			fmt.Sprintf("endpoint=%q", ep.name), snaps[i])
+	}
+
+	// Index operation histograms (queries per shard-level operation,
+	// inserts, compactions, WAL fsyncs) and the per-phase breakdown.
+	tel := s.idx.Telemetry()
+	writeHeader(bw, "hdindex_op_duration_seconds", "histogram",
+		"Index operation wall time, by operation.")
+	for _, op := range []struct {
+		name string
+		snap telemetry.Snapshot
+	}{
+		{"query", tel.Query},
+		{"insert", tel.Insert},
+		{"compaction", tel.Compaction},
+		{"wal_sync", tel.WALSync},
+	} {
+		writeHistogram(bw, "hdindex_op_duration_seconds", fmt.Sprintf("op=%q", op.name), op.snap)
+	}
+	writeHeader(bw, "hdindex_query_phase_duration_seconds", "histogram",
+		"Per-query pipeline phase wall time, by phase.")
+	for i := range tel.Phase {
+		writeHistogram(bw, "hdindex_query_phase_duration_seconds",
+			fmt.Sprintf("phase=%q", telemetry.Phase(i)), tel.Phase[i])
+	}
+
+	// Buffer pool, WAL/memtable/compaction, and index gauges.
+	io := s.idx.IOStats()
+	writeHeader(bw, "hdindex_pool_reads_total", "counter", "Buffer-pool page reads.")
+	fmt.Fprintf(bw, "hdindex_pool_reads_total %d\n", io.Reads)
+	writeHeader(bw, "hdindex_pool_writes_total", "counter", "Buffer-pool page writes.")
+	fmt.Fprintf(bw, "hdindex_pool_writes_total %d\n", io.Writes)
+	writeHeader(bw, "hdindex_pool_hits_total", "counter", "Buffer-pool page hits.")
+	fmt.Fprintf(bw, "hdindex_pool_hits_total %d\n", io.Hits)
+	writeHeader(bw, "hdindex_pool_misses_total", "counter", "Buffer-pool page misses.")
+	fmt.Fprintf(bw, "hdindex_pool_misses_total %d\n", io.Misses)
+
+	ist := s.idx.IngestStats()
+	writeHeader(bw, "hdindex_memtable_vectors", "gauge",
+		"Acknowledged inserts not yet compacted into the trees.")
+	fmt.Fprintf(bw, "hdindex_memtable_vectors %d\n", ist.MemtableVectors)
+	writeHeader(bw, "hdindex_wal_bytes", "gauge", "Current write-ahead-log file size.")
+	fmt.Fprintf(bw, "hdindex_wal_bytes %d\n", ist.WALBytes)
+	writeHeader(bw, "hdindex_wal_records", "gauge", "Records in the write-ahead log.")
+	fmt.Fprintf(bw, "hdindex_wal_records %d\n", ist.WALRecords)
+	writeHeader(bw, "hdindex_wal_syncs_total", "counter", "WAL fsyncs since open.")
+	fmt.Fprintf(bw, "hdindex_wal_syncs_total %d\n", ist.WALSyncs)
+	writeHeader(bw, "hdindex_wal_replayed_records", "gauge",
+		"WAL records replayed at open (>0 means crash recovery).")
+	fmt.Fprintf(bw, "hdindex_wal_replayed_records %d\n", ist.Replayed)
+	writeHeader(bw, "hdindex_compactions_total", "counter",
+		"Completed memtable compactions since open.")
+	fmt.Fprintf(bw, "hdindex_compactions_total %d\n", ist.Compactions)
+
+	writeHeader(bw, "hdindex_index_vectors", "gauge", "Indexed vectors.")
+	fmt.Fprintf(bw, "hdindex_index_vectors %d\n", s.idx.Count())
+	writeHeader(bw, "hdindex_index_deleted", "gauge", "Deletion marks.")
+	fmt.Fprintf(bw, "hdindex_index_deleted %d\n", s.idx.DeletedCount())
+	writeHeader(bw, "hdindex_index_shards", "gauge", "Shards in the on-disk layout.")
+	fmt.Fprintf(bw, "hdindex_index_shards %d\n", s.idx.NumShards())
+	writeHeader(bw, "hdindex_index_size_bytes", "gauge", "Total index file bytes on disk.")
+	fmt.Fprintf(bw, "hdindex_index_size_bytes %d\n", s.idx.SizeOnDisk())
+	writeHeader(bw, "hdindex_uptime_seconds", "gauge", "Seconds since the server started.")
+	fmt.Fprintf(bw, "hdindex_uptime_seconds %s\n", formatFloat(time.Since(s.started).Seconds()))
+
+	s.mMetrics.observe(time.Since(start), false)
+}
+
+// endpointRow pairs an endpoint's stable exposition label with its
+// metrics.
+type endpointRow struct {
+	name string
+	m    *endpointMetrics
+}
+
+// endpointsInOrder returns the endpoints in a fixed order so the
+// exposition is deterministic scrape to scrape.
+func (s *Server) endpointsInOrder() []endpointRow {
+	return []endpointRow{
+		{"search", &s.mSearch},
+		{"searchbatch", &s.mBatch},
+		{"insert", &s.mInsert},
+		{"delete", &s.mDelete},
+		{"stats", &s.mStats},
+		{"healthz", &s.mHealth},
+		{"metrics", &s.mMetrics},
+	}
+}
+
+func writeHeader(bw *bufio.Writer, name, typ, help string) {
+	fmt.Fprintf(bw, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(bw, "# TYPE %s %s\n", name, typ)
+}
+
+// writeHistogram renders one snapshot as a cumulative le-bucketed
+// Prometheus histogram in seconds. labels is the pre-rendered label
+// pair (`endpoint="search"`) or empty.
+func writeHistogram(bw *bufio.Writer, name, labels string, s telemetry.Snapshot) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum uint64
+	s.ForEachBucket(func(upper, count uint64) {
+		cum += count
+		fmt.Fprintf(bw, "%s_bucket{%s%sle=%q} %d\n",
+			name, labels, sep, formatFloat(float64(upper)/1e9), cum)
+	})
+	fmt.Fprintf(bw, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, s.Count)
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	fmt.Fprintf(bw, "%s_sum%s %s\n", name, labels, formatFloat(float64(s.Sum)/1e9))
+	fmt.Fprintf(bw, "%s_count%s %d\n", name, labels, s.Count)
+}
+
+// formatFloat renders a float the shortest way that round-trips, the
+// conventional Prometheus float formatting.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

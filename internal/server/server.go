@@ -27,11 +27,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	hdindex "github.com/hd-index/hdindex"
+	"github.com/hd-index/hdindex/internal/telemetry"
 )
 
 // Config tunes the server independently of the index parameters.
@@ -61,6 +64,17 @@ type Config struct {
 	// itself, so every acknowledged /insert is durable and no endpoint
 	// flushes (tune the guarantee with hdserve's -wal-sync instead).
 	NoFlushOnWrite bool
+	// SlowQueryThreshold enables the slow-query log: /search requests
+	// slower than this (and /searchbatch requests whose whole batch is)
+	// are logged through Logger with the per-phase breakdown and work
+	// counters. 0 disables it.
+	SlowQueryThreshold time.Duration
+	// Logger receives the slow-query records; nil uses slog.Default().
+	Logger *slog.Logger
+	// Pprof mounts net/http/pprof under /debug/pprof/ on the server's
+	// mux. Off by default: profiling endpoints expose internals and
+	// belong behind an operator flag (hdserve -pprof).
+	Pprof bool
 }
 
 func (c *Config) defaults() {
@@ -85,20 +99,34 @@ type Server struct {
 	cfg     Config
 	mux     *http.ServeMux
 	started time.Time
+	logger  *slog.Logger
 
-	mSearch, mBatch, mInsert, mDelete, mStats, mHealth endpointMetrics
+	mSearch, mBatch, mInsert, mDelete, mStats, mHealth, mMetrics endpointMetrics
 }
 
 // New wraps an open index in a Server.
 func New(idx *hdindex.Index, cfg Config) *Server {
 	cfg.defaults()
-	s := &Server{idx: idx, cfg: cfg, mux: http.NewServeMux(), started: time.Now()}
+	s := &Server{idx: idx, cfg: cfg, mux: http.NewServeMux(), started: time.Now(), logger: cfg.Logger}
+	if s.logger == nil {
+		s.logger = slog.Default()
+	}
 	s.mux.HandleFunc("POST /search", s.instrument(&s.mSearch, s.handleSearch))
 	s.mux.HandleFunc("POST /searchbatch", s.instrument(&s.mBatch, s.handleSearchBatch))
 	s.mux.HandleFunc("POST /insert", s.instrument(&s.mInsert, s.handleInsert))
 	s.mux.HandleFunc("POST /delete", s.instrument(&s.mDelete, s.handleDelete))
 	s.mux.HandleFunc("GET /stats", s.instrument(&s.mStats, s.handleStats))
 	s.mux.HandleFunc("GET /healthz", s.instrument(&s.mHealth, s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.Pprof {
+		// The default-mux registrations of net/http/pprof, mounted
+		// explicitly so the server never depends on http.DefaultServeMux.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -308,6 +336,23 @@ type QueryStatsJSON struct {
 	Beta            int    `json:"beta"`
 	Gamma           int    `json:"gamma"`
 	Ptolemaic       bool   `json:"ptolemaic"`
+	// PhaseUS attributes the query's time to pipeline phases, in
+	// microseconds, keyed by phase name (tree_walk, candidate_sort,
+	// refine, memtable_scan, topk_merge). Omitted when telemetry is
+	// disabled on the index. On a sharded index the phases sum across
+	// shards — work, not wall time.
+	PhaseUS map[string]float64 `json:"phase_us,omitempty"`
+}
+
+func phaseUS(p telemetry.PhaseNS) map[string]float64 {
+	if p.Total() == 0 {
+		return nil
+	}
+	out := make(map[string]float64, telemetry.NumPhases)
+	for i, ns := range p {
+		out[telemetry.Phase(i).String()] = float64(ns) / 1e3
+	}
+	return out
 }
 
 func toStatsJSON(st *hdindex.Stats) *QueryStatsJSON {
@@ -326,6 +371,7 @@ func toStatsJSON(st *hdindex.Stats) *QueryStatsJSON {
 		Beta:            st.Beta,
 		Gamma:           st.Gamma,
 		Ptolemaic:       st.Ptolemaic,
+		PhaseUS:         phaseUS(st.Phases),
 	}
 }
 
@@ -366,18 +412,60 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) (any, erro
 	if err := s.validateK(req.K); err != nil {
 		return nil, err
 	}
-	opts, err := req.tuningFields.options(s.cfg, req.Stats)
+	// With the slow-query log armed, stats are requested regardless of
+	// the client's wish (the phase breakdown is the log's payload) and
+	// stripped from the response below when not asked for.
+	slowLog := s.cfg.SlowQueryThreshold > 0
+	opts, err := req.tuningFields.options(s.cfg, req.Stats || slowLog)
 	if err != nil {
 		return nil, err
 	}
 	ctx, cancel := s.queryContext(r, req.TimeoutMs)
 	defer cancel()
 
+	start := time.Now()
 	resp, err := s.idx.Query(ctx, req.Query, req.K, opts...)
 	if err != nil {
 		return nil, err
 	}
+	if elapsed := time.Since(start); slowLog && elapsed >= s.cfg.SlowQueryThreshold {
+		s.logSlowQuery("search", elapsed, 1, req.K, resp.Stats)
+	}
+	if !req.Stats {
+		resp.Stats = nil
+	}
 	return searchResponse{Results: toResultJSON(resp.Results), Stats: toStatsJSON(resp.Stats)}, nil
+}
+
+// logSlowQuery emits one structured slow-query record: the endpoint,
+// the request shape, and the full per-phase breakdown with the work
+// counters — enough to tell a cold-cache refinement stall from a
+// memtable pileup without re-running the query.
+func (s *Server) logSlowQuery(endpoint string, elapsed time.Duration, queries, k int, st *hdindex.Stats) {
+	attrs := []any{
+		slog.String("endpoint", endpoint),
+		slog.Duration("elapsed", elapsed),
+		slog.Int("queries", queries),
+		slog.Int("k", k),
+	}
+	if st != nil {
+		phases := make([]any, 0, telemetry.NumPhases)
+		for i, ns := range st.Phases {
+			phases = append(phases, slog.Duration(telemetry.Phase(i).String(), time.Duration(ns)))
+		}
+		attrs = append(attrs,
+			slog.Group("phases", phases...),
+			slog.Int("candidates", st.Candidates),
+			slog.Int("tree_entries", st.TreeEntries),
+			slog.Uint64("page_reads", st.PageReads),
+			slog.Uint64("page_misses", st.PageMisses),
+			slog.Int("exact_distances", st.ExactDistances),
+			slog.Int("memtable_scanned", st.MemtableScanned),
+			slog.Int("alpha", st.Alpha),
+			slog.Int("gamma", st.Gamma),
+		)
+	}
+	s.logger.Warn("slow query", attrs...)
 }
 
 type searchBatchRequest struct {
@@ -420,16 +508,37 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) (any,
 	if err := s.validateK(req.K); err != nil {
 		return nil, err
 	}
-	opts, err := req.tuningFields.options(s.cfg, req.Stats)
+	slowLog := s.cfg.SlowQueryThreshold > 0
+	opts, err := req.tuningFields.options(s.cfg, req.Stats || slowLog)
 	if err != nil {
 		return nil, err
 	}
 	ctx, cancel := s.queryContext(r, req.TimeoutMs)
 	defer cancel()
 
+	start := time.Now()
 	res, err := s.idx.QueryBatch(ctx, req.Queries, req.K, opts...)
 	if err != nil {
 		return nil, err
+	}
+	if elapsed := time.Since(start); slowLog && elapsed >= s.cfg.SlowQueryThreshold {
+		// One record for the whole batch, with the work summed across
+		// its queries — per-query records would let a big batch flood
+		// the log.
+		agg := &hdindex.Stats{}
+		for _, rs := range res {
+			if st := rs.Stats; st != nil {
+				agg.Candidates += st.Candidates
+				agg.TreeEntries += st.TreeEntries
+				agg.PageReads += st.PageReads
+				agg.PageMisses += st.PageMisses
+				agg.ExactDistances += st.ExactDistances
+				agg.MemtableScanned += st.MemtableScanned
+				agg.Phases.Add(st.Phases)
+				agg.Alpha, agg.Gamma = st.Alpha, st.Gamma
+			}
+		}
+		s.logSlowQuery("searchbatch", elapsed, len(req.Queries), req.K, agg)
 	}
 	out := searchBatchResponse{Results: make([][]ResultJSON, len(res))}
 	if req.Stats {
@@ -539,7 +648,8 @@ type StatsResponse struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) (any, error) {
-	up := time.Since(s.started)
+	now := time.Now()
+	up := now.Sub(s.started)
 	var resp StatsResponse
 	resp.Index.Count = s.idx.Count()
 	resp.Index.Dim = s.idx.Dim()
@@ -560,13 +670,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) (any, error
 	}
 	resp.Index.WAL = s.idx.IngestStats()
 	resp.UptimeSeconds = up.Seconds()
-	resp.Endpoints = map[string]EndpointStats{
-		"search":      s.mSearch.snapshot(up),
-		"searchbatch": s.mBatch.snapshot(up),
-		"insert":      s.mInsert.snapshot(up),
-		"delete":      s.mDelete.snapshot(up),
-		"stats":       s.mStats.snapshot(up),
-		"healthz":     s.mHealth.snapshot(up),
+	resp.Endpoints = make(map[string]EndpointStats, 7)
+	for _, ep := range s.endpointsInOrder() {
+		resp.Endpoints[ep.name] = ep.m.statsRow(s.started, now)
 	}
 	return resp, nil
 }

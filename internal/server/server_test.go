@@ -348,18 +348,69 @@ func TestSearchTimeoutHonoured(t *testing.T) {
 
 func TestEndpointMetricsMaxTracksLargest(t *testing.T) {
 	var m endpointMetrics
+	started := time.Now().Add(-time.Second)
 	m.observe(2*time.Millisecond, false)
 	m.observe(5*time.Millisecond, true)
 	m.observe(1*time.Millisecond, false)
-	s := m.snapshot(time.Second)
+	s := m.statsRow(started, started.Add(time.Second))
 	if s.Requests != 3 || s.Errors != 1 {
-		t.Fatalf("snapshot = %+v", s)
+		t.Fatalf("statsRow = %+v", s)
 	}
 	if s.MaxLatencyMs < 4.9 || s.MaxLatencyMs > 5.1 {
 		t.Fatalf("max latency = %v, want ~5ms", s.MaxLatencyMs)
 	}
 	if want := 3.0; s.QPS != want {
 		t.Fatalf("qps = %v, want %v", s.QPS, want)
+	}
+	// The histogram-backed quantiles must bracket the observations:
+	// p50 near 2ms, p99 near the 5ms tail, all within the mean/max.
+	if s.P50LatencyMs < 1.5 || s.P50LatencyMs > 2.1 {
+		t.Fatalf("p50 = %v, want ~2ms", s.P50LatencyMs)
+	}
+	if s.P99LatencyMs < 4.5 || s.P99LatencyMs > 5.1 {
+		t.Fatalf("p99 = %v, want ~5ms", s.P99LatencyMs)
+	}
+	// The first scrape's window covers everything so far.
+	if s.Window == nil || s.Window.Requests != 3 {
+		t.Fatalf("first window = %+v, want 3 requests", s.Window)
+	}
+}
+
+// The all-time max must survive a quiet window, while the window max
+// forgets the cold-start outlier — the fix for the max-grows-forever
+// problem.
+func TestEndpointMetricsWindowForgetsOutlier(t *testing.T) {
+	var m endpointMetrics
+	started := time.Now()
+	m.observe(500*time.Millisecond, false) // cold-start outlier
+	first := m.statsRow(started, started.Add(time.Second))
+	if first.MaxLatencyMs < 499 {
+		t.Fatalf("all-time max = %v, want ~500ms", first.MaxLatencyMs)
+	}
+	// Steady-state traffic an order of magnitude faster.
+	for i := 0; i < 100; i++ {
+		m.observe(2*time.Millisecond, false)
+	}
+	s := m.statsRow(started, started.Add(2*time.Second))
+	if s.MaxLatencyMs < 499 {
+		t.Fatalf("all-time max lost the outlier: %v", s.MaxLatencyMs)
+	}
+	if s.Window == nil {
+		t.Fatal("no window despite 100 requests")
+	}
+	if s.Window.Requests != 100 {
+		t.Fatalf("window requests = %d, want 100", s.Window.Requests)
+	}
+	// Bucket-estimated window max: within 3.125% above the true 2ms.
+	if s.Window.MaxLatencyMs < 2 || s.Window.MaxLatencyMs > 2.1 {
+		t.Fatalf("window max = %v, want ~2ms (outlier forgotten)", s.Window.MaxLatencyMs)
+	}
+	if s.Window.Seconds < 0.99 || s.Window.Seconds > 1.01 {
+		t.Fatalf("window seconds = %v, want ~1", s.Window.Seconds)
+	}
+	// An empty window omits the block rather than reporting zeros.
+	if s3 := m.statsRow(started, started.Add(3*time.Second)); s3.Window != nil {
+		t.Fatalf("empty window should be nil, got %+v", s3.Window)
 	}
 }
 

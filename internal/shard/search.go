@@ -96,6 +96,7 @@ func (s *Sharded) Query(ctx context.Context, q []float32, k int, o core.SearchOp
 		agg.PageMisses += perStats[i].PageMisses
 		agg.ExactDistances += perStats[i].ExactDistances
 		agg.MemtableScanned += perStats[i].MemtableScanned
+		agg.Phases.Add(perStats[i].Phases)
 	}
 	// Every shard resolved the same options against the same built
 	// params, so the effective cascade is whichever shard's echo.

@@ -7,6 +7,7 @@ import (
 
 	"github.com/hd-index/hdindex/internal/core"
 	"github.com/hd-index/hdindex/internal/pager"
+	"github.com/hd-index/hdindex/internal/telemetry"
 )
 
 // Sharded is an HD-Index partitioned across N independent core
@@ -129,6 +130,17 @@ func (s *Sharded) IngestStats() core.IngestStats {
 	var agg core.IngestStats
 	for _, ix := range s.shards {
 		agg.Add(ix.IngestStats())
+	}
+	return agg
+}
+
+// Telemetry merges every shard's latency histograms into one snapshot.
+// Counts sum and quantiles come from the merged buckets, so the view is
+// the layout-wide latency distribution, not an average of averages.
+func (s *Sharded) Telemetry() telemetry.CollectorSnapshot {
+	var agg telemetry.CollectorSnapshot
+	for _, ix := range s.shards {
+		agg.Merge(ix.Telemetry())
 	}
 	return agg
 }

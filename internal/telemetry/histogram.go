@@ -1,0 +1,249 @@
+// Package telemetry provides the latency-measurement substrate for the
+// index: a lock-free log-bucketed histogram for recording durations on
+// hot paths, and a lightweight span tracer that attributes each query's
+// wall time to its pipeline phases (tree walk, candidate sort,
+// refinement, memtable scan, top-k merge).
+//
+// # Histogram
+//
+// Histogram is an HDR-style log-linear histogram: values below 2^subBits
+// land in exact unit-width buckets; above that, each power-of-two octave
+// is split into 2^subBits linear sub-buckets, bounding the relative
+// quantile error at 2^-subBits (3.125% with subBits=5). Every mutation
+// is a single atomic add, so writers never block each other or readers —
+// Observe is safe from any number of goroutines and costs a few
+// nanoseconds.
+//
+// Readers call Snapshot, which copies the counters into an immutable
+// Snapshot value. Snapshots merge (across shards), subtract (for
+// windowed views: current minus previous scrape), and answer quantile
+// and mean queries. The histogram additionally carries an exact running
+// sum and an exact all-time maximum, so Mean is precise even though
+// quantiles are bucket-estimated.
+//
+// # Span
+//
+// Span stamps per-phase durations into a PhaseNS array with one
+// time.Now call per phase boundary. A disabled Span is inert: Mark
+// returns without reading the clock, so the cost of the tracer when
+// telemetry is off is a single predictable branch.
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// subBits fixes the histogram resolution: each power-of-two octave
+	// has 2^subBits linear sub-buckets, so a quantile estimate is off
+	// by at most 2^-subBits (3.125%) of the true value.
+	subBits = 5
+	subMask = (1 << subBits) - 1
+
+	// Values below 2^subBits get exact unit buckets; each of the
+	// remaining 64-subBits octaves gets 2^subBits sub-buckets.
+	numBuckets = (1 << subBits) + (64-subBits)*(1<<subBits)
+)
+
+// Histogram is a lock-free log-bucketed latency histogram. The zero
+// value is ready to use. Histograms must not be copied after first use.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+	buckets [numBuckets]atomic.Uint64
+}
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v uint64) int {
+	if v < 1<<subBits {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 // position of the highest set bit, >= subBits
+	sub := (v >> (uint(exp) - subBits)) & subMask
+	return (exp-subBits)<<subBits + (1 << subBits) + int(sub)
+}
+
+// bucketUpper returns the largest value that maps to bucket i — the
+// inclusive upper bound reported for quantiles and exposition.
+func bucketUpper(i int) uint64 {
+	if i < 1<<subBits {
+		return uint64(i)
+	}
+	exp := uint((i-(1<<subBits))>>subBits) + subBits
+	sub := uint64(i & subMask)
+	return 1<<exp + (sub+1)<<(exp-subBits) - 1
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	u := uint64(0)
+	if v > 0 {
+		u = uint64(v)
+	}
+	h.count.Add(1)
+	h.sum.Add(u)
+	h.buckets[bucketIndex(u)].Add(1)
+	for {
+		cur := h.max.Load()
+		if u <= cur || h.max.CompareAndSwap(cur, u) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Nanoseconds()) }
+
+// Snapshot copies the histogram's counters into an immutable view.
+// Concurrent Observes may straddle the copy — a snapshot is a consistent
+// enough view for monitoring, not a linearization point. One invariant
+// IS guaranteed: Count >= the bucket total. Observe bumps count before
+// its bucket, and the copy reads count last, so every bucket increment
+// the copy sees has its count increment visible too — which keeps the
+// +Inf bucket of a Prometheus rendering cumulative even under a write
+// storm.
+func (h *Histogram) Snapshot() Snapshot {
+	if h == nil {
+		return Snapshot{}
+	}
+	s := Snapshot{Buckets: make([]uint64, numBuckets)}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	s.Count = h.count.Load()
+	return s
+}
+
+// Snapshot is an immutable copy of a Histogram's counters. The zero
+// value is an empty snapshot. Buckets is indexed by the internal bucket
+// scheme; use ForEachBucket for boundary-annotated iteration.
+type Snapshot struct {
+	Count   uint64
+	Sum     uint64
+	Max     uint64
+	Buckets []uint64
+}
+
+// Merge adds other's counts into s (for aggregating shards).
+func (s *Snapshot) Merge(other Snapshot) {
+	s.Count += other.Count
+	s.Sum += other.Sum
+	if other.Max > s.Max {
+		s.Max = other.Max
+	}
+	if other.Buckets == nil {
+		return
+	}
+	if s.Buckets == nil {
+		s.Buckets = make([]uint64, numBuckets)
+	}
+	for i, c := range other.Buckets {
+		s.Buckets[i] += c
+	}
+}
+
+// Sub returns the delta snapshot s minus older — the observations that
+// arrived between the two scrapes. older must be an earlier snapshot of
+// the same histogram; mismatched inputs saturate at zero rather than
+// wrapping. The delta's Max is estimated from its highest non-empty
+// bucket (exact maxima are not subtractable), clamped to the all-time
+// max.
+func (s Snapshot) Sub(older Snapshot) Snapshot {
+	d := Snapshot{
+		Count: satSub(s.Count, older.Count),
+		Sum:   satSub(s.Sum, older.Sum),
+	}
+	if s.Buckets == nil {
+		return d
+	}
+	d.Buckets = make([]uint64, numBuckets)
+	top := -1
+	for i := range s.Buckets {
+		var o uint64
+		if older.Buckets != nil {
+			o = older.Buckets[i]
+		}
+		d.Buckets[i] = satSub(s.Buckets[i], o)
+		if d.Buckets[i] > 0 {
+			top = i
+		}
+	}
+	if top >= 0 {
+		d.Max = min(bucketUpper(top), s.Max)
+	}
+	return d
+}
+
+func satSub(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
+// Mean returns the exact arithmetic mean of the observed values.
+func (s Snapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile estimates the q-th quantile (q in [0,1]) with the
+// nearest-rank convention (the k = ceil(q·n)-th smallest observation,
+// the standard for latency percentiles), walking the cumulative bucket
+// counts and interpolating linearly inside the bucket that holds rank
+// k. The estimate is within 2^-subBits (3.125%) of the true value and
+// never exceeds Max.
+func (s Snapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || s.Buckets == nil {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	k := uint64(math.Ceil(q * float64(s.Count)))
+	if k < 1 {
+		k = 1
+	}
+	var cum uint64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		// Ranks (cum, cum+c] live in bucket i.
+		if k <= cum+c {
+			lo, hi := float64(0), float64(bucketUpper(i))
+			if i > 0 {
+				lo = float64(bucketUpper(i-1)) + 1
+			}
+			frac := float64(k-cum) / float64(c)
+			return min(lo+frac*(hi-lo), float64(s.Max))
+		}
+		cum += c
+	}
+	return float64(s.Max)
+}
+
+// ForEachBucket calls fn for every non-empty bucket in increasing value
+// order with the bucket's inclusive upper bound and its (non-cumulative)
+// count. Used by the Prometheus exposition writer.
+func (s Snapshot) ForEachBucket(fn func(upper uint64, count uint64)) {
+	for i, c := range s.Buckets {
+		if c > 0 {
+			fn(bucketUpper(i), c)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketRoundTrip pins the bucket scheme: every value maps to a
+// bucket whose bounds contain it, upper bounds are strictly increasing,
+// and the relative bucket width above the exact range is <= 2^-subBits.
+func TestBucketRoundTrip(t *testing.T) {
+	vals := []uint64{0, 1, 31, 32, 33, 63, 64, 100, 1023, 1024, 1 << 20, 1<<40 + 12345, math.MaxUint64}
+	for _, v := range vals {
+		i := bucketIndex(v)
+		if i < 0 || i >= numBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, i)
+		}
+		up := bucketUpper(i)
+		if v > up {
+			t.Errorf("value %d above its bucket upper %d (bucket %d)", v, up, i)
+		}
+		if i > 0 && v <= bucketUpper(i-1) {
+			t.Errorf("value %d not above previous bucket upper %d (bucket %d)", v, bucketUpper(i-1), i)
+		}
+	}
+	prev := uint64(0)
+	for i := 0; i < numBuckets; i++ {
+		up := bucketUpper(i)
+		if i > 0 && up <= prev {
+			t.Fatalf("bucketUpper not strictly increasing at %d: %d <= %d", i, up, prev)
+		}
+		if up >= 1<<subBits && i < numBuckets-1 {
+			lo := prev + 1
+			width := float64(up-lo) + 1
+			if rel := width / float64(lo); rel > 1.0/(1<<subBits)*1.001 {
+				t.Fatalf("bucket %d relative width %.4f exceeds 2^-%d", i, rel, subBits)
+			}
+		}
+		prev = up
+	}
+}
+
+// TestQuantileAccuracy pins the estimation error against an exact
+// sorted reference on a log-uniform workload: every estimated quantile
+// must land within the 2^-subBits (3.125%) relative bound, and the mean
+// must be exact.
+func TestQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Histogram
+	vals := make([]int64, 0, 20000)
+	var sum uint64
+	for i := 0; i < 20000; i++ {
+		// Log-uniform across ~6 decades, like latencies: 100ns..100ms.
+		v := int64(100 * math.Pow(1e6, rng.Float64()))
+		vals = append(vals, v)
+		sum += uint64(v)
+		h.Observe(v)
+	}
+	slices.Sort(vals)
+	s := h.Snapshot()
+	if s.Count != uint64(len(vals)) {
+		t.Fatalf("count = %d, want %d", s.Count, len(vals))
+	}
+	if s.Sum != sum {
+		t.Fatalf("sum = %d, want %d (sum must be exact)", s.Sum, sum)
+	}
+	if got, want := s.Mean(), float64(sum)/float64(len(vals)); math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("mean = %g, want exact %g", got, want)
+	}
+	if s.Max != uint64(vals[len(vals)-1]) {
+		t.Fatalf("max = %d, want exact %d", s.Max, vals[len(vals)-1])
+	}
+	const relBound = 1.0 / (1 << subBits) // 3.125%
+	for _, q := range []float64{0, 0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.999, 1} {
+		got := s.Quantile(q)
+		// Nearest-rank reference: the ceil(q*n)-th smallest value.
+		k := max(1, int(math.Ceil(q*float64(len(vals)))))
+		exact := float64(vals[k-1])
+		if rel := math.Abs(got-exact) / exact; rel > relBound {
+			t.Errorf("q=%.3f: estimate %.0f vs exact %.0f, rel err %.4f > %.4f",
+				q, got, exact, rel, relBound)
+		}
+	}
+	if got := s.Quantile(1); got > float64(s.Max) {
+		t.Fatalf("p100 %.0f exceeds max %d", got, s.Max)
+	}
+}
+
+// TestHistogramConcurrency hammers Observe, Snapshot, and Merge from
+// many goroutines under the race detector, then checks the final
+// snapshot is exact.
+func TestHistogramConcurrency(t *testing.T) {
+	const (
+		writers       = 16
+		perWriter     = 5000
+		snapshotters  = 4
+		snapshotEvery = 500 * time.Microsecond
+	)
+	var h Histogram
+	done := make(chan struct{})
+	var snaps sync.WaitGroup
+	for i := 0; i < snapshotters; i++ {
+		snaps.Add(1)
+		go func() {
+			defer snaps.Done()
+			var merged Snapshot
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				s := h.Snapshot()
+				// A concurrent snapshot may catch a count bump before
+				// its sum/bucket adds, but never more buckets than
+				// counts by a wide margin; mainly this exercises the
+				// race detector on the read path.
+				var inBuckets uint64
+				for _, c := range s.Buckets {
+					inBuckets += c
+				}
+				if inBuckets > s.Count+writers {
+					t.Errorf("bucket total %d far exceeds count %d", inBuckets, s.Count)
+					return
+				}
+				merged.Merge(s)
+				_ = s.Sub(merged) // exercise Sub concurrently too
+				time.Sleep(snapshotEvery)
+			}
+		}()
+	}
+	var wg sync.WaitGroup
+	var wantSum uint64
+	var mu sync.Mutex
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var local uint64
+			for i := 0; i < perWriter; i++ {
+				v := rng.Int63n(1 << 30)
+				local += uint64(v)
+				h.Observe(v)
+			}
+			mu.Lock()
+			wantSum += local
+			mu.Unlock()
+		}(int64(w))
+	}
+	wg.Wait()
+	close(done)
+	snaps.Wait()
+
+	s := h.Snapshot()
+	if s.Count != writers*perWriter {
+		t.Fatalf("count = %d, want %d", s.Count, writers*perWriter)
+	}
+	if s.Sum != wantSum {
+		t.Fatalf("sum = %d, want %d", s.Sum, wantSum)
+	}
+	var inBuckets uint64
+	for _, c := range s.Buckets {
+		inBuckets += c
+	}
+	if inBuckets != s.Count {
+		t.Fatalf("bucket total %d != count %d", inBuckets, s.Count)
+	}
+}
+
+func TestSnapshotMergeSub(t *testing.T) {
+	var a, b Histogram
+	for i := int64(1); i <= 100; i++ {
+		a.Observe(i * 1000)
+	}
+	for i := int64(1); i <= 50; i++ {
+		b.Observe(i * 2000)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	merged := sa
+	// Snapshot buckets are shared slices; clone before mutating.
+	merged.Buckets = slices.Clone(sa.Buckets)
+	merged.Merge(sb)
+	if merged.Count != 150 {
+		t.Fatalf("merged count = %d, want 150", merged.Count)
+	}
+	if merged.Sum != sa.Sum+sb.Sum {
+		t.Fatalf("merged sum = %d, want %d", merged.Sum, sa.Sum+sb.Sum)
+	}
+	if merged.Max != 100000 {
+		t.Fatalf("merged max = %d, want 100000", merged.Max)
+	}
+
+	// Window delta: observe more into a, subtract the old snapshot.
+	for i := int64(1); i <= 10; i++ {
+		a.Observe(i * 500)
+	}
+	delta := a.Snapshot().Sub(sa)
+	if delta.Count != 10 {
+		t.Fatalf("delta count = %d, want 10", delta.Count)
+	}
+	var wantDeltaSum uint64
+	for i := uint64(1); i <= 10; i++ {
+		wantDeltaSum += i * 500
+	}
+	if delta.Sum != wantDeltaSum {
+		t.Fatalf("delta sum = %d, want %d", delta.Sum, wantDeltaSum)
+	}
+	// Delta max is a bucket-upper estimate of the true 5000: at most
+	// 2^-subBits above, never below the true max's bucket floor.
+	if delta.Max < 5000 || float64(delta.Max) > 5000*(1+1.0/(1<<subBits)) {
+		t.Fatalf("delta max estimate %d outside [5000, 5157]", delta.Max)
+	}
+
+	// Mismatched inputs saturate, never wrap.
+	weird := Snapshot{Count: 1, Sum: 1}.Sub(sa)
+	if weird.Count != 0 || weird.Sum != 0 {
+		t.Fatalf("saturating sub got %+v", weird)
+	}
+}
+
+func TestEmptySnapshot(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Quantile(0.99) != 0 || s.Mean() != 0 || s.Max != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", s)
+	}
+	var nilH *Histogram
+	nilH.Observe(5) // must not panic
+	if got := nilH.Snapshot(); got.Count != 0 {
+		t.Fatalf("nil histogram snapshot = %+v", got)
+	}
+	var zero Snapshot
+	zero.Merge(s) // nil-bucket merge must not panic
+	if d := s.Sub(zero); d.Count != 0 {
+		t.Fatalf("sub on empty = %+v", d)
+	}
+}
+
+func TestForEachBucketCumulative(t *testing.T) {
+	var h Histogram
+	obs := []int64{10, 10, 100, 1000, 1000, 1000, 50000}
+	for _, v := range obs {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	var total uint64
+	prevUpper := int64(-1)
+	s.ForEachBucket(func(upper, count uint64) {
+		if int64(upper) <= prevUpper {
+			t.Fatalf("upper bounds not increasing: %d after %d", upper, prevUpper)
+		}
+		prevUpper = int64(upper)
+		total += count
+	})
+	if total != uint64(len(obs)) {
+		t.Fatalf("ForEachBucket total = %d, want %d", total, len(obs))
+	}
+}

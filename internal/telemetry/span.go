@@ -1,0 +1,98 @@
+package telemetry
+
+import "time"
+
+// Phase identifies one stage of the query pipeline. The order follows
+// the execution order in core's Query.
+type Phase int
+
+const (
+	// PhaseTreeWalk covers reference-distance computation plus the
+	// per-tree Hilbert range retrieval and lower-bound filtering.
+	PhaseTreeWalk Phase = iota
+	// PhaseCandidateSort covers candidate union, dedup, truncation and
+	// the ID sort that makes refinement I/O sequential.
+	PhaseCandidateSort
+	// PhaseRefine covers exact-distance refinement against raw vectors
+	// through the buffer pool.
+	PhaseRefine
+	// PhaseMemtableScan covers the brute-force scan of vectors not yet
+	// compacted into the trees.
+	PhaseMemtableScan
+	// PhaseTopKMerge covers draining the top-k heap and building the
+	// result slice.
+	PhaseTopKMerge
+
+	numPhases
+)
+
+// NumPhases is the number of query phases a Span can attribute time to.
+const NumPhases = int(numPhases)
+
+var phaseNames = [NumPhases]string{
+	"tree_walk",
+	"candidate_sort",
+	"refine",
+	"memtable_scan",
+	"topk_merge",
+}
+
+// String returns the snake_case phase name used in stats JSON, the
+// slow-query log, and Prometheus labels.
+func (p Phase) String() string {
+	if p < 0 || int(p) >= NumPhases {
+		return "unknown"
+	}
+	return phaseNames[p]
+}
+
+// PhaseNS holds per-phase elapsed nanoseconds, indexed by Phase. It is
+// a plain value: copy and add freely.
+type PhaseNS [NumPhases]int64
+
+// Add accumulates other into p (for merging per-shard stats).
+func (p *PhaseNS) Add(other PhaseNS) {
+	for i := range p {
+		p[i] += other[i]
+	}
+}
+
+// Total returns the sum over all phases.
+func (p PhaseNS) Total() int64 {
+	var t int64
+	for _, v := range p {
+		t += v
+	}
+	return t
+}
+
+// Span attributes wall time to pipeline phases. Create one with
+// StartSpan at the top of an operation and call Mark(phase) at each
+// phase boundary: the time since the previous mark is charged to that
+// phase. A span from StartSpan(false) is inert — Mark is a single
+// branch, no clock reads — which is the "telemetry disabled" fast path.
+type Span struct {
+	on   bool
+	last time.Time
+	NS   PhaseNS
+}
+
+// StartSpan begins a span at the current time when enabled is true, or
+// returns an inert span otherwise.
+func StartSpan(enabled bool) Span {
+	if !enabled {
+		return Span{}
+	}
+	return Span{on: true, last: time.Now()}
+}
+
+// Mark charges the time since the previous mark (or span start) to
+// phase and restarts the clock.
+func (s *Span) Mark(phase Phase) {
+	if !s.on {
+		return
+	}
+	now := time.Now()
+	s.NS[phase] += now.Sub(s.last).Nanoseconds()
+	s.last = now
+}

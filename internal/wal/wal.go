@@ -69,6 +69,13 @@ type Options struct {
 	// process crash, a bounded window against power loss) and fsyncs on
 	// this cadence in the background.
 	SyncInterval time.Duration
+
+	// OnSync, when non-nil, is invoked with the wall-clock duration of
+	// every fsync the log issues. It runs on the group-commit leader's
+	// goroutine with the log lock held: implementations must be cheap
+	// and must not call back into the log (core feeds a lock-free
+	// telemetry histogram).
+	OnSync func(time.Duration)
 }
 
 // Stats is a point-in-time summary of the log.
@@ -297,10 +304,15 @@ func (l *Log) leaderSyncLocked() {
 	target := l.size
 	f := l.f
 	l.mu.Unlock()
+	start := time.Now()
 	err := f.Sync()
+	elapsed := time.Since(start)
 	l.mu.Lock()
 	l.syncing = false
 	l.syncs++
+	if l.opts.OnSync != nil {
+		l.opts.OnSync(elapsed)
+	}
 	if err != nil {
 		l.syncErr = fmt.Errorf("wal: fsync: %w", err)
 	} else if target > l.synced {

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race crash staticcheck bench bench-smoke bench-compare metrics-smoke snapshot snapshot-sharded sweep fmt fmt-check vet check serve clean
+.PHONY: build test race crash chaos staticcheck bench bench-smoke bench-compare metrics-smoke snapshot snapshot-sharded sweep fmt fmt-check vet check serve clean
 
 build:
 	$(GO) build ./...
@@ -12,13 +12,21 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/wal/... ./internal/core/... ./internal/server/... ./internal/shard/... ./internal/fanout/... ./internal/pager/... ./internal/vecstore/... ./internal/telemetry/...
+	$(GO) test -race ./internal/wal/... ./internal/core/... ./internal/server/... ./internal/shard/... ./internal/fanout/... ./internal/pager/... ./internal/vecstore/... ./internal/telemetry/... ./internal/admission/... ./internal/iofault/...
 
 # SIGKILL a live hdserve mid-insert-storm and prove recovery loses no
 # acknowledged write (the crash-recovery CI job). Rounds default to 3;
 # raise with HD_CRASH_ROUNDS=8.
 crash:
 	$(GO) test -v -timeout 15m ./internal/crash/
+
+# Fault-injection + overload chaos suite under the race detector: WAL
+# ENOSPC/fsync poison, compaction EIO + circuit breaker, pager read
+# EIO, goroutine-leak checks, the 4× overload storm, and tenant
+# throttling (the chaos CI job).
+chaos:
+	$(GO) test -race -count=1 ./internal/iofault/ ./internal/admission/
+	$(GO) test -race -count=1 -run '^Test(Fault|Chaos|Overload)' ./internal/core/ ./internal/server/
 
 # Requires staticcheck on PATH (CI installs it; there is no vendored
 # copy). Configured by staticcheck.conf.
@@ -53,12 +61,14 @@ snapshot:
 # -sweep adds the recall/latency frontier rows: the same built index
 # queried at several per-query alpha operating points. -ingest adds the
 # mixed insert/search rows (WAL write throughput vs flush-per-insert,
-# read latency under writes).
+# read latency under writes). -overload adds the admission-control
+# storm rows (shed rate, accepted-tail latency, degraded fraction at
+# ~4× the sustainable rate).
 SNAPSHOT_SHARDED_OUT ?= bench-snapshot-sharded.json
 SWEEP ?= alpha=128,512,2048
 INGEST ?= 2000
 snapshot-sharded:
-	$(GO) run ./cmd/hdbench -shards 4 -snapshot $(SNAPSHOT_SHARDED_OUT) -scale 0.1 -queries 20 -k 20 -buildscale 1 -sweep $(SWEEP) -ingest $(INGEST)
+	$(GO) run ./cmd/hdbench -shards 4 -snapshot $(SNAPSHOT_SHARDED_OUT) -scale 0.1 -queries 20 -k 20 -buildscale 1 -sweep $(SWEEP) -ingest $(INGEST) -overload
 
 # Walk the recall/latency frontier on one built index (per-query alpha
 # overrides; no rebuild between points) and print the rows. Override

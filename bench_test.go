@@ -8,7 +8,11 @@
 // The printed tables are the reproduction artefacts; b.N loops re-run
 // the full experiment, so -benchtime=1x (the default for long cases) is
 // typical.
-package hdindex
+//
+// External test package: internal/bench (via its overload phase) now
+// imports the facade, so an in-package test file importing bench would
+// be an import cycle.
+package hdindex_test
 
 import (
 	"fmt"

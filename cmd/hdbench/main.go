@@ -35,6 +35,7 @@ func main() {
 		buildscale = flag.Float64("buildscale", 0, "add build-only rows to the snapshot at this dataset scale (0 = none; 1 = full harness size)")
 		sweep      = flag.String("sweep", "", "walk a per-query knob over the built index and add recall/latency frontier rows to the snapshot (alpha=a1,a2,... or gamma=g1,g2,...)")
 		ingest     = flag.Int("ingest", 0, "add mixed insert/search rows to the snapshot: this many concurrent WAL-durable inserts per dataset, with the flush-per-insert comparison (0 = none)")
+		overload   = flag.Bool("overload", false, "add overload-storm rows to the snapshot: serve each dataset over HTTP with admission control on at ~4x the sustainable rate and report shed rate, accepted p99, degraded fraction")
 	)
 	flag.Parse()
 
@@ -55,6 +56,7 @@ func main() {
 		Shards:     *shards,
 		BuildScale: *buildscale,
 		Ingest:     *ingest,
+		Overload:   *overload,
 	}
 
 	// The experiment runners always measure the monolithic index (they
@@ -83,6 +85,10 @@ func main() {
 	}
 	if *ingest > 0 && *snapshot == "" {
 		fmt.Fprintln(os.Stderr, "hdbench: -ingest only applies to -snapshot")
+		os.Exit(2)
+	}
+	if *overload && *snapshot == "" {
+		fmt.Fprintln(os.Stderr, "hdbench: -overload only applies to -snapshot")
 		os.Exit(2)
 	}
 	if *sweep != "" {
@@ -135,6 +141,9 @@ func main() {
 		}
 		if len(snap.Ingest) > 0 {
 			bench.PrintIngest(snap.Ingest)
+		}
+		if len(snap.Overload) > 0 {
+			bench.PrintOverload(snap.Overload)
 		}
 		return
 	}

@@ -48,6 +48,12 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "shutdown grace period for in-flight requests")
 		slowQueryMs  = flag.Int("slow-query-ms", 0, "log a structured slow-query record with the per-phase breakdown for searches slower than this (0 = off)")
 		pprofOn      = flag.Bool("pprof", false, "expose net/http/pprof under GET /debug/pprof/")
+
+		maxInflight     = flag.Int("max-inflight", 0, "admitted requests executing at once; excess queue and shed with 503 (0 = unlimited)")
+		maxQueue        = flag.Int("max-queue", 0, "admission queue depth before instant shedding (0 = 4x max-inflight)")
+		tenantRPS       = flag.Float64("tenant-rps", 0, "per-tenant (X-Tenant header) sustained requests/sec; over-budget tenants get 429 (0 = off)")
+		tenantBurst     = flag.Float64("tenant-burst", 0, "per-tenant burst allowance above -tenant-rps (0 = 2x rate)")
+		degradePressure = flag.Float64("degrade-pressure", 0, "expected queue wait in seconds beyond which unpinned queries run the cheap cascade (0 = default when admission is on)")
 	)
 	flag.Parse()
 	if *indexDir == "" {
@@ -90,6 +96,11 @@ func main() {
 		ReadOnly:           *readOnly,
 		SlowQueryThreshold: time.Duration(*slowQueryMs) * time.Millisecond,
 		Pprof:              *pprofOn,
+		MaxInflight:        *maxInflight,
+		MaxQueue:           *maxQueue,
+		TenantRPS:          *tenantRPS,
+		TenantBurst:        *tenantBurst,
+		DegradePressure:    *degradePressure,
 	})
 	if *pprofOn {
 		log.Print("hdserve: pprof enabled at /debug/pprof/")
@@ -98,6 +109,9 @@ func main() {
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
+		// Reap idle keep-alive connections so a slow-loris fleet cannot
+		// pin file descriptors between requests.
+		IdleTimeout: 60 * time.Second,
 	}
 
 	errCh := make(chan error, 1)

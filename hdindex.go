@@ -116,6 +116,18 @@ var ErrUnknownID = core.ErrUnknownID
 // already reclaimed: the vector's tree entries are gone for good.
 var ErrPurged = core.ErrPurged
 
+// ErrWALUnavailable reports a write rejected because the write-ahead
+// log failed (an fsync or append error): the index is read-only until
+// reopened, while searches keep serving. The HTTP layer maps it to a
+// 503 with code "wal_unavailable".
+var ErrWALUnavailable = core.ErrWALUnavailable
+
+// ErrIO classifies a disk I/O failure surfaced by the page layer
+// (reads or writes of tree, vector-store, or superblock pages). Match
+// with errors.Is; queries fail with a typed error instead of
+// panicking, and the HTTP layer maps it to a 503 with code "io_error".
+var ErrIO = pager.ErrIO
+
 // Result is one returned neighbour, nearest first.
 type Result = core.Result
 

@@ -58,6 +58,11 @@ type Config struct {
 	// alongside, plus the flush-per-insert comparison (see
 	// Snapshot.Ingest). Only the snapshot runner consults it.
 	Ingest int
+	// Overload adds the admission-control storm rows to the snapshot:
+	// each dataset served over HTTP with admission on, offered ~4× its
+	// sustainable closed-loop rate (see Snapshot.Overload). Only the
+	// snapshot runner consults it.
+	Overload bool
 }
 
 func (c *Config) defaults() {

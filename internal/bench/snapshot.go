@@ -42,6 +42,10 @@ type Snapshot struct {
 	// vs the flush-per-insert path, read latency under writes, memtable
 	// staleness peak. Absent when Config.Ingest is 0.
 	Ingest []IngestResult `json:"ingest,omitempty"`
+	// Overload holds the admission-control storm rows — shed rate,
+	// accepted-tail latency, degraded fraction at ~4× the sustainable
+	// rate. Absent when Config.Overload is false.
+	Overload []OverloadResult `json:"overload,omitempty"`
 }
 
 // snapshotParallelClients is the fixed concurrent-client count of the
@@ -68,6 +72,10 @@ type SnapshotConfig struct {
 	// Ingest records the mixed-phase insert count behind
 	// Snapshot.Ingest; 0 when the phase did not run.
 	Ingest int `json:"ingest,omitempty"`
+	// Overload records whether the overload-storm phase ran (the phase
+	// itself has fixed shape: overloadInflight slots, overloadFactor×
+	// closed-loop clients).
+	Overload bool `json:"overload,omitempty"`
 }
 
 // BuildPhaseMS is the per-phase construction cost breakdown mirrored
@@ -162,7 +170,7 @@ func RunSnapshot(cfg Config, datasets []string) (*Snapshot, error) {
 			Scale: cfg.Scale, Queries: cfg.Queries, K: cfg.K, Seed: cfg.Seed,
 			Shards: cfg.Shards, ParallelClients: snapshotParallelClients,
 			BuildScale: cfg.BuildScale, Sweep: cfg.Sweep.String(),
-			Ingest: cfg.Ingest,
+			Ingest: cfg.Ingest, Overload: cfg.Overload,
 		},
 	}
 	for _, name := range datasets {
@@ -203,6 +211,18 @@ func RunSnapshot(cfg Config, datasets []string) (*Snapshot, error) {
 				return nil, err
 			}
 			snap.Ingest = append(snap.Ingest, row)
+		}
+	}
+	// The overload storm runs dead last: it deliberately saturates the
+	// box, and nothing measured after it could be trusted anyway.
+	if cfg.Overload {
+		for _, name := range datasets {
+			spec, _ := SpecByName(name)
+			row, err := snapshotOverload(spec, cfg)
+			if err != nil {
+				return nil, err
+			}
+			snap.Overload = append(snap.Overload, row)
 		}
 	}
 	return snap, nil

@@ -127,6 +127,11 @@ func (ix *Index) Delete(id uint64) error {
 		ix.mu.Unlock()
 		return errors.New("core: index is closed")
 	}
+	if ix.walFailed {
+		err := walUnavailable(ix.walErr)
+		ix.mu.Unlock()
+		return err
+	}
 	total := ix.vectors.Count() + uint64(len(ix.mem))
 	if id >= total {
 		ix.mu.Unlock()
@@ -138,12 +143,27 @@ func (ix *Index) Delete(id uint64) error {
 	}
 	off, err := ix.wal.AppendNoSync(wal.Record{Op: wal.OpDelete, ID: id})
 	if err != nil {
+		if errors.Is(err, wal.ErrClosed) {
+			ix.mu.Unlock()
+			return err
+		}
+		err = ix.noteWALFailureLocked(err)
 		ix.mu.Unlock()
 		return err
 	}
 	d.mark(id)
 	ix.mu.Unlock()
-	return ix.wal.WaitDurable(off)
+	if err := ix.wal.WaitDurable(off); err != nil {
+		if errors.Is(err, wal.ErrClosed) {
+			return err
+		}
+		// Never durable, never acknowledged: lift the mark so the
+		// in-memory state matches what a crash-restart replay rebuilds,
+		// then flip read-only.
+		d.unmark(id)
+		return ix.noteWALFailure(err)
+	}
+	return nil
 }
 
 // Undelete removes the deletion mark from id. Undeleting an unmarked
@@ -156,6 +176,11 @@ func (ix *Index) Undelete(id uint64) error {
 	if ix.wal == nil {
 		ix.mu.Unlock()
 		return errors.New("core: index is closed")
+	}
+	if ix.walFailed {
+		err := walUnavailable(ix.walErr)
+		ix.mu.Unlock()
+		return err
 	}
 	total := ix.vectors.Count() + uint64(len(ix.mem))
 	if id >= total {
@@ -176,12 +201,25 @@ func (ix *Index) Undelete(id uint64) error {
 	}
 	off, err := ix.wal.AppendNoSync(wal.Record{Op: wal.OpUndelete, ID: id})
 	if err != nil {
+		if errors.Is(err, wal.ErrClosed) {
+			ix.mu.Unlock()
+			return err
+		}
+		err = ix.noteWALFailureLocked(err)
 		ix.mu.Unlock()
 		return err
 	}
 	d.unmark(id)
 	ix.mu.Unlock()
-	return ix.wal.WaitDurable(off)
+	if err := ix.wal.WaitDurable(off); err != nil {
+		if errors.Is(err, wal.ErrClosed) {
+			return err
+		}
+		// Mirror Delete's rollback: the unmark was never durable.
+		d.mark(id)
+		return ix.noteWALFailure(err)
+	}
+	return nil
 }
 
 // DeletedCount returns the number of deleted objects (marked plus

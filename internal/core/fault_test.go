@@ -1,0 +1,349 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"github.com/hd-index/hdindex/internal/data"
+	"github.com/hd-index/hdindex/internal/iofault"
+	"github.com/hd-index/hdindex/internal/leakcheck"
+	"github.com/hd-index/hdindex/internal/pager"
+)
+
+// faultIndex builds a small index with the first seed vectors, closes
+// it, and returns the directory plus the dataset — the reopen happens
+// in the test, after the fault rules are armed, so the WAL and pager
+// files get wrapped.
+func faultIndex(t *testing.T, seedN int) (string, *data.Dataset) {
+	t.Helper()
+	ds := data.Generate(data.Config{N: seedN + 100, Dim: 16, Clusters: 4, Lo: 0, Hi: 1, Seed: 81})
+	dir := filepath.Join(t.TempDir(), "ix")
+	ix, err := Build(dir, ds.Vectors[:seedN], ingestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir, ds
+}
+
+// insertUntilFailure appends vectors one by one until the WAL fault
+// fires, returning the ids acknowledged before the failure and the
+// error that stopped the run.
+func insertUntilFailure(t *testing.T, ix *Index, vecs [][]float32) ([]uint64, error) {
+	t.Helper()
+	var acked []uint64
+	for _, v := range vecs {
+		id, err := ix.Insert(v)
+		if err != nil {
+			return acked, err
+		}
+		acked = append(acked, id)
+	}
+	return acked, nil
+}
+
+// assertServes fails unless every (id, vec) pair answers a k=1 self
+// query — the acked-writes-survive check.
+func assertServes(t *testing.T, ix *Index, ids []uint64, vecs [][]float32) {
+	t.Helper()
+	for i, id := range ids {
+		res, err := ix.Search(vecs[i], 1)
+		if err != nil {
+			t.Fatalf("search for acked insert %d: %v", id, err)
+		}
+		if len(res) != 1 || res[0].ID != id || res[0].Dist > 1e-5 {
+			t.Fatalf("acked insert %d lost: got %+v", id, res)
+		}
+	}
+}
+
+// TestFaultWALENOSPCWrite drives inserts into a WAL with a byte budget:
+// the append that crosses it gets a torn ENOSPC write. The failing
+// insert must be rejected with ErrWALUnavailable (carrying ENOSPC), the
+// index must flip read-only while still answering queries, and a reopen
+// must serve every acknowledged insert.
+func TestFaultWALENOSPCWrite(t *testing.T) {
+	dir, ds := faultIndex(t, 200)
+
+	restore := iofault.SetGlobal(iofault.NewInjector(iofault.Rule{
+		PathGlob: "wal.log", Op: iofault.OpWrite, AfterBytes: 1024,
+	}))
+	defer restore()
+
+	ix, err := Open(dir, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+
+	acked, failErr := insertUntilFailure(t, ix, ds.Vectors[200:])
+	if failErr == nil {
+		t.Fatal("ENOSPC never fired: byte budget too large for the insert volume")
+	}
+	if !errors.Is(failErr, ErrWALUnavailable) || !errors.Is(failErr, syscall.ENOSPC) {
+		t.Fatalf("failing insert: got %v, want ErrWALUnavailable wrapping ENOSPC", failErr)
+	}
+	if !ix.WALFailed() {
+		t.Fatal("index must report WALFailed after the poisoned append")
+	}
+	if ist := ix.IngestStats(); !ist.WALFailed {
+		t.Fatal("IngestStats must carry wal_failed")
+	}
+
+	// Read-only from here: writes reject, reads keep serving.
+	if _, err := ix.Insert(ds.Vectors[200]); !errors.Is(err, ErrWALUnavailable) {
+		t.Fatalf("insert after poison: got %v, want ErrWALUnavailable", err)
+	}
+	if err := ix.Delete(0); !errors.Is(err, ErrWALUnavailable) {
+		t.Fatalf("delete after poison: got %v, want ErrWALUnavailable", err)
+	}
+	if got := ix.Count(); got != uint64(200+len(acked)) {
+		t.Fatalf("Count = %d, want %d (failed insert must not count)", got, 200+len(acked))
+	}
+	assertServes(t, ix, acked, ds.Vectors[200:])
+
+	// Recovery: clear the fault, reopen, and every acked write is back.
+	// Close flushes through the poisoned WAL, so it may report the
+	// failure; what matters is that it returns (files closed, no panic).
+	_ = ix.Close()
+	restore()
+	re, err := Open(dir, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	assertServes(t, re, acked, ds.Vectors[200:])
+}
+
+// TestFaultWALSyncFailureRollsBackAck injects the failure after the
+// in-cache append, at the group-commit fsync. The insert was already in
+// the memtable when the fsync failed, so this exercises the rollback:
+// the unacknowledged suffix must vanish from reads, and everything
+// acknowledged earlier must survive a reopen.
+func TestFaultWALSyncFailureRollsBackAck(t *testing.T) {
+	dir, ds := faultIndex(t, 200)
+
+	// Open performs no fsync of its own, so "fail the 6th sync" means
+	// five inserts group-commit and the sixth fails its fsync.
+	restore := iofault.SetGlobal(iofault.NewInjector(iofault.Rule{
+		PathGlob: "wal.log", Op: iofault.OpSync, AfterCalls: 5,
+	}))
+	defer restore()
+
+	ix, err := Open(dir, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+
+	acked, failErr := insertUntilFailure(t, ix, ds.Vectors[200:])
+	if failErr == nil {
+		t.Fatal("sync fault never fired")
+	}
+	if !errors.Is(failErr, ErrWALUnavailable) || !errors.Is(failErr, syscall.EIO) {
+		t.Fatalf("failing insert: got %v, want ErrWALUnavailable wrapping EIO", failErr)
+	}
+	if len(acked) != 5 {
+		t.Fatalf("acked %d inserts before the poisoned fsync, want 5", len(acked))
+	}
+	// The failed insert reached the memtable before its fsync; the
+	// rollback must have removed exactly that suffix.
+	if got := ix.Count(); got != 205 {
+		t.Fatalf("Count = %d, want 205 (non-durable suffix rolled back)", got)
+	}
+	// The rolled-back vector must not serve.
+	failedVec := ds.Vectors[200+len(acked)]
+	res, err := ix.Search(failedVec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 1 && res[0].Dist < 1e-6 {
+		t.Fatalf("rolled-back insert still serving as id %d", res[0].ID)
+	}
+	assertServes(t, ix, acked, ds.Vectors[200:])
+
+	ix.Close()
+	restore()
+	re, err := Open(dir, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	assertServes(t, re, acked, ds.Vectors[200:])
+}
+
+// TestFaultCompactionEIOServesOldGeneration fails the new tree
+// generation's writes with EIO. The compaction must fail cleanly — old
+// generation serving, memtable intact, circuit breaker open — and a
+// retry after the disk recovers must succeed and close the breaker.
+func TestFaultCompactionEIOServesOldGeneration(t *testing.T) {
+	dir, ds := faultIndex(t, 200)
+	ix, err := Open(dir, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+
+	acked, failErr := insertUntilFailure(t, ix, ds.Vectors[200:250])
+	if failErr != nil {
+		t.Fatal(failErr)
+	}
+
+	// Arm after open: only the new generation files (created during
+	// Compact) match, the serving generation is untouched.
+	restore := iofault.SetGlobal(iofault.NewInjector(iofault.Rule{
+		PathGlob: "tree_*.g*.pg", Op: iofault.OpWrite,
+	}))
+	defer restore()
+
+	if err := ix.Compact(context.Background()); err == nil {
+		t.Fatal("compaction with EIO on the new generation must fail")
+	}
+	ist := ix.IngestStats()
+	if ist.CompactBreaker != "open" {
+		t.Fatalf("breaker = %q, want open", ist.CompactBreaker)
+	}
+	if ist.CompactFailures == 0 {
+		t.Fatal("CompactFailures must count the failed attempt")
+	}
+	if ist.LastCompactError == "" {
+		t.Fatal("LastCompactError must carry the cause")
+	}
+	if ist.WALFailed {
+		t.Fatal("a compaction failure must not poison the WAL")
+	}
+	if ist.MemtableVectors != len(acked) {
+		t.Fatalf("memtable = %d vectors, want %d (batch must stay queued)", ist.MemtableVectors, len(acked))
+	}
+	// Old generation + memtable keep serving, and writes still work.
+	assertServes(t, ix, acked, ds.Vectors[200:])
+	id, err := ix.Insert(ds.Vectors[250])
+	if err != nil {
+		t.Fatalf("insert with breaker open: %v", err)
+	}
+	acked = append(acked, id)
+
+	// Disk recovers: a manual Compact is the half-open probe.
+	restore()
+	if err := ix.Compact(context.Background()); err != nil {
+		t.Fatalf("compaction after recovery: %v", err)
+	}
+	ist = ix.IngestStats()
+	if ist.CompactBreaker != "closed" {
+		t.Fatalf("breaker = %q after successful compaction, want closed", ist.CompactBreaker)
+	}
+	if ist.MemtableVectors != 0 {
+		t.Fatalf("memtable = %d after compaction, want 0", ist.MemtableVectors)
+	}
+	assertServes(t, ix, acked, ds.Vectors[200:])
+}
+
+// TestFaultPagerReadEIOTypedError turns reads of the tree files into
+// EIO mid-serving: queries must fail with the typed pager.ErrIO — never
+// a panic — and classify as io_error at the HTTP layer.
+func TestFaultPagerReadEIOTypedError(t *testing.T) {
+	dir, ds := faultIndex(t, 200)
+
+	// The budget lets Open's header/metadata reads through; with the
+	// cache disabled every query page read then hits the injector until
+	// one trips.
+	restore := iofault.SetGlobal(iofault.NewInjector(iofault.Rule{
+		PathGlob: "tree_*.pg", Op: iofault.OpRead, AfterCalls: 400,
+	}))
+	defer restore()
+
+	ix, err := Open(dir, OpenOptions{DisableCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+
+	var searchErr error
+	for i := 0; i < 2000 && searchErr == nil; i++ {
+		_, searchErr = ix.Search(ds.Vectors[i%200], 5)
+	}
+	if searchErr == nil {
+		t.Fatal("read fault never fired: raise the query count")
+	}
+	if !errors.Is(searchErr, pager.ErrIO) {
+		t.Fatalf("search error = %v, want pager.ErrIO", searchErr)
+	}
+	if !errors.Is(searchErr, syscall.EIO) {
+		t.Fatalf("search error = %v, want wrapped EIO", searchErr)
+	}
+}
+
+// TestChaosCompactorStopNoLeak exercises the background compactor's
+// whole lifecycle — threshold-triggered compactions, then Close — and
+// asserts every goroutine is reaped.
+func TestChaosCompactorStopNoLeak(t *testing.T) {
+	defer leakcheck.Check(t)()
+	ds := data.Generate(data.Config{N: 300, Dim: 16, Clusters: 4, Lo: 0, Hi: 1, Seed: 82})
+	dir := filepath.Join(t.TempDir(), "ix")
+	p := ingestParams()
+	ix, err := Build(dir, ds.Vectors[:200], p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ix, err = Open(dir, OpenOptions{MemtableMaxVectors: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range ds.Vectors[200:280] {
+		if _, err := ix.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosCompactorBreakerStopNoLeak closes the index while the
+// compaction circuit breaker is open and a backoff retry is pending —
+// the shutdown path must not strand the breaker's retry timer
+// goroutine.
+func TestChaosCompactorBreakerStopNoLeak(t *testing.T) {
+	defer leakcheck.Check(t)()
+	dir, ds := faultIndex(t, 200)
+	ix, err := Open(dir, OpenOptions{MemtableMaxVectors: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore := iofault.SetGlobal(iofault.NewInjector(iofault.Rule{
+		PathGlob: "tree_*.g*.pg", Op: iofault.OpWrite,
+	}))
+	defer restore()
+	// Cross the threshold so the background compactor attempts, fails,
+	// and opens the breaker with a retry pending.
+	for _, v := range ds.Vectors[200:240] {
+		if _, err := ix.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = ix.Compact(context.Background()) // at least one failed attempt, deterministically
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosCancelledBuildNoLeak cancels a build mid-flight and asserts
+// the tree-builder fan-out exits with the context.
+func TestChaosCancelledBuildNoLeak(t *testing.T) {
+	defer leakcheck.Check(t)()
+	ds := data.Generate(data.Config{N: 3000, Dim: 32, Clusters: 6, Lo: 0, Hi: 1, Seed: 83})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dir := filepath.Join(t.TempDir(), "ix")
+	if _, err := BuildContext(ctx, dir, ds.Vectors, ingestParams()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled build: got %v, want context.Canceled", err)
+	}
+}

@@ -54,17 +54,30 @@ type Index struct {
 	// guarded by mu; wal serialises its own file internally.
 	wal      *wal.Log
 	mem      [][]float32
+	memOff   []int64 // WAL end-offset of mem[i]'s record (0 for replayed entries)
 	gen      uint64
 	replayed int // WAL records replayed by Open
 
+	// Write-path failure state (failsafe.go): a WAL failure flips the
+	// index read-only; walErr keeps the root cause for error messages.
+	walFailed bool
+	walErr    error
+
 	// Background compactor plumbing; compactMu serialises Compact.
-	compactMu     sync.Mutex
-	compactCancel context.CancelFunc
-	compactDone   chan struct{}
-	compactWake   chan struct{}
-	compactions   uint64
-	lastCompactMS float64
-	lastCompactN  int
+	// breakerOpen/compactConsecFails/compactFailures/lastCompactErr are
+	// the compaction circuit breaker (failsafe.go), guarded by mu.
+	compactMu          sync.Mutex
+	compactCancel      context.CancelFunc
+	compactDone        chan struct{}
+	compactWake        chan struct{}
+	compactions        uint64
+	lastCompactMS      float64
+	lastCompactN       int
+	breakerOpen        bool
+	compactConsecFails int
+	compactFailures    uint64
+	lastCompactErr     string
+	compactBackoff     time.Duration
 
 	// buildStats is the construction cost breakdown; set by Build,
 	// nil on an Opened index.

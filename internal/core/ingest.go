@@ -60,6 +60,17 @@ type IngestStats struct {
 	// merge: wall-clock cost and how many memtable vectors it drained.
 	LastCompactionMS      float64 `json:"last_compaction_ms"`
 	LastCompactionVectors int     `json:"last_compaction_vectors"`
+	// WALFailed reports the read-only state: the write-ahead log failed
+	// and every write is rejected with ErrWALUnavailable while reads
+	// keep serving.
+	WALFailed bool `json:"wal_failed,omitempty"`
+	// CompactFailures counts failed background compactions since open;
+	// CompactBreaker is "open" while the retry circuit breaker is
+	// holding off (the old tree generation keeps serving), "closed"
+	// otherwise. LastCompactError is the most recent failure's message.
+	CompactFailures  uint64 `json:"compact_failures,omitempty"`
+	CompactBreaker   string `json:"compact_breaker,omitempty"`
+	LastCompactError string `json:"last_compact_error,omitempty"`
 }
 
 // Add accumulates other into s (the sharded layout sums its shards;
@@ -75,6 +86,14 @@ func (s *IngestStats) Add(other IngestStats) {
 		s.LastCompactionMS = other.LastCompactionMS
 	}
 	s.LastCompactionVectors += other.LastCompactionVectors
+	s.WALFailed = s.WALFailed || other.WALFailed
+	s.CompactFailures += other.CompactFailures
+	if other.CompactBreaker == "open" || s.CompactBreaker == "" {
+		s.CompactBreaker = other.CompactBreaker
+	}
+	if s.LastCompactError == "" {
+		s.LastCompactError = other.LastCompactError
+	}
 }
 
 // IngestStats returns the write-path summary.
@@ -87,6 +106,13 @@ func (ix *Index) IngestStats() IngestStats {
 		Compactions:           ix.compactions,
 		LastCompactionMS:      ix.lastCompactMS,
 		LastCompactionVectors: ix.lastCompactN,
+		WALFailed:             ix.walFailed,
+		CompactFailures:       ix.compactFailures,
+		CompactBreaker:        "closed",
+		LastCompactError:      ix.lastCompactErr,
+	}
+	if ix.breakerOpen {
+		st.CompactBreaker = "open"
 	}
 	if ix.wal != nil {
 		ws := ix.wal.Stats()
@@ -123,17 +149,36 @@ func (ix *Index) Insert(vec []float32) (uint64, error) {
 		ix.mu.Unlock()
 		return 0, errors.New("core: index is closed")
 	}
+	if ix.walFailed {
+		err := walUnavailable(ix.walErr)
+		ix.mu.Unlock()
+		return 0, err
+	}
 	id := ix.vectors.Count() + uint64(len(ix.mem))
 	off, err := ix.wal.AppendNoSync(wal.Record{Op: wal.OpInsert, ID: id, Vec: cp})
 	if err != nil {
+		if errors.Is(err, wal.ErrClosed) {
+			ix.mu.Unlock()
+			return 0, err
+		}
+		// The append poisoned the log (a torn page-cache write): flip
+		// read-only before unlocking so no later writer races past.
+		err = ix.noteWALFailureLocked(err)
 		ix.mu.Unlock()
 		return 0, err
 	}
 	ix.mem = append(ix.mem, cp)
+	ix.memOff = append(ix.memOff, off)
 	memLen := len(ix.mem)
 	ix.mu.Unlock()
 	if err := ix.wal.WaitDurable(off); err != nil {
-		return 0, err
+		if errors.Is(err, wal.ErrClosed) {
+			return 0, err
+		}
+		// The fsync failed: this insert was never durable, so it is
+		// rolled back with the rest of the non-durable suffix and the
+		// index flips read-only.
+		return 0, ix.noteWALFailure(err)
 	}
 	if !telStart.IsZero() {
 		ix.tel.ObserveInsert(time.Since(telStart))
@@ -197,6 +242,10 @@ func (ix *Index) replayRecord(r wal.Record) error {
 			return fmt.Errorf("core: wal replay: insert id %d has %d dims, index has %d", r.ID, len(r.Vec), ix.nu)
 		}
 		ix.mem = append(ix.mem, r.Vec)
+		// Replayed entries came off disk, so they are durable by
+		// definition; offset 0 is never past the durable watermark and
+		// the WAL-failure rollback leaves them alone.
+		ix.memOff = append(ix.memOff, 0)
 	case wal.OpDelete:
 		if r.ID < ix.vectors.Count()+uint64(len(ix.mem)) {
 			ix.deleted.mark(r.ID)
@@ -229,20 +278,41 @@ func (ix *Index) startCompactor() {
 			defer t.Stop()
 			tickC = t.C
 		}
+		// Circuit breaker: after a failed merge the loop backs off
+		// exponentially (capped) instead of re-hitting a sick disk on
+		// every insert-driven wake. Compact commits all or nothing, so
+		// the WAL + memtable keep covering every acknowledged write and
+		// the old tree generation keeps serving while the breaker holds.
+		var nextRetry time.Time
+		var retryC <-chan time.Time
 		for {
 			select {
 			case <-ctx.Done():
 				return
 			case <-ix.compactWake:
 			case <-tickC:
+			case <-retryC:
 			}
 			if ctx.Err() != nil {
 				return
 			}
-			// Telemetry-only failure: a cancelled or failed merge leaves
-			// the WAL + memtable state fully intact (Compact commits all
-			// or nothing), so the worst case is retrying on next wake.
-			_ = ix.Compact(ctx)
+			if !nextRetry.IsZero() {
+				// Breaker open: ignore wakes until the retry timer —
+				// unless a manual Compact (the half-open probe) already
+				// closed it, in which case resume immediately.
+				if ix.compactRetryDelay() > 0 && time.Now().Before(nextRetry) {
+					continue
+				}
+				nextRetry, retryC = time.Time{}, nil
+			}
+			// Compact keeps the breaker books itself (it is also the
+			// manual half-open probe); the loop only schedules retries.
+			if err := ix.Compact(ctx); err != nil {
+				if d := ix.compactRetryDelay(); d > 0 {
+					nextRetry = time.Now().Add(d)
+					retryC = time.After(d)
+				}
+			}
 		}
 	}()
 }
@@ -292,7 +362,34 @@ func (ix *Index) treeGenPath(t int, gen uint64) string {
 // physically reclaimed). Compact is a no-op on an empty memtable and
 // serialises against itself, so the background compactor and manual
 // calls can overlap freely.
+//
+// Compact also keeps the circuit-breaker books: a compaction-domain
+// failure opens the breaker (noteCompactFailure), a successful drain
+// closes it. Manual calls therefore double as the breaker's half-open
+// probe — an operator-triggered Compact that succeeds resumes normal
+// background cadence immediately.
 func (ix *Index) Compact(ctx context.Context) error {
+	did, err := ix.compact(ctx)
+	switch {
+	case err == nil:
+		if did {
+			ix.noteCompactOK()
+		}
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// External cancel (shutdown), not a sick disk: breaker unchanged.
+	case errors.Is(err, wal.ErrClosed), errors.Is(err, ErrWALUnavailable):
+		// WAL failure domain: noteWALFailure already flipped read-only;
+		// opening the compaction breaker too would misreport the cause.
+	default:
+		ix.noteCompactFailure(err)
+	}
+	return err
+}
+
+// compact is Compact's body; the bool reports whether a batch was
+// actually drained (false for the empty-memtable no-op, so a vacuous
+// success cannot close an open breaker).
+func (ix *Index) compact(ctx context.Context) (bool, error) {
 	ix.compactMu.Lock()
 	defer ix.compactMu.Unlock()
 	start := time.Now()
@@ -302,9 +399,14 @@ func (ix *Index) Compact(ctx context.Context) error {
 	// prefix copy of the slice headers is a consistent snapshot.
 	ix.mu.RLock()
 	n := len(ix.mem)
-	if n == 0 || ix.vectors == nil {
+	if n == 0 || ix.vectors == nil || ix.wal == nil {
 		ix.mu.RUnlock()
-		return nil
+		return false, nil
+	}
+	if ix.walFailed {
+		err := walUnavailable(ix.walErr)
+		ix.mu.RUnlock()
+		return true, err
 	}
 	batch := make([][]float32, n)
 	copy(batch, ix.mem[:n])
@@ -312,13 +414,26 @@ func (ix *Index) Compact(ctx context.Context) error {
 	oldGen := ix.gen
 	ix.mu.RUnlock()
 
+	// The batch must be durable before the commit makes it part of the
+	// committed index state: under relaxed durability (SyncInterval > 0)
+	// acknowledgements outrun the fsync cadence, and committing a
+	// non-durable insert then truncating its WAL record would turn a
+	// crash into lost acknowledged data. Group commit makes this a no-op
+	// (everything snapshotted is fsynced already).
+	if err := ix.wal.Sync(); err != nil {
+		if errors.Is(err, wal.ErrClosed) {
+			return true, err
+		}
+		return true, ix.noteWALFailure(err)
+	}
+
 	workers := ix.params.BuildWorkers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	rdist, err := computeRefDists(ctx, batch, ix.refs, workers)
 	if err != nil {
-		return err
+		return true, err
 	}
 
 	// Marks to reclaim: every marked id the rebuilt trees would cover.
@@ -341,12 +456,12 @@ func (ix *Index) Compact(ctx context.Context) error {
 	for t := 0; t < p.Tau; t++ {
 		if err := ctx.Err(); err != nil {
 			abort()
-			return err
+			return true, err
 		}
 		tree, pgr, err := ix.compactTree(ctx, t, batch, rdist, oldCount, newGen, drop)
 		if err != nil {
 			abort()
-			return err
+			return true, err
 		}
 		newTrees[t], newPagers[t] = tree, pgr
 	}
@@ -356,7 +471,7 @@ func (ix *Index) Compact(ctx context.Context) error {
 	if err := ix.vectors.AppendAll(batch); err != nil {
 		ix.mu.Unlock()
 		abort()
-		return err
+		return true, err
 	}
 	ix.gen = newGen
 	if err := ix.writeMeta(); err != nil {
@@ -368,7 +483,7 @@ func (ix *Index) Compact(ctx context.Context) error {
 		_ = ix.vectors.ResetCount(oldCount)
 		ix.mu.Unlock()
 		abort()
-		return err
+		return true, err
 	}
 	oldPagers := ix.treePagers
 	ix.trees, ix.treePagers = newTrees, newPagers
@@ -384,11 +499,13 @@ func (ix *Index) Compact(ctx context.Context) error {
 				pgr.Close()
 			}
 		}
-		return err
+		return true, err
 	}
 	rest := make([][]float32, len(ix.mem)-n)
 	copy(rest, ix.mem[n:])
-	ix.mem = rest
+	restOff := make([]int64, len(ix.memOff)-n)
+	copy(restOff, ix.memOff[n:])
+	ix.mem, ix.memOff = rest, restOff
 	newCount := ix.vectors.Count()
 	tail := make([]wal.Record, len(rest))
 	for i, v := range rest {
@@ -407,7 +524,18 @@ func (ix *Index) Compact(ctx context.Context) error {
 		}
 		os.Remove(ix.treeGenPath(t, oldGen))
 	}
-	return walErr
+	if walErr != nil && !errors.Is(walErr, wal.ErrClosed) {
+		// The commit itself is durable (meta.json landed); what failed is
+		// the WAL truncation. A transient failure (the temp file could
+		// not be created) leaves the log healthy — replay idempotently
+		// skips the committed prefix, so the only cost is a longer log
+		// and the breaker retries. A poisoned log (fsync failed) breaks
+		// the durability contract for FUTURE writes: flip read-only.
+		if ix.wal.Err() != nil {
+			return true, ix.noteWALFailure(walErr)
+		}
+	}
+	return true, walErr
 }
 
 // compactTree builds tree t's next generation: the existing entries

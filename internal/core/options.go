@@ -60,6 +60,14 @@ type SearchOptions struct {
 	// Ptolemaic switches the §5.2.5 filter per query: better MAP for
 	// the same I/O at roughly double the filtering CPU.
 	Ptolemaic PtolemaicMode
+	// Degrade requests the cheap cascade: when the whole α/β/γ triple is
+	// unset, α and γ shrink to a quarter of the built values (floored at
+	// 64 and 16 respectively, and at k) so the query does a fraction of
+	// the I/O and refinement work. The serving layer sets it under
+	// overload pressure; queries that pin any cascade knob explicitly
+	// have opted out and run exactly what they asked for. QueryStats
+	// echoes Degraded=true only when a knob actually shrank.
+	Degrade bool
 }
 
 // searchPlan is a fully resolved SearchOptions: every field positive
@@ -70,6 +78,7 @@ type searchPlan struct {
 	alpha, beta, gamma int
 	maxCandidates      int // 0 = unlimited
 	ptolemaic          bool
+	degraded           bool // the degrade request actually shrank a knob
 }
 
 func badOptions(format string, args ...any) error {
@@ -114,6 +123,26 @@ func (ix *Index) planFor(k int, o SearchOptions) (searchPlan, error) {
 
 	p := ix.params
 	plan := searchPlan{ptolemaic: p.UsePtolemaic, maxCandidates: o.MaxCandidates}
+
+	// Adaptive degradation: under overload the serving layer sets
+	// Degrade, and a query that left the whole cascade unset runs a
+	// cheaper one — α and γ shrink to a quarter of the built values,
+	// floored at 64/16 and at k, never widened. A query that pins ANY
+	// cascade knob has opted out: its explicit contract is honoured
+	// unchanged, which also means Degrade can never turn a valid
+	// explicit cascade into an invalid one.
+	if o.Degrade && o.Alpha == 0 && o.Beta == 0 && o.Gamma == 0 {
+		a := min(p.Alpha, max(p.Alpha/4, 64))
+		a = max(a, k)
+		g := min(p.Gamma, max(p.Gamma/4, 16))
+		g = max(g, k)
+		g = min(g, a)
+		if a < p.Alpha || g < min(p.Gamma, p.Alpha) {
+			o.Alpha, o.Gamma = a, g
+			plan.degraded = true
+		}
+	}
+
 	switch o.Ptolemaic {
 	case PtolemaicOn:
 		plan.ptolemaic = true

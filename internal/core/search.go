@@ -32,6 +32,11 @@ type QueryStats struct {
 	// aggregated stats carry it unchanged.
 	Alpha, Beta, Gamma int
 	Ptolemaic          bool
+	// Degraded reports that this query ran the cheap cascade: the
+	// serving layer requested degradation (SearchOptions.Degrade) and an
+	// unset knob actually shrank. False when the request pinned its own
+	// knobs or the built cascade was already at the degraded floor.
+	Degraded bool
 	// PageReads is the delta of the index-wide pager counters across
 	// this query: exact when queries run one at a time (the paper's
 	// measurement protocol), best-effort under concurrent searches,
@@ -282,6 +287,7 @@ func (ix *Index) Query(ctx context.Context, q []float32, k int, o SearchOptions)
 		Beta:            plan.beta,
 		Gamma:           plan.gamma,
 		Ptolemaic:       plan.ptolemaic,
+		Degraded:        plan.degraded,
 	}
 	for _, f := range sc.fetched {
 		stats.TreeEntries += f

@@ -1,0 +1,72 @@
+// Package leakcheck asserts that a test leaves no goroutines behind,
+// with nothing but the standard library: snapshot the goroutine count
+// before the work, run it, then poll for the count to come back down.
+// Polling (rather than one comparison) absorbs the asynchronous tails
+// that are not leaks — a netpoller wakeup, an http.Server connection
+// goroutine observing the closed listener — while still catching the
+// real thing: a compactor that ignored its cancel, a WAL syncer whose
+// stop channel nobody closed, a fan-out worker blocked on a channel
+// no reader will ever drain.
+//
+// Usage:
+//
+//	defer leakcheck.Check(t)()
+//
+// Check snapshots immediately; the returned func verifies. Tests using
+// it must not run in parallel with tests that intentionally leave
+// goroutines running (the count is process-global).
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// grace is how long Verify waits for stragglers to exit before calling
+// the residue a leak. Generous: a leak is forever, so waiting longer
+// only costs time on failing runs.
+const grace = 5 * time.Second
+
+// Check snapshots the current goroutine count and returns the
+// verification func, for use as `defer leakcheck.Check(t)()`.
+func Check(t testing.TB) func() {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	return func() { verify(t, base) }
+}
+
+func verify(t testing.TB, base int) {
+	t.Helper()
+	deadline := time.Now().Add(grace)
+	var n int
+	for {
+		n = runtime.NumGoroutine()
+		if n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("leakcheck: %d goroutines before, %d after %v grace:\n%s",
+		base, n, grace, stacks())
+}
+
+// stacks renders every goroutine's stack, trimming the harness's own
+// frames so the report leads with the interesting ones.
+func stacks() string {
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	var b strings.Builder
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if strings.Contains(g, "leakcheck.stacks") || strings.Contains(g, "testing.(*T).Run") {
+			continue
+		}
+		fmt.Fprintf(&b, "%s\n\n", g)
+	}
+	return b.String()
+}

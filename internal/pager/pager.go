@@ -24,6 +24,8 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+
+	"github.com/hd-index/hdindex/internal/iofault"
 )
 
 // DefaultPageSize is the disk page size used throughout the paper.
@@ -51,6 +53,12 @@ var (
 	ErrPageRange    = errors.New("pager: page id out of range")
 	ErrClosed       = errors.New("pager: file is closed")
 	ErrMetaTooLarge = errors.New("pager: metadata exceeds superblock capacity")
+	// ErrIO marks a physical read/write/sync failure on the backing
+	// file. Every disk error the pager surfaces wraps it, so callers
+	// (core's query path, the server's error mapper) can classify disk
+	// trouble with errors.Is instead of string matching — and turn it
+	// into a structured 503 rather than a panic or an opaque 500.
+	ErrIO = errors.New("pager: io error")
 )
 
 // PageID identifies a page within a file. Page 0 is the superblock and is
@@ -183,7 +191,7 @@ type poolShard struct {
 // of distinct pool shards proceed in parallel; only the superblock and
 // metadata share a mutex.
 type Pager struct {
-	f        *os.File
+	f        iofault.File
 	pageSize int
 	noCache  bool
 	readOnly bool
@@ -225,7 +233,7 @@ func Open(path string, opts Options) (*Pager, error) {
 	if opts.Create {
 		flag |= os.O_CREATE | os.O_TRUNC
 	}
-	f, err := os.OpenFile(path, flag, 0o644)
+	f, err := iofault.Open(path, flag, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("pager: open %s: %w", path, err)
 	}
@@ -302,7 +310,7 @@ func (p *Pager) writeSuperblockLocked(count uint64) error {
 	copy(buf[offMeta:], p.meta)
 	binary.BigEndian.PutUint64(buf[offChecksum:], superChecksum(buf))
 	if _, err := p.f.WriteAt(buf, 0); err != nil {
-		return fmt.Errorf("pager: write superblock: %w", err)
+		return fmt.Errorf("%w: write superblock: %w", ErrIO, err)
 	}
 	p.superStats.writes.Add(1)
 	return nil
@@ -313,7 +321,7 @@ func (p *Pager) readSuperblock() error {
 	// configured one, so callers need not know it when reopening.
 	hdr := make([]byte, headerLen)
 	if _, err := p.f.ReadAt(hdr, 0); err != nil {
-		return fmt.Errorf("pager: read superblock: %w", err)
+		return fmt.Errorf("%w: read superblock: %w", ErrIO, err)
 	}
 	if string(hdr[:8]) != magic {
 		return ErrBadMagic
@@ -328,7 +336,7 @@ func (p *Pager) readSuperblock() error {
 	p.pageSize = ps
 	buf := make([]byte, ps)
 	if _, err := p.f.ReadAt(buf, 0); err != nil {
-		return fmt.Errorf("pager: read superblock: %w", err)
+		return fmt.Errorf("%w: read superblock: %w", ErrIO, err)
 	}
 	p.superStats.reads.Add(1)
 	want := binary.BigEndian.Uint64(buf[offChecksum:])
@@ -480,7 +488,7 @@ func (p *Pager) getFrame(id PageID) (*frame, error) {
 	sh.stats.misses.Add(1)
 	data := make([]byte, p.pageSize)
 	if _, err := p.f.ReadAt(data, int64(uint64(id))*int64(p.pageSize)); err != nil {
-		return nil, fmt.Errorf("pager: read page %d: %w", id, err)
+		return nil, fmt.Errorf("%w: read page %d: %w", ErrIO, id, err)
 	}
 	sh.stats.reads.Add(1)
 	fr := &frame{id: id, data: data, pins: 1}
@@ -509,7 +517,7 @@ func (p *Pager) admit(sh *poolShard, fr *frame) error {
 
 func (p *Pager) writeFrame(sh *poolShard, fr *frame) error {
 	if _, err := p.f.WriteAt(fr.data, int64(uint64(fr.id))*int64(p.pageSize)); err != nil {
-		return fmt.Errorf("pager: write page %d: %w", fr.id, err)
+		return fmt.Errorf("%w: write page %d: %w", ErrIO, fr.id, err)
 	}
 	fr.dirty = false
 	sh.stats.writes.Add(1)
@@ -526,11 +534,17 @@ func (p *Pager) release(fr *frame) {
 	}
 	if p.noCache {
 		// Caching off (§5 "for fairness, we turn off buffering and
-		// caching"): drop the frame immediately, writing it if dirty.
-		delete(sh.frames, fr.id)
+		// caching"): write the frame out if dirty and drop it. On a
+		// write failure the frame stays resident and dirty, so the data
+		// is not lost and Flush/Close retries the write and surfaces
+		// the error (dropping the frame first would silently discard
+		// the page).
 		if fr.dirty {
-			p.writeFrame(sh, fr) // error surfaces at Flush/Close via re-write
+			if err := p.writeFrame(sh, fr); err != nil {
+				return
+			}
 		}
+		delete(sh.frames, fr.id)
 		return
 	}
 	sh.lruPushFront(fr)
@@ -609,7 +623,10 @@ func (p *Pager) Sync() error {
 	if err := p.Flush(); err != nil {
 		return err
 	}
-	return p.f.Sync()
+	if err := p.f.Sync(); err != nil {
+		return fmt.Errorf("%w: sync: %w", ErrIO, err)
+	}
+	return nil
 }
 
 // Close flushes and closes the file. The pager is unusable afterwards.

@@ -99,6 +99,43 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"Completed memtable compactions since open.")
 	fmt.Fprintf(bw, "hdindex_compactions_total %d\n", ist.Compactions)
 
+	// Failure containment: the WAL poison flag, compaction failures, and
+	// the compaction circuit breaker (1 = open: retries backing off, old
+	// tree generation still serving).
+	writeHeader(bw, "hdindex_wal_failed", "gauge",
+		"1 when the write-ahead log failed and the index is read-only.")
+	fmt.Fprintf(bw, "hdindex_wal_failed %d\n", boolGauge(ist.WALFailed))
+	writeHeader(bw, "hdindex_compact_failures_total", "counter",
+		"Compaction attempts that failed since open.")
+	fmt.Fprintf(bw, "hdindex_compact_failures_total %d\n", ist.CompactFailures)
+	writeHeader(bw, "hdindex_compact_breaker_open", "gauge",
+		"1 while the compaction circuit breaker is open.")
+	fmt.Fprintf(bw, "hdindex_compact_breaker_open %d\n", boolGauge(ist.CompactBreaker == "open"))
+
+	// Admission control: zero-valued when the overload layer is off, so
+	// dashboards keep a stable shape either way.
+	adm := s.adm.Stats()
+	writeHeader(bw, "hdindex_admission_accepted_total", "counter",
+		"Requests admitted past the overload controller.")
+	fmt.Fprintf(bw, "hdindex_admission_accepted_total %d\n", adm.Accepted)
+	writeHeader(bw, "hdindex_admission_shed_total", "counter",
+		"Requests shed before doing work, by reason.")
+	fmt.Fprintf(bw, "hdindex_admission_shed_total{reason=\"overload\"} %d\n", adm.ShedOverload)
+	fmt.Fprintf(bw, "hdindex_admission_shed_total{reason=\"tenant\"} %d\n", adm.ShedTenant)
+	fmt.Fprintf(bw, "hdindex_admission_shed_total{reason=\"deadline\"} %d\n", adm.ShedDeadline)
+	writeHeader(bw, "hdindex_admission_inflight", "gauge",
+		"Admitted requests currently executing (weighted).")
+	fmt.Fprintf(bw, "hdindex_admission_inflight %d\n", adm.Inflight)
+	writeHeader(bw, "hdindex_admission_queued", "gauge",
+		"Requests waiting in the admission queue.")
+	fmt.Fprintf(bw, "hdindex_admission_queued %d\n", adm.Queued)
+	writeHeader(bw, "hdindex_admission_pressure", "gauge",
+		"Load-pressure signal (expected queue wait, seconds).")
+	fmt.Fprintf(bw, "hdindex_admission_pressure %s\n", formatFloat(adm.Pressure))
+	writeHeader(bw, "hdindex_admission_degraded", "gauge",
+		"1 while new unpinned queries run the degraded cascade.")
+	fmt.Fprintf(bw, "hdindex_admission_degraded %d\n", boolGauge(adm.Degraded))
+
 	writeHeader(bw, "hdindex_index_vectors", "gauge", "Indexed vectors.")
 	fmt.Fprintf(bw, "hdindex_index_vectors %d\n", s.idx.Count())
 	writeHeader(bw, "hdindex_index_deleted", "gauge", "Deletion marks.")
@@ -165,4 +202,11 @@ func writeHistogram(bw *bufio.Writer, name, labels string, s telemetry.Snapshot)
 // conventional Prometheus float formatting.
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func boolGauge(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }

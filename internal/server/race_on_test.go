@@ -1,0 +1,8 @@
+//go:build race
+
+package server
+
+// raceEnabled widens timing budgets in tests: the race detector slows
+// the whole process by an order of magnitude, so wall-clock assertions
+// calibrated for plain builds would only measure the instrumentation.
+const raceEnabled = true

@@ -31,9 +31,11 @@ import (
 	"math"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
 	hdindex "github.com/hd-index/hdindex"
+	"github.com/hd-index/hdindex/internal/admission"
 	"github.com/hd-index/hdindex/internal/telemetry"
 )
 
@@ -75,6 +77,32 @@ type Config struct {
 	// mux. Off by default: profiling endpoints expose internals and
 	// belong behind an operator flag (hdserve -pprof).
 	Pprof bool
+
+	// MaxInflight caps the weight of concurrently admitted work on the
+	// query/mutation endpoints (a /searchbatch of q queries weighs q,
+	// everything else weighs 1). Requests beyond the cap wait in a
+	// bounded FIFO admission queue; requests that do not fit the queue —
+	// or whose deadline cannot cover the estimated queue wait — are shed
+	// immediately with a 503, code "overloaded", and a Retry-After hint.
+	// 0 disables the limiter. Introspection endpoints (/stats, /healthz,
+	// /metrics) are never limited: they must answer during an overload.
+	MaxInflight int
+	// MaxQueue caps the weight waiting in the admission queue (0 = 4 ×
+	// MaxInflight).
+	MaxQueue int
+	// TenantRPS rate-limits each tenant (the X-Tenant request header;
+	// absent = the shared "" tenant) to this sustained accepted-request
+	// rate, shedding the excess with a 429, code "tenant_throttled", and
+	// a Retry-After hint. 0 disables per-tenant throttling.
+	TenantRPS float64
+	// TenantBurst is the token-bucket depth (0 = max(2 × TenantRPS, 1)).
+	TenantBurst float64
+	// DegradePressure enables adaptive degradation: when the admission
+	// queue's estimated drain time (queued weight × recent p99, in
+	// seconds) exceeds this threshold, searches that leave their cascade
+	// knobs unset run the cheap cascade (core's Degrade preset) and
+	// their stats echo degraded=true. 0 disables degradation.
+	DegradePressure float64
 }
 
 func (c *Config) defaults() {
@@ -100,6 +128,9 @@ type Server struct {
 	mux     *http.ServeMux
 	started time.Time
 	logger  *slog.Logger
+	// adm is the overload-control layer; nil when Config enables none of
+	// its mechanisms (every call site is nil-safe).
+	adm *admission.Controller
 
 	mSearch, mBatch, mInsert, mDelete, mStats, mHealth, mMetrics endpointMetrics
 }
@@ -111,12 +142,19 @@ func New(idx *hdindex.Index, cfg Config) *Server {
 	if s.logger == nil {
 		s.logger = slog.Default()
 	}
+	s.adm = admission.New(admission.Config{
+		MaxInflight:     cfg.MaxInflight,
+		MaxQueue:        cfg.MaxQueue,
+		TenantRPS:       cfg.TenantRPS,
+		TenantBurst:     cfg.TenantBurst,
+		DegradePressure: cfg.DegradePressure,
+	})
 	s.mux.HandleFunc("POST /search", s.instrument(&s.mSearch, s.handleSearch))
 	s.mux.HandleFunc("POST /searchbatch", s.instrument(&s.mBatch, s.handleSearchBatch))
 	s.mux.HandleFunc("POST /insert", s.instrument(&s.mInsert, s.handleInsert))
 	s.mux.HandleFunc("POST /delete", s.instrument(&s.mDelete, s.handleDelete))
 	s.mux.HandleFunc("GET /stats", s.instrument(&s.mStats, s.handleStats))
-	s.mux.HandleFunc("GET /healthz", s.instrument(&s.mHealth, s.handleHealthz))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if cfg.Pprof {
 		// The default-mux registrations of net/http/pprof, mounted
@@ -155,10 +193,18 @@ func badRequest(format string, args ...any) error {
 	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
 }
 
-// Machine-readable error classes of the structured error body.
+// Machine-readable error classes of the structured error body. The
+// overload/failure classes map to HTTP statuses as:
+//
+//	overloaded       -> 503 + Retry-After (admission queue full or deadline cannot cover the wait)
+//	tenant_throttled -> 429 + Retry-After (per-tenant rate exceeded)
+//	wal_unavailable  -> 503 (WAL failed; index read-only, reads keep serving)
+//	io_error         -> 503 (disk I/O failure in the page layer)
 const (
-	codeDimMismatch = "dim_mismatch"
-	codeBadOptions  = "bad_options"
+	codeDimMismatch    = "dim_mismatch"
+	codeBadOptions     = "bad_options"
+	codeWALUnavailable = "wal_unavailable"
+	codeIOError        = "io_error"
 )
 
 // instrument wraps a handler with a body-size cap, metrics, and uniform
@@ -170,7 +216,13 @@ func (s *Server) instrument(m *endpointMetrics, h handlerFunc) http.HandlerFunc 
 		}
 		start := time.Now()
 		resp, err := h(w, r)
-		m.observe(time.Since(start), err != nil)
+		elapsed := time.Since(start)
+		m.observe(elapsed, err != nil)
+		// Standard Server-Timing header: the server-side duration,
+		// queue wait included. Lets clients (and the overload bench)
+		// separate server latency from client-side delivery delay.
+		w.Header().Set("Server-Timing",
+			fmt.Sprintf("total;dur=%.3f", float64(elapsed.Nanoseconds())/1e6))
 		if err != nil {
 			writeError(w, r, err)
 			return
@@ -197,13 +249,34 @@ func writeError(w http.ResponseWriter, r *http.Request, err error) {
 	body := errorBody{Error: err.Error()}
 	code := http.StatusInternalServerError
 	var he *httpError
+	var ae *admission.Error
 	switch {
+	case errors.As(err, &ae):
+		// Shed/throttle decisions carry a Retry-After hint, rounded up to
+		// whole seconds (the header's resolution, and never 0 — a zero
+		// would read as "retry immediately" mid-overload).
+		secs := int64((ae.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		code, body.Code = http.StatusServiceUnavailable, ae.Code
+		if ae.Code == admission.CodeTenantThrottled {
+			code = http.StatusTooManyRequests
+		}
 	case errors.As(err, &he):
 		code, body.Code = he.code, he.errCode
 	case errors.Is(err, hdindex.ErrDimMismatch):
 		code, body.Code = http.StatusBadRequest, codeDimMismatch
 	case errors.Is(err, hdindex.ErrBadOptions):
 		code, body.Code = http.StatusBadRequest, codeBadOptions
+	case errors.Is(err, hdindex.ErrWALUnavailable):
+		// The WAL failed: writes are rejected while reads keep serving.
+		// 503 tells the client this is the server's condition, not the
+		// request's.
+		code, body.Code = http.StatusServiceUnavailable, codeWALUnavailable
+	case errors.Is(err, hdindex.ErrIO):
+		code, body.Code = http.StatusServiceUnavailable, codeIOError
 	case errors.Is(err, context.DeadlineExceeded):
 		code = http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -253,6 +326,16 @@ func (s *Server) queryContext(r *http.Request, timeoutMs int) (context.Context, 
 		return context.WithTimeout(ctx, d)
 	}
 	return ctx, func() {}
+}
+
+// admit runs the request through the admission controller: per-tenant
+// token bucket first, then the weighted concurrency limiter, queueing
+// against the request's own deadline. The returned release must be
+// called exactly once when the work finishes. Shed decisions surface
+// as *admission.Error, which writeError maps to 429/503 with a
+// Retry-After header. A nil controller admits everything for free.
+func (s *Server) admit(ctx context.Context, r *http.Request, weight int) (func(), error) {
+	return s.adm.Acquire(ctx, r.Header.Get("X-Tenant"), weight)
 }
 
 // ResultJSON is one neighbour in a search response.
@@ -336,6 +419,10 @@ type QueryStatsJSON struct {
 	Beta            int    `json:"beta"`
 	Gamma           int    `json:"gamma"`
 	Ptolemaic       bool   `json:"ptolemaic"`
+	// Degraded reports that adaptive degradation actually shrank a
+	// cascade knob for this query (overload pressure + no explicit
+	// α/β/γ in the request).
+	Degraded bool `json:"degraded,omitempty"`
 	// PhaseUS attributes the query's time to pipeline phases, in
 	// microseconds, keyed by phase name (tree_walk, candidate_sort,
 	// refine, memtable_scan, topk_merge). Omitted when telemetry is
@@ -371,6 +458,7 @@ func toStatsJSON(st *hdindex.Stats) *QueryStatsJSON {
 		Beta:            st.Beta,
 		Gamma:           st.Gamma,
 		Ptolemaic:       st.Ptolemaic,
+		Degraded:        st.Degraded,
 		PhaseUS:         phaseUS(st.Phases),
 	}
 }
@@ -422,13 +510,26 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) (any, erro
 	}
 	ctx, cancel := s.queryContext(r, req.TimeoutMs)
 	defer cancel()
+	release, err := s.admit(ctx, r, 1)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	// The degrade decision is taken after the queue wait, against the
+	// current pressure: a request that queued through the worst of a
+	// burst does not pay the quality cut if pressure already fell.
+	if s.adm.ShouldDegrade() {
+		opts = append(opts, hdindex.WithDegrade())
+	}
 
 	start := time.Now()
 	resp, err := s.idx.Query(ctx, req.Query, req.K, opts...)
 	if err != nil {
 		return nil, err
 	}
-	if elapsed := time.Since(start); slowLog && elapsed >= s.cfg.SlowQueryThreshold {
+	elapsed := time.Since(start)
+	s.adm.Observe(elapsed)
+	if slowLog && elapsed >= s.cfg.SlowQueryThreshold {
 		s.logSlowQuery("search", elapsed, 1, req.K, resp.Stats)
 	}
 	if !req.Stats {
@@ -515,12 +616,23 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) (any,
 	}
 	ctx, cancel := s.queryContext(r, req.TimeoutMs)
 	defer cancel()
+	// A batch weighs its query count: one huge /searchbatch occupies the
+	// limiter like the equivalent run of single searches would.
+	release, err := s.admit(ctx, r, len(req.Queries))
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	if s.adm.ShouldDegrade() {
+		opts = append(opts, hdindex.WithDegrade())
+	}
 
 	start := time.Now()
 	res, err := s.idx.QueryBatch(ctx, req.Queries, req.K, opts...)
 	if err != nil {
 		return nil, err
 	}
+	s.adm.Observe(time.Since(start))
 	if elapsed := time.Since(start); slowLog && elapsed >= s.cfg.SlowQueryThreshold {
 		// One record for the whole batch, with the work summed across
 		// its queries — per-query records would let a big batch flood
@@ -568,6 +680,11 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) (any, erro
 	if err := s.validateQuery("vector", req.Vector); err != nil {
 		return nil, err
 	}
+	release, err := s.admit(r.Context(), r, 1)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	// Insert is durable when it returns — the index WAL-logs it — so no
 	// flush here: the old flush-per-insert path serialised every write
 	// against in-flight searches and rewrote whole pages per vector.
@@ -591,6 +708,11 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) (any, erro
 	if err := decodeBody(r, &req); err != nil {
 		return nil, err
 	}
+	release, err := s.admit(r.Context(), r, 1)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	op, verb := s.idx.Delete, "deleted"
 	if req.Undelete {
 		op, verb = s.idx.Undelete, "undeleted"
@@ -645,6 +767,14 @@ type StatsResponse struct {
 	} `json:"index"`
 	UptimeSeconds float64                  `json:"uptime_seconds"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
+	// Health mirrors /healthz's status field so one /stats poll carries
+	// the whole serving picture.
+	Health string `json:"health"`
+	// Admission is the overload-control block: accepted/shed counters,
+	// live inflight/queued occupancy, the pressure signal, and whether
+	// new unpinned queries are being degraded. Omitted when admission
+	// control is disabled.
+	Admission *admission.Stats `json:"admission,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) (any, error) {
@@ -670,6 +800,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) (any, error
 	}
 	resp.Index.WAL = s.idx.IngestStats()
 	resp.UptimeSeconds = up.Seconds()
+	resp.Health = s.healthState()
+	if s.adm != nil {
+		st := s.adm.Stats()
+		resp.Admission = &st
+	}
 	resp.Endpoints = make(map[string]EndpointStats, 7)
 	for _, ep := range s.endpointsInOrder() {
 		resp.Endpoints[ep.name] = ep.m.statsRow(s.started, now)
@@ -677,6 +812,39 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) (any, error
 	return resp, nil
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) (any, error) {
-	return map[string]string{"status": "ok"}, nil
+// healthState resolves the serving state machine, most severe first:
+//
+//	read_only  — the WAL failed; writes are rejected, reads keep serving
+//	overloaded — the admission queue is saturated and requests are shed
+//	degraded   — pressure-degraded cascades, or the compaction circuit
+//	             breaker is open (old tree generation serving)
+//	ok
+func (s *Server) healthState() string {
+	ist := s.idx.IngestStats()
+	switch {
+	case ist.WALFailed:
+		return "read_only"
+	case s.adm.Overloaded():
+		return "overloaded"
+	case s.adm.ShouldDegrade() || ist.CompactBreaker == "open":
+		return "degraded"
+	}
+	return "ok"
+}
+
+// handleHealthz reports the health state machine. Status is 200 for
+// ok, degraded, and read_only — the server is still answering queries
+// and a restart would not help — and 503 for overloaded, which pulls
+// the instance out of load-balancer rotation until the storm passes.
+// Registered raw (not through instrument) so the body always carries
+// the "status" field whatever the HTTP code.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	status := s.healthState()
+	code := http.StatusOK
+	if status == "overloaded" {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"status": status})
+	s.mHealth.observe(time.Since(start), code != http.StatusOK)
 }

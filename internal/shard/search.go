@@ -104,6 +104,7 @@ func (s *Sharded) Query(ctx context.Context, q []float32, k int, o core.SearchOp
 	agg.Beta = perStats[0].Beta
 	agg.Gamma = perStats[0].Gamma
 	agg.Ptolemaic = perStats[0].Ptolemaic
+	agg.Degraded = perStats[0].Degraded
 	items := best.Items()
 	out := make([]core.Result, len(items))
 	for i, it := range items {

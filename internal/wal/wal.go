@@ -35,6 +35,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"github.com/hd-index/hdindex/internal/iofault"
 )
 
 // Ops recorded in the log.
@@ -95,7 +97,7 @@ type Log struct {
 
 	mu   sync.Mutex
 	cond *sync.Cond
-	f    *os.File
+	f    iofault.File
 	// size and synced are LOGICAL offsets: monotonically increasing
 	// across RewriteWith, so an offset handed out by AppendNoSync stays
 	// meaningful to WaitDurable even if a compaction truncates the file
@@ -119,7 +121,7 @@ type Log struct {
 // tail, and invokes replay for every surviving record in append order.
 // Replay stops at the first callback error, which Open returns.
 func Open(path string, opts Options, replay func(Record) error) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := iofault.Open(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open: %w", err)
 	}
@@ -162,7 +164,7 @@ func Open(path string, opts Options, replay func(Record) error) (*Log, error) {
 // scan reads records from the start of f, calling replay for each valid
 // one, and returns the byte offset of the first invalid record (= the
 // length of the valid prefix) plus the valid record count.
-func scan(f *os.File, replay func(Record) error) (valid int64, nrec int64, err error) {
+func scan(f iofault.File, replay func(Record) error) (valid int64, nrec int64, err error) {
 	var hdr [8]byte
 	var payload []byte
 	for {
@@ -384,11 +386,12 @@ func (l *Log) RewriteWith(recs []Record) error {
 	if dir == "" {
 		dir = "."
 	}
-	tmp, err := os.CreateTemp(dir, name+".tmp*")
+	otmp, err := os.CreateTemp(dir, name+".tmp*")
 	if err != nil {
 		return fmt.Errorf("wal: rewrite: %w", err)
 	}
-	tmpName := tmp.Name()
+	tmpName := otmp.Name()
+	tmp := iofault.Wrap(tmpName, otmp)
 	fail := func(e error) error {
 		tmp.Close()
 		os.Remove(tmpName)
@@ -409,13 +412,21 @@ func (l *Log) RewriteWith(recs []Record) error {
 		return fail(fmt.Errorf("wal: rewrite rename: %w", err))
 	}
 	tmp.Close()
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
+	if err := syncDir(dir); err != nil {
+		// The rename's directory entry may not be durable: a crash could
+		// resurrect the pre-rewrite log. Replay is idempotent, so no
+		// acked write is at risk — but a disk that fails fsync must not
+		// be trusted with further appends, and the caller's compaction
+		// must not be acknowledged as cleanly committed. Poison the log;
+		// the old handle keeps pointing at the unlinked previous file,
+		// which no longer matters because every write path now fails.
+		l.syncErr = fmt.Errorf("wal: rewrite dir sync: %w", err)
+		l.cond.Broadcast()
+		return l.syncErr
 	}
 	// Swap the handle: the old descriptor still points at the unlinked
 	// previous file.
-	nf, err := os.OpenFile(l.path, os.O_RDWR, 0o644)
+	nf, err := iofault.Open(l.path, os.O_RDWR, 0o644)
 	if err != nil {
 		l.syncErr = fmt.Errorf("wal: reopen after rewrite: %w", err)
 		l.cond.Broadcast()
@@ -437,6 +448,44 @@ func (l *Log) RewriteWith(recs []Record) error {
 	l.records = int64(len(recs))
 	l.cond.Broadcast()
 	return nil
+}
+
+// syncDir fsyncs a directory so a rename inside it is durable. Routed
+// through the iofault seam so chaos tests can fail the directory sync
+// specifically.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	fd := iofault.Wrap(dir, d)
+	err = fd.Sync()
+	if cerr := fd.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// DurableOffset returns the logical offset the log is known durable up
+// to: every record whose AppendNoSync offset is <= this value has been
+// covered by a successful fsync (or folded into a rewrite). Core's
+// WAL-failure rollback uses it to find the acknowledged prefix of the
+// memtable.
+func (l *Log) DurableOffset() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.synced
+}
+
+// Err returns the sticky poison error, nil while the log is healthy.
+// A non-nil Err means a write or fsync failed and every further write
+// path fails with the same error; core uses it to distinguish "the log
+// itself is poisoned" from a transient rewrite failure (a temp file
+// that could not be created) that leaves the log fully usable.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncErr
 }
 
 // Stats returns the log's size and activity counters.

@@ -80,6 +80,17 @@ func WithStats() QueryOption {
 	return func(c *queryConfig) { c.stats = true }
 }
 
+// WithDegrade requests the cheap cascade: when the query leaves the
+// whole α/β/γ triple unset, α and γ shrink to a quarter of the built
+// values (floored, never below k) so the query does a fraction of the
+// I/O and refinement work. Queries that pin any cascade knob are
+// unaffected — their explicit contract is honoured. The serving layer
+// sets this under overload pressure (adaptive degradation);
+// Stats.Degraded echoes whether a knob actually shrank.
+func WithDegrade() QueryOption {
+	return func(c *queryConfig) { c.opts.Degrade = true }
+}
+
 // Response is one query's answer: the approximate k nearest neighbours
 // (nearest first) and, when WithStats was given, the work counters with
 // the effective cascade echoed back.

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race crash chaos staticcheck bench bench-smoke bench-compare metrics-smoke snapshot snapshot-sharded sweep fmt fmt-check vet check serve clean
+.PHONY: build test race crash chaos cluster-chaos staticcheck bench bench-smoke bench-compare metrics-smoke snapshot snapshot-sharded sweep fmt fmt-check vet check serve clean
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,14 @@ crash:
 chaos:
 	$(GO) test -race -count=1 ./internal/iofault/ ./internal/admission/
 	$(GO) test -race -count=1 -run '^Test(Fault|Chaos|Overload)' ./internal/core/ ./internal/server/
+
+# Cluster robustness suite under the race detector: the coordinator's
+# equivalence/failover/hedging tests, the netfault flaky-TCP proxy
+# tests, and the replica SIGKILL storm against real hdserve processes
+# (the cluster CI job).
+cluster-chaos:
+	$(GO) test -race -count=1 ./internal/cluster/ ./internal/netfault/
+	$(GO) test -race -count=1 -run '^TestClusterReplicaKillStorm$$' -v ./internal/crash/
 
 # Requires staticcheck on PATH (CI installs it; there is no vendored
 # copy). Configured by staticcheck.conf.
@@ -63,12 +71,14 @@ snapshot:
 # mixed insert/search rows (WAL write throughput vs flush-per-insert,
 # read latency under writes). -overload adds the admission-control
 # storm rows (shed rate, accepted-tail latency, degraded fraction at
-# ~4× the sustainable rate).
+# ~4× the sustainable rate). -cluster adds the cluster-serving rows
+# (coordinator scatter-gather vs in-process qps/p99, hedged fraction,
+# failover behaviour with a dead replica).
 SNAPSHOT_SHARDED_OUT ?= bench-snapshot-sharded.json
 SWEEP ?= alpha=128,512,2048
 INGEST ?= 2000
 snapshot-sharded:
-	$(GO) run ./cmd/hdbench -shards 4 -snapshot $(SNAPSHOT_SHARDED_OUT) -scale 0.1 -queries 20 -k 20 -buildscale 1 -sweep $(SWEEP) -ingest $(INGEST) -overload
+	$(GO) run ./cmd/hdbench -shards 4 -snapshot $(SNAPSHOT_SHARDED_OUT) -scale 0.1 -queries 20 -k 20 -buildscale 1 -sweep $(SWEEP) -ingest $(INGEST) -overload -cluster
 
 # Walk the recall/latency frontier on one built index (per-query alpha
 # overrides; no rebuild between points) and print the rows. Override

@@ -66,8 +66,11 @@ func TestFacadeBuildDeterministicAcrossGOMAXPROCS(t *testing.T) {
 			t.Fatalf("shards=%d: file sets differ: %d vs %d", shards, len(fa), len(fb))
 		}
 		for name, ab := range fa {
-			if filepath.Base(name) == "manifest.json" {
+			switch filepath.Base(name) {
+			case "manifest.json":
 				continue // embeds a creation timestamp
+			case "identity.json":
+				continue // cluster UUID is random by design
 			}
 			if !bytes.Equal(ab, fb[name]) {
 				t.Fatalf("shards=%d: %s differs across GOMAXPROCS", shards, name)

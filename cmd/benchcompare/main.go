@@ -85,16 +85,17 @@ func main() {
 	fmt.Printf("new:      %s (%s)\n", flag.Arg(1), fresh.GoVersion)
 	// Compare only the workload knobs: ParallelClients is absent from
 	// pre-PR3 baselines, BuildScale from pre-PR4 ones, Sweep from
-	// pre-PR5 ones, Ingest from pre-PR6 ones, and Overload from pre-PR8
-	// ones; none of them changes the sequential query numbers (the
-	// sweep, ingest, and overload phases run strictly after every
-	// baseline measurement).
+	// pre-PR5 ones, Ingest from pre-PR6 ones, Overload from pre-PR8
+	// ones, and Cluster from pre-PR9 ones; none of them changes the
+	// sequential query numbers (the sweep, ingest, overload, and
+	// cluster phases run strictly after every baseline measurement).
 	bc, fc := base.Config, fresh.Config
 	bc.ParallelClients, fc.ParallelClients = 0, 0
 	bc.BuildScale, fc.BuildScale = 0, 0
 	bc.Sweep, fc.Sweep = "", ""
 	bc.Ingest, fc.Ingest = 0, 0
 	bc.Overload, fc.Overload = false, false
+	bc.Cluster, fc.Cluster = false, false
 	if bc != fc {
 		fmt.Printf("note: configs differ (baseline %+v, new %+v) — deltas are indicative only\n",
 			base.Config, fresh.Config)

@@ -36,6 +36,7 @@ func main() {
 		sweep      = flag.String("sweep", "", "walk a per-query knob over the built index and add recall/latency frontier rows to the snapshot (alpha=a1,a2,... or gamma=g1,g2,...)")
 		ingest     = flag.Int("ingest", 0, "add mixed insert/search rows to the snapshot: this many concurrent WAL-durable inserts per dataset, with the flush-per-insert comparison (0 = none)")
 		overload   = flag.Bool("overload", false, "add overload-storm rows to the snapshot: serve each dataset over HTTP with admission control on at ~4x the sustainable rate and report shed rate, accepted p99, degraded fraction")
+		clusterRow = flag.Bool("cluster", false, "add cluster-serving rows to the snapshot: serve each dataset both in-process and as a coordinator-fronted cluster of per-shard servers and report qps/p99, hedged fraction, failover behaviour")
 	)
 	flag.Parse()
 
@@ -57,6 +58,7 @@ func main() {
 		BuildScale: *buildscale,
 		Ingest:     *ingest,
 		Overload:   *overload,
+		Cluster:    *clusterRow,
 	}
 
 	// The experiment runners always measure the monolithic index (they
@@ -89,6 +91,10 @@ func main() {
 	}
 	if *overload && *snapshot == "" {
 		fmt.Fprintln(os.Stderr, "hdbench: -overload only applies to -snapshot")
+		os.Exit(2)
+	}
+	if *clusterRow && *snapshot == "" {
+		fmt.Fprintln(os.Stderr, "hdbench: -cluster only applies to -snapshot")
 		os.Exit(2)
 	}
 	if *sweep != "" {
@@ -144,6 +150,9 @@ func main() {
 		}
 		if len(snap.Overload) > 0 {
 			bench.PrintOverload(snap.Overload)
+		}
+		if len(snap.Cluster) > 0 {
+			bench.PrintCluster(snap.Cluster)
 		}
 		return
 	}

@@ -15,6 +15,13 @@
 //	GET  /healthz      liveness probe
 //
 // SIGINT/SIGTERM drain in-flight requests, flush the index, and exit.
+//
+// With -coordinator, hdserve serves no index of its own: it reads a
+// cluster manifest (-cluster-manifest) mapping each shard of a sharded
+// build to its ordered replica endpoints (each a stock hdserve holding
+// one shard directory), and answers /search and /searchbatch by
+// scatter-gathering over them — with retries, failover, hedged
+// requests, and active health checking. See internal/cluster.
 package main
 
 import (
@@ -29,12 +36,14 @@ import (
 	"time"
 
 	hdindex "github.com/hd-index/hdindex"
+	"github.com/hd-index/hdindex/internal/cluster"
 	"github.com/hd-index/hdindex/internal/server"
+	"github.com/hd-index/hdindex/internal/shard"
 )
 
 func main() {
 	var (
-		indexDir     = flag.String("index", "", "directory of a built index (required)")
+		indexDir     = flag.String("index", "", "directory of a built index (required unless -coordinator)")
 		addr         = flag.String("addr", ":8080", "listen address")
 		parallel     = flag.Bool("parallel", true, "search the index's trees concurrently")
 		batchWorkers = flag.Int("batch-workers", 0, "bound on concurrent queries per /searchbatch request (0 = GOMAXPROCS)")
@@ -54,8 +63,50 @@ func main() {
 		tenantRPS       = flag.Float64("tenant-rps", 0, "per-tenant (X-Tenant header) sustained requests/sec; over-budget tenants get 429 (0 = off)")
 		tenantBurst     = flag.Float64("tenant-burst", 0, "per-tenant burst allowance above -tenant-rps (0 = 2x rate)")
 		degradePressure = flag.Float64("degrade-pressure", 0, "expected queue wait in seconds beyond which unpinned queries run the cheap cascade (0 = default when admission is on)")
+
+		coordinator     = flag.Bool("coordinator", false, "serve as a cluster coordinator over -cluster-manifest instead of a local index")
+		clusterManifest = flag.String("cluster-manifest", "", "cluster manifest path (coordinator mode; required with -coordinator)")
+		retries         = flag.Int("retries", 0, "coordinator: replica attempts per sub-query (0 = 4)")
+		backoffBase     = flag.Duration("backoff", 0, "coordinator: initial retry backoff, doubled per attempt with jitter (0 = 5ms)")
+		backoffMax      = flag.Duration("backoff-max", 0, "coordinator: retry backoff ceiling (0 = 250ms)")
+		hedgeDelay      = flag.Duration("hedge-delay", 0, "coordinator: fixed hedge trigger; 0 adapts to the windowed p99 of sub-query latency")
+		noHedge         = flag.Bool("no-hedge", false, "coordinator: disable hedged requests")
+		healthInterval  = flag.Duration("health-interval", 0, "coordinator: replica health-check cadence (0 = 500ms, negative disables)")
 	)
 	flag.Parse()
+	if *coordinator {
+		runCoordinator(coordinatorConfig{
+			manifestPath:   *clusterManifest,
+			addr:           *addr,
+			drainTimeout:   *drainTimeout,
+			maxK:           *maxK,
+			maxBatch:       *maxBatch,
+			subQueryTO:     *queryTimeout,
+			retries:        *retries,
+			backoffBase:    *backoffBase,
+			backoffMax:     *backoffMax,
+			hedgeDelay:     *hedgeDelay,
+			noHedge:        *noHedge,
+			healthInterval: *healthInterval,
+		})
+		return
+	}
+	for _, f := range []struct {
+		set  bool
+		name string
+	}{
+		{*clusterManifest != "", "-cluster-manifest"},
+		{*retries != 0, "-retries"},
+		{*backoffBase != 0, "-backoff"},
+		{*backoffMax != 0, "-backoff-max"},
+		{*hedgeDelay != 0, "-hedge-delay"},
+		{*noHedge, "-no-hedge"},
+		{*healthInterval != 0, "-health-interval"},
+	} {
+		if f.set {
+			log.Fatalf("hdserve: %s only applies with -coordinator", f.name)
+		}
+	}
 	if *indexDir == "" {
 		log.Fatal("hdserve: -index is required")
 	}
@@ -89,8 +140,22 @@ func main() {
 		}
 	}
 
+	// A shard directory of a sharded build carries an identity stamp;
+	// exposing it on /healthz and /stats lets a cluster coordinator
+	// verify at startup that this endpoint serves the shard its manifest
+	// claims. Absent (standalone index) is fine; unreadable is not.
+	identity, err := shard.ReadIdentity(*indexDir)
+	if err != nil {
+		log.Fatalf("hdserve: read shard identity: %v", err)
+	}
+	if identity != nil {
+		log.Printf("hdserve: serving shard %d of %d (cluster %s)",
+			identity.Shard, identity.Shards, identity.ClusterUUID)
+	}
+
 	srv := server.New(idx, server.Config{
 		QueryTimeout:       *queryTimeout,
+		Identity:           identity,
 		MaxK:               *maxK,
 		MaxBatch:           *maxBatch,
 		ReadOnly:           *readOnly,
@@ -144,6 +209,90 @@ func main() {
 	if err := idx.Close(); err != nil {
 		log.Printf("hdserve: close: %v", err)
 	}
+	log.Print("hdserve: bye")
+	os.Exit(exitCode)
+}
+
+type coordinatorConfig struct {
+	manifestPath   string
+	addr           string
+	drainTimeout   time.Duration
+	maxK           int
+	maxBatch       int
+	subQueryTO     time.Duration
+	retries        int
+	backoffBase    time.Duration
+	backoffMax     time.Duration
+	hedgeDelay     time.Duration
+	noHedge        bool
+	healthInterval time.Duration
+}
+
+// runCoordinator is main for -coordinator mode: no local index, just
+// the scatter-gather layer over the manifest's shard servers.
+func runCoordinator(cfg coordinatorConfig) {
+	if cfg.manifestPath == "" {
+		log.Fatal("hdserve: -coordinator requires -cluster-manifest")
+	}
+	man, err := cluster.ReadManifest(cfg.manifestPath)
+	if err != nil {
+		log.Fatalf("hdserve: %v", err)
+	}
+	coord, err := cluster.New(man, cluster.Options{
+		MaxAttempts:     cfg.retries,
+		BackoffBase:     cfg.backoffBase,
+		BackoffMax:      cfg.backoffMax,
+		SubQueryTimeout: cfg.subQueryTO,
+		HedgeDelay:      cfg.hedgeDelay,
+		DisableHedging:  cfg.noHedge,
+		HealthInterval:  cfg.healthInterval,
+		MaxK:            cfg.maxK,
+		MaxBatch:        cfg.maxBatch,
+	})
+	if err != nil {
+		log.Fatalf("hdserve: %v", err)
+	}
+	// The startup identity sweep: a miswired endpoint (wrong shard,
+	// wrong build, wrong dimensionality) is a configuration error and
+	// refuses to start; an unreachable one is a runtime condition and
+	// is left to the health checker.
+	vctx, vcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	err = coord.Verify(vctx)
+	vcancel()
+	if err != nil {
+		log.Fatalf("hdserve: %v", err)
+	}
+	log.Printf("hdserve: coordinating %d shards (dim %d) from %s",
+		coord.NumShards(), coord.Dim(), cfg.manifestPath)
+
+	httpSrv := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           coord.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("hdserve: coordinator listening on %s", cfg.addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	exitCode := 0
+	select {
+	case err := <-errCh:
+		log.Printf("hdserve: %v", err)
+		exitCode = 1
+	case s := <-sig:
+		log.Printf("hdserve: %v, draining for up to %v", s, cfg.drainTimeout)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("hdserve: drain: %v", err)
+	}
+	coord.Close()
 	log.Print("hdserve: bye")
 	os.Exit(exitCode)
 }

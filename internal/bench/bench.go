@@ -63,6 +63,12 @@ type Config struct {
 	// sustainable closed-loop rate (see Snapshot.Overload). Only the
 	// snapshot runner consults it.
 	Overload bool
+	// Cluster adds the cluster-serving rows to the snapshot: each
+	// dataset built sharded and served both in-process and as a
+	// coordinator-fronted cluster of per-shard servers, under the same
+	// closed-loop storm (see Snapshot.Cluster). Only the snapshot
+	// runner consults it.
+	Cluster bool
 }
 
 func (c *Config) defaults() {

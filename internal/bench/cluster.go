@@ -1,0 +1,255 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	hdindex "github.com/hd-index/hdindex"
+	"github.com/hd-index/hdindex/internal/cluster"
+	"github.com/hd-index/hdindex/internal/server"
+	"github.com/hd-index/hdindex/internal/shard"
+	"github.com/hd-index/hdindex/internal/telemetry"
+)
+
+// Cluster-phase shape, fixed so snapshots stay machine-comparable: a
+// clusterShards-node cluster (each shard served by its own in-process
+// HTTP server, every shard listed twice so hedging has a second leg),
+// stormed by clusterClients closed-loop clients issuing single
+// searches — the request shape whose scatter/merge overhead the row
+// exists to price against the in-process sharded index.
+const (
+	clusterShards  = 2
+	clusterClients = 8
+	clusterMeasure = 1200 * time.Millisecond
+	// clusterFailMeasure bounds the degraded storm: shard 0's preferred
+	// replica is a dead address, so every request to it fails over.
+	clusterFailMeasure = 600 * time.Millisecond
+)
+
+// ClusterResult is one dataset's cluster-serving row: the same sharded
+// index served two ways — in one process behind one HTTP server, and
+// as an N-node cluster behind the coordinator — under the same
+// closed-loop storm. The answers are bit-identical (pinned by the
+// cluster equivalence tests); the row prices the distribution tax and
+// reports the robustness machinery's activity.
+type ClusterResult struct {
+	Dataset string `json:"dataset"`
+	N       int    `json:"n"`
+	Dim     int    `json:"dim"`
+	Shards  int    `json:"shards"`
+	Clients int    `json:"clients"`
+	// InprocQPS/P99US: the whole sharded index in one process behind
+	// one server — the ceiling the cluster is judged against. All
+	// latency fields are server-side (Server-Timing): queue wait
+	// included, client delivery delay excluded.
+	InprocQPS   float64 `json:"inproc_qps"`
+	InprocP99US float64 `json:"inproc_p99_us"`
+	// ClusterQPS/P99US: the same storm through the coordinator
+	// scatter-gathering over per-shard servers (hedging on, adaptive
+	// delay).
+	ClusterQPS   float64 `json:"cluster_qps"`
+	ClusterP99US float64 `json:"cluster_p99_us"`
+	// HedgedFraction is hedges fired per sub-query during the cluster
+	// storm (each request fans out to Shards sub-queries); HedgeWins
+	// counts the hedges whose backup answered first.
+	HedgedFraction float64 `json:"hedged_fraction"`
+	HedgeWins      uint64  `json:"hedge_wins"`
+	// The degraded storm re-points shard 0's preferred replica at a
+	// dead address: every shard-0 sub-query must fail over. Failovers
+	// is the coordinator's count over that storm; FailoverQPS is the
+	// throughput it sustained anyway; FailedRequests must be 0.
+	Failovers      uint64  `json:"failovers"`
+	FailoverQPS    float64 `json:"failover_qps"`
+	FailedRequests int64   `json:"failed_requests"`
+}
+
+// clusterTally accumulates one storm's outcomes.
+type clusterTally struct {
+	ok   atomic.Int64
+	errs atomic.Int64
+	hist telemetry.Histogram
+}
+
+// clusterStorm drives closed-loop clients posting single /search
+// requests until the deadline, recording server-side latency.
+func clusterStorm(clients int, url string, bodies [][]byte, d time.Duration) *clusterTally {
+	tl := &clusterTally{}
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: clients}}
+	stop := time.Now().Add(d)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; time.Now().Before(stop); i++ {
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(bodies[i%len(bodies)]))
+				if err != nil {
+					tl.errs.Add(1)
+					continue
+				}
+				elapsed := serverDuration(resp, time.Since(t0))
+				if resp.StatusCode == http.StatusOK {
+					tl.ok.Add(1)
+					tl.hist.ObserveDuration(elapsed)
+				} else {
+					tl.errs.Add(1)
+				}
+				resp.Body.Close()
+			}
+		}(c)
+	}
+	wg.Wait()
+	client.CloseIdleConnections()
+	return tl
+}
+
+// deadEndpoint reserves and releases a loopback port: connecting to it
+// refuses immediately, the cheapest possible replica failure.
+func deadEndpoint() (string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := l.Addr().String()
+	return "http://" + addr, l.Close()
+}
+
+// snapshotCluster builds the dataset's index sharded, serves it both
+// in-process and as a cluster of per-shard servers behind the
+// coordinator, and storms both with the same closed-loop clients.
+func snapshotCluster(spec DataSpec, cfg Config) (ClusterResult, error) {
+	w := MakeWorkload(spec, cfg)
+	n := len(w.Data.Vectors)
+	out := ClusterResult{Dataset: spec.Name, N: n, Dim: w.Data.Dim,
+		Shards: clusterShards, Clients: clusterClients}
+
+	p := HDParams(spec, n)
+	root := filepath.Join(cfg.WorkDir, "snapshot-cluster", spec.Name)
+	built, err := hdindex.Build(root, w.Data.Vectors, hdindex.Options{
+		Tau: p.Tau, Omega: p.Omega, M: p.M,
+		Alpha: p.Alpha, Beta: p.Beta, Gamma: p.Gamma,
+		Seed: cfg.Seed, Shards: clusterShards,
+	})
+	if err != nil {
+		return out, err
+	}
+	if err := built.Close(); err != nil {
+		return out, err
+	}
+
+	// The in-process ceiling: the whole sharded index behind one server.
+	whole, err := hdindex.Open(root, hdindex.Options{})
+	if err != nil {
+		return out, err
+	}
+	defer whole.Close()
+	inproc := httptest.NewServer(server.New(whole, server.Config{}).Handler())
+	defer inproc.Close()
+
+	// The cluster: one server per shard directory, each listed twice in
+	// the manifest so the hedging path has a second replica to race.
+	man := &cluster.Manifest{FormatVersion: cluster.ManifestFormatVersion, Dim: w.Data.Dim}
+	for i := 0; i < clusterShards; i++ {
+		dir := filepath.Join(root, fmt.Sprintf("shard-%02d", i))
+		idx, err := hdindex.Open(dir, hdindex.Options{})
+		if err != nil {
+			return out, err
+		}
+		defer idx.Close()
+		id, err := shard.ReadIdentity(dir)
+		if err != nil {
+			return out, err
+		}
+		if id != nil {
+			man.UUID = id.ClusterUUID
+		}
+		node := httptest.NewServer(server.New(idx, server.Config{Identity: id}).Handler())
+		defer node.Close()
+		man.Shards = append(man.Shards, cluster.ShardSpec{
+			Ordinal: i, Replicas: []string{node.URL, node.URL},
+		})
+	}
+	coord, err := cluster.New(man, cluster.Options{})
+	if err != nil {
+		return out, err
+	}
+	defer coord.Close()
+	front := httptest.NewServer(coord.Handler())
+	defer front.Close()
+
+	bodies := make([][]byte, len(w.Queries))
+	for i, q := range w.Queries {
+		if bodies[i], err = json.Marshal(map[string]any{"query": q, "k": w.K}); err != nil {
+			return out, err
+		}
+	}
+
+	// Phase 1 — in-process storm.
+	base := clusterStorm(clusterClients, inproc.URL+"/search", bodies, clusterMeasure)
+	if base.ok.Load() == 0 {
+		return out, fmt.Errorf("bench: in-process cluster baseline made no successful requests (%d errors)", base.errs.Load())
+	}
+	out.InprocQPS = float64(base.ok.Load()) / clusterMeasure.Seconds()
+	out.InprocP99US = base.hist.Snapshot().Quantile(0.99) / 1e3
+
+	// Phase 2 — the same storm through the coordinator.
+	cl := clusterStorm(clusterClients, front.URL+"/search", bodies, clusterMeasure)
+	if cl.ok.Load() == 0 {
+		return out, fmt.Errorf("bench: cluster storm made no successful requests (%d errors)", cl.errs.Load())
+	}
+	st := coord.Stats()
+	out.ClusterQPS = float64(cl.ok.Load()) / clusterMeasure.Seconds()
+	out.ClusterP99US = cl.hist.Snapshot().Quantile(0.99) / 1e3
+	if subqueries := cl.ok.Load() * int64(clusterShards); subqueries > 0 {
+		out.HedgedFraction = float64(st.HedgesFired) / float64(subqueries)
+	}
+	out.HedgeWins = st.HedgeWins
+
+	// Phase 3 — degraded storm: shard 0's preferred replica is a dead
+	// address, so every shard-0 sub-query fails over to the live one.
+	// The row's contract: zero failed requests, throughput intact.
+	dead, err := deadEndpoint()
+	if err != nil {
+		return out, err
+	}
+	failMan := *man
+	failMan.Shards = append([]cluster.ShardSpec(nil), man.Shards...)
+	failMan.Shards[0] = cluster.ShardSpec{
+		Ordinal: 0, Replicas: []string{dead, man.Shards[0].Replicas[0]},
+	}
+	// Health checking off: the point is the per-request failover path,
+	// not the prober learning to skip the dead replica.
+	failCoord, err := cluster.New(&failMan, cluster.Options{HealthInterval: -1})
+	if err != nil {
+		return out, err
+	}
+	defer failCoord.Close()
+	failFront := httptest.NewServer(failCoord.Handler())
+	defer failFront.Close()
+	fl := clusterStorm(clusterClients, failFront.URL+"/search", bodies, clusterFailMeasure)
+	fst := failCoord.Stats()
+	out.Failovers = fst.Failovers
+	out.FailoverQPS = float64(fl.ok.Load()) / clusterFailMeasure.Seconds()
+	out.FailedRequests = fl.errs.Load()
+	return out, nil
+}
+
+// PrintCluster renders the cluster rows the way the other phases print
+// theirs.
+func PrintCluster(rows []ClusterResult) {
+	fmt.Println("\n== Cluster serving (coordinator scatter-gather vs in-process) ==")
+	for _, r := range rows {
+		fmt.Printf("  %-10s inproc %7.0f qps (p99 %7.0fµs)  cluster %7.0f qps (p99 %7.0fµs)  hedged %5.2f%%  failovers %d (degraded %7.0f qps, %d failed)\n",
+			r.Dataset, r.InprocQPS, r.InprocP99US, r.ClusterQPS, r.ClusterP99US,
+			100*r.HedgedFraction, r.Failovers, r.FailoverQPS, r.FailedRequests)
+	}
+}

@@ -46,6 +46,11 @@ type Snapshot struct {
 	// accepted-tail latency, degraded fraction at ~4× the sustainable
 	// rate. Absent when Config.Overload is false.
 	Overload []OverloadResult `json:"overload,omitempty"`
+	// Cluster holds the cluster-serving rows — coordinator
+	// scatter-gather qps/p99 vs the in-process sharded index, hedged
+	// fraction, failover behaviour with a dead replica. Absent when
+	// Config.Cluster is false.
+	Cluster []ClusterResult `json:"cluster,omitempty"`
 }
 
 // snapshotParallelClients is the fixed concurrent-client count of the
@@ -76,6 +81,10 @@ type SnapshotConfig struct {
 	// itself has fixed shape: overloadInflight slots, overloadFactor×
 	// closed-loop clients).
 	Overload bool `json:"overload,omitempty"`
+	// Cluster records whether the cluster-serving phase ran (fixed
+	// shape: clusterShards shards × 2 replicas, clusterClients
+	// closed-loop clients).
+	Cluster bool `json:"cluster,omitempty"`
 }
 
 // BuildPhaseMS is the per-phase construction cost breakdown mirrored
@@ -170,7 +179,7 @@ func RunSnapshot(cfg Config, datasets []string) (*Snapshot, error) {
 			Scale: cfg.Scale, Queries: cfg.Queries, K: cfg.K, Seed: cfg.Seed,
 			Shards: cfg.Shards, ParallelClients: snapshotParallelClients,
 			BuildScale: cfg.BuildScale, Sweep: cfg.Sweep.String(),
-			Ingest: cfg.Ingest, Overload: cfg.Overload,
+			Ingest: cfg.Ingest, Overload: cfg.Overload, Cluster: cfg.Cluster,
 		},
 	}
 	for _, name := range datasets {
@@ -223,6 +232,19 @@ func RunSnapshot(cfg Config, datasets []string) (*Snapshot, error) {
 				return nil, err
 			}
 			snap.Overload = append(snap.Overload, row)
+		}
+	}
+	// The cluster phase also saturates the box (closed-loop storms over
+	// loopback HTTP), so it shares the after-everything slot with the
+	// overload storm; both measure only themselves.
+	if cfg.Cluster {
+		for _, name := range datasets {
+			spec, _ := SpecByName(name)
+			row, err := snapshotCluster(spec, cfg)
+			if err != nil {
+				return nil, err
+			}
+			snap.Cluster = append(snap.Cluster, row)
 		}
 	}
 	return snap, nil

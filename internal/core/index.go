@@ -135,6 +135,10 @@ func RemoveIndexFiles(dir string) error {
 		filepath.Join(dir, deletedFile),
 		filepath.Join(dir, "vectors.pg"),
 		filepath.Join(dir, walFile),
+		// The sharded layout's per-shard identity stamp (internal/shard):
+		// a directory rebuilt as a standalone index must stop claiming
+		// membership in whatever cluster build it used to belong to.
+		filepath.Join(dir, "identity.json"),
 	}
 	for _, p := range append(victims, trees...) {
 		if err := os.Remove(p); err != nil && !os.IsNotExist(err) {

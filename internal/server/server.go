@@ -36,6 +36,7 @@ import (
 
 	hdindex "github.com/hd-index/hdindex"
 	"github.com/hd-index/hdindex/internal/admission"
+	"github.com/hd-index/hdindex/internal/shard"
 	"github.com/hd-index/hdindex/internal/telemetry"
 )
 
@@ -103,6 +104,14 @@ type Config struct {
 	// knobs unset run the cheap cascade (core's Degrade preset) and
 	// their stats echo degraded=true. 0 disables degradation.
 	DegradePressure float64
+
+	// Identity is the shard identity stamp of the served directory, when
+	// it is one shard of a sharded build (hdserve reads identity.json
+	// and passes it through). /healthz and /stats echo it so a cluster
+	// coordinator can verify at startup that this endpoint serves the
+	// shard its manifest says it does, instead of silently merging
+	// wrong-shard results. Nil for standalone indexes.
+	Identity *shard.Identity
 }
 
 func (c *Config) defaults() {
@@ -770,6 +779,9 @@ type StatsResponse struct {
 	// Health mirrors /healthz's status field so one /stats poll carries
 	// the whole serving picture.
 	Health string `json:"health"`
+	// Identity is the shard identity stamp when this server holds one
+	// shard of a sharded build (see Config.Identity).
+	Identity *shard.Identity `json:"identity,omitempty"`
 	// Admission is the overload-control block: accepted/shed counters,
 	// live inflight/queued occupancy, the pressure signal, and whether
 	// new unpinned queries are being degraded. Omitted when admission
@@ -801,6 +813,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) (any, error
 	resp.Index.WAL = s.idx.IngestStats()
 	resp.UptimeSeconds = up.Seconds()
 	resp.Health = s.healthState()
+	resp.Identity = s.cfg.Identity
 	if s.adm != nil {
 		st := s.adm.Stats()
 		resp.Admission = &st
@@ -832,6 +845,19 @@ func (s *Server) healthState() string {
 	return "ok"
 }
 
+// HealthzResponse is the /healthz payload. Beyond the liveness status
+// it carries enough identity for a cluster coordinator's startup check:
+// the vector count and dimensionality always, and the shard identity
+// stamp when the served directory is one shard of a sharded build.
+type HealthzResponse struct {
+	Status string `json:"status"`
+	Count  uint64 `json:"count"`
+	Dim    int    `json:"dim"`
+	// Identity names which shard of which sharded build this server
+	// holds; absent for standalone indexes.
+	Identity *shard.Identity `json:"identity,omitempty"`
+}
+
 // handleHealthz reports the health state machine. Status is 200 for
 // ok, degraded, and read_only — the server is still answering queries
 // and a restart would not help — and 503 for overloaded, which pulls
@@ -845,6 +871,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if status == "overloaded" {
 		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]string{"status": status})
+	writeJSON(w, code, HealthzResponse{
+		Status:   status,
+		Count:    s.idx.Count(),
+		Dim:      s.idx.Dim(),
+		Identity: s.cfg.Identity,
+	})
 	s.mHealth.observe(time.Since(start), code != http.StatusOK)
 }

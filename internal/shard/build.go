@@ -90,6 +90,7 @@ func BuildContext(ctx context.Context, dir string, vectors [][]float32, p Params
 			FormatVersion: FormatVersion,
 			Shards:        n,
 			Dim:           len(vectors[0]),
+			UUID:          NewUUID(),
 			CreatedUnix:   now().Unix(),
 		},
 		shards:       make([]*core.Index, n),
@@ -144,6 +145,14 @@ func BuildContext(ctx context.Context, dir string, vectors [][]float32, p Params
 		ix, err := core.BuildContext(ctx, shardDir(dir, i), stripes[i], sp)
 		if err != nil {
 			return fmt.Errorf("shard: build shard %d: %w", i, err)
+		}
+		// Stamp the shard with its place in the layout so a standalone
+		// server over this directory can prove which shard it holds
+		// (the distributed deployment's miswiring check).
+		if err := WriteIdentity(shardDir(dir, i), Identity{
+			ClusterUUID: s.man.UUID, Shard: i, Shards: n, Dim: s.man.Dim,
+		}); err != nil {
+			return fmt.Errorf("shard: stamp shard %d: %w", i, err)
 		}
 		s.shards[i] = ix
 		return nil

@@ -39,7 +39,9 @@ func shardFiles(t *testing.T, dir string) map[string][]byte {
 // TestShardedBuildDeterministicAcrossGOMAXPROCS pins layout-level
 // determinism: varying available parallelism (and the BuildWorkers
 // budget) must not change a single byte of any shard. Only
-// manifest.json is exempt — it embeds a creation timestamp.
+// manifest.json (embeds a creation timestamp) and identity.json (the
+// cluster UUID is random by design — it exists to tell two builds
+// apart) are exempt.
 func TestShardedBuildDeterministicAcrossGOMAXPROCS(t *testing.T) {
 	ds := testData(t, 1501)
 	build := func(dir string, procs, workers int) {
@@ -62,8 +64,11 @@ func TestShardedBuildDeterministicAcrossGOMAXPROCS(t *testing.T) {
 		t.Fatalf("file sets differ: %d vs %d", len(fa), len(fb))
 	}
 	for name, ab := range fa {
-		if filepath.Base(name) == "manifest.json" {
+		switch filepath.Base(name) {
+		case "manifest.json":
 			continue // CreatedUnix timestamp differs by design
+		case "identity.json":
+			continue // ClusterUUID differs by design
 		}
 		bb, ok := fb[name]
 		if !ok {

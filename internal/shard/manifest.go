@@ -47,6 +47,12 @@ type Manifest struct {
 	FormatVersion int `json:"format_version"`
 	Shards        int `json:"shards"`
 	Dim           int `json:"dim"`
+	// UUID identifies this build: one random identifier shared by the
+	// layout and the identity stamp in every shard subdirectory, so a
+	// cluster coordinator can prove an endpoint serves a shard of THIS
+	// build. Empty on manifests written before identities existed —
+	// readers must treat absence as "unverifiable", not as a mismatch.
+	UUID string `json:"uuid,omitempty"`
 	// CreatedUnix is the build time in Unix seconds — informational
 	// metadata for tooling (hdtool info), not consulted by Open.
 	CreatedUnix int64 `json:"created_unix"`

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race crash chaos cluster-chaos staticcheck bench bench-smoke bench-compare metrics-smoke snapshot snapshot-sharded sweep fmt fmt-check vet check serve clean
+.PHONY: build test race crash chaos cluster-chaos staticcheck bench bench-smoke bench-compare metrics-smoke snapshot snapshot-sharded sweep tune-smoke fmt fmt-check vet check serve clean
 
 build:
 	$(GO) build ./...
@@ -12,7 +12,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/wal/... ./internal/core/... ./internal/server/... ./internal/shard/... ./internal/fanout/... ./internal/pager/... ./internal/vecstore/... ./internal/telemetry/... ./internal/admission/... ./internal/iofault/...
+	$(GO) test -race ./internal/wal/... ./internal/core/... ./internal/server/... ./internal/shard/... ./internal/fanout/... ./internal/pager/... ./internal/vecstore/... ./internal/telemetry/... ./internal/admission/... ./internal/iofault/... ./internal/slo/...
 
 # SIGKILL a live hdserve mid-insert-storm and prove recovery loses no
 # acknowledged write (the crash-recovery CI job). Rounds default to 3;
@@ -73,18 +73,26 @@ snapshot:
 # storm rows (shed rate, accepted-tail latency, degraded fraction at
 # ~4× the sustainable rate). -cluster adds the cluster-serving rows
 # (coordinator scatter-gather vs in-process qps/p99, hedged fraction,
-# failover behaviour with a dead replica).
+# failover behaviour with a dead replica). -tiered adds the
+# quality-tier rows (named presets plus the SLO tuner's auto pick).
 SNAPSHOT_SHARDED_OUT ?= bench-snapshot-sharded.json
 SWEEP ?= alpha=128,512,2048
 INGEST ?= 2000
 snapshot-sharded:
-	$(GO) run ./cmd/hdbench -shards 4 -snapshot $(SNAPSHOT_SHARDED_OUT) -scale 0.1 -queries 20 -k 20 -buildscale 1 -sweep $(SWEEP) -ingest $(INGEST) -overload -cluster
+	$(GO) run ./cmd/hdbench -shards 4 -snapshot $(SNAPSHOT_SHARDED_OUT) -scale 0.1 -queries 20 -k 20 -buildscale 1 -sweep $(SWEEP) -ingest $(INGEST) -overload -cluster -tiered
 
 # Walk the recall/latency frontier on one built index (per-query alpha
 # overrides; no rebuild between points) and print the rows. Override
 # the spec with SWEEP=alpha=... or SWEEP=gamma=...
 sweep:
 	$(GO) run ./cmd/hdbench -snapshot sweep-snapshot.json -scale 0.1 -queries 20 -k 20 -sweep $(SWEEP)
+
+# The SLO-tuning smoke: sweep a small frontier to an artifact, then
+# resolve a recall target against it offline with `hdtool tune` — the
+# same artifact and decision rules `hdserve -slo -frontier` serves by.
+tune-smoke:
+	$(GO) run ./cmd/hdbench -snapshot tune-snapshot.json -scale 0.05 -queries 20 -k 10 -sweep alpha=64,256,1024 -sweep-out tune-frontier.json
+	$(GO) run ./cmd/hdtool tune -frontier tune-frontier.json -slo "recall>=0.9"
 
 # Report-only perf diff: regenerate a sharded snapshot with the
 # baseline's config and print per-dataset deltas (build_ms,
@@ -121,4 +129,4 @@ serve:
 	$(GO) run ./cmd/hdserve -index /tmp/hdserve-demo.index
 
 clean:
-	rm -f bench-smoke.txt bench-core.txt bench-snapshot.json sweep-snapshot.json
+	rm -f bench-smoke.txt bench-core.txt bench-snapshot.json sweep-snapshot.json tune-snapshot.json tune-frontier.json

@@ -86,9 +86,10 @@ func main() {
 	// Compare only the workload knobs: ParallelClients is absent from
 	// pre-PR3 baselines, BuildScale from pre-PR4 ones, Sweep from
 	// pre-PR5 ones, Ingest from pre-PR6 ones, Overload from pre-PR8
-	// ones, and Cluster from pre-PR9 ones; none of them changes the
-	// sequential query numbers (the sweep, ingest, overload, and
-	// cluster phases run strictly after every baseline measurement).
+	// ones, Cluster from pre-PR9 ones, and Tiered from pre-PR10 ones;
+	// none of them changes the sequential query numbers (the sweep,
+	// ingest, overload, cluster, and tiered phases run strictly after
+	// every baseline measurement).
 	bc, fc := base.Config, fresh.Config
 	bc.ParallelClients, fc.ParallelClients = 0, 0
 	bc.BuildScale, fc.BuildScale = 0, 0
@@ -96,6 +97,7 @@ func main() {
 	bc.Ingest, fc.Ingest = 0, 0
 	bc.Overload, fc.Overload = false, false
 	bc.Cluster, fc.Cluster = false, false
+	bc.Tiered, fc.Tiered = false, false
 	if bc != fc {
 		fmt.Printf("note: configs differ (baseline %+v, new %+v) — deltas are indicative only\n",
 			base.Config, fresh.Config)
@@ -191,6 +193,30 @@ func main() {
 			printDelta("map", old.MAP, nw.MAP, true)
 			printDelta("candidates_per_query", old.CandidatesPerQuery, nw.CandidatesPerQuery, false)
 			printDelta("page_reads_per_query", old.PageReadsPerQuery, nw.PageReadsPerQuery, false)
+		}
+	}
+
+	// Quality-tier rows (PR10+), matched on (dataset, preset). Like the
+	// sweep rows, points only one side measured print without deltas.
+	if len(fresh.Tiered) > 0 {
+		tierByKey := make(map[string]bench.TieredResult, len(base.Tiered))
+		for _, row := range base.Tiered {
+			tierByKey[row.Dataset+"/"+row.Preset] = row
+		}
+		for _, nw := range fresh.Tiered {
+			fmt.Printf("\n%s tier %s (alpha=%d gamma=%d", nw.Dataset, nw.Preset, nw.Alpha, nw.Gamma)
+			if nw.Target != "" {
+				fmt.Printf(", %s", nw.Target)
+				if nw.SLOUnmet {
+					fmt.Printf(" UNMET")
+				}
+			}
+			fmt.Printf(")\n")
+			fmt.Printf("  %-22s %14s %14s %10s\n", "metric", "baseline", "new", "delta")
+			old := tierByKey[nw.Dataset+"/"+nw.Preset]
+			printDelta("mean_query_us", old.MeanQueryUS, nw.MeanQueryUS, false)
+			printDelta("p99_query_us", old.P99QueryUS, nw.P99QueryUS, false)
+			printDelta("recall", old.Recall, nw.Recall, true)
 		}
 	}
 

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"github.com/hd-index/hdindex/internal/bench"
+	"github.com/hd-index/hdindex/internal/slo"
 )
 
 func main() {
@@ -37,6 +38,8 @@ func main() {
 		ingest     = flag.Int("ingest", 0, "add mixed insert/search rows to the snapshot: this many concurrent WAL-durable inserts per dataset, with the flush-per-insert comparison (0 = none)")
 		overload   = flag.Bool("overload", false, "add overload-storm rows to the snapshot: serve each dataset over HTTP with admission control on at ~4x the sustainable rate and report shed rate, accepted p99, degraded fraction")
 		clusterRow = flag.Bool("cluster", false, "add cluster-serving rows to the snapshot: serve each dataset both in-process and as a coordinator-fronted cluster of per-shard servers and report qps/p99, hedged fraction, failover behaviour")
+		tiered     = flag.Bool("tiered", false, "add quality-tier rows to the snapshot: each named preset (exact/balanced/fast) plus the SLO tuner's auto choice measured on the built index")
+		sweepOut   = flag.String("sweep-out", "", "also write the first dataset's sweep rows as a frontier artifact (JSON) the server's SLO tuner loads (-frontier); requires -sweep")
 	)
 	flag.Parse()
 
@@ -59,6 +62,7 @@ func main() {
 		Ingest:     *ingest,
 		Overload:   *overload,
 		Cluster:    *clusterRow,
+		Tiered:     *tiered,
 	}
 
 	// The experiment runners always measure the monolithic index (they
@@ -95,6 +99,14 @@ func main() {
 	}
 	if *clusterRow && *snapshot == "" {
 		fmt.Fprintln(os.Stderr, "hdbench: -cluster only applies to -snapshot")
+		os.Exit(2)
+	}
+	if *tiered && *snapshot == "" {
+		fmt.Fprintln(os.Stderr, "hdbench: -tiered only applies to -snapshot")
+		os.Exit(2)
+	}
+	if *sweepOut != "" && *sweep == "" {
+		fmt.Fprintln(os.Stderr, "hdbench: -sweep-out requires -sweep")
 		os.Exit(2)
 	}
 	if *sweep != "" {
@@ -145,6 +157,18 @@ func main() {
 					row.CandidatesPerQuery, row.PageReadsPerQuery)
 			}
 		}
+		// The frontier artifact records the first dataset's rows: one
+		// artifact describes one built index, and the first dataset is
+		// the one the serving smoke (make tune-smoke) builds.
+		if *sweepOut != "" && len(snap.Sweep) > 0 {
+			first := snap.Sweep[0].Dataset
+			f := bench.Frontier(snap.Sweep, first, cfg.K)
+			if err := slo.WriteFrontier(*sweepOut, f); err != nil {
+				fmt.Fprintf(os.Stderr, "hdbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%d points, dataset %s)\n", *sweepOut, len(f.Points), first)
+		}
 		if len(snap.Ingest) > 0 {
 			bench.PrintIngest(snap.Ingest)
 		}
@@ -153,6 +177,9 @@ func main() {
 		}
 		if len(snap.Cluster) > 0 {
 			bench.PrintCluster(snap.Cluster)
+		}
+		if len(snap.Tiered) > 0 {
+			bench.PrintTiered(snap.Tiered)
 		}
 		return
 	}

@@ -16,6 +16,13 @@
 //
 // SIGINT/SIGTERM drain in-flight requests, flush the index, and exit.
 //
+// Quality tiers: -preset sets the server default quality preset,
+// -tiers maps X-Tenant values to tiers (preset + admission shares),
+// and -slo "recall>=0.98" -frontier frontier.json runs the auto-tuner,
+// which picks the cheapest operating point on the measured
+// recall/latency frontier that satisfies the target and keeps
+// re-picking as live re-measurement moves the frontier.
+//
 // With -coordinator, hdserve serves no index of its own: it reads a
 // cluster manifest (-cluster-manifest) mapping each shard of a sharded
 // build to its ordered replica endpoints (each a stock hdserve holding
@@ -39,6 +46,7 @@ import (
 	"github.com/hd-index/hdindex/internal/cluster"
 	"github.com/hd-index/hdindex/internal/server"
 	"github.com/hd-index/hdindex/internal/shard"
+	"github.com/hd-index/hdindex/internal/slo"
 )
 
 func main() {
@@ -63,6 +71,13 @@ func main() {
 		tenantRPS       = flag.Float64("tenant-rps", 0, "per-tenant (X-Tenant header) sustained requests/sec; over-budget tenants get 429 (0 = off)")
 		tenantBurst     = flag.Float64("tenant-burst", 0, "per-tenant burst allowance above -tenant-rps (0 = 2x rate)")
 		degradePressure = flag.Float64("degrade-pressure", 0, "expected queue wait in seconds beyond which unpinned queries run the cheap cascade (0 = default when admission is on)")
+
+		defaultPreset  = flag.String("preset", "", "server default quality preset for requests naming none: exact, balanced, fast, or auto (default auto)")
+		tiersPath      = flag.String("tiers", "", "tenant tier config file mapping X-Tenant values to a preset and admission shares")
+		sloTarget      = flag.String("slo", "", `SLO target the auto-tuner holds, e.g. "recall>=0.98" or "p99<=2ms" (requires -frontier)`)
+		frontierPath   = flag.String("frontier", "", "recall/latency frontier artifact from hdbench -sweep -sweep-out (required with -slo)")
+		retuneInterval = flag.Duration("retune-interval", 0, "how often the tuner re-evaluates its operating point (0 = 30s)")
+		remeasureEvery = flag.Duration("remeasure-interval", 0, "how often the tuner replays sampled queries to refresh the frontier (0 = 10m, negative = never)")
 
 		coordinator     = flag.Bool("coordinator", false, "serve as a cluster coordinator over -cluster-manifest instead of a local index")
 		clusterManifest = flag.String("cluster-manifest", "", "cluster manifest path (coordinator mode; required with -coordinator)")
@@ -109,6 +124,55 @@ func main() {
 	}
 	if *indexDir == "" {
 		log.Fatal("hdserve: -index is required")
+	}
+
+	// Quality-tier and SLO config is validated before touching the
+	// index: a typo'd preset or a stale frontier path must fail fast,
+	// not after a multi-second open.
+	var preset hdindex.Preset
+	if *defaultPreset != "" {
+		p, err := hdindex.ParsePreset(*defaultPreset)
+		if err != nil {
+			log.Fatalf("hdserve: -preset: %v", err)
+		}
+		preset = p
+	}
+	var tiers *slo.TierConfig
+	if *tiersPath != "" {
+		t, err := slo.ReadTierConfig(*tiersPath)
+		if err != nil {
+			log.Fatalf("hdserve: -tiers: %v", err)
+		}
+		tiers = t
+	}
+	var target *slo.Target
+	var frontier *slo.Frontier
+	if *sloTarget != "" {
+		if *frontierPath == "" {
+			log.Fatal("hdserve: -slo requires -frontier (write one with hdbench -sweep ... -sweep-out)")
+		}
+		tg, err := slo.ParseTarget(*sloTarget)
+		if err != nil {
+			log.Fatalf("hdserve: -slo: %v", err)
+		}
+		target = &tg
+		frontier, err = slo.ReadFrontier(*frontierPath)
+		if err != nil {
+			log.Fatalf("hdserve: -frontier: %v", err)
+		}
+	} else {
+		for _, f := range []struct {
+			set  bool
+			name string
+		}{
+			{*frontierPath != "", "-frontier"},
+			{*retuneInterval != 0, "-retune-interval"},
+			{*remeasureEvery != 0, "-remeasure-interval"},
+		} {
+			if f.set {
+				log.Fatalf("hdserve: %s only applies with -slo", f.name)
+			}
+		}
 	}
 
 	if *noFlush {
@@ -166,7 +230,21 @@ func main() {
 		TenantRPS:          *tenantRPS,
 		TenantBurst:        *tenantBurst,
 		DegradePressure:    *degradePressure,
+		DefaultPreset:      preset,
+		Tiers:              tiers,
+		SLO:                target,
+		Frontier:           frontier,
+		RetuneInterval:     *retuneInterval,
+		RemeasureInterval:  *remeasureEvery,
 	})
+	if target != nil {
+		log.Printf("hdserve: SLO tuner holding %s over %d frontier points (%s)",
+			target, len(frontier.Points), *frontierPath)
+	}
+	if tiers != nil {
+		log.Printf("hdserve: %d tenant tiers over %d mapped tenants (%s)",
+			len(tiers.Tiers), len(tiers.Tenants), *tiersPath)
+	}
 	if *pprofOn {
 		log.Print("hdserve: pprof enabled at /debug/pprof/")
 	}

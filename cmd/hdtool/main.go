@@ -6,6 +6,7 @@
 //	hdtool build -data vectors.fvecs -index ./my.index [-tau 8 -omega 16 -m 10]
 //	hdtool query -index ./my.index -queries q.fvecs -k 10 [-out results.ivecs]
 //	hdtool info  -index ./my.index
+//	hdtool tune  -frontier frontier.json -slo "recall>=0.98"
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	hdindex "github.com/hd-index/hdindex"
 	"github.com/hd-index/hdindex/internal/data"
 	"github.com/hd-index/hdindex/internal/shard"
+	"github.com/hd-index/hdindex/internal/slo"
 	"github.com/hd-index/hdindex/internal/telemetry"
 )
 
@@ -36,6 +38,8 @@ func main() {
 		err = runQuery(os.Args[2:])
 	case "info":
 		err = runInfo(os.Args[2:])
+	case "tune":
+		err = runTune(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -51,7 +55,8 @@ func usage() {
   hdtool build -data vectors.fvecs -index DIR [-shards N] [-tau N -omega N -m N -alpha N -gamma N -ptolemaic]
   hdtool query -index DIR -queries q.fvecs -k K [-out results.ivecs] [-parallel]
                [-alpha N -gamma N -ptolemaic=BOOL -stats]
-  hdtool info  -index DIR`)
+  hdtool info  -index DIR
+  hdtool tune  -frontier frontier.json [-slo "recall>=0.98" | -slo "p99<=2ms"]`)
 }
 
 func runBuild(args []string) error {
@@ -256,6 +261,54 @@ func runInfo(args []string) error {
 	for _, sh := range ix.Shards() {
 		fmt.Printf("  shard-%02d:    %d vectors, %d deleted, %d bytes\n",
 			sh.ID, sh.Count, sh.Deleted, sh.SizeOnDisk)
+	}
+	return nil
+}
+
+// runTune inspects a frontier artifact offline: it prints the measured
+// operating points and, with -slo, the point the serving tuner would
+// pick for that target — the dry-run an operator does before wiring
+// `hdserve -slo -frontier` up.
+func runTune(args []string) error {
+	fs := flag.NewFlagSet("tune", flag.ExitOnError)
+	frontierPath := fs.String("frontier", "", "frontier artifact from hdbench -sweep -sweep-out")
+	sloTarget := fs.String("slo", "", `target to resolve, e.g. "recall>=0.98" or "p99<=2ms"`)
+	fs.Parse(args)
+	if *frontierPath == "" {
+		return errors.New("tune: -frontier is required")
+	}
+	f, err := slo.ReadFrontier(*frontierPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("frontier: %s (dataset %q, k=%d, %d points)\n",
+		*frontierPath, f.Dataset, f.K, len(f.Points))
+	fmt.Printf("  %8s %8s %14s %14s %8s %6s\n", "alpha", "gamma", "mean_query_us", "p99_query_us", "recall", "live")
+	for _, p := range f.Points {
+		live := ""
+		if p.Live {
+			live = "yes"
+		}
+		fmt.Printf("  %8d %8d %14.1f %14.1f %8.4f %6s\n",
+			p.Alpha, p.Gamma, p.MeanQueryUS, p.P99QueryUS, p.Recall, live)
+	}
+	if *sloTarget == "" {
+		return nil
+	}
+	target, err := slo.ParseTarget(*sloTarget)
+	if err != nil {
+		return err
+	}
+	tuner, err := slo.NewTuner(f, slo.Config{Target: target})
+	if err != nil {
+		return err
+	}
+	ch := tuner.Current()
+	fmt.Printf("\ntarget %s -> alpha=%d gamma=%d (mean %.1fus, p99 %.1fus, recall %.4f)\n",
+		target, ch.Alpha, ch.Gamma, ch.Point.MeanQueryUS, ch.Point.P99QueryUS, ch.Point.Recall)
+	fmt.Printf("  %s\n", ch.Reason)
+	if ch.SLOUnmet {
+		fmt.Printf("  WARNING: no frontier point satisfies the target (slo_unmet)\n")
 	}
 	return nil
 }

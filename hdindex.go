@@ -163,6 +163,7 @@ type backend interface {
 	IOStats() pager.Stats
 	BuildStats() *core.BuildStats
 	Telemetry() telemetry.CollectorSnapshot
+	Params() core.Params
 	Flush() error
 	Close() error
 }

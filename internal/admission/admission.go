@@ -35,6 +35,7 @@ import (
 	"context"
 	"fmt"
 	"slices"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -79,6 +80,26 @@ type Config struct {
 	// drain time) above which ShouldDegrade turns on. Crossings latch
 	// for degradeHold so degradation covers the burst.
 	DegradePressure float64
+	// TenantPolicy, when set, resolves a tenant to its own admission
+	// budget (the serving layer derives it from the tier config: base
+	// knobs × tier shares). Zero fields of the returned budget inherit
+	// the base TenantRPS/TenantBurst; it is consulted once per tenant,
+	// on first sight.
+	TenantPolicy func(tenant string) TenantBudget
+}
+
+// TenantBudget is one tenant's admission budget. Zero fields inherit
+// the controller's base knobs.
+type TenantBudget struct {
+	// RPS is the tenant's sustained accepted-request rate.
+	RPS float64
+	// Burst is the tenant's bucket depth.
+	Burst float64
+	// MaxInflight caps the tenant's in-flight plus queued weight; a
+	// request that would exceed it is shed instantly with
+	// "tenant_throttled" (0 = uncapped). This is the tier isolation
+	// lever: a batch tier at a small cap cannot fill the shared queue.
+	MaxInflight int
 }
 
 // Stats is a point-in-time view of the controller for /stats, /metrics
@@ -95,17 +116,73 @@ type Stats struct {
 	Pressure     float64 `json:"pressure"`
 	P99Millis    float64 `json:"p99_ms"`
 	Degraded     bool    `json:"degraded"`
+	// Tenants breaks admission out per tenant: the top
+	// tenantStatsTopN by accepted count, with everything else
+	// aggregated into one "other" row so the block (and the /metrics
+	// labels derived from it) stays bounded however many tenant ids
+	// clients invent.
+	Tenants []TenantStats `json:"tenants,omitempty"`
 }
+
+// TenantStats is one tenant's row of the admission stats.
+type TenantStats struct {
+	Tenant       string  `json:"tenant"`
+	Accepted     uint64  `json:"accepted"`
+	ShedOverload uint64  `json:"shed_overload"`
+	ShedTenant   uint64  `json:"shed_tenant"`
+	Load         int     `json:"load"` // in-flight + queued weight
+	MaxInflight  int     `json:"max_inflight,omitempty"`
+	RPS          float64 `json:"rps,omitempty"`
+}
+
+// tenantStatsTopN bounds the per-tenant stats cardinality.
+const tenantStatsTopN = 8
+
+// OtherTenant is the aggregate row name for tenants beyond the top N.
+const OtherTenant = "other"
 
 type waiter struct {
 	weight int
 	ready  chan struct{}
 }
 
-type bucket struct {
+// tenantState is everything the controller tracks per tenant: the
+// token bucket (with per-tenant rate/burst when a TenantPolicy set
+// them), the in-flight+queued load against the tenant's cap, and the
+// per-tenant outcome counters behind Stats.Tenants.
+type tenantState struct {
+	rps     float64
+	burst   float64
+	maxLoad int // 0 = uncapped
+
 	mu     sync.Mutex
 	tokens float64
 	last   time.Time
+
+	load         atomic.Int64
+	accepted     atomic.Uint64
+	shedOverload atomic.Uint64
+	shedTenant   atomic.Uint64
+}
+
+// addLoad reserves weight against the tenant's load cap; false means
+// the cap is hit and the request must be shed.
+func (ts *tenantState) addLoad(weight int) bool {
+	for {
+		cur := ts.load.Load()
+		if ts.maxLoad > 0 && cur+int64(weight) > int64(ts.maxLoad) {
+			return false
+		}
+		if ts.load.CompareAndSwap(cur, cur+int64(weight)) {
+			return true
+		}
+	}
+}
+
+func (ts *tenantState) subLoad(weight int) {
+	if ts != nil {
+		ts.load.Add(int64(-weight))
+	}
 }
 
 // Controller implements admission control. Construct with New; a nil
@@ -121,7 +198,7 @@ type Controller struct {
 	waiters  []*waiter
 
 	tmu     sync.Mutex
-	tenants map[string]*bucket
+	tenants map[string]*tenantState
 
 	// Accepted-request latency feed (Observe) and the cached windowed
 	// p99 derived from it.
@@ -161,7 +238,7 @@ const (
 // New builds a Controller. Returns nil (admit-everything) when the
 // config enables no mechanism.
 func New(cfg Config) *Controller {
-	if cfg.MaxInflight <= 0 && cfg.TenantRPS <= 0 {
+	if cfg.MaxInflight <= 0 && cfg.TenantRPS <= 0 && cfg.TenantPolicy == nil {
 		return nil
 	}
 	c := &Controller{cfg: cfg, now: time.Now}
@@ -171,13 +248,45 @@ func New(cfg Config) *Controller {
 			c.maxQueue = 4 * cfg.MaxInflight
 		}
 	}
-	if cfg.TenantRPS > 0 {
-		if c.cfg.TenantBurst <= 0 {
-			c.cfg.TenantBurst = max(2*cfg.TenantRPS, 1)
-		}
-		c.tenants = make(map[string]*bucket)
+	if cfg.TenantRPS > 0 && c.cfg.TenantBurst <= 0 {
+		c.cfg.TenantBurst = max(2*cfg.TenantRPS, 1)
+	}
+	if cfg.TenantRPS > 0 || cfg.TenantPolicy != nil {
+		c.tenants = make(map[string]*tenantState)
 	}
 	return c
+}
+
+// tenantFor returns (creating on first sight) the tenant's state; nil
+// when no per-tenant mechanism is configured.
+func (c *Controller) tenantFor(tenant string) *tenantState {
+	if c.tenants == nil {
+		return nil
+	}
+	c.tmu.Lock()
+	defer c.tmu.Unlock()
+	ts := c.tenants[tenant]
+	if ts == nil {
+		ts = &tenantState{rps: c.cfg.TenantRPS, burst: c.cfg.TenantBurst, last: c.now()}
+		if c.cfg.TenantPolicy != nil {
+			b := c.cfg.TenantPolicy(tenant)
+			if b.RPS > 0 {
+				ts.rps = b.RPS
+			}
+			if b.Burst > 0 {
+				ts.burst = b.Burst
+			}
+			if b.MaxInflight > 0 {
+				ts.maxLoad = b.MaxInflight
+			}
+		}
+		if ts.rps > 0 && ts.burst <= 0 {
+			ts.burst = max(2*ts.rps, 1)
+		}
+		ts.tokens = ts.burst
+		c.tenants[tenant] = ts
+	}
+	return ts
 }
 
 // Acquire admits weight units of work for tenant, blocking in the
@@ -192,27 +301,43 @@ func (c *Controller) Acquire(ctx context.Context, tenant string, weight int) (re
 	if weight < 1 {
 		weight = 1
 	}
+	ts := c.tenantFor(tenant)
 
-	if c.cfg.TenantRPS > 0 {
-		if wait, ok := c.takeToken(tenant); !ok {
+	if ts != nil && ts.rps > 0 {
+		if wait, ok := c.takeToken(ts); !ok {
 			c.shedTenant.Add(1)
+			ts.shedTenant.Add(1)
 			return nil, &Error{
 				Code:       CodeTenantThrottled,
 				RetryAfter: wait,
-				reason:     fmt.Sprintf("tenant %q over %.3g req/s", tenant, c.cfg.TenantRPS),
+				reason:     fmt.Sprintf("tenant %q over %.3g req/s", tenant, ts.rps),
 			}
+		}
+	}
+	// A request heavier than the whole limiter (a huge batch) must
+	// still be admittable: clamp its weight to the capacity so it can
+	// run — alone — rather than queueing forever.
+	if c.cfg.MaxInflight > 0 && weight > c.cfg.MaxInflight {
+		weight = c.cfg.MaxInflight
+	}
+	// The tier load cap: a tenant already at its in-flight+queued
+	// budget sheds instantly instead of eating shared queue slots.
+	if ts != nil && !ts.addLoad(weight) {
+		c.shedTenant.Add(1)
+		ts.shedTenant.Add(1)
+		return nil, &Error{
+			Code:       CodeTenantThrottled,
+			RetryAfter: c.estimateWait(weight),
+			reason:     fmt.Sprintf("tenant %q over in-flight cap %d", tenant, ts.maxLoad),
 		}
 	}
 
 	if c.cfg.MaxInflight <= 0 {
 		c.accepted.Add(1)
-		return func() {}, nil
-	}
-	// A request heavier than the whole limiter (a huge batch) must
-	// still be admittable: clamp its weight to the capacity so it can
-	// run — alone — rather than queueing forever.
-	if weight > c.cfg.MaxInflight {
-		weight = c.cfg.MaxInflight
+		if ts != nil {
+			ts.accepted.Add(1)
+		}
+		return func() { ts.subLoad(weight) }, nil
 	}
 
 	c.mu.Lock()
@@ -220,7 +345,10 @@ func (c *Controller) Acquire(ctx context.Context, tenant string, weight int) (re
 		c.inflight += weight
 		c.mu.Unlock()
 		c.accepted.Add(1)
-		return func() { c.release(weight) }, nil
+		if ts != nil {
+			ts.accepted.Add(1)
+		}
+		return func() { c.release(weight); ts.subLoad(weight) }, nil
 	}
 
 	// Must queue. Shed instead if the queue is full, or if the
@@ -239,6 +367,10 @@ func (c *Controller) Acquire(ctx context.Context, tenant string, weight int) (re
 	if c.queued+weight > c.maxQueue {
 		c.mu.Unlock()
 		c.shedOverload.Add(1)
+		if ts != nil {
+			ts.shedOverload.Add(1)
+		}
+		ts.subLoad(weight)
 		return nil, &Error{
 			Code:       CodeOverloaded,
 			RetryAfter: max(estWait, 50*time.Millisecond),
@@ -250,6 +382,10 @@ func (c *Controller) Acquire(ctx context.Context, tenant string, weight int) (re
 			c.mu.Unlock()
 			c.shedOverload.Add(1)
 			c.shedDeadline.Add(1)
+			if ts != nil {
+				ts.shedOverload.Add(1)
+			}
+			ts.subLoad(weight)
 			return nil, &Error{
 				Code:       CodeOverloaded,
 				RetryAfter: estWait,
@@ -266,7 +402,10 @@ func (c *Controller) Acquire(ctx context.Context, tenant string, weight int) (re
 	select {
 	case <-w.ready:
 		c.accepted.Add(1)
-		return func() { c.release(weight) }, nil
+		if ts != nil {
+			ts.accepted.Add(1)
+		}
+		return func() { c.release(weight); ts.subLoad(weight) }, nil
 	case <-ctx.Done():
 		c.mu.Lock()
 		select {
@@ -285,6 +424,10 @@ func (c *Controller) Acquire(ctx context.Context, tenant string, weight int) (re
 		}
 		c.shedOverload.Add(1)
 		c.shedDeadline.Add(1)
+		if ts != nil {
+			ts.shedOverload.Add(1)
+		}
+		ts.subLoad(weight)
 		return nil, &Error{
 			Code:       CodeOverloaded,
 			RetryAfter: c.estimateWait(weight),
@@ -449,28 +592,66 @@ func (c *Controller) Stats() Stats {
 		Pressure:     c.Pressure(),
 		P99Millis:    c.p99NS() / 1e6,
 		Degraded:     c.ShouldDegrade(),
+		Tenants:      c.tenantStats(),
 	}
 }
 
-// takeToken takes one token from tenant's bucket, reporting the wait
-// until a token would be available when it cannot.
-func (c *Controller) takeToken(tenant string) (wait time.Duration, ok bool) {
+// tenantStats snapshots the per-tenant rows: the top tenantStatsTopN
+// by accepted count, everything else summed into one "other" row, so
+// the cardinality of /stats (and the /metrics labels built from it)
+// stays bounded no matter how many tenant ids clients send.
+func (c *Controller) tenantStats() []TenantStats {
+	if c.tenants == nil {
+		return nil
+	}
 	c.tmu.Lock()
-	b := c.tenants[tenant]
-	if b == nil {
-		b = &bucket{tokens: c.cfg.TenantBurst, last: c.now()}
-		c.tenants[tenant] = b
+	rows := make([]TenantStats, 0, len(c.tenants))
+	for name, ts := range c.tenants {
+		rows = append(rows, TenantStats{
+			Tenant:       name,
+			Accepted:     ts.accepted.Load(),
+			ShedOverload: ts.shedOverload.Load(),
+			ShedTenant:   ts.shedTenant.Load(),
+			Load:         int(ts.load.Load()),
+			MaxInflight:  ts.maxLoad,
+			RPS:          ts.rps,
+		})
 	}
 	c.tmu.Unlock()
+	slices.SortFunc(rows, func(a, b TenantStats) int {
+		if a.Accepted != b.Accepted {
+			if a.Accepted > b.Accepted {
+				return -1
+			}
+			return 1
+		}
+		return strings.Compare(a.Tenant, b.Tenant)
+	})
+	if len(rows) <= tenantStatsTopN {
+		return rows
+	}
+	top := rows[:tenantStatsTopN:tenantStatsTopN]
+	other := TenantStats{Tenant: OtherTenant}
+	for _, r := range rows[tenantStatsTopN:] {
+		other.Accepted += r.Accepted
+		other.ShedOverload += r.ShedOverload
+		other.ShedTenant += r.ShedTenant
+		other.Load += r.Load
+	}
+	return append(top, other)
+}
 
-	b.mu.Lock()
-	defer b.mu.Unlock()
+// takeToken takes one token from the tenant's bucket, reporting the
+// wait until a token would be available when it cannot.
+func (c *Controller) takeToken(ts *tenantState) (wait time.Duration, ok bool) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
 	now := c.now()
-	b.tokens = min(b.tokens+now.Sub(b.last).Seconds()*c.cfg.TenantRPS, c.cfg.TenantBurst)
-	b.last = now
-	if b.tokens >= 1 {
-		b.tokens--
+	ts.tokens = min(ts.tokens+now.Sub(ts.last).Seconds()*ts.rps, ts.burst)
+	ts.last = now
+	if ts.tokens >= 1 {
+		ts.tokens--
 		return 0, true
 	}
-	return time.Duration((1 - b.tokens) / c.cfg.TenantRPS * float64(time.Second)), false
+	return time.Duration((1 - ts.tokens) / ts.rps * float64(time.Second)), false
 }

@@ -3,6 +3,7 @@ package admission
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -374,5 +375,147 @@ func TestStatsShape(t *testing.T) {
 	release()
 	if s := c.Stats(); s.Inflight != 0 {
 		t.Fatalf("inflight = %d after release", s.Inflight)
+	}
+}
+
+func TestTenantPolicyBudgets(t *testing.T) {
+	c := New(Config{
+		TenantRPS:   100,
+		TenantBurst: 10,
+		TenantPolicy: func(tenant string) TenantBudget {
+			switch tenant {
+			case "batch":
+				return TenantBudget{RPS: 5, Burst: 1}
+			case "premium":
+				return TenantBudget{RPS: 1000, Burst: 100}
+			}
+			return TenantBudget{} // inherit base
+		},
+	})
+	ctx := context.Background()
+
+	// batch burns its burst of 1 instantly; the base burst of 10 must
+	// not apply.
+	if _, err := c.Acquire(ctx, "batch", 1); err != nil {
+		t.Fatalf("batch first: %v", err)
+	}
+	_, err := c.Acquire(ctx, "batch", 1)
+	var ae *Error
+	if !errors.As(err, &ae) || ae.Code != CodeTenantThrottled {
+		t.Fatalf("batch over budget got %v, want tenant_throttled", err)
+	}
+
+	// premium rides its 100-deep bucket far past the base burst.
+	for i := 0; i < 50; i++ {
+		release, err := c.Acquire(ctx, "premium", 1)
+		if err != nil {
+			t.Fatalf("premium req %d: %v", i, err)
+		}
+		release()
+	}
+
+	// unlisted tenants inherit the base burst of 10.
+	for i := 0; i < 10; i++ {
+		if _, err := c.Acquire(ctx, "anon", 1); err != nil {
+			t.Fatalf("anon burst req %d: %v", i, err)
+		}
+	}
+	if _, err := c.Acquire(ctx, "anon", 1); !errors.As(err, &ae) || ae.Code != CodeTenantThrottled {
+		t.Fatalf("anon over base burst got %v", err)
+	}
+}
+
+func TestTenantInflightCap(t *testing.T) {
+	c := New(Config{
+		MaxInflight: 10,
+		TenantPolicy: func(tenant string) TenantBudget {
+			if tenant == "capped" {
+				return TenantBudget{MaxInflight: 2}
+			}
+			return TenantBudget{}
+		},
+	})
+	ctx := context.Background()
+
+	r1, err := c.Acquire(ctx, "capped", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Acquire(ctx, "capped", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Third concurrent request exceeds the tenant cap — shed instantly
+	// even though the shared limiter has room.
+	_, err = c.Acquire(ctx, "capped", 1)
+	var ae *Error
+	if !errors.As(err, &ae) || ae.Code != CodeTenantThrottled {
+		t.Fatalf("over cap got %v, want tenant_throttled", err)
+	}
+	// Other tenants still fit.
+	r3, err := c.Acquire(ctx, "free", 1)
+	if err != nil {
+		t.Fatalf("free tenant blocked: %v", err)
+	}
+	r3()
+	// Released capacity comes back.
+	r1()
+	r4, err := c.Acquire(ctx, "capped", 1)
+	if err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	r4()
+	r2()
+
+	s := c.Stats()
+	var capped *TenantStats
+	for i := range s.Tenants {
+		if s.Tenants[i].Tenant == "capped" {
+			capped = &s.Tenants[i]
+		}
+	}
+	if capped == nil {
+		t.Fatalf("no capped row in %+v", s.Tenants)
+	}
+	if capped.Accepted != 3 || capped.ShedTenant != 1 || capped.Load != 0 || capped.MaxInflight != 2 {
+		t.Fatalf("capped row %+v", *capped)
+	}
+}
+
+func TestTenantStatsBoundedCardinality(t *testing.T) {
+	c := New(Config{TenantRPS: 1000})
+	ctx := context.Background()
+	// "hot" accepted twice so it outranks the long tail.
+	for i := 0; i < 2; i++ {
+		release, err := c.Acquire(ctx, "hot", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		release()
+	}
+	for i := 0; i < 20; i++ {
+		release, err := c.Acquire(ctx, fmt.Sprintf("tenant-%02d", i), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		release()
+	}
+	s := c.Stats()
+	if len(s.Tenants) != tenantStatsTopN+1 {
+		t.Fatalf("got %d tenant rows, want %d", len(s.Tenants), tenantStatsTopN+1)
+	}
+	if s.Tenants[0].Tenant != "hot" || s.Tenants[0].Accepted != 2 {
+		t.Fatalf("top row %+v, want hot/2", s.Tenants[0])
+	}
+	last := s.Tenants[len(s.Tenants)-1]
+	if last.Tenant != OtherTenant {
+		t.Fatalf("last row %q, want %q", last.Tenant, OtherTenant)
+	}
+	var total uint64
+	for _, r := range s.Tenants {
+		total += r.Accepted
+	}
+	if total != 22 {
+		t.Fatalf("rows account for %d accepted, want 22", total)
 	}
 }

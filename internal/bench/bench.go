@@ -69,6 +69,12 @@ type Config struct {
 	// closed-loop storm (see Snapshot.Cluster). Only the snapshot
 	// runner consults it.
 	Cluster bool
+	// Tiered adds the quality-tier rows to the snapshot: each named
+	// preset (exact/balanced/fast) measured on each dataset's built
+	// index, plus an "auto" row where the SLO tuner picks its own
+	// operating point from a self-measured frontier (see
+	// Snapshot.Tiered). Only the snapshot runner consults it.
+	Tiered bool
 }
 
 func (c *Config) defaults() {

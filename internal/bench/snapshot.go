@@ -51,6 +51,10 @@ type Snapshot struct {
 	// fraction, failover behaviour with a dead replica. Absent when
 	// Config.Cluster is false.
 	Cluster []ClusterResult `json:"cluster,omitempty"`
+	// Tiered holds the quality-tier rows — each named preset plus the
+	// SLO tuner's auto choice measured on the built index. Absent when
+	// Config.Tiered is false.
+	Tiered []TieredResult `json:"tiered,omitempty"`
 }
 
 // snapshotParallelClients is the fixed concurrent-client count of the
@@ -85,6 +89,10 @@ type SnapshotConfig struct {
 	// shape: clusterShards shards × 2 replicas, clusterClients
 	// closed-loop clients).
 	Cluster bool `json:"cluster,omitempty"`
+	// Tiered records whether the quality-tier phase ran (fixed shape:
+	// the named presets plus the tuner's auto row at tieredTarget over
+	// tieredGrid).
+	Tiered bool `json:"tiered,omitempty"`
 }
 
 // BuildPhaseMS is the per-phase construction cost breakdown mirrored
@@ -180,6 +188,7 @@ func RunSnapshot(cfg Config, datasets []string) (*Snapshot, error) {
 			Shards: cfg.Shards, ParallelClients: snapshotParallelClients,
 			BuildScale: cfg.BuildScale, Sweep: cfg.Sweep.String(),
 			Ingest: cfg.Ingest, Overload: cfg.Overload, Cluster: cfg.Cluster,
+			Tiered: cfg.Tiered,
 		},
 	}
 	for _, name := range datasets {
@@ -193,6 +202,19 @@ func RunSnapshot(cfg Config, datasets []string) (*Snapshot, error) {
 		}
 		snap.Datasets = append(snap.Datasets, res)
 		snap.Sweep = append(snap.Sweep, sweep...)
+	}
+	// The quality-tier rows are latency measurements, so they run right
+	// after the per-dataset query phases, before any phase that churns
+	// the heap (builds, ingest) or saturates the box (storms).
+	if cfg.Tiered {
+		for _, name := range datasets {
+			spec, _ := SpecByName(name)
+			rows, err := snapshotTiered(spec, cfg)
+			if err != nil {
+				return nil, err
+			}
+			snap.Tiered = append(snap.Tiered, rows...)
+		}
 	}
 	// The build-only rows run strictly after every query measurement:
 	// a scale-BuildScale build churns tens of MB of heap, and running

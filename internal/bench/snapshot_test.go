@@ -78,3 +78,47 @@ func TestRunSnapshotUnknownDataset(t *testing.T) {
 		t.Fatal("unknown dataset must fail")
 	}
 }
+
+func TestRunSnapshotTiered(t *testing.T) {
+	cfg := Config{Scale: 0.05, Queries: 5, K: 10, WorkDir: t.TempDir(), Seed: 42, Tiered: true}
+	snap, err := RunSnapshot(cfg, []string{"SIFT10K"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Config.Tiered {
+		t.Fatal("config did not record tiered")
+	}
+	rows := snap.Tiered
+	if len(rows) != 4 {
+		t.Fatalf("%d tiered rows, want 4 (exact/balanced/fast/auto)", len(rows))
+	}
+	byPreset := map[string]TieredResult{}
+	for _, r := range rows {
+		if r.Dataset != "SIFT10K" || r.Alpha < 1 || r.Gamma < 1 || r.MeanQueryUS <= 0 {
+			t.Fatalf("row not measured: %+v", r)
+		}
+		byPreset[r.Preset] = r
+	}
+	exact, fast, auto := byPreset["exact"], byPreset["fast"], byPreset["auto"]
+	if exact.Alpha <= byPreset["balanced"].Alpha || fast.Alpha >= byPreset["balanced"].Alpha {
+		t.Fatalf("tier cascade ordering broken: exact=%d balanced=%d fast=%d",
+			exact.Alpha, byPreset["balanced"].Alpha, fast.Alpha)
+	}
+	if exact.Recall < fast.Recall {
+		t.Fatalf("exact recall %v < fast recall %v", exact.Recall, fast.Recall)
+	}
+	if auto.Target == "" {
+		t.Fatalf("auto row carries no target: %+v", auto)
+	}
+	// The acceptance bar: unless the target is infeasible on this tiny
+	// scale, the tuner's point holds the target at less cost than exact.
+	if !auto.SLOUnmet {
+		if auto.Recall < 0.98 {
+			t.Fatalf("auto row misses target: %+v", auto)
+		}
+		if auto.Alpha > exact.Alpha {
+			t.Fatalf("auto picked a wider cascade than exact: %+v vs %+v", auto, exact)
+		}
+	}
+	PrintTiered(rows)
+}

@@ -10,6 +10,7 @@ import (
 
 	"github.com/hd-index/hdindex/internal/core"
 	"github.com/hd-index/hdindex/internal/metrics"
+	"github.com/hd-index/hdindex/internal/slo"
 )
 
 // SweepSpec asks the snapshot runner to walk one filter-cascade knob
@@ -81,14 +82,42 @@ func (s *SweepSpec) String() string {
 // swept knob's value plus the quality and cost observed at it, measured
 // over the workload's query set on the already-built index.
 type SweepRow struct {
-	Dataset            string  `json:"dataset"`
-	Param              string  `json:"param"`
-	Value              int     `json:"value"`
+	Dataset string `json:"dataset"`
+	Param   string `json:"param"`
+	Value   int    `json:"value"`
+	// Alpha/Gamma are the full resolved cascade the point ran with
+	// (echoed from QueryStats) — what a tuner or a request must set to
+	// reproduce this operating point exactly, whichever single knob the
+	// sweep nominally walked.
+	Alpha              int     `json:"alpha,omitempty"`
+	Gamma              int     `json:"gamma,omitempty"`
 	MeanQueryUS        float64 `json:"mean_query_us"`
+	P99QueryUS         float64 `json:"p99_query_us,omitempty"`
 	Recall             float64 `json:"recall"`
 	MAP                float64 `json:"map"`
 	CandidatesPerQuery float64 `json:"candidates_per_query"`
 	PageReadsPerQuery  float64 `json:"page_reads_per_query"`
+}
+
+// Frontier converts sweep rows for one dataset into the artifact
+// internal/slo's tuner loads (`hdbench -sweep-out`).
+func Frontier(rows []SweepRow, dataset string, k int) *slo.Frontier {
+	f := &slo.Frontier{FormatVersion: slo.FrontierFormatVersion, Dataset: dataset, K: k}
+	for _, r := range rows {
+		if r.Dataset != dataset {
+			continue
+		}
+		f.Points = append(f.Points, slo.Point{
+			Alpha:              r.Alpha,
+			Gamma:              r.Gamma,
+			MeanQueryUS:        r.MeanQueryUS,
+			P99QueryUS:         r.P99QueryUS,
+			Recall:             r.Recall,
+			MAP:                r.MAP,
+			CandidatesPerQuery: r.CandidatesPerQuery,
+		})
+	}
+	return f
 }
 
 // sweepDataset walks the spec's values over the open index, issuing the
@@ -112,10 +141,14 @@ func sweepDataset(ix snapIndex, w *Workload, spec *SweepSpec) ([]SweepRow, error
 		var got [][]uint64
 		var candidates, reads uint64
 		var elapsed time.Duration
+		var effAlpha, effGamma int
+		perQuery := make([]time.Duration, 0, len(w.Queries))
 		for _, q := range w.Queries {
 			t0 := time.Now()
 			res, st, err := ix.Query(ctx, q, w.K, o)
-			elapsed += time.Since(t0)
+			d := time.Since(t0)
+			elapsed += d
+			perQuery = append(perQuery, d)
 			if err != nil {
 				return nil, fmt.Errorf("sweep %s=%d: %w", spec.Param, v, err)
 			}
@@ -126,13 +159,18 @@ func sweepDataset(ix snapIndex, w *Workload, spec *SweepSpec) ([]SweepRow, error
 			got = append(got, ids)
 			candidates += uint64(st.Candidates)
 			reads += st.PageReads
+			effAlpha, effGamma = st.Alpha, st.Gamma
 		}
+		sort.Slice(perQuery, func(i, j int) bool { return perQuery[i] < perQuery[j] })
 		nq := float64(len(w.Queries))
 		rows = append(rows, SweepRow{
 			Dataset:            w.Spec.Name,
 			Param:              spec.Param,
 			Value:              v,
+			Alpha:              effAlpha,
+			Gamma:              effGamma,
 			MeanQueryUS:        float64(elapsed.Microseconds()) / nq,
+			P99QueryUS:         float64(exactPercentile(perQuery, 0.99).Nanoseconds()) / 1e3,
 			Recall:             metrics.MeanRecall(got, w.TruthIDs, w.K),
 			MAP:                metrics.MAP(got, w.TruthIDs, w.K),
 			CandidatesPerQuery: float64(candidates) / nq,

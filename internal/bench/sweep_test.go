@@ -1,6 +1,11 @@
 package bench
 
-import "testing"
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/hd-index/hdindex/internal/slo"
+)
 
 func TestParseSweep(t *testing.T) {
 	spec, err := ParseSweep("alpha=512, 128,2048")
@@ -88,5 +93,49 @@ func TestRunSnapshotSweepSharded(t *testing.T) {
 	}
 	if snap.Sweep[0].CandidatesPerQuery > snap.Sweep[1].CandidatesPerQuery {
 		t.Fatalf("gamma=16 refined more than gamma=64: %+v", snap.Sweep)
+	}
+}
+
+// Sweep rows must carry the resolved cascade and a p99, and convert
+// into a loadable frontier artifact — the `-sweep-out` path end to end.
+func TestSweepFrontierArtifact(t *testing.T) {
+	spec, err := ParseSweep("alpha=64,512")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Scale: 0.05, Queries: 5, K: 10, WorkDir: t.TempDir(), Seed: 42, Sweep: spec}
+	snap, err := RunSnapshot(cfg, []string{"SIFT10K"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range snap.Sweep {
+		if row.Alpha != row.Value || row.Gamma < cfg.K || row.Gamma > row.Alpha {
+			t.Fatalf("row cascade not echoed: %+v", row)
+		}
+		if row.P99QueryUS < row.MeanQueryUS/10 {
+			t.Fatalf("row p99 implausible: %+v", row)
+		}
+	}
+	f := Frontier(snap.Sweep, "SIFT10K", cfg.K)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Points) != 2 || f.Dataset != "SIFT10K" || f.K != cfg.K {
+		t.Fatalf("frontier %+v", f)
+	}
+	path := filepath.Join(t.TempDir(), "frontier.json")
+	if err := slo.WriteFrontier(path, f); err != nil {
+		t.Fatal(err)
+	}
+	g, err := slo.ReadFrontier(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Points) != 2 || g.Points[0] != f.Points[0] || g.Points[1] != f.Points[1] {
+		t.Fatalf("round trip mangled: %+v vs %+v", g.Points, f.Points)
+	}
+	// Rows from another dataset are excluded.
+	if other := Frontier(snap.Sweep, "Audio", cfg.K); len(other.Points) != 0 {
+		t.Fatalf("foreign rows leaked: %+v", other.Points)
 	}
 }

@@ -125,18 +125,14 @@ func (ix *Index) planFor(k int, o SearchOptions) (searchPlan, error) {
 	plan := searchPlan{ptolemaic: p.UsePtolemaic, maxCandidates: o.MaxCandidates}
 
 	// Adaptive degradation: under overload the serving layer sets
-	// Degrade, and a query that left the whole cascade unset runs a
-	// cheaper one — α and γ shrink to a quarter of the built values,
-	// floored at 64/16 and at k, never widened. A query that pins ANY
-	// cascade knob has opted out: its explicit contract is honoured
-	// unchanged, which also means Degrade can never turn a valid
-	// explicit cascade into an invalid one.
+	// Degrade, and a query that left the whole cascade unset runs the
+	// "fast" preset's cascade (fastCascade — the preset table is the
+	// single source of the clamps). A query that pins ANY cascade knob
+	// has opted out: its explicit contract is honoured unchanged, which
+	// also means Degrade can never turn a valid explicit cascade into
+	// an invalid one.
 	if o.Degrade && o.Alpha == 0 && o.Beta == 0 && o.Gamma == 0 {
-		a := min(p.Alpha, max(p.Alpha/4, 64))
-		a = max(a, k)
-		g := min(p.Gamma, max(p.Gamma/4, 16))
-		g = max(g, k)
-		g = min(g, a)
+		a, g := fastCascade(p, k)
 		if a < p.Alpha || g < min(p.Gamma, p.Alpha) {
 			o.Alpha, o.Gamma = a, g
 			plan.degraded = true

@@ -1,0 +1,91 @@
+package core
+
+import "fmt"
+
+// Preset names a first-class quality level of the filter cascade. A
+// preset is nothing but a resolved option set: the serving layer maps
+// the name to explicit α/γ overrides against the built parameters, so a
+// request carrying a preset is bit-identical to the same request
+// carrying the preset's knobs spelled out. The table is the single
+// source of truth for every quality tier in the system — the adaptive
+// degradation cascade (SearchOptions.Degrade) runs exactly the "fast"
+// preset, and per-tenant tiers (internal/slo) name rows of this table.
+type Preset string
+
+// The named presets.
+const (
+	// PresetExact is the widest cascade: α quadrupled and every leaf
+	// candidate refined (γ = α). The most expensive operating point; the
+	// SLO tuner's job is to beat its latency while holding the target.
+	PresetExact Preset = "exact"
+	// PresetBalanced is the built parameters unchanged — what a request
+	// with no overrides has always run.
+	PresetBalanced Preset = "balanced"
+	// PresetFast is the cheap cascade: α and γ shrunk to a quarter of
+	// the built values (floored at 64/16 and at k). It is byte-for-byte
+	// the cascade adaptive degradation switches unpinned queries to.
+	PresetFast Preset = "fast"
+	// PresetAuto delegates the choice to the serving layer: the SLO
+	// tuner's current operating point when a tuner is running, the
+	// built parameters otherwise, and the fast preset under overload
+	// pressure. Core cannot resolve it — Options returns an error.
+	PresetAuto Preset = "auto"
+)
+
+// Presets lists the named presets in quality order, widest first.
+func Presets() []Preset {
+	return []Preset{PresetExact, PresetBalanced, PresetFast, PresetAuto}
+}
+
+// ParsePreset validates a preset name from a request or a config file.
+func ParsePreset(s string) (Preset, error) {
+	switch p := Preset(s); p {
+	case PresetExact, PresetBalanced, PresetFast, PresetAuto:
+		return p, nil
+	}
+	return "", fmt.Errorf("%w: unknown preset %q (want exact, balanced, fast, or auto)", ErrBadOptions, s)
+}
+
+// exactFactor widens α for the exact preset; γ = α refines everything.
+const exactFactor = 4
+
+// fastCascade is THE cheap cascade: α and γ at a quarter of the built
+// values, floored (64 leaf candidates, 16 refined) so a small built
+// index is not strangled, clamped at k so the query can still return k
+// results, and never widened past the built values. Both the "fast"
+// preset and the adaptive-degradation path resolve through this one
+// function — the clamp constants exist exactly once.
+func fastCascade(p Params, k int) (alpha, gamma int) {
+	alpha = min(p.Alpha, max(p.Alpha/4, 64))
+	alpha = max(alpha, k)
+	gamma = min(p.Gamma, max(p.Gamma/4, 16))
+	gamma = max(gamma, k)
+	gamma = min(gamma, alpha)
+	return alpha, gamma
+}
+
+// Options resolves the preset against the built parameters for a query
+// asking k neighbours, returning the explicit option set the preset
+// stands for. The returned options go through exactly the same
+// validation as hand-written knobs, which is what makes a preset
+// request bit-identical to its expansion. PresetAuto has no fixed
+// expansion (the serving layer resolves it) and returns ErrBadOptions.
+func (p Preset) Options(built Params, k int) (SearchOptions, error) {
+	if k < 1 {
+		return SearchOptions{}, badOptions("k must be >= 1, got %d", k)
+	}
+	switch p {
+	case PresetBalanced:
+		return SearchOptions{}, nil
+	case PresetFast:
+		a, g := fastCascade(built, k)
+		return SearchOptions{Alpha: a, Gamma: g}, nil
+	case PresetExact:
+		a := min(built.Alpha*exactFactor, maxKnob)
+		a = max(a, k)
+		return SearchOptions{Alpha: a, Gamma: a}, nil
+	case PresetAuto:
+		return SearchOptions{}, badOptions("preset %q is resolved by the serving layer, not the index", p)
+	}
+	return SearchOptions{}, badOptions("unknown preset %q", string(p))
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestParsePreset(t *testing.T) {
+	for _, name := range []string{"exact", "balanced", "fast", "auto"} {
+		p, err := ParsePreset(name)
+		if err != nil || string(p) != name {
+			t.Fatalf("ParsePreset(%q) = %q, %v", name, p, err)
+		}
+	}
+	for _, name := range []string{"", "Exact", "fastest", "slo"} {
+		if _, err := ParsePreset(name); !errors.Is(err, ErrBadOptions) {
+			t.Fatalf("ParsePreset(%q) err = %v, want ErrBadOptions", name, err)
+		}
+	}
+}
+
+func TestPresetOptionsTable(t *testing.T) {
+	built := Params{Alpha: 4096, Beta: 4096, Gamma: 1024}
+	cases := []struct {
+		preset       Preset
+		k            int
+		alpha, gamma int
+	}{
+		{PresetBalanced, 10, 0, 0},
+		{PresetFast, 10, 1024, 256},     // quarter of built
+		{PresetExact, 10, 16384, 16384}, // 4x built alpha, gamma = alpha
+	}
+	for _, c := range cases {
+		o, err := c.preset.Options(built, c.k)
+		if err != nil {
+			t.Fatalf("%s.Options: %v", c.preset, err)
+		}
+		if o.Alpha != c.alpha || o.Gamma != c.gamma {
+			t.Fatalf("%s resolved to alpha=%d gamma=%d, want %d/%d",
+				c.preset, o.Alpha, o.Gamma, c.alpha, c.gamma)
+		}
+	}
+	// Auto has no fixed expansion.
+	if _, err := PresetAuto.Options(built, 10); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("auto.Options err = %v, want ErrBadOptions", err)
+	}
+	// Fast floors at 64/16 on a small built cascade...
+	o, err := PresetFast.Options(Params{Alpha: 128, Beta: 128, Gamma: 32}, 10)
+	if err != nil || o.Alpha != 64 || o.Gamma != 16 {
+		t.Fatalf("fast on small cascade = %+v, %v; want alpha=64 gamma=16", o, err)
+	}
+	// ...never widens past the built values...
+	o, _ = PresetFast.Options(Params{Alpha: 48, Beta: 48, Gamma: 12}, 10)
+	if o.Alpha != 48 || o.Gamma != 12 {
+		t.Fatalf("fast widened past built: %+v", o)
+	}
+	// ...and clamps up to k so the query can still return k results.
+	o, _ = PresetFast.Options(Params{Alpha: 128, Beta: 128, Gamma: 32}, 50)
+	if o.Alpha != 64 || o.Gamma != 50 {
+		t.Fatalf("fast at k=50 = %+v, want alpha=64 gamma=50", o)
+	}
+}
+
+// The fast preset IS the adaptive-degradation cascade: resolving the
+// preset's explicit options must run a plan identical to the Degrade
+// flag's, and return bit-identical results.
+func TestPresetFastEqualsDegrade(t *testing.T) {
+	p := Params{Tau: 4, Omega: 8, M: 4, Alpha: 256, Gamma: 64, Seed: 1}
+	ix, _, queries := buildSmall(t, 1500, p)
+	const k = 10
+
+	fast, err := PresetFast.Options(ix.Params(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planFast, err := ix.planFor(k, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planDeg, err := ix.planFor(k, SearchOptions{Degrade: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !planDeg.degraded {
+		t.Fatal("Degrade on an unset cascade did not degrade")
+	}
+	if planFast.alpha != planDeg.alpha || planFast.beta != planDeg.beta || planFast.gamma != planDeg.gamma {
+		t.Fatalf("fast preset plan %+v != degrade plan %+v", planFast, planDeg)
+	}
+
+	ctx := context.Background()
+	for _, q := range queries {
+		rf, _, err := ix.Query(ctx, q, k, fast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd, st, err := ix.Query(ctx, q, k, SearchOptions{Degrade: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.Degraded {
+			t.Fatal("degrade query did not report Degraded")
+		}
+		if len(rf) != len(rd) {
+			t.Fatalf("result lengths differ: %d vs %d", len(rf), len(rd))
+		}
+		for i := range rf {
+			if rf[i] != rd[i] {
+				t.Fatalf("result %d differs: fast %+v degrade %+v", i, rf[i], rd[i])
+			}
+		}
+	}
+}
+
+// The exact preset must dominate quality: its candidate set contains at
+// least as many refined candidates as the built defaults.
+func TestPresetExactWidest(t *testing.T) {
+	p := Params{Tau: 4, Omega: 8, M: 4, Alpha: 128, Gamma: 32, Seed: 1}
+	ix, _, queries := buildSmall(t, 1500, p)
+	const k = 10
+	exact, err := PresetExact.Options(ix.Params(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	_, stBal, err := ix.Query(ctx, queries[0], k, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stEx, err := ix.Query(ctx, queries[0], k, exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stEx.Candidates < stBal.Candidates {
+		t.Fatalf("exact refined %d candidates < balanced %d", stEx.Candidates, stBal.Candidates)
+	}
+	if stEx.Alpha != min(p.Alpha*exactFactor, maxKnob) {
+		t.Fatalf("exact alpha = %d, want %d", stEx.Alpha, p.Alpha*exactFactor)
+	}
+}

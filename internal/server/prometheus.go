@@ -136,6 +136,56 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"1 while new unpinned queries run the degraded cascade.")
 	fmt.Fprintf(bw, "hdindex_admission_degraded %d\n", boolGauge(adm.Degraded))
 
+	// Per-tenant admission: the top tenants by accepted count plus one
+	// aggregate "other" row, so the label cardinality stays bounded
+	// however many tenant ids clients invent. Absent entirely when no
+	// per-tenant mechanism is configured.
+	if len(adm.Tenants) > 0 {
+		writeHeader(bw, "hdindex_tenant_accepted_total", "counter",
+			"Requests admitted, by tenant (top tenants plus \"other\").")
+		for _, t := range adm.Tenants {
+			fmt.Fprintf(bw, "hdindex_tenant_accepted_total{tenant=%q} %d\n", t.Tenant, t.Accepted)
+		}
+		writeHeader(bw, "hdindex_tenant_shed_total", "counter",
+			"Requests shed, by tenant and reason.")
+		for _, t := range adm.Tenants {
+			fmt.Fprintf(bw, "hdindex_tenant_shed_total{tenant=%q,reason=\"overload\"} %d\n", t.Tenant, t.ShedOverload)
+			fmt.Fprintf(bw, "hdindex_tenant_shed_total{tenant=%q,reason=\"tenant\"} %d\n", t.Tenant, t.ShedTenant)
+		}
+		writeHeader(bw, "hdindex_tenant_load", "gauge",
+			"In-flight plus queued weight, by tenant.")
+		for _, t := range adm.Tenants {
+			fmt.Fprintf(bw, "hdindex_tenant_load{tenant=%q} %d\n", t.Tenant, t.Load)
+		}
+	}
+
+	// SLO auto-tuner: the operating point it holds and whether the
+	// target is currently infeasible on the measured frontier.
+	if s.tuner != nil {
+		st := s.tuner.Stats()
+		writeHeader(bw, "hdindex_slo_alpha", "gauge",
+			"Cascade alpha of the tuner's current operating point.")
+		fmt.Fprintf(bw, "hdindex_slo_alpha %d\n", st.Choice.Alpha)
+		writeHeader(bw, "hdindex_slo_gamma", "gauge",
+			"Cascade gamma of the tuner's current operating point.")
+		fmt.Fprintf(bw, "hdindex_slo_gamma %d\n", st.Choice.Gamma)
+		writeHeader(bw, "hdindex_slo_unmet", "gauge",
+			"1 while no frontier point satisfies the SLO target.")
+		fmt.Fprintf(bw, "hdindex_slo_unmet %d\n", boolGauge(st.Choice.SLOUnmet))
+		writeHeader(bw, "hdindex_slo_frontier_points", "gauge",
+			"Operating points on the tuner's current frontier.")
+		fmt.Fprintf(bw, "hdindex_slo_frontier_points %d\n", st.FrontierSize)
+		writeHeader(bw, "hdindex_slo_decisions_total", "counter",
+			"Tuner decisions taken (history length, bounded).")
+		fmt.Fprintf(bw, "hdindex_slo_decisions_total %d\n", len(st.History))
+		writeHeader(bw, "hdindex_slo_remeasure_passes_total", "counter",
+			"Live frontier re-measurement passes completed.")
+		fmt.Fprintf(bw, "hdindex_slo_remeasure_passes_total %d\n", st.Remeasures)
+		writeHeader(bw, "hdindex_slo_sampled_queries_total", "counter",
+			"Real queries offered to the tuner's replay sample.")
+		fmt.Fprintf(bw, "hdindex_slo_sampled_queries_total %d\n", st.SampledN)
+	}
+
 	writeHeader(bw, "hdindex_index_vectors", "gauge", "Indexed vectors.")
 	fmt.Fprintf(bw, "hdindex_index_vectors %d\n", s.idx.Count())
 	writeHeader(bw, "hdindex_index_deleted", "gauge", "Deletion marks.")

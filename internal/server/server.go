@@ -15,11 +15,15 @@
 //
 // /search and /searchbatch accept per-request tuning fields — "alpha",
 // "gamma", "ptolemaic", "max_candidates" — overriding the index's
-// built filter cascade for that request only (per-tenant quality tiers
-// on one index). "stats": true returns the work counters with the
-// effective cascade echoed back. Out-of-range knobs are a 400 with a
-// structured {"error", "code"} body; values above the server's
-// MaxAlpha cap are clamped, not rejected.
+// built filter cascade for that request only, or a named quality
+// preset ("preset": "exact"|"balanced"|"fast"|"auto") standing for a
+// whole knob assignment; the two are mutually exclusive. Requests that
+// choose neither inherit their tenant's tier preset (Config.Tiers)
+// and then the server default. "stats": true returns the work counters
+// with the effective cascade and resolved preset echoed back.
+// Out-of-range knobs are a 400 with a structured {"error", "code"}
+// body; values above the server's MaxAlpha cap are clamped, not
+// rejected.
 package server
 
 import (
@@ -31,12 +35,14 @@ import (
 	"math"
 	"net/http"
 	"net/http/pprof"
+	"slices"
 	"strconv"
 	"time"
 
 	hdindex "github.com/hd-index/hdindex"
 	"github.com/hd-index/hdindex/internal/admission"
 	"github.com/hd-index/hdindex/internal/shard"
+	"github.com/hd-index/hdindex/internal/slo"
 	"github.com/hd-index/hdindex/internal/telemetry"
 )
 
@@ -101,9 +107,35 @@ type Config struct {
 	// DegradePressure enables adaptive degradation: when the admission
 	// queue's estimated drain time (queued weight × recent p99, in
 	// seconds) exceeds this threshold, searches that leave their cascade
-	// knobs unset run the cheap cascade (core's Degrade preset) and
-	// their stats echo degraded=true. 0 disables degradation.
+	// knobs unset run the cheap cascade (the "fast" preset) and their
+	// stats echo degraded=true. 0 disables degradation.
 	DegradePressure float64
+
+	// DefaultPreset is the quality preset applied when a request names
+	// none and its tenant's tier names none. Empty means "auto": the
+	// tuner's operating point when an SLO tuner runs, the built
+	// parameters otherwise, and the fast cascade under overload
+	// pressure — exactly the pre-preset behaviour.
+	DefaultPreset hdindex.Preset
+	// Tiers maps tenants (X-Tenant) to quality tiers: a preset plus a
+	// share of the admission budget (hdserve -tiers). Nil disables
+	// tiering.
+	Tiers *slo.TierConfig
+	// SLO, when non-nil, runs the auto-tuner holding this target
+	// (hdserve -slo); requires Frontier.
+	SLO *slo.Target
+	// Frontier is the startup recall/latency frontier the tuner picks
+	// from (hdserve -frontier, written by hdbench -sweep-out). The
+	// tuner refreshes it by replaying sampled real queries during
+	// low-pressure windows.
+	Frontier *slo.Frontier
+	// RetuneInterval overrides how often the tuner re-evaluates its
+	// choice (0 = the tuner's default, 30s).
+	RetuneInterval time.Duration
+	// RemeasureInterval overrides how often the tuner replays sampled
+	// queries to refresh the frontier (0 = default 10m, negative =
+	// never).
+	RemeasureInterval time.Duration
 
 	// Identity is the shard identity stamp of the served directory, when
 	// it is one shard of a sharded build (hdserve reads identity.json
@@ -140,6 +172,12 @@ type Server struct {
 	// adm is the overload-control layer; nil when Config enables none of
 	// its mechanisms (every call site is nil-safe).
 	adm *admission.Controller
+	// tuner holds the SLO auto-tuner; nil unless Config.SLO and
+	// Config.Frontier are both set. tunerStop ends its Run goroutine.
+	tuner     *slo.Tuner
+	tunerStop context.CancelFunc
+	// defaultPreset is Config.DefaultPreset with "" resolved to auto.
+	defaultPreset hdindex.Preset
 
 	mSearch, mBatch, mInsert, mDelete, mStats, mHealth, mMetrics endpointMetrics
 }
@@ -151,13 +189,44 @@ func New(idx *hdindex.Index, cfg Config) *Server {
 	if s.logger == nil {
 		s.logger = slog.Default()
 	}
-	s.adm = admission.New(admission.Config{
+	s.defaultPreset = cfg.DefaultPreset
+	if s.defaultPreset == "" {
+		s.defaultPreset = hdindex.PresetAuto
+	}
+	admCfg := admission.Config{
 		MaxInflight:     cfg.MaxInflight,
 		MaxQueue:        cfg.MaxQueue,
 		TenantRPS:       cfg.TenantRPS,
 		TenantBurst:     cfg.TenantBurst,
 		DegradePressure: cfg.DegradePressure,
-	})
+	}
+	if cfg.Tiers != nil {
+		admCfg.TenantPolicy = tenantPolicy(cfg, admCfg)
+	}
+	s.adm = admission.New(admCfg)
+	if cfg.SLO != nil && cfg.Frontier != nil {
+		tuner, err := slo.NewTuner(cfg.Frontier, slo.Config{
+			Target:            *cfg.SLO,
+			Interval:          cfg.RetuneInterval,
+			RemeasureInterval: cfg.RemeasureInterval,
+			Replay:            s.replay,
+			// Re-measurement replays the whole sample across every
+			// frontier point; skip it whenever admission is already
+			// degrading or shedding real traffic.
+			UnderPressure: func() bool { return s.adm.ShouldDegrade() || s.adm.Overloaded() },
+		})
+		if err != nil {
+			// A frontier that fails validation disables tuning but must
+			// not take the server down with it: auto falls back to the
+			// built parameters, which is the no-tuner behaviour anyway.
+			s.logger.Error("slo tuner disabled: bad frontier", "err", err)
+		} else {
+			s.tuner = tuner
+			ctx, cancel := context.WithCancel(context.Background())
+			s.tunerStop = cancel
+			go tuner.Run(ctx)
+		}
+	}
 	s.mux.HandleFunc("POST /search", s.instrument(&s.mSearch, s.handleSearch))
 	s.mux.HandleFunc("POST /searchbatch", s.instrument(&s.mBatch, s.handleSearchBatch))
 	s.mux.HandleFunc("POST /insert", s.instrument(&s.mInsert, s.handleInsert))
@@ -177,12 +246,84 @@ func New(idx *hdindex.Index, cfg Config) *Server {
 	return s
 }
 
+// tenantPolicy derives the admission budget of each tier from the
+// server's base per-tenant knobs: rps/burst scale by the tier's
+// shares, and max_inflight_share carves the tier's slice out of the
+// server's total inflight+queued capacity. Tenants with no tier (and
+// no default tier) keep the base budget untouched.
+func tenantPolicy(cfg Config, base admission.Config) func(string) admission.TenantBudget {
+	totalCap := base.MaxInflight + base.MaxQueue
+	if base.MaxInflight > 0 && base.MaxQueue <= 0 {
+		totalCap = 5 * base.MaxInflight // the controller's 4× default queue + inflight
+	}
+	baseBurst := base.TenantBurst
+	if baseBurst <= 0 {
+		baseBurst = max(2*base.TenantRPS, 1)
+	}
+	return func(tenant string) admission.TenantBudget {
+		_, tier, ok := cfg.Tiers.TierFor(tenant)
+		if !ok {
+			return admission.TenantBudget{}
+		}
+		var b admission.TenantBudget
+		if tier.RPSShare > 0 {
+			b.RPS = base.TenantRPS * tier.RPSShare
+		}
+		if tier.BurstShare > 0 {
+			b.Burst = baseBurst * tier.BurstShare
+		}
+		if tier.MaxInflightShare > 0 && totalCap > 0 {
+			b.MaxInflight = max(int(float64(totalCap)*tier.MaxInflightShare), 1)
+		}
+		return b
+	}
+}
+
+// replay is the tuner's ReplayFunc: it runs the sampled queries
+// against the live index at an explicit operating point and reports
+// latencies plus result IDs. It goes through the facade (not HTTP), so
+// replays never count against admission or endpoint metrics.
+func (s *Server) replay(ctx context.Context, queries [][]float32, k, alpha, gamma int) (slo.ReplayResult, error) {
+	var out slo.ReplayResult
+	out.IDs = make([][]uint64, len(queries))
+	durs := make([]time.Duration, len(queries))
+	var total time.Duration
+	for i, q := range queries {
+		start := time.Now()
+		resp, err := s.idx.Query(ctx, q, k,
+			hdindex.WithAlpha(max(alpha, k)), hdindex.WithGamma(max(gamma, k)))
+		if err != nil {
+			return slo.ReplayResult{}, err
+		}
+		durs[i] = time.Since(start)
+		total += durs[i]
+		ids := make([]uint64, len(resp.Results))
+		for j, r := range resp.Results {
+			ids[j] = r.ID
+		}
+		out.IDs[i] = ids
+	}
+	if len(queries) > 0 {
+		out.MeanQueryUS = float64(total.Microseconds()) / float64(len(queries))
+		slices.Sort(durs)
+		idx := int(math.Ceil(0.99*float64(len(durs)))) - 1
+		out.P99QueryUS = float64(durs[max(idx, 0)].Microseconds())
+	}
+	return out, nil
+}
+
 // Handler returns the routed http.Handler for mounting in an
 // http.Server or a test server.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Shutdown flushes the index; call after the http.Server has drained.
-func (s *Server) Shutdown() error { return s.idx.Flush() }
+// Shutdown stops the tuner and flushes the index; call after the
+// http.Server has drained.
+func (s *Server) Shutdown() error {
+	if s.tunerStop != nil {
+		s.tunerStop()
+	}
+	return s.idx.Flush()
+}
 
 // handlerFunc is an endpoint body: it returns the response object, or
 // an httpError/plain error.
@@ -364,11 +505,88 @@ func toResultJSON(res []hdindex.Result) []ResultJSON {
 // tuningFields are the per-request filter-cascade overrides shared by
 // /search and /searchbatch. Zero values inherit the index's built
 // parameters; "ptolemaic" is a JSON tri-state (absent = built default).
+// "preset" names a quality preset instead of spelling knobs out; the
+// two ways are mutually exclusive.
 type tuningFields struct {
-	Alpha         int   `json:"alpha"`
-	Gamma         int   `json:"gamma"`
-	MaxCandidates int   `json:"max_candidates"`
-	Ptolemaic     *bool `json:"ptolemaic"`
+	Alpha         int    `json:"alpha"`
+	Gamma         int    `json:"gamma"`
+	MaxCandidates int    `json:"max_candidates"`
+	Ptolemaic     *bool  `json:"ptolemaic"`
+	Preset        string `json:"preset"`
+}
+
+// hasKnobs reports whether the request spelled out any explicit
+// cascade override.
+func (t tuningFields) hasKnobs() bool {
+	return t.Alpha != 0 || t.Gamma != 0 || t.MaxCandidates != 0 || t.Ptolemaic != nil
+}
+
+// resolvePreset picks the request's effective quality preset:
+// the explicit "preset" field, else — only when the request also
+// spelled no explicit knobs — the tenant's tier preset, else the
+// server default. A request may not combine "preset" with explicit
+// knobs: a preset IS a knob assignment, and silently letting one win
+// would hide the conflict.
+func (s *Server) resolvePreset(r *http.Request, t tuningFields) (hdindex.Preset, error) {
+	if t.Preset != "" {
+		if t.hasKnobs() {
+			return "", &httpError{code: http.StatusBadRequest, errCode: codeBadOptions,
+				msg: fmt.Sprintf("preset %q cannot be combined with explicit tuning knobs", t.Preset)}
+		}
+		p, err := hdindex.ParsePreset(t.Preset)
+		if err != nil {
+			return "", &httpError{code: http.StatusBadRequest, errCode: codeBadOptions, msg: err.Error()}
+		}
+		return p, nil
+	}
+	if t.hasKnobs() {
+		// Explicit knobs are their own quality choice; tier and server
+		// defaults must not override them.
+		return hdindex.PresetAuto, nil
+	}
+	if name := s.cfg.Tiers.PresetFor(r.Header.Get("X-Tenant")); name != "" {
+		return hdindex.Preset(name), nil // validated when the tier config loaded
+	}
+	return s.defaultPreset, nil
+}
+
+// presetOptions expands a resolved preset into query options for one
+// request. Named presets (exact/balanced/fast) are pinned: their knobs
+// come straight from the preset table and pressure degradation never
+// touches them. Auto returns pinned=false and leaves the options to
+// the explicit knobs + degrade/tuner path.
+func (s *Server) presetOptions(p hdindex.Preset, k int, withStats bool) (opts []hdindex.QueryOption, pinned bool, err error) {
+	if p == hdindex.PresetAuto {
+		return nil, false, nil
+	}
+	opts, err = s.idx.PresetOptions(p, k)
+	if err != nil {
+		return nil, false, err
+	}
+	if withStats {
+		opts = append(opts, hdindex.WithStats())
+	}
+	return opts, true, nil
+}
+
+// autoOptions appends the auto preset's post-admission decision: under
+// pressure the fast cascade (stats echo degraded=true), otherwise the
+// SLO tuner's operating point when one runs, otherwise nothing (the
+// built parameters). Requests with explicit knobs keep them — the
+// degrade marker is still appended because core only acts on it when
+// every cascade knob is unset.
+func (s *Server) autoOptions(opts []hdindex.QueryOption, t tuningFields, k int) []hdindex.QueryOption {
+	if s.adm.ShouldDegrade() {
+		return append(opts, hdindex.WithDegrade())
+	}
+	if s.tuner != nil && !t.hasKnobs() {
+		if ch := s.tuner.Current(); ch.Alpha > 0 {
+			// Clamped up to k: a frontier measured at k=10 must not make
+			// a k=500 request invalid.
+			opts = append(opts, hdindex.WithAlpha(max(ch.Alpha, k)), hdindex.WithGamma(max(ch.Gamma, k)))
+		}
+	}
+	return opts
 }
 
 // options converts the request's tuning fields into query options:
@@ -432,6 +650,10 @@ type QueryStatsJSON struct {
 	// cascade knob for this query (overload pressure + no explicit
 	// α/β/γ in the request).
 	Degraded bool `json:"degraded,omitempty"`
+	// Preset echoes the quality preset the server resolved for this
+	// request — the request's own, its tenant tier's, or the server
+	// default ("auto" when the tuner/degradation decided).
+	Preset string `json:"preset,omitempty"`
 	// PhaseUS attributes the query's time to pipeline phases, in
 	// microseconds, keyed by phase name (tree_walk, candidate_sort,
 	// refine, memtable_scan, topk_merge). Omitted when telemetry is
@@ -513,9 +735,18 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) (any, erro
 	// the client's wish (the phase breakdown is the log's payload) and
 	// stripped from the response below when not asked for.
 	slowLog := s.cfg.SlowQueryThreshold > 0
-	opts, err := req.tuningFields.options(s.cfg, req.Stats || slowLog)
+	preset, err := s.resolvePreset(r, req.tuningFields)
 	if err != nil {
 		return nil, err
+	}
+	opts, pinned, err := s.presetOptions(preset, req.K, req.Stats || slowLog)
+	if err != nil {
+		return nil, err
+	}
+	if !pinned {
+		if opts, err = req.tuningFields.options(s.cfg, req.Stats || slowLog); err != nil {
+			return nil, err
+		}
 	}
 	ctx, cancel := s.queryContext(r, req.TimeoutMs)
 	defer cancel()
@@ -524,11 +755,15 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) (any, erro
 		return nil, err
 	}
 	defer release()
-	// The degrade decision is taken after the queue wait, against the
-	// current pressure: a request that queued through the worst of a
-	// burst does not pay the quality cut if pressure already fell.
-	if s.adm.ShouldDegrade() {
-		opts = append(opts, hdindex.WithDegrade())
+	// The degrade/tuner decision is taken after the queue wait, against
+	// the current pressure: a request that queued through the worst of a
+	// burst does not pay the quality cut if pressure already fell. Named
+	// presets skip it — they pin their quality whatever the load.
+	if !pinned {
+		opts = s.autoOptions(opts, req.tuningFields, req.K)
+	}
+	if s.tuner != nil {
+		s.tuner.Record(req.Query)
 	}
 
 	start := time.Now()
@@ -544,7 +779,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) (any, erro
 	if !req.Stats {
 		resp.Stats = nil
 	}
-	return searchResponse{Results: toResultJSON(resp.Results), Stats: toStatsJSON(resp.Stats)}, nil
+	out := searchResponse{Results: toResultJSON(resp.Results), Stats: toStatsJSON(resp.Stats)}
+	if out.Stats != nil {
+		out.Stats.Preset = string(preset)
+	}
+	return out, nil
 }
 
 // logSlowQuery emits one structured slow-query record: the endpoint,
@@ -619,9 +858,18 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) (any,
 		return nil, err
 	}
 	slowLog := s.cfg.SlowQueryThreshold > 0
-	opts, err := req.tuningFields.options(s.cfg, req.Stats || slowLog)
+	preset, err := s.resolvePreset(r, req.tuningFields)
 	if err != nil {
 		return nil, err
+	}
+	opts, pinned, err := s.presetOptions(preset, req.K, req.Stats || slowLog)
+	if err != nil {
+		return nil, err
+	}
+	if !pinned {
+		if opts, err = req.tuningFields.options(s.cfg, req.Stats || slowLog); err != nil {
+			return nil, err
+		}
 	}
 	ctx, cancel := s.queryContext(r, req.TimeoutMs)
 	defer cancel()
@@ -632,8 +880,8 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) (any,
 		return nil, err
 	}
 	defer release()
-	if s.adm.ShouldDegrade() {
-		opts = append(opts, hdindex.WithDegrade())
+	if !pinned {
+		opts = s.autoOptions(opts, req.tuningFields, req.K)
 	}
 
 	start := time.Now()
@@ -669,6 +917,9 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) (any,
 		out.Results[i] = toResultJSON(rs.Results)
 		if req.Stats {
 			out.Stats[i] = toStatsJSON(rs.Stats)
+			if out.Stats[i] != nil {
+				out.Stats[i].Preset = string(preset)
+			}
 		}
 	}
 	return out, nil
@@ -787,6 +1038,10 @@ type StatsResponse struct {
 	// new unpinned queries are being degraded. Omitted when admission
 	// control is disabled.
 	Admission *admission.Stats `json:"admission,omitempty"`
+	// SLO is the auto-tuner block: the target, the current operating
+	// point with its reason and slo_unmet flag, the decision history,
+	// and the live re-measurement counters. Omitted when no tuner runs.
+	SLO *slo.Stats `json:"slo,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) (any, error) {
@@ -817,6 +1072,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) (any, error
 	if s.adm != nil {
 		st := s.adm.Stats()
 		resp.Admission = &st
+	}
+	if s.tuner != nil {
+		st := s.tuner.Stats()
+		resp.SLO = &st
 	}
 	resp.Endpoints = make(map[string]EndpointStats, 7)
 	for _, ep := range s.endpointsInOrder() {

@@ -148,6 +148,12 @@ func (s *Sharded) Telemetry() telemetry.CollectorSnapshot {
 // NumShards returns the shard count N.
 func (s *Sharded) NumShards() int { return len(s.shards) }
 
+// Params returns the built HD-Index parameters. Every shard is built
+// with the same Params (shard.Build fans one spec out), so shard 0
+// speaks for the layout — the preset table and the SLO tuner resolve
+// their operating points against it exactly as on a single index.
+func (s *Sharded) Params() core.Params { return s.shards[0].Params() }
+
 // BuildStats returns the aggregated construction cost breakdown of a
 // freshly built layout (phase times and allocations summed across
 // shards, TotalMS the build's wall clock), or nil when the layout was

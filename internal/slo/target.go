@@ -1,0 +1,75 @@
+package slo
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ErrBadTarget reports an SLO target string that does not parse.
+var ErrBadTarget = errors.New("slo: bad target")
+
+// TargetKind says which axis of the frontier the SLO constrains.
+type TargetKind int
+
+// Target kinds.
+const (
+	// TargetRecall holds recall at or above a floor and minimises
+	// latency: `recall>=0.98`.
+	TargetRecall TargetKind = iota
+	// TargetP99 holds p99 latency at or below a ceiling and maximises
+	// recall: `p99<=2ms`.
+	TargetP99
+)
+
+// Target is a parsed SLO: one constrained axis and its bound.
+type Target struct {
+	Kind TargetKind
+	// Recall is the floor when Kind is TargetRecall.
+	Recall float64
+	// P99 is the ceiling when Kind is TargetP99.
+	P99 time.Duration
+}
+
+// String renders the target the way ParseTarget accepts it.
+func (t Target) String() string {
+	switch t.Kind {
+	case TargetRecall:
+		return fmt.Sprintf("recall>=%g", t.Recall)
+	case TargetP99:
+		return fmt.Sprintf("p99<=%s", t.P99)
+	}
+	return "?"
+}
+
+// ParseTarget parses the `-slo` flag syntax: `recall>=0.98` or
+// `p99<=2ms` (any duration Go parses; spaces around the operator are
+// tolerated). The operator direction is part of the grammar — a recall
+// target is always a floor, a p99 target always a ceiling — so the
+// "wrong" operator is rejected rather than silently flipped.
+func ParseTarget(s string) (Target, error) {
+	compact := strings.ReplaceAll(s, " ", "")
+	switch {
+	case strings.HasPrefix(compact, "recall>="):
+		v, err := strconv.ParseFloat(compact[len("recall>="):], 64)
+		if err != nil {
+			return Target{}, fmt.Errorf("%w: recall bound %q: %v", ErrBadTarget, s, err)
+		}
+		if v <= 0 || v > 1 {
+			return Target{}, fmt.Errorf("%w: recall bound %v outside (0,1]", ErrBadTarget, v)
+		}
+		return Target{Kind: TargetRecall, Recall: v}, nil
+	case strings.HasPrefix(compact, "p99<="):
+		d, err := time.ParseDuration(compact[len("p99<="):])
+		if err != nil {
+			return Target{}, fmt.Errorf("%w: p99 bound %q: %v", ErrBadTarget, s, err)
+		}
+		if d <= 0 {
+			return Target{}, fmt.Errorf("%w: p99 bound must be positive, got %s", ErrBadTarget, d)
+		}
+		return Target{Kind: TargetP99, P99: d}, nil
+	}
+	return Target{}, fmt.Errorf("%w: %q (want recall>=FLOAT or p99<=DURATION)", ErrBadTarget, s)
+}

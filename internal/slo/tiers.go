@@ -1,0 +1,118 @@
+package slo
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"github.com/hd-index/hdindex/internal/core"
+)
+
+// ErrBadTiers reports a tier config file that does not validate.
+var ErrBadTiers = errors.New("slo: bad tier config")
+
+// Tier names a quality-of-service class: the preset its tenants run
+// and the slice of the admission budget they get. Shares are fractions
+// of the server's base admission knobs, so one abusive tenant in a
+// small tier cannot starve the pool and a premium tier keeps headroom.
+type Tier struct {
+	// Preset is the quality preset the tier's tenants default to
+	// (requests may still pick their own). "auto" follows the tuner.
+	Preset string `json:"preset"`
+	// RPSShare scales the base per-tenant refill rate (0 = inherit the
+	// base unchanged). 0.5 on a base of 200 rps gives 100 rps.
+	RPSShare float64 `json:"rps_share,omitempty"`
+	// BurstShare scales the base per-tenant burst the same way.
+	BurstShare float64 `json:"burst_share,omitempty"`
+	// MaxInflightShare caps the tier's tenants at this fraction of the
+	// server's total inflight+queued capacity (0 = no per-tenant cap).
+	MaxInflightShare float64 `json:"max_inflight_share,omitempty"`
+}
+
+// TierConfig maps X-Tenant values to tiers. It is the JSON layout of
+// the `-tiers` config file.
+type TierConfig struct {
+	// DefaultTier is the tier for tenants not listed in Tenants, and
+	// for requests with no X-Tenant header. Empty means such tenants
+	// get no tier treatment (server default preset, base admission).
+	DefaultTier string `json:"default_tier,omitempty"`
+	// Tiers defines the classes by name.
+	Tiers map[string]Tier `json:"tiers"`
+	// Tenants maps an X-Tenant value to a tier name.
+	Tenants map[string]string `json:"tenants,omitempty"`
+}
+
+// Validate checks tier references, presets, and share ranges.
+func (c *TierConfig) Validate() error {
+	if len(c.Tiers) == 0 {
+		return fmt.Errorf("%w: no tiers defined", ErrBadTiers)
+	}
+	for name, tier := range c.Tiers {
+		if tier.Preset != "" {
+			if _, err := core.ParsePreset(tier.Preset); err != nil {
+				return fmt.Errorf("%w: tier %q: %v", ErrBadTiers, name, err)
+			}
+		}
+		for _, s := range []struct {
+			field string
+			v     float64
+		}{{"rps_share", tier.RPSShare}, {"burst_share", tier.BurstShare}, {"max_inflight_share", tier.MaxInflightShare}} {
+			if s.v < 0 || s.v > 1 {
+				return fmt.Errorf("%w: tier %q: %s %v outside [0,1]", ErrBadTiers, name, s.field, s.v)
+			}
+		}
+	}
+	if c.DefaultTier != "" {
+		if _, ok := c.Tiers[c.DefaultTier]; !ok {
+			return fmt.Errorf("%w: default_tier %q not defined", ErrBadTiers, c.DefaultTier)
+		}
+	}
+	for tenant, tier := range c.Tenants {
+		if _, ok := c.Tiers[tier]; !ok {
+			return fmt.Errorf("%w: tenant %q maps to undefined tier %q", ErrBadTiers, tenant, tier)
+		}
+	}
+	return nil
+}
+
+// ReadTierConfig loads and validates the `-tiers` file.
+func ReadTierConfig(path string) (*TierConfig, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("slo: read tier config: %w", err)
+	}
+	var c TierConfig
+	if err := json.Unmarshal(raw, &c); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTiers, err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// TierFor resolves a tenant (the X-Tenant header value, possibly
+// empty) to its tier. The second return is false when the tenant falls
+// through to no tier at all.
+func (c *TierConfig) TierFor(tenant string) (string, Tier, bool) {
+	if c == nil {
+		return "", Tier{}, false
+	}
+	if name, ok := c.Tenants[tenant]; ok {
+		return name, c.Tiers[name], true
+	}
+	if c.DefaultTier != "" {
+		return c.DefaultTier, c.Tiers[c.DefaultTier], true
+	}
+	return "", Tier{}, false
+}
+
+// PresetFor resolves a tenant straight to its tier preset; empty when
+// the tenant has no tier or the tier names no preset.
+func (c *TierConfig) PresetFor(tenant string) string {
+	if _, tier, ok := c.TierFor(tenant); ok {
+		return tier.Preset
+	}
+	return ""
+}
